@@ -1,0 +1,841 @@
+//! A Multi-Paxos replica with leader read leases, used as an evaluation baseline.
+//!
+//! Matches the behaviour of the paper's Multi-Paxos comparator (riak_ensemble): a
+//! stable leader runs phase 2 of Paxos for every update over a replicated command
+//! log, and serves **reads locally under a read lease** that is renewed by heartbeat
+//! acknowledgements from a quorum. This is why Multi-Paxos benefits from read-heavy
+//! workloads in Figure 1 (reads do not touch the log) while still being limited by the
+//! single leader.
+//!
+//! Like the other protocol cores in this repository the replica is sans-io; inject
+//! time with [`PaxosReplica::tick`] and shuttle messages yourself or through the
+//! simulator.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{ClientId, CommandId, NodeId, Outgoing, Reply, ReplyBody, Request, StateMachine};
+
+/// A Paxos ballot: totally ordered by `(number, node)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ballot {
+    /// Ballot number.
+    pub number: u64,
+    /// Node that owns the ballot.
+    pub node: NodeId,
+}
+
+impl Ballot {
+    /// Creates a ballot.
+    pub fn new(number: u64, node: NodeId) -> Self {
+        Ballot { number, node }
+    }
+}
+
+/// Timing configuration for the Multi-Paxos replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaxosConfig {
+    /// Leader heartbeat interval.
+    pub heartbeat_interval_ms: u64,
+    /// Read lease duration; the leader serves reads locally while it has heard from a
+    /// quorum within this window.
+    pub lease_duration_ms: u64,
+    /// Lower bound of the randomized take-over timeout of followers.
+    pub leader_timeout_min_ms: u64,
+    /// Upper bound of the randomized take-over timeout of followers.
+    pub leader_timeout_max_ms: u64,
+    /// RNG seed for the randomized timeouts.
+    pub seed: u64,
+}
+
+impl Default for PaxosConfig {
+    fn default() -> Self {
+        PaxosConfig {
+            heartbeat_interval_ms: 10,
+            lease_duration_ms: 60,
+            leader_timeout_min_ms: 150,
+            leader_timeout_max_ms: 300,
+            seed: 7,
+        }
+    }
+}
+
+/// What a log slot carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PaxosEntry<S: StateMachine> {
+    /// Filler entry proposed by a new leader for slots it must complete.
+    Noop,
+    /// A client command.
+    Command {
+        /// Command to apply once chosen.
+        command: S::Command,
+        /// Node the client originally contacted (sends the reply).
+        origin: NodeId,
+        /// Client to reply to.
+        client: ClientId,
+        /// Correlation id.
+        id: CommandId,
+    },
+}
+
+/// Multi-Paxos protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PaxosMessage<S: StateMachine> {
+    /// Phase 1a: a candidate leader announces a ballot for the whole log.
+    Prepare {
+        /// The candidate's ballot.
+        ballot: Ballot,
+        /// The candidate's commit index (acceptors reply with entries above it).
+        commit_index: u64,
+    },
+    /// Phase 1b: promise not to accept smaller ballots; carries accepted entries.
+    Promise {
+        /// The promised ballot.
+        ballot: Ballot,
+        /// Accepted entries above the candidate's commit index.
+        accepted: Vec<(u64, Ballot, PaxosEntry<S>)>,
+        /// The acceptor's commit index.
+        commit_index: u64,
+    },
+    /// Phase 2a: the leader asks acceptors to accept an entry for a slot.
+    Accept {
+        /// The leader's ballot.
+        ballot: Ballot,
+        /// Log slot (1-based).
+        slot: u64,
+        /// Proposed entry.
+        entry: PaxosEntry<S>,
+        /// The leader's commit index (piggybacked so followers can apply).
+        commit_index: u64,
+    },
+    /// Phase 2b: the acceptor accepted the entry.
+    Accepted {
+        /// The ballot the entry was accepted under.
+        ballot: Ballot,
+        /// The slot that was accepted.
+        slot: u64,
+    },
+    /// The receiver has promised/accepted a higher ballot.
+    Reject {
+        /// The higher ballot the sender should learn about.
+        ballot: Ballot,
+    },
+    /// Leader liveness + commit propagation + lease renewal.
+    Heartbeat {
+        /// The leader's ballot.
+        ballot: Ballot,
+        /// The leader's commit index.
+        commit_index: u64,
+    },
+    /// Acknowledgement of a heartbeat (renews the read lease).
+    HeartbeatAck {
+        /// The acknowledged ballot.
+        ballot: Ballot,
+    },
+    /// A follower forwarding a client request to the leader.
+    Forward {
+        /// Node the client contacted.
+        origin: NodeId,
+        /// Client to reply to.
+        client: ClientId,
+        /// Correlation id.
+        id: CommandId,
+        /// The forwarded request.
+        request: Request<S>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Follower,
+    Candidate,
+    Leader,
+}
+
+/// A Multi-Paxos replica hosting a replicated state machine of type `S`.
+#[derive(Debug)]
+pub struct PaxosReplica<S: StateMachine> {
+    id: NodeId,
+    peers: Vec<NodeId>,
+    config: PaxosConfig,
+    rng: StdRng,
+
+    role: Role,
+    /// Highest ballot promised (acceptor role).
+    promised: Ballot,
+    /// Our own ballot when leading or campaigning.
+    ballot: Ballot,
+    leader_hint: Option<NodeId>,
+
+    /// Accepted entries per slot (acceptor role).
+    accepted: BTreeMap<u64, (Ballot, PaxosEntry<S>)>,
+    /// Number of contiguous chosen slots.
+    commit_index: u64,
+    applied: u64,
+    machine: S,
+
+    // Leader volatile state.
+    next_slot: u64,
+    accept_acks: BTreeMap<u64, BTreeSet<NodeId>>,
+    chosen: BTreeSet<u64>,
+    promises: BTreeMap<NodeId, (Vec<(u64, Ballot, PaxosEntry<S>)>, u64)>,
+    last_heartbeat_ack: BTreeMap<NodeId, u64>,
+    /// Queued reads waiting for the lease to become valid.
+    pending_reads: Vec<(NodeId, ClientId, CommandId, S::Query)>,
+
+    now_ms: u64,
+    takeover_deadline_ms: u64,
+    next_heartbeat_ms: u64,
+
+    outbox: Vec<Outgoing<PaxosMessage<S>>>,
+    replies: Vec<Reply<S>>,
+}
+
+impl<S: StateMachine> PaxosReplica<S> {
+    /// Creates a Multi-Paxos replica. `members` must contain `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` does not contain `id`.
+    pub fn new(id: NodeId, members: Vec<NodeId>, config: PaxosConfig) -> Self {
+        assert!(members.contains(&id), "replica must be part of the cluster");
+        let mut peers = members;
+        peers.sort();
+        peers.dedup();
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(id.0 * 7919));
+        let takeover_deadline_ms = Self::random_timeout(&config, &mut rng);
+        PaxosReplica {
+            id,
+            peers,
+            config,
+            rng,
+            role: Role::Follower,
+            promised: Ballot::default(),
+            ballot: Ballot::default(),
+            leader_hint: None,
+            accepted: BTreeMap::new(),
+            commit_index: 0,
+            applied: 0,
+            machine: S::default(),
+            next_slot: 1,
+            accept_acks: BTreeMap::new(),
+            chosen: BTreeSet::new(),
+            promises: BTreeMap::new(),
+            last_heartbeat_ack: BTreeMap::new(),
+            pending_reads: Vec::new(),
+            now_ms: 0,
+            takeover_deadline_ms,
+            next_heartbeat_ms: 0,
+            outbox: Vec::new(),
+            replies: Vec::new(),
+        }
+    }
+
+    fn random_timeout(config: &PaxosConfig, rng: &mut StdRng) -> u64 {
+        rng.gen_range(config.leader_timeout_min_ms..=config.leader_timeout_max_ms)
+    }
+
+    fn majority(&self) -> usize {
+        self.peers.len() / 2 + 1
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Returns `true` if this replica currently leads.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Returns `true` if this replica holds a valid read lease right now.
+    pub fn has_read_lease(&self) -> bool {
+        if self.role != Role::Leader {
+            return false;
+        }
+        if self.peers.len() == 1 {
+            return true;
+        }
+        let fresh = self
+            .last_heartbeat_ack
+            .values()
+            .filter(|&&at| at + self.config.lease_duration_ms > self.now_ms)
+            .count();
+        fresh + 1 >= self.majority()
+    }
+
+    /// Current commit index.
+    pub fn commit_index(&self) -> u64 {
+        self.commit_index
+    }
+
+    /// Read-only access to the applied state machine (not linearizable; tests only).
+    pub fn machine(&self) -> &S {
+        &self.machine
+    }
+
+    /// Drains outgoing messages.
+    pub fn take_outbox(&mut self) -> Vec<Outgoing<PaxosMessage<S>>> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Drains client replies.
+    pub fn take_replies(&mut self) -> Vec<Reply<S>> {
+        std::mem::take(&mut self.replies)
+    }
+
+    /// Submits a client request to this replica.
+    pub fn submit(&mut self, client: ClientId, id: CommandId, request: Request<S>) {
+        match (&request, self.role) {
+            (Request::Read(query), Role::Leader) => {
+                if self.has_read_lease() && self.applied == self.commit_index {
+                    let output = self.machine.query(query);
+                    self.replies.push(Reply { client, command: id, body: ReplyBody::ReadDone(output) });
+                } else {
+                    self.pending_reads.push((self.id, client, id, query.clone()));
+                }
+            }
+            (Request::Update(_), Role::Leader) => {
+                let Request::Update(command) = request else { unreachable!() };
+                self.propose(PaxosEntry::Command { command, origin: self.id, client, id });
+            }
+            _ => match self.leader_hint {
+                Some(leader) if leader != self.id => {
+                    self.outbox.push(Outgoing {
+                        to: leader,
+                        message: PaxosMessage::Forward { origin: self.id, client, id, request },
+                    });
+                }
+                _ => {
+                    self.replies.push(Reply { client, command: id, body: ReplyBody::Retry });
+                }
+            },
+        }
+    }
+
+    /// Handles a protocol message from `from`.
+    pub fn handle_message(&mut self, from: NodeId, message: PaxosMessage<S>) {
+        match message {
+            PaxosMessage::Prepare { ballot, commit_index } => {
+                self.handle_prepare(from, ballot, commit_index);
+            }
+            PaxosMessage::Promise { ballot, accepted, commit_index } => {
+                self.handle_promise(from, ballot, accepted, commit_index);
+            }
+            PaxosMessage::Accept { ballot, slot, entry, commit_index } => {
+                self.handle_accept(from, ballot, slot, entry, commit_index);
+            }
+            PaxosMessage::Accepted { ballot, slot } => self.handle_accepted(from, ballot, slot),
+            PaxosMessage::Reject { ballot } => self.handle_reject(ballot),
+            PaxosMessage::Heartbeat { ballot, commit_index } => {
+                self.handle_heartbeat(from, ballot, commit_index);
+            }
+            PaxosMessage::HeartbeatAck { ballot } => {
+                if self.role == Role::Leader && ballot == self.ballot {
+                    self.last_heartbeat_ack.insert(from, self.now_ms);
+                }
+            }
+            PaxosMessage::Forward { origin, client, id, request } => {
+                self.handle_forward(origin, client, id, request);
+            }
+        }
+    }
+
+    /// Advances time: heartbeats, lease-gated reads, and leader take-over.
+    pub fn tick(&mut self, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
+        match self.role {
+            Role::Leader => {
+                if self.now_ms >= self.next_heartbeat_ms {
+                    let message =
+                        PaxosMessage::Heartbeat { ballot: self.ballot, commit_index: self.commit_index };
+                    self.broadcast(message);
+                    self.next_heartbeat_ms = self.now_ms + self.config.heartbeat_interval_ms;
+                }
+                self.serve_pending_reads();
+            }
+            Role::Follower | Role::Candidate => {
+                if self.now_ms >= self.takeover_deadline_ms {
+                    self.campaign();
+                }
+            }
+        }
+    }
+
+    // ----- acceptor paths ---------------------------------------------------------
+
+    fn handle_prepare(&mut self, from: NodeId, ballot: Ballot, candidate_commit: u64) {
+        if ballot > self.promised {
+            self.promised = ballot;
+            if self.role == Role::Leader && ballot.node != self.id {
+                self.step_down(Some(from));
+            }
+            self.reset_takeover_deadline();
+            let accepted: Vec<(u64, Ballot, PaxosEntry<S>)> = self
+                .accepted
+                .range(candidate_commit + 1..)
+                .map(|(&slot, (ballot, entry))| (slot, *ballot, entry.clone()))
+                .collect();
+            self.outbox.push(Outgoing {
+                to: from,
+                message: PaxosMessage::Promise { ballot, accepted, commit_index: self.commit_index },
+            });
+        } else {
+            self.outbox.push(Outgoing { to: from, message: PaxosMessage::Reject { ballot: self.promised } });
+        }
+    }
+
+    fn handle_accept(
+        &mut self,
+        from: NodeId,
+        ballot: Ballot,
+        slot: u64,
+        entry: PaxosEntry<S>,
+        leader_commit: u64,
+    ) {
+        if ballot >= self.promised {
+            self.promised = ballot;
+            if self.role != Role::Follower && ballot.node != self.id {
+                self.step_down(Some(from));
+            }
+            self.leader_hint = Some(ballot.node);
+            self.reset_takeover_deadline();
+            self.accepted.insert(slot, (ballot, entry));
+            self.learn_commit(leader_commit);
+            self.outbox.push(Outgoing { to: from, message: PaxosMessage::Accepted { ballot, slot } });
+        } else {
+            self.outbox.push(Outgoing { to: from, message: PaxosMessage::Reject { ballot: self.promised } });
+        }
+    }
+
+    fn handle_heartbeat(&mut self, from: NodeId, ballot: Ballot, leader_commit: u64) {
+        if ballot >= self.promised {
+            self.promised = ballot;
+            if self.role != Role::Follower && ballot.node != self.id {
+                self.step_down(Some(from));
+            }
+            self.leader_hint = Some(ballot.node);
+            self.reset_takeover_deadline();
+            self.learn_commit(leader_commit);
+            self.outbox.push(Outgoing { to: from, message: PaxosMessage::HeartbeatAck { ballot } });
+        }
+    }
+
+    /// Followers learn chosen slots via the piggybacked commit index.
+    fn learn_commit(&mut self, leader_commit: u64) {
+        while self.commit_index < leader_commit {
+            let next = self.commit_index + 1;
+            if !self.accepted.contains_key(&next) {
+                break; // hole: wait for the leader to (re-)send the accept
+            }
+            self.commit_index = next;
+        }
+        self.apply_committed();
+    }
+
+    // ----- leader / candidate paths -------------------------------------------------
+
+    fn campaign(&mut self) {
+        self.role = Role::Candidate;
+        let number = self.promised.number.max(self.ballot.number) + 1;
+        self.ballot = Ballot::new(number, self.id);
+        self.promised = self.ballot;
+        self.promises.clear();
+        self.leader_hint = None;
+        self.reset_takeover_deadline();
+        let message = PaxosMessage::Prepare { ballot: self.ballot, commit_index: self.commit_index };
+        self.broadcast(message);
+        // Count our own (implicit) promise.
+        let own: Vec<(u64, Ballot, PaxosEntry<S>)> = self
+            .accepted
+            .range(self.commit_index + 1..)
+            .map(|(&slot, (ballot, entry))| (slot, *ballot, entry.clone()))
+            .collect();
+        self.promises.insert(self.id, (own, self.commit_index));
+        if self.promises.len() >= self.majority() {
+            self.become_leader();
+        }
+    }
+
+    fn handle_promise(
+        &mut self,
+        from: NodeId,
+        ballot: Ballot,
+        accepted: Vec<(u64, Ballot, PaxosEntry<S>)>,
+        commit_index: u64,
+    ) {
+        if self.role != Role::Candidate || ballot != self.ballot {
+            return;
+        }
+        self.promises.insert(from, (accepted, commit_index));
+        if self.promises.len() >= self.majority() {
+            self.become_leader();
+        }
+    }
+
+    fn handle_reject(&mut self, ballot: Ballot) {
+        if ballot > self.promised {
+            self.promised = ballot;
+        }
+        if self.role != Role::Follower && ballot > self.ballot {
+            self.step_down(Some(ballot.node));
+        }
+    }
+
+    fn become_leader(&mut self) {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        self.last_heartbeat_ack.clear();
+        self.accept_acks.clear();
+        self.chosen.clear();
+
+        // Adopt the highest-ballot accepted entry for every slot reported by the
+        // quorum of promises, then re-propose them under our ballot.
+        let mut merged: BTreeMap<u64, (Ballot, PaxosEntry<S>)> = BTreeMap::new();
+        for (slot, (ballot, entry)) in self.accepted.range(self.commit_index + 1..) {
+            merged.insert(*slot, (*ballot, entry.clone()));
+        }
+        let mut max_commit = self.commit_index;
+        for (accepted, commit) in self.promises.values() {
+            max_commit = max_commit.max(*commit);
+            for (slot, ballot, entry) in accepted {
+                match merged.get(slot) {
+                    Some((existing, _)) if existing >= ballot => {}
+                    _ => {
+                        merged.insert(*slot, (*ballot, entry.clone()));
+                    }
+                }
+            }
+        }
+        self.promises.clear();
+
+        let highest_slot = merged.keys().next_back().copied().unwrap_or(self.commit_index);
+        self.next_slot = highest_slot.max(self.commit_index) + 1;
+
+        // Re-propose every pending slot (filling holes with no-ops) under our ballot.
+        for slot in self.commit_index + 1..self.next_slot {
+            let entry = merged
+                .get(&slot)
+                .map(|(_, entry)| entry.clone())
+                .unwrap_or(PaxosEntry::Noop);
+            self.propose_at(slot, entry);
+        }
+        // Followers whose commit index was ahead of ours: catch up by re-learning.
+        self.learn_commit(max_commit);
+
+        self.next_heartbeat_ms = self.now_ms;
+        self.tick(self.now_ms);
+    }
+
+    fn step_down(&mut self, leader: Option<NodeId>) {
+        self.role = Role::Follower;
+        self.leader_hint = leader;
+        self.promises.clear();
+        self.accept_acks.clear();
+        self.reset_takeover_deadline();
+        // Reads queued while leading cannot be served linearizably anymore.
+        let pending = std::mem::take(&mut self.pending_reads);
+        for (_, client, id, _) in pending {
+            self.replies.push(Reply { client, command: id, body: ReplyBody::Retry });
+        }
+    }
+
+    fn reset_takeover_deadline(&mut self) {
+        self.takeover_deadline_ms = self.now_ms + Self::random_timeout(&self.config, &mut self.rng);
+    }
+
+    fn propose(&mut self, entry: PaxosEntry<S>) {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.propose_at(slot, entry);
+    }
+
+    fn propose_at(&mut self, slot: u64, entry: PaxosEntry<S>) {
+        self.accepted.insert(slot, (self.ballot, entry.clone()));
+        self.accept_acks.entry(slot).or_default().insert(self.id);
+        if self.accept_acks[&slot].len() >= self.majority() {
+            self.mark_chosen(slot);
+        }
+        let message = PaxosMessage::Accept {
+            ballot: self.ballot,
+            slot,
+            entry,
+            commit_index: self.commit_index,
+        };
+        self.broadcast(message);
+    }
+
+    fn handle_accepted(&mut self, from: NodeId, ballot: Ballot, slot: u64) {
+        if self.role != Role::Leader || ballot != self.ballot {
+            return;
+        }
+        let acks = self.accept_acks.entry(slot).or_default();
+        acks.insert(from);
+        if acks.len() >= self.majority() {
+            self.mark_chosen(slot);
+        }
+    }
+
+    fn mark_chosen(&mut self, slot: u64) {
+        self.chosen.insert(slot);
+        while self.chosen.contains(&(self.commit_index + 1)) {
+            self.commit_index += 1;
+        }
+        self.apply_committed();
+        self.serve_pending_reads();
+    }
+
+    fn handle_forward(&mut self, origin: NodeId, client: ClientId, id: CommandId, request: Request<S>) {
+        if self.role == Role::Leader {
+            match request {
+                Request::Update(command) => {
+                    self.propose(PaxosEntry::Command { command, origin, client, id });
+                }
+                Request::Read(query) => {
+                    if self.has_read_lease() && self.applied == self.commit_index {
+                        let output = self.machine.query(&query);
+                        if origin == self.id {
+                            self.replies.push(Reply {
+                                client,
+                                command: id,
+                                body: ReplyBody::ReadDone(output),
+                            });
+                        } else {
+                            // Forwarded read: answer by proposing nothing — the origin
+                            // replies to its client, so ship the value back via a
+                            // dedicated reply slot. We reuse the pending-read queue on
+                            // the origin side by sending the value in a Heartbeat-free
+                            // way; simplest is to answer through the origin's queue:
+                            self.pending_reads.push((origin, client, id, query));
+                            self.serve_pending_reads();
+                        }
+                    } else {
+                        self.pending_reads.push((origin, client, id, query));
+                    }
+                }
+            }
+        } else if origin == self.id {
+            self.replies.push(Reply { client, command: id, body: ReplyBody::Retry });
+        } else if let Some(leader) = self.leader_hint {
+            if leader != self.id {
+                self.outbox.push(Outgoing {
+                    to: leader,
+                    message: PaxosMessage::Forward { origin, client, id, request },
+                });
+            }
+        }
+    }
+
+    fn apply_committed(&mut self) {
+        while self.applied < self.commit_index {
+            let next = self.applied + 1;
+            let Some((_, entry)) = self.accepted.get(&next) else { break };
+            match entry.clone() {
+                PaxosEntry::Noop => {}
+                PaxosEntry::Command { command, origin, client, id } => {
+                    self.machine.apply(&command);
+                    if origin == self.id {
+                        self.replies.push(Reply { client, command: id, body: ReplyBody::UpdateDone });
+                    }
+                }
+            }
+            self.applied = next;
+        }
+    }
+
+    /// Serves queued reads once the lease is valid and the state machine is caught up.
+    fn serve_pending_reads(&mut self) {
+        if self.role != Role::Leader || !self.has_read_lease() || self.applied != self.commit_index {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_reads);
+        for (origin, client, id, query) in pending {
+            let output = self.machine.query(&query);
+            if origin == self.id {
+                self.replies.push(Reply { client, command: id, body: ReplyBody::ReadDone(output) });
+            } else {
+                // The origin replies to its client; ship the result as a lightweight
+                // forwarded reply disguised as a no-op accept would be wasteful, so we
+                // simply send it back as a `ReadResult` via the Reject/Promise channel
+                // — instead we model it as a direct reply at the leader on behalf of
+                // the origin, which the simulator routes to the right client queue.
+                self.replies.push(Reply { client, command: id, body: ReplyBody::ReadDone(output) });
+            }
+        }
+    }
+
+    fn broadcast(&mut self, message: PaxosMessage<S>) {
+        let peers: Vec<NodeId> = self.peers.iter().copied().filter(|p| *p != self.id).collect();
+        for peer in peers {
+            self.outbox.push(Outgoing { to: peer, message: message.clone() });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterOp, CounterRegister};
+
+    type Node = PaxosReplica<CounterRegister>;
+
+    fn cluster(n: u64) -> Vec<Node> {
+        let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+        members
+            .iter()
+            .map(|&id| Node::new(id, members.clone(), PaxosConfig::default()))
+            .collect()
+    }
+
+    fn run(nodes: &mut [Node], from_ms: u64, to_ms: u64) {
+        for now in from_ms..to_ms {
+            for node in nodes.iter_mut() {
+                node.tick(now);
+            }
+            loop {
+                let mut pending = Vec::new();
+                for node in nodes.iter_mut() {
+                    let from = node.id();
+                    for out in node.take_outbox() {
+                        pending.push((from, out));
+                    }
+                }
+                if pending.is_empty() {
+                    break;
+                }
+                for (from, out) in pending {
+                    // Messages to nodes outside the slice (e.g. a crashed leader) are dropped.
+                    if let Some(target) = nodes.iter_mut().find(|n| n.id() == out.to) {
+                        target.handle_message(from, out.message);
+                    }
+                }
+            }
+        }
+    }
+
+    fn leader_index(nodes: &[Node]) -> Option<usize> {
+        nodes.iter().position(|n| n.is_leader())
+    }
+
+    #[test]
+    fn a_leader_emerges_and_holds_a_read_lease() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 0, 600);
+        let leaders = nodes.iter().filter(|n| n.is_leader()).count();
+        assert_eq!(leaders, 1);
+        let leader = leader_index(&nodes).unwrap();
+        assert!(nodes[leader].has_read_lease(), "heartbeat acks should establish the lease");
+    }
+
+    #[test]
+    fn updates_are_ordered_through_the_log_and_applied_everywhere() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 0, 600);
+        let leader = leader_index(&nodes).unwrap();
+        nodes[leader].submit(ClientId(1), CommandId(1), Request::Update(CounterOp::Add(2)));
+        nodes[leader].submit(ClientId(1), CommandId(2), Request::Update(CounterOp::Add(3)));
+        run(&mut nodes, 600, 700);
+        for node in &nodes {
+            assert_eq!(node.machine().value(), 5, "all replicas applied both updates");
+        }
+        let replies = nodes[leader].take_replies();
+        assert_eq!(replies.iter().filter(|r| r.body == ReplyBody::UpdateDone).count(), 2);
+    }
+
+    #[test]
+    fn leased_reads_do_not_touch_the_log() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 0, 600);
+        let leader = leader_index(&nodes).unwrap();
+        nodes[leader].submit(ClientId(1), CommandId(1), Request::Update(CounterOp::Add(9)));
+        run(&mut nodes, 600, 650);
+        nodes[leader].take_replies();
+        let commit_before = nodes[leader].commit_index();
+        nodes[leader].submit(ClientId(2), CommandId(2), Request::Read(()));
+        let replies = nodes[leader].take_replies();
+        assert_eq!(replies.len(), 1, "leased reads answer immediately");
+        assert_eq!(replies[0].body, ReplyBody::ReadDone(9));
+        assert_eq!(nodes[leader].commit_index(), commit_before, "no log entry for the read");
+    }
+
+    #[test]
+    fn followers_forward_updates_to_the_leader() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 0, 600);
+        let leader = leader_index(&nodes).unwrap();
+        let follower = (0..3).find(|i| *i != leader).unwrap();
+        nodes[follower].submit(ClientId(5), CommandId(1), Request::Update(CounterOp::Add(4)));
+        run(&mut nodes, 600, 700);
+        let replies = nodes[follower].take_replies();
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].body, ReplyBody::UpdateDone);
+        assert_eq!(nodes[follower].machine().value(), 4);
+    }
+
+    #[test]
+    fn leader_failure_leads_to_takeover_without_losing_committed_updates() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 0, 600);
+        let old_leader = leader_index(&nodes).unwrap();
+        nodes[old_leader].submit(ClientId(1), CommandId(1), Request::Update(CounterOp::Add(6)));
+        run(&mut nodes, 600, 650);
+        assert_eq!(nodes[old_leader].machine().value(), 6);
+
+        let mut survivors: Vec<Node> = nodes
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| *i != old_leader)
+            .map(|(_, n)| n)
+            .collect();
+        run(&mut survivors, 650, 2000);
+        let new_leader = survivors.iter().position(|n| n.is_leader()).expect("takeover happened");
+        assert_eq!(survivors[new_leader].machine().value(), 6, "committed update survived");
+
+        survivors[new_leader].submit(ClientId(2), CommandId(2), Request::Update(CounterOp::Add(1)));
+        run(&mut survivors, 2000, 2100);
+        assert_eq!(survivors[new_leader].machine().value(), 7);
+    }
+
+    #[test]
+    fn reads_without_a_lease_wait_for_the_lease() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 0, 600);
+        let leader = leader_index(&nodes).unwrap();
+        // Advance only the leader's clock past the lease window (but not far enough
+        // for the followers to attempt a take-over): its heartbeat acks are now stale.
+        nodes[leader].tick(700);
+        assert!(!nodes[leader].has_read_lease());
+        nodes[leader].submit(ClientId(1), CommandId(1), Request::Read(()));
+        assert!(nodes[leader].take_replies().is_empty(), "read must wait for the lease");
+        // Once heartbeats and their acknowledgements flow again, the lease is renewed
+        // and the queued read completes.
+        run(&mut nodes, 700, 800);
+        let replies = nodes[leader].take_replies();
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].body, ReplyBody::ReadDone(0));
+    }
+
+    #[test]
+    fn commands_without_a_known_leader_are_rejected_for_retry() {
+        let mut nodes = cluster(3);
+        nodes[1].submit(ClientId(1), CommandId(1), Request::Update(CounterOp::Add(1)));
+        let replies = nodes[1].take_replies();
+        assert_eq!(replies[0].body, ReplyBody::Retry);
+    }
+
+    #[test]
+    fn single_node_cluster_commits_and_reads_immediately() {
+        let members = vec![NodeId(0)];
+        let mut node = Node::new(NodeId(0), members, PaxosConfig::default());
+        run(std::slice::from_mut(&mut node), 0, 400);
+        assert!(node.is_leader());
+        node.submit(ClientId(1), CommandId(1), Request::Update(CounterOp::Add(5)));
+        run(std::slice::from_mut(&mut node), 400, 410);
+        node.submit(ClientId(1), CommandId(2), Request::Read(()));
+        let replies = node.take_replies();
+        assert!(replies.iter().any(|r| r.body == ReplyBody::ReadDone(5)));
+    }
+}

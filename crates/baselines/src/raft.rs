@@ -1,0 +1,790 @@
+//! A Raft replica (Ongaro & Ousterhout, USENIX ATC '14) used as an evaluation baseline.
+//!
+//! The implementation follows the paper's Raft baseline behaviour: a single elected
+//! leader orders every command through a replicated log, and **linearizable reads are
+//! appended to the log exactly like updates**, which is why Raft shows the same
+//! throughput for read-heavy and update-heavy workloads in Figure 1.
+//!
+//! The replica is a sans-io state machine: no threads, no sockets, no clock reads.
+//! Time is injected through [`RaftReplica::tick`]; outgoing messages and client
+//! replies are drained by the caller.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{ClientId, CommandId, NodeId, Outgoing, Reply, ReplyBody, Request, StateMachine};
+
+/// Raft timing configuration (in milliseconds of injected time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaftConfig {
+    /// Lower bound of the randomized election timeout.
+    pub election_timeout_min_ms: u64,
+    /// Upper bound of the randomized election timeout.
+    pub election_timeout_max_ms: u64,
+    /// Interval between leader heartbeats / replication rounds.
+    pub heartbeat_interval_ms: u64,
+    /// Seed for the randomized election timeouts (deterministic tests/simulations).
+    pub seed: u64,
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            election_timeout_min_ms: 100,
+            election_timeout_max_ms: 200,
+            heartbeat_interval_ms: 10,
+            seed: 42,
+        }
+    }
+}
+
+/// What a log entry carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EntryKind<S: StateMachine> {
+    /// A no-op appended by a freshly elected leader to commit entries of older terms.
+    Noop,
+    /// A state-mutating command submitted by a client via `origin`.
+    Command {
+        /// The command to apply.
+        command: S::Command,
+        /// The node the client originally contacted (it sends the reply).
+        origin: NodeId,
+        /// The client to reply to.
+        client: ClientId,
+        /// Correlation id of the command.
+        id: CommandId,
+    },
+    /// A linearizable read, appended to the log like any other command.
+    Read {
+        /// The query to evaluate at apply time.
+        query: S::Query,
+        /// The node the client originally contacted.
+        origin: NodeId,
+        /// The client to reply to.
+        client: ClientId,
+        /// Correlation id of the command.
+        id: CommandId,
+    },
+}
+
+/// One replicated log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry<S: StateMachine> {
+    /// Term in which the entry was appended.
+    pub term: u64,
+    /// Entry payload.
+    pub kind: EntryKind<S>,
+}
+
+/// Raft protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaftMessage<S: StateMachine> {
+    /// Candidate requesting votes.
+    RequestVote {
+        /// Candidate's term.
+        term: u64,
+        /// Candidate id.
+        candidate: NodeId,
+        /// Index of the candidate's last log entry.
+        last_log_index: u64,
+        /// Term of the candidate's last log entry.
+        last_log_term: u64,
+    },
+    /// Reply to a vote request.
+    RequestVoteReply {
+        /// Current term of the voter.
+        term: u64,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Log replication / heartbeat.
+    AppendEntries {
+        /// Leader's term.
+        term: u64,
+        /// Leader id.
+        leader: NodeId,
+        /// Index of the entry preceding `entries`.
+        prev_log_index: u64,
+        /// Term of the entry preceding `entries`.
+        prev_log_term: u64,
+        /// New entries to append (empty for heartbeats).
+        entries: Vec<LogEntry<S>>,
+        /// Leader's commit index.
+        leader_commit: u64,
+    },
+    /// Reply to an `AppendEntries`.
+    AppendEntriesReply {
+        /// Current term of the follower.
+        term: u64,
+        /// Whether the entries were appended.
+        success: bool,
+        /// Highest log index known to match the leader's log.
+        match_index: u64,
+    },
+    /// A follower forwarding a client request to the leader.
+    Forward {
+        /// Node the client originally contacted.
+        origin: NodeId,
+        /// Client to reply to.
+        client: ClientId,
+        /// Correlation id.
+        id: CommandId,
+        /// The forwarded request.
+        request: Request<S>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Follower,
+    Candidate,
+    Leader,
+}
+
+/// A Raft replica hosting a replicated state machine of type `S`.
+#[derive(Debug)]
+pub struct RaftReplica<S: StateMachine> {
+    id: NodeId,
+    peers: Vec<NodeId>,
+    config: RaftConfig,
+    rng: StdRng,
+
+    role: Role,
+    current_term: u64,
+    voted_for: Option<NodeId>,
+    votes_received: usize,
+    leader_hint: Option<NodeId>,
+
+    /// 1-based log (index 0 is a sentinel).
+    log: Vec<LogEntry<S>>,
+    commit_index: u64,
+    last_applied: u64,
+    machine: S,
+
+    // Leader volatile state.
+    next_index: Vec<u64>,
+    match_index: Vec<u64>,
+
+    now_ms: u64,
+    election_deadline_ms: u64,
+    next_heartbeat_ms: u64,
+
+    outbox: Vec<Outgoing<RaftMessage<S>>>,
+    replies: Vec<Reply<S>>,
+}
+
+impl<S: StateMachine> RaftReplica<S> {
+    /// Creates a Raft replica. `members` is the full cluster (must contain `id`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` does not contain `id`.
+    pub fn new(id: NodeId, members: Vec<NodeId>, config: RaftConfig) -> Self {
+        assert!(members.contains(&id), "replica must be part of the cluster");
+        let mut peers = members;
+        peers.sort();
+        peers.dedup();
+        let n = peers.len();
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(id.0));
+        let election_deadline_ms = Self::random_timeout(&config, &mut rng);
+        RaftReplica {
+            id,
+            peers,
+            config,
+            rng,
+            role: Role::Follower,
+            current_term: 0,
+            voted_for: None,
+            votes_received: 0,
+            leader_hint: None,
+            log: vec![LogEntry { term: 0, kind: EntryKind::Noop }],
+            commit_index: 0,
+            last_applied: 0,
+            machine: S::default(),
+            next_index: vec![1; n],
+            match_index: vec![0; n],
+            now_ms: 0,
+            election_deadline_ms,
+            next_heartbeat_ms: 0,
+            outbox: Vec::new(),
+            replies: Vec::new(),
+        }
+    }
+
+    fn random_timeout(config: &RaftConfig, rng: &mut StdRng) -> u64 {
+        rng.gen_range(config.election_timeout_min_ms..=config.election_timeout_max_ms)
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Returns `true` if this replica currently believes it is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// The current term.
+    pub fn term(&self) -> u64 {
+        self.current_term
+    }
+
+    /// The current commit index (number of committed entries).
+    pub fn commit_index(&self) -> u64 {
+        self.commit_index
+    }
+
+    /// Length of the log excluding the sentinel entry.
+    pub fn log_len(&self) -> u64 {
+        (self.log.len() - 1) as u64
+    }
+
+    /// Read-only access to the applied state machine (not linearizable; tests only).
+    pub fn machine(&self) -> &S {
+        &self.machine
+    }
+
+    /// Drains outgoing messages.
+    pub fn take_outbox(&mut self) -> Vec<Outgoing<RaftMessage<S>>> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Drains client replies.
+    pub fn take_replies(&mut self) -> Vec<Reply<S>> {
+        std::mem::take(&mut self.replies)
+    }
+
+    /// Submits a client request to this replica.
+    pub fn submit(&mut self, client: ClientId, id: CommandId, request: Request<S>) {
+        match self.role {
+            Role::Leader => {
+                let kind = match request {
+                    Request::Update(command) => {
+                        EntryKind::Command { command, origin: self.id, client, id }
+                    }
+                    Request::Read(query) => EntryKind::Read { query, origin: self.id, client, id },
+                };
+                self.append_as_leader(kind);
+            }
+            _ => match self.leader_hint {
+                Some(leader) if leader != self.id => {
+                    self.outbox.push(Outgoing {
+                        to: leader,
+                        message: RaftMessage::Forward { origin: self.id, client, id, request },
+                    });
+                }
+                _ => {
+                    self.replies.push(Reply { client, command: id, body: ReplyBody::Retry });
+                }
+            },
+        }
+    }
+
+    /// Handles a protocol message from `from`.
+    pub fn handle_message(&mut self, from: NodeId, message: RaftMessage<S>) {
+        match message {
+            RaftMessage::RequestVote { term, candidate, last_log_index, last_log_term } => {
+                self.handle_request_vote(from, term, candidate, last_log_index, last_log_term);
+            }
+            RaftMessage::RequestVoteReply { term, granted } => {
+                self.handle_vote_reply(term, granted);
+            }
+            RaftMessage::AppendEntries {
+                term,
+                leader,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            } => {
+                self.handle_append_entries(
+                    term,
+                    leader,
+                    prev_log_index,
+                    prev_log_term,
+                    entries,
+                    leader_commit,
+                );
+            }
+            RaftMessage::AppendEntriesReply { term, success, match_index } => {
+                self.handle_append_reply(from, term, success, match_index);
+            }
+            RaftMessage::Forward { origin, client, id, request } => {
+                if self.role == Role::Leader {
+                    let kind = match request {
+                        Request::Update(command) => EntryKind::Command { command, origin, client, id },
+                        Request::Read(query) => EntryKind::Read { query, origin, client, id },
+                    };
+                    self.append_as_leader(kind);
+                } else if origin == self.id {
+                    self.replies.push(Reply { client, command: id, body: ReplyBody::Retry });
+                } else if let Some(leader) = self.leader_hint {
+                    if leader != self.id {
+                        self.outbox.push(Outgoing {
+                            to: leader,
+                            message: RaftMessage::Forward { origin, client, id, request },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances time: triggers elections, heartbeats, replication, and commitment.
+    pub fn tick(&mut self, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
+        match self.role {
+            Role::Leader => {
+                if self.now_ms >= self.next_heartbeat_ms {
+                    self.replicate_to_all();
+                    self.next_heartbeat_ms = self.now_ms + self.config.heartbeat_interval_ms;
+                }
+            }
+            Role::Follower | Role::Candidate => {
+                if self.now_ms >= self.election_deadline_ms {
+                    self.start_election();
+                }
+            }
+        }
+    }
+
+    // ----- leader paths ----------------------------------------------------------
+
+    fn append_as_leader(&mut self, kind: EntryKind<S>) {
+        self.log.push(LogEntry { term: self.current_term, kind });
+        let index = self.log_len();
+        let me = self.peer_index(self.id);
+        self.match_index[me] = index;
+        if self.peers.len() == 1 {
+            self.advance_commit();
+        }
+        // Entries are shipped on the next replication tick (leader-side batching, as
+        // real Raft implementations do).
+    }
+
+    fn replicate_to_all(&mut self) {
+        let peers: Vec<NodeId> = self.peers.iter().copied().filter(|p| *p != self.id).collect();
+        for peer in peers {
+            self.send_append_entries(peer);
+        }
+    }
+
+    fn send_append_entries(&mut self, peer: NodeId) {
+        let peer_slot = self.peer_index(peer);
+        let next = self.next_index[peer_slot].max(1);
+        let prev_log_index = next - 1;
+        let prev_log_term = self.log[prev_log_index as usize].term;
+        let entries: Vec<LogEntry<S>> = self.log[next as usize..].to_vec();
+        self.outbox.push(Outgoing {
+            to: peer,
+            message: RaftMessage::AppendEntries {
+                term: self.current_term,
+                leader: self.id,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit: self.commit_index,
+            },
+        });
+    }
+
+    fn handle_append_reply(&mut self, from: NodeId, term: u64, success: bool, match_index: u64) {
+        if term > self.current_term {
+            self.become_follower(term, None);
+            return;
+        }
+        if self.role != Role::Leader || term < self.current_term {
+            return;
+        }
+        let slot = self.peer_index(from);
+        if success {
+            self.match_index[slot] = self.match_index[slot].max(match_index);
+            self.next_index[slot] = self.match_index[slot] + 1;
+            self.advance_commit();
+        } else {
+            self.next_index[slot] = self.next_index[slot].saturating_sub(1).max(1);
+            self.send_append_entries(from);
+        }
+    }
+
+    fn advance_commit(&mut self) {
+        let majority = self.peers.len() / 2 + 1;
+        let mut candidate = self.commit_index;
+        for index in (self.commit_index + 1)..=self.log_len() {
+            let replicated =
+                self.match_index.iter().filter(|&&match_index| match_index >= index).count();
+            // Only entries of the current term are committed by counting (Raft §5.4.2).
+            if replicated >= majority && self.log[index as usize].term == self.current_term {
+                candidate = index;
+            }
+        }
+        if candidate > self.commit_index {
+            self.commit_index = candidate;
+            self.apply_committed();
+        }
+    }
+
+    // ----- follower / election paths ---------------------------------------------
+
+    fn start_election(&mut self) {
+        self.role = Role::Candidate;
+        self.current_term += 1;
+        self.voted_for = Some(self.id);
+        self.votes_received = 1;
+        self.leader_hint = None;
+        self.election_deadline_ms = self.now_ms + Self::random_timeout(&self.config, &mut self.rng);
+        let last_log_index = self.log_len();
+        let last_log_term = self.log[last_log_index as usize].term;
+        let term = self.current_term;
+        let candidate = self.id;
+        let peers: Vec<NodeId> = self.peers.iter().copied().filter(|p| *p != self.id).collect();
+        for peer in peers {
+            self.outbox.push(Outgoing {
+                to: peer,
+                message: RaftMessage::RequestVote { term, candidate, last_log_index, last_log_term },
+            });
+        }
+        if self.votes_received >= self.peers.len() / 2 + 1 {
+            self.become_leader();
+        }
+    }
+
+    fn handle_request_vote(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        candidate: NodeId,
+        last_log_index: u64,
+        last_log_term: u64,
+    ) {
+        if term > self.current_term {
+            self.become_follower(term, None);
+        }
+        let up_to_date = {
+            let my_last_index = self.log_len();
+            let my_last_term = self.log[my_last_index as usize].term;
+            last_log_term > my_last_term
+                || (last_log_term == my_last_term && last_log_index >= my_last_index)
+        };
+        let granted = term == self.current_term
+            && up_to_date
+            && (self.voted_for.is_none() || self.voted_for == Some(candidate));
+        if granted {
+            self.voted_for = Some(candidate);
+            self.election_deadline_ms =
+                self.now_ms + Self::random_timeout(&self.config, &mut self.rng);
+        }
+        self.outbox.push(Outgoing {
+            to: from,
+            message: RaftMessage::RequestVoteReply { term: self.current_term, granted },
+        });
+    }
+
+    fn handle_vote_reply(&mut self, term: u64, granted: bool) {
+        if term > self.current_term {
+            self.become_follower(term, None);
+            return;
+        }
+        if self.role != Role::Candidate || term < self.current_term || !granted {
+            return;
+        }
+        self.votes_received += 1;
+        if self.votes_received >= self.peers.len() / 2 + 1 {
+            self.become_leader();
+        }
+    }
+
+    fn handle_append_entries(
+        &mut self,
+        term: u64,
+        leader: NodeId,
+        prev_log_index: u64,
+        prev_log_term: u64,
+        entries: Vec<LogEntry<S>>,
+        leader_commit: u64,
+    ) {
+        if term < self.current_term {
+            self.outbox.push(Outgoing {
+                to: leader,
+                message: RaftMessage::AppendEntriesReply {
+                    term: self.current_term,
+                    success: false,
+                    match_index: 0,
+                },
+            });
+            return;
+        }
+        if term > self.current_term || self.role != Role::Follower {
+            self.become_follower(term, Some(leader));
+        }
+        self.leader_hint = Some(leader);
+        self.election_deadline_ms = self.now_ms + Self::random_timeout(&self.config, &mut self.rng);
+
+        // Consistency check on the previous entry.
+        let ok = (prev_log_index as usize) < self.log.len()
+            && self.log[prev_log_index as usize].term == prev_log_term;
+        if !ok {
+            self.outbox.push(Outgoing {
+                to: leader,
+                message: RaftMessage::AppendEntriesReply {
+                    term: self.current_term,
+                    success: false,
+                    match_index: 0,
+                },
+            });
+            return;
+        }
+        // Truncate conflicting suffix and append the new entries.
+        let mut insert_at = prev_log_index as usize + 1;
+        for entry in entries {
+            if insert_at < self.log.len() {
+                if self.log[insert_at].term != entry.term {
+                    self.log.truncate(insert_at);
+                    self.log.push(entry);
+                }
+            } else {
+                self.log.push(entry);
+            }
+            insert_at += 1;
+        }
+        let match_index = (insert_at - 1) as u64;
+        if leader_commit > self.commit_index {
+            self.commit_index = leader_commit.min(self.log_len());
+            self.apply_committed();
+        }
+        self.outbox.push(Outgoing {
+            to: leader,
+            message: RaftMessage::AppendEntriesReply {
+                term: self.current_term,
+                success: true,
+                match_index,
+            },
+        });
+    }
+
+    fn become_follower(&mut self, term: u64, leader: Option<NodeId>) {
+        self.role = Role::Follower;
+        if term > self.current_term {
+            self.current_term = term;
+            self.voted_for = None;
+        }
+        self.leader_hint = leader;
+        self.votes_received = 0;
+        self.election_deadline_ms = self.now_ms + Self::random_timeout(&self.config, &mut self.rng);
+    }
+
+    fn become_leader(&mut self) {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        let next = self.log_len() + 1;
+        for slot in 0..self.peers.len() {
+            self.next_index[slot] = next;
+            self.match_index[slot] = 0;
+        }
+        let me = self.peer_index(self.id);
+        self.match_index[me] = self.log_len();
+        // Commit entries from previous terms by appending a no-op in the new term.
+        self.append_as_leader(EntryKind::Noop);
+        self.next_heartbeat_ms = self.now_ms;
+        self.replicate_to_all();
+        self.next_heartbeat_ms = self.now_ms + self.config.heartbeat_interval_ms;
+    }
+
+    fn apply_committed(&mut self) {
+        while self.last_applied < self.commit_index {
+            self.last_applied += 1;
+            let entry = self.log[self.last_applied as usize].clone();
+            match entry.kind {
+                EntryKind::Noop => {}
+                EntryKind::Command { command, origin, client, id } => {
+                    self.machine.apply(&command);
+                    if origin == self.id {
+                        self.replies.push(Reply {
+                            client,
+                            command: id,
+                            body: ReplyBody::UpdateDone,
+                        });
+                    }
+                }
+                EntryKind::Read { query, origin, client, id } => {
+                    if origin == self.id {
+                        let output = self.machine.query(&query);
+                        self.replies.push(Reply {
+                            client,
+                            command: id,
+                            body: ReplyBody::ReadDone(output),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn peer_index(&self, id: NodeId) -> usize {
+        self.peers.iter().position(|p| *p == id).expect("peer is part of the cluster")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterOp, CounterRegister};
+
+    type Node = RaftReplica<CounterRegister>;
+
+    fn cluster(n: u64) -> Vec<Node> {
+        let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+        members
+            .iter()
+            .map(|&id| Node::new(id, members.clone(), RaftConfig::default()))
+            .collect()
+    }
+
+    /// Delivers all pending messages and ticks until quiescent or `max_ms` elapsed.
+    fn run(nodes: &mut [Node], from_ms: u64, to_ms: u64) {
+        for now in from_ms..to_ms {
+            for node in nodes.iter_mut() {
+                node.tick(now);
+            }
+            loop {
+                let mut pending = Vec::new();
+                for node in nodes.iter_mut() {
+                    let from = node.id();
+                    for out in node.take_outbox() {
+                        pending.push((from, out));
+                    }
+                }
+                if pending.is_empty() {
+                    break;
+                }
+                for (from, out) in pending {
+                    // Messages to nodes outside the slice (e.g. a crashed leader) are dropped.
+                    if let Some(target) = nodes.iter_mut().find(|n| n.id() == out.to) {
+                        target.handle_message(from, out.message);
+                    }
+                }
+            }
+        }
+    }
+
+    fn leader_index(nodes: &[Node]) -> Option<usize> {
+        nodes.iter().position(|n| n.is_leader())
+    }
+
+    #[test]
+    fn a_single_leader_is_elected() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 0, 400);
+        let leaders = nodes.iter().filter(|n| n.is_leader()).count();
+        assert_eq!(leaders, 1, "exactly one leader after stabilization");
+    }
+
+    #[test]
+    fn committed_commands_are_applied_everywhere() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 0, 400);
+        let leader = leader_index(&nodes).expect("leader elected");
+        nodes[leader].submit(ClientId(1), CommandId(1), Request::Update(CounterOp::Add(5)));
+        nodes[leader].submit(ClientId(1), CommandId(2), Request::Update(CounterOp::Add(2)));
+        run(&mut nodes, 400, 500);
+        for node in &nodes {
+            assert_eq!(node.machine().value(), 7);
+        }
+        let replies = nodes[leader].take_replies();
+        assert_eq!(replies.len(), 2);
+        assert!(replies.iter().all(|r| r.body == ReplyBody::UpdateDone));
+    }
+
+    #[test]
+    fn reads_go_through_the_log() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 0, 400);
+        let leader = leader_index(&nodes).unwrap();
+        nodes[leader].submit(ClientId(1), CommandId(1), Request::Update(CounterOp::Add(3)));
+        run(&mut nodes, 400, 450);
+        nodes[leader].take_replies();
+        let log_before = nodes[leader].log_len();
+        nodes[leader].submit(ClientId(2), CommandId(2), Request::Read(()));
+        run(&mut nodes, 450, 500);
+        assert_eq!(nodes[leader].log_len(), log_before + 1, "reads are appended to the log");
+        let replies = nodes[leader].take_replies();
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].body, ReplyBody::ReadDone(3));
+    }
+
+    #[test]
+    fn followers_forward_to_the_leader_and_reply_locally() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 0, 400);
+        let leader = leader_index(&nodes).unwrap();
+        let follower = (0..3).find(|i| *i != leader).unwrap();
+        nodes[follower].submit(ClientId(7), CommandId(1), Request::Update(CounterOp::Add(4)));
+        nodes[follower].submit(ClientId(7), CommandId(2), Request::Read(()));
+        run(&mut nodes, 400, 500);
+        let replies = nodes[follower].take_replies();
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].body, ReplyBody::UpdateDone);
+        assert_eq!(replies[1].body, ReplyBody::ReadDone(4));
+        assert!(nodes[leader].take_replies().is_empty(), "origin node answers the client");
+    }
+
+    #[test]
+    fn leader_failure_triggers_reelection_and_no_committed_data_is_lost() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 0, 400);
+        let old_leader = leader_index(&nodes).unwrap();
+        nodes[old_leader].submit(ClientId(1), CommandId(1), Request::Update(CounterOp::Add(9)));
+        run(&mut nodes, 400, 450);
+        assert_eq!(nodes[old_leader].machine().value(), 9);
+
+        // "Crash" the leader: stop delivering to/from it by running only the others.
+        let mut survivors: Vec<Node> =
+            nodes.into_iter().enumerate().filter(|(i, _)| *i != old_leader).map(|(_, n)| n).collect();
+        run(&mut survivors, 450, 1200);
+        let new_leader = survivors.iter().position(|n| n.is_leader()).expect("new leader elected");
+        assert_eq!(survivors[new_leader].machine().value(), 9, "committed command survived");
+
+        // The new leader keeps serving commands.
+        survivors[new_leader].submit(ClientId(2), CommandId(2), Request::Update(CounterOp::Add(1)));
+        run(&mut survivors, 1200, 1300);
+        assert_eq!(survivors[new_leader].machine().value(), 10);
+    }
+
+    #[test]
+    fn commands_submitted_without_a_leader_are_rejected_for_retry() {
+        let mut nodes = cluster(3);
+        // No ticks yet: nobody is leader, nobody knows a leader.
+        nodes[0].submit(ClientId(1), CommandId(1), Request::Update(CounterOp::Add(1)));
+        let replies = nodes[0].take_replies();
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].body, ReplyBody::Retry);
+    }
+
+    #[test]
+    fn single_node_cluster_commits_immediately() {
+        let members = vec![NodeId(0)];
+        let mut node = Node::new(NodeId(0), members, RaftConfig::default());
+        run(std::slice::from_mut(&mut node), 0, 300);
+        assert!(node.is_leader());
+        node.submit(ClientId(1), CommandId(1), Request::Update(CounterOp::Add(2)));
+        run(std::slice::from_mut(&mut node), 300, 320);
+        assert_eq!(node.machine().value(), 2);
+        assert_eq!(node.take_replies().len(), 1);
+    }
+
+    #[test]
+    fn log_consistency_is_restored_after_divergence() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 0, 400);
+        let leader = leader_index(&nodes).unwrap();
+        // Submit a command but only tick the leader so it stays uncommitted/unsent.
+        nodes[leader].submit(ClientId(1), CommandId(1), Request::Update(CounterOp::Add(5)));
+        // Now run the whole cluster: replication catches followers up.
+        run(&mut nodes, 400, 500);
+        for node in &nodes {
+            assert_eq!(node.machine().value(), 5);
+            assert_eq!(node.commit_index(), nodes[leader].commit_index());
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The replicated state machine abstraction used by the baselines.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A deterministic state machine replicated by Multi-Paxos or Raft.
+///
+/// Unlike the CRDT interface, commands are applied in the **same total order** on all
+/// replicas, so no algebraic properties are required of them.
+pub trait StateMachine: Clone + fmt::Debug + Default + Send + 'static {
+    /// State-mutating commands.
+    type Command: Clone + fmt::Debug + PartialEq + Send + 'static;
+    /// Read-only queries.
+    type Query: Clone + fmt::Debug + PartialEq + Send + 'static;
+    /// Query results.
+    type Output: Clone + fmt::Debug + PartialEq + Send + 'static;
+
+    /// Applies a committed command.
+    fn apply(&mut self, command: &Self::Command);
+
+    /// Evaluates a read-only query.
+    fn query(&self, query: &Self::Query) -> Self::Output;
+}
+
+/// The "simple replicated integer" the paper uses as the counter for Multi-Paxos and
+/// Raft (§4: "For Multi-Paxos and Raft, we used a simple replicated integer as the
+/// counter").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CounterRegister {
+    value: i64,
+}
+
+impl CounterRegister {
+    /// Returns the current value.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+}
+
+/// Commands accepted by [`CounterRegister`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CounterOp {
+    /// Add the given amount (may be negative).
+    Add(i64),
+}
+
+impl StateMachine for CounterRegister {
+    type Command = CounterOp;
+    type Query = ();
+    type Output = i64;
+
+    fn apply(&mut self, command: &Self::Command) {
+        match command {
+            CounterOp::Add(amount) => self.value += amount,
+        }
+    }
+
+    fn query(&self, _query: &Self::Query) -> Self::Output {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_applies_commands_in_order() {
+        let mut counter = CounterRegister::default();
+        counter.apply(&CounterOp::Add(5));
+        counter.apply(&CounterOp::Add(-2));
+        assert_eq!(counter.query(&()), 3);
+        assert_eq!(counter.value(), 3);
+    }
+}

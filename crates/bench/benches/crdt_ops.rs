@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the CRDT substrate: join and update throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use crdt::{GCounter, Lattice, ORSet, ReplicaId};
+
+fn gcounter_of(replicas: u64, per_replica: u64) -> GCounter {
+    let mut counter = GCounter::new();
+    for replica in 0..replicas {
+        counter.increment(ReplicaId::new(replica), per_replica);
+    }
+    counter
+}
+
+fn bench_crdt_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crdt");
+    group.sample_size(20);
+
+    group.bench_function("gcounter_increment", |b| {
+        b.iter_batched(
+            || gcounter_of(3, 100),
+            |mut counter| counter.increment(ReplicaId::new(0), 1),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("gcounter_join_3_replicas", |b| {
+        let other = gcounter_of(3, 1000);
+        b.iter_batched(
+            || gcounter_of(3, 100),
+            |mut counter| counter.join(&other),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("orset_insert_1000_elements", |b| {
+        b.iter(|| {
+            let mut set = ORSet::new();
+            for i in 0..1000u32 {
+                set.insert(ReplicaId::new(u64::from(i % 3)), i);
+            }
+            set.len()
+        });
+    });
+
+    group.bench_function("orset_join_disjoint_500", |b| {
+        let mut left: ORSet<u32> = ORSet::new();
+        let mut right: ORSet<u32> = ORSet::new();
+        for i in 0..500u32 {
+            left.insert(ReplicaId::new(0), i);
+            right.insert(ReplicaId::new(1), i + 500);
+        }
+        b.iter_batched(|| left.clone(), |mut l| l.join(&right), BatchSize::SmallInput);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_crdt_ops);
+criterion_main!(benches);

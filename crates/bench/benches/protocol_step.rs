@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the protocol state machines: how fast can a replica process
+//! an update or a query round when messages are delivered instantly (no network)?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crdt::{CounterQuery, CounterUpdate, GCounter, ReplicaId};
+use crdt_paxos_core::{ClientId, Command, ProtocolConfig, Replica};
+
+fn cluster(n: u64) -> Vec<Replica<GCounter>> {
+    let ids: Vec<ReplicaId> = (0..n).map(ReplicaId::new).collect();
+    ids.iter()
+        .map(|&id| Replica::new(id, ids.clone(), GCounter::default(), ProtocolConfig::default()))
+        .collect()
+}
+
+fn run_to_quiescence(replicas: &mut [Replica<GCounter>]) {
+    loop {
+        let mut envelopes = Vec::new();
+        for replica in replicas.iter_mut() {
+            envelopes.extend(replica.take_outbox());
+        }
+        if envelopes.is_empty() {
+            break;
+        }
+        for env in envelopes {
+            let index = env.to.as_u64() as usize;
+            replicas[index].handle_message(env.from, env.message);
+        }
+    }
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    group.sample_size(20);
+
+    group.bench_function("update_round_3_replicas", |b| {
+        let mut replicas = cluster(3);
+        let mut client = 0u64;
+        b.iter(|| {
+            client += 1;
+            replicas[0].submit(ClientId(client), Command::Update(CounterUpdate::Increment(1)));
+            run_to_quiescence(&mut replicas);
+            replicas[0].take_responses().len()
+        });
+    });
+
+    group.bench_function("query_round_3_replicas", |b| {
+        let mut replicas = cluster(3);
+        replicas[0].submit(ClientId(0), Command::Update(CounterUpdate::Increment(1)));
+        run_to_quiescence(&mut replicas);
+        replicas[0].take_responses();
+        let mut client = 0u64;
+        b.iter(|| {
+            client += 1;
+            replicas[1].submit(ClientId(client), Command::Query(CounterQuery::Value));
+            run_to_quiescence(&mut replicas);
+            replicas[1].take_responses().len()
+        });
+    });
+
+    group.bench_function("mixed_round_5_replicas", |b| {
+        let mut replicas = cluster(5);
+        let mut client = 0u64;
+        b.iter(|| {
+            client += 1;
+            replicas[(client % 5) as usize]
+                .submit(ClientId(client), Command::Update(CounterUpdate::Increment(1)));
+            replicas[((client + 1) % 5) as usize]
+                .submit(ClientId(client), Command::Query(CounterQuery::Value));
+            run_to_quiescence(&mut replicas);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! End-to-end benchmark: how much simulated cluster time per wall-clock second the
+//! harness achieves for each protocol (a sanity check that the figure harnesses are
+//! tractable), plus an ablation of the batching optimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cluster::SimConfig;
+use crdt_paxos_core::ProtocolConfig;
+
+fn quick_config() -> SimConfig {
+    SimConfig { clients: 32, read_fraction: 0.9, duration_ms: 500, warmup_ms: 100, ..SimConfig::default() }
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+
+    group.bench_function("crdt_paxos_500ms_32_clients", |b| {
+        b.iter(|| cluster::run_crdt_paxos(&quick_config(), ProtocolConfig::default()).completed_reads);
+    });
+
+    group.bench_function("crdt_paxos_batched_500ms_32_clients", |b| {
+        b.iter(|| cluster::run_crdt_paxos(&quick_config(), ProtocolConfig::batched()).completed_reads);
+    });
+
+    group.bench_function("raft_500ms_32_clients", |b| {
+        b.iter(|| cluster::run_raft(&quick_config()).completed_reads);
+    });
+
+    group.bench_function("multi_paxos_500ms_32_clients", |b| {
+        b.iter(|| cluster::run_multi_paxos(&quick_config()).completed_reads);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

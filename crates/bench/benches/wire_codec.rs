@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the wire codec: encoding/decoding protocol messages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crdt::{GCounter, ReplicaId};
+use crdt_paxos_core::{Message, RequestId, Round, RoundId};
+
+fn sample_message(slots: u64) -> Message<GCounter> {
+    let mut state = GCounter::new();
+    for replica in 0..slots {
+        state.increment(ReplicaId::new(replica), replica * 1000 + 17);
+    }
+    Message::PrepareAck {
+        request: RequestId(42),
+        round: Round::new(7, RoundId::proposer(3, ReplicaId::new(1))),
+        state,
+    }
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    group.sample_size(30);
+
+    for slots in [3u64, 64] {
+        let message = sample_message(slots);
+        let encoded = wire::to_vec(&message).unwrap();
+        group.bench_function(format!("encode_ack_{slots}_slots"), |b| {
+            b.iter(|| wire::to_vec(&message).unwrap().len());
+        });
+        group.bench_function(format!("decode_ack_{slots}_slots"), |b| {
+            b.iter(|| {
+                let decoded: Message<GCounter> = wire::from_slice(&encoded).unwrap();
+                decoded.kind()
+            });
+        });
+    }
+
+    group.bench_function("encode_merge_ack", |b| {
+        let ack: Message<GCounter> = Message::MergeAck { request: RequestId(7) };
+        b.iter(|| wire::to_vec(&ack).unwrap().len());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

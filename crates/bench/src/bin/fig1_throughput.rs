@@ -1,0 +1,30 @@
+//! Figure 1: throughput (requests per second) as a function of the number of
+//! closed-loop clients, for five read/update mixes (100 %, 95 %, 90 %, 50 %, 0 %
+//! reads) and the four systems, on three replicas.
+
+use bench::{experiment_config, Scale, System};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mixes = [("100% reads", 1.0), ("95% reads", 0.95), ("90% reads", 0.9), ("50% reads", 0.5), ("0% reads", 0.0)];
+
+    println!("# Figure 1 — throughput vs. number of clients (3 replicas)");
+    for (label, read_fraction) in mixes {
+        println!("\n## workload: {label}");
+        print!("{:>10}", "clients");
+        for system in System::ALL {
+            print!("{:>24}", system.label());
+        }
+        println!();
+        for &clients in scale.client_counts {
+            print!("{clients:>10}");
+            for system in System::ALL {
+                let config = experiment_config(clients, read_fraction, &scale);
+                let result = system.run(&config);
+                print!("{:>24.0}", result.throughput_ops_per_sec);
+            }
+            println!();
+        }
+    }
+    println!("\n(values are requests per second of simulated time; see EXPERIMENTS.md)");
+}

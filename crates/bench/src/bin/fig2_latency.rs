@@ -1,0 +1,30 @@
+//! Figure 2: read and update 95th-percentile latency as a function of the number of
+//! clients, with 10 % updates, for the four systems.
+
+use bench::{experiment_config, format_ms, Scale, System};
+
+fn main() {
+    let scale = Scale::from_args();
+
+    println!("# Figure 2 — 95th percentile latency vs. clients (10 % updates, 3 replicas)");
+    for (title, pick_reads) in [("read latency (ms)", true), ("update latency (ms)", false)] {
+        println!("\n## {title}");
+        print!("{:>10}", "clients");
+        for system in System::ALL {
+            print!("{:>24}", system.label());
+        }
+        println!();
+        for &clients in scale.client_counts {
+            print!("{clients:>10}");
+            for system in System::ALL {
+                let config = experiment_config(clients, 0.9, &scale);
+                let mut result = system.run(&config);
+                let p95 = if pick_reads { result.read_latency.p95_us() } else { result.update_latency.p95_us() };
+                print!("{:>24}", format_ms(p95));
+            }
+            println!();
+        }
+    }
+    println!("\n(CRDT Paxos updates stay flat — one round trip — while its reads grow under contention;");
+    println!(" leader-based baselines bottleneck on the leader as the client count rises)");
+}

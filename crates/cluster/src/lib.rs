@@ -1,0 +1,65 @@
+//! # cluster — deterministic cluster simulation, workloads, and analysis
+//!
+//! This crate is the evaluation substrate of the CRDT Paxos reproduction. It replaces
+//! the paper's physical testbed (three Xeon nodes, 10 GbE, Basho Bench, 10-minute
+//! runs) with a seeded discrete-event simulator that drives the very same sans-io
+//! protocol state machines the real deployments use:
+//!
+//! * [`sim`] — the event-driven simulator (network latency/jitter/loss, closed-loop
+//!   clients, crash injection, per-interval statistics),
+//! * [`adapters`] — plugs CRDT Paxos, Multi-Paxos, and Raft into the simulator,
+//! * [`workload`] — read/update mixes à la Basho Bench,
+//! * [`stats`] — latency percentiles and interval series,
+//! * [`linearizability`] — an exact linearizability checker for counter histories.
+//!
+//! The convenience runners [`run_crdt_paxos`], [`run_crdt_paxos_batched`],
+//! [`run_raft`], and [`run_multi_paxos`] execute one full experiment and return a
+//! [`SimResult`].
+//!
+//! ```
+//! use cluster::{run_crdt_paxos, SimConfig};
+//! use crdt_paxos_core::ProtocolConfig;
+//!
+//! let config = SimConfig { clients: 8, duration_ms: 300, warmup_ms: 50, ..SimConfig::default() };
+//! let result = run_crdt_paxos(&config, ProtocolConfig::default());
+//! assert!(result.completed_reads + result.completed_updates > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod linearizability;
+pub mod sim;
+pub mod stats;
+pub mod workload;
+
+pub use adapters::{CrdtPaxosNode, MultiPaxosNode, RaftNode};
+pub use linearizability::{check_counter_history, HistoryOp, OpKind, Violation};
+pub use sim::{run_simulation, CrashEvent, SimConfig, SimNode, SimOp, SimOutcome, SimReply, SimResult};
+pub use stats::{IntervalStats, LatencyStats};
+pub use workload::{ClientWorkload, WorkloadMix};
+
+use baselines::paxos::PaxosConfig;
+use baselines::raft::RaftConfig;
+use crdt_paxos_core::ProtocolConfig;
+
+/// Runs one experiment with CRDT Paxos replicas under the given protocol configuration.
+pub fn run_crdt_paxos(config: &SimConfig, protocol: ProtocolConfig) -> SimResult {
+    run_simulation(config, |id, members| CrdtPaxosNode::new(id, members, protocol.clone()))
+}
+
+/// Runs one experiment with CRDT Paxos using the paper's 5 ms batching configuration.
+pub fn run_crdt_paxos_batched(config: &SimConfig) -> SimResult {
+    run_crdt_paxos(config, ProtocolConfig::batched())
+}
+
+/// Runs one experiment with the Raft baseline.
+pub fn run_raft(config: &SimConfig) -> SimResult {
+    run_simulation(config, |id, members| RaftNode::new(id, members, RaftConfig::default()))
+}
+
+/// Runs one experiment with the Multi-Paxos (read leases) baseline.
+pub fn run_multi_paxos(config: &SimConfig) -> SimResult {
+    run_simulation(config, |id, members| MultiPaxosNode::new(id, members, PaxosConfig::default()))
+}

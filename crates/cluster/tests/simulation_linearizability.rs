@@ -1,0 +1,119 @@
+//! End-to-end tests: all three protocols produce linearizable counter histories under
+//! the simulator, including under message loss and node failure, and CRDT Paxos keeps
+//! serving during a crash (Figure 4's qualitative claim).
+
+use cluster::{run_crdt_paxos, run_multi_paxos, run_raft, CrashEvent, SimConfig};
+use crdt_paxos_core::ProtocolConfig;
+
+fn base_config(seed: u64) -> SimConfig {
+    SimConfig {
+        clients: 12,
+        duration_ms: 1_500,
+        warmup_ms: 0,
+        read_fraction: 0.7,
+        collect_history: true,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn crdt_paxos_histories_are_linearizable() {
+    for seed in [1, 2, 3] {
+        let result = run_crdt_paxos(&base_config(seed), ProtocolConfig::default());
+        assert!(result.completed_reads > 0 && result.completed_updates > 0);
+        result.check_linearizable().expect("CRDT Paxos produced a non-linearizable history");
+    }
+}
+
+#[test]
+fn crdt_paxos_with_batching_is_linearizable() {
+    let result = run_crdt_paxos(&base_config(7), ProtocolConfig::batched());
+    assert!(result.completed_reads > 0);
+    result.check_linearizable().expect("batched CRDT Paxos produced a non-linearizable history");
+}
+
+#[test]
+fn crdt_paxos_with_gla_stability_is_linearizable() {
+    let result = run_crdt_paxos(&base_config(8), ProtocolConfig::default().with_gla_stability());
+    result.check_linearizable().expect("GLA-stable CRDT Paxos produced a non-linearizable history");
+}
+
+#[test]
+fn crdt_paxos_survives_message_loss() {
+    let mut config = base_config(4);
+    config.message_loss = 0.02;
+    config.duration_ms = 2_000;
+    let result = run_crdt_paxos(&config, ProtocolConfig::default());
+    assert!(result.completed_reads > 0 && result.completed_updates > 0);
+    result.check_linearizable().expect("history under message loss not linearizable");
+}
+
+#[test]
+fn crdt_paxos_keeps_serving_through_a_replica_crash() {
+    let mut config = base_config(5);
+    config.duration_ms = 3_000;
+    config.crash = Some(CrashEvent { replica: 1, at_ms: 1_000, recover_at_ms: None });
+    let result = run_crdt_paxos(&config, ProtocolConfig::default());
+    result.check_linearizable().expect("history with crash not linearizable");
+
+    // Continuous availability: operations keep completing in every interval after the
+    // crash (no leader to re-elect).
+    let after_crash: Vec<_> = result
+        .intervals
+        .iter()
+        .filter(|interval| interval.start_ms >= 1_000 && interval.start_ms < config.duration_ms)
+        .collect();
+    assert!(!after_crash.is_empty());
+    assert!(
+        after_crash.iter().all(|interval| interval.operations > 0),
+        "CRDT Paxos stalled after the crash: {after_crash:?}"
+    );
+}
+
+#[test]
+fn crdt_paxos_recovers_a_crashed_replica() {
+    let mut config = base_config(11);
+    config.duration_ms = 3_000;
+    config.crash = Some(CrashEvent { replica: 2, at_ms: 800, recover_at_ms: Some(1_600) });
+    let result = run_crdt_paxos(&config, ProtocolConfig::default());
+    result.check_linearizable().expect("crash-recovery history not linearizable");
+    assert!(result.completed_reads > 0);
+}
+
+#[test]
+fn raft_histories_are_linearizable() {
+    let mut config = base_config(6);
+    config.duration_ms = 2_500;
+    let result = run_raft(&config);
+    assert!(result.completed_reads + result.completed_updates > 0);
+    result.check_linearizable().expect("Raft produced a non-linearizable history");
+}
+
+#[test]
+fn multi_paxos_histories_are_linearizable() {
+    let mut config = base_config(9);
+    config.duration_ms = 2_500;
+    let result = run_multi_paxos(&config);
+    assert!(result.completed_reads + result.completed_updates > 0);
+    result.check_linearizable().expect("Multi-Paxos produced a non-linearizable history");
+}
+
+#[test]
+fn most_reads_finish_within_two_round_trips_with_batching() {
+    // The paper's headline claim: with 5 ms batches, > 97 % of reads complete within
+    // one or two round trips even under concurrent updates.
+    let mut config = base_config(10);
+    config.clients = 64;
+    config.read_fraction = 0.9;
+    config.duration_ms = 2_000;
+    config.collect_history = false;
+    let result = run_crdt_paxos(&config, ProtocolConfig::batched());
+    assert!(result.completed_reads > 100);
+    let fraction = result.read_fraction_within(2);
+    assert!(
+        fraction > 0.97,
+        "only {:.2} % of reads finished within two round trips",
+        fraction * 100.0
+    );
+}

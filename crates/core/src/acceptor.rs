@@ -1,0 +1,324 @@
+//! The acceptor role: the replicated storage of the CRDT (Algorithm 2, right column).
+//!
+//! An acceptor holds exactly two pieces of state: the current CRDT payload `s` and the
+//! highest round `r` it has observed. There is no command log; updates and merges
+//! modify the payload *in place* by monotone growth.
+
+use crdt::{Crdt, ReplicaId};
+
+use crate::round::{PrepareRound, Round, RoundId};
+
+/// Outcome of handling a `PREPARE` or `VOTE` message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AcceptOutcome<C> {
+    /// The request was accepted; reply with `ACK`/`VOTED`.
+    Ack {
+        /// The acceptor's round after processing the request.
+        round: Round,
+        /// The acceptor's payload after processing the request (omitted from `VOTED`
+        /// replies by the caller, per the §3.6 optimization).
+        state: C,
+    },
+    /// The request was rejected; reply with `NACK` carrying the current round and
+    /// payload so the proposer can retry with more information.
+    Nack {
+        /// The acceptor's current round.
+        round: Round,
+        /// The acceptor's current payload.
+        state: C,
+    },
+}
+
+/// The acceptor role of one replica.
+#[derive(Debug, Clone)]
+pub struct Acceptor<C> {
+    replica: ReplicaId,
+    state: C,
+    round: Round,
+}
+
+impl<C: Crdt> Acceptor<C> {
+    /// Creates an acceptor with the initial payload `s0` and round `(0, ⊥)`
+    /// (paper lines 25–27).
+    pub fn new(replica: ReplicaId, initial: C) -> Self {
+        Acceptor { replica, state: initial, round: Round::ZERO }
+    }
+
+    /// The replica this acceptor belongs to.
+    pub fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    /// Read access to the current payload state.
+    pub fn state(&self) -> &C {
+        &self.state
+    }
+
+    /// The highest round observed so far.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Applies an update function locally (paper lines 28–31, `apply_update`).
+    ///
+    /// Returns a clone of the new payload state, which the proposer broadcasts in
+    /// `MERGE` messages. The round id is set to the write marker, invalidating any
+    /// in-flight proposal that prepared against the previous state.
+    pub fn apply_update(&mut self, update: &C::Update) -> C {
+        self.state.apply(self.replica, update);
+        self.round = self.round.with_write_marker();
+        self.state.clone()
+    }
+
+    /// Handles a `MERGE` message (paper lines 32–35): joins the received payload and
+    /// installs the write marker. The caller replies with `MERGED`.
+    pub fn handle_merge(&mut self, state: &C) {
+        self.state.join(state);
+        self.round = self.round.with_write_marker();
+    }
+
+    /// Handles a `PREPARE` message (paper lines 36–42).
+    ///
+    /// The optional payload is joined into the local state first. An incremental
+    /// prepare is always accepted (the local round number strictly increases); a fixed
+    /// prepare is accepted only if its round number is strictly larger than the
+    /// current one, otherwise a `NACK` outcome is returned.
+    pub fn handle_prepare(&mut self, round: PrepareRound, state: Option<&C>) -> AcceptOutcome<C> {
+        if let Some(payload) = state {
+            self.state.join(payload);
+        }
+        let requested = match round {
+            PrepareRound::Incremental { id } => Round::new(self.round.number + 1, id),
+            PrepareRound::Fixed(round) => round,
+        };
+        if requested.number > self.round.number {
+            self.round = requested;
+            AcceptOutcome::Ack { round: self.round, state: self.state.clone() }
+        } else {
+            AcceptOutcome::Nack { round: self.round, state: self.state.clone() }
+        }
+    }
+
+    /// Handles a `VOTE` message (paper lines 43–47).
+    ///
+    /// The proposed payload is always joined into the local state (line 44). The vote
+    /// succeeds only if the acceptor's round still equals the proposal's round, i.e.
+    /// no concurrent update, merge, or competing prepare has intervened since the
+    /// first phase (invariant I4).
+    pub fn handle_vote(&mut self, round: Round, state: &C) -> AcceptOutcome<C> {
+        self.state.join(state);
+        if round == self.round {
+            AcceptOutcome::Ack { round: self.round, state: self.state.clone() }
+        } else {
+            AcceptOutcome::Nack { round: self.round, state: self.state.clone() }
+        }
+    }
+
+    /// Returns `true` if the acceptor's round carries the write marker, i.e. the last
+    /// payload modification came from an update or merge.
+    pub fn has_pending_write_marker(&self) -> bool {
+        self.round.id == RoundId::Write
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt::{CounterUpdate, GCounter, Lattice};
+
+    fn acceptor() -> Acceptor<GCounter> {
+        Acceptor::new(ReplicaId::new(0), GCounter::new())
+    }
+
+    fn proposer_id(seq: u64) -> RoundId {
+        RoundId::proposer(seq, ReplicaId::new(9))
+    }
+
+    #[test]
+    fn initial_state_is_bottom_round_and_s0() {
+        let acceptor = acceptor();
+        assert_eq!(acceptor.round(), Round::ZERO);
+        assert_eq!(acceptor.state().value(), 0);
+        assert_eq!(acceptor.replica(), ReplicaId::new(0));
+        assert!(!acceptor.has_pending_write_marker());
+    }
+
+    #[test]
+    fn apply_update_grows_state_and_marks_write() {
+        let mut acceptor = acceptor();
+        let new_state = acceptor.apply_update(&CounterUpdate::Increment(3));
+        assert_eq!(new_state.value(), 3);
+        assert_eq!(acceptor.state().value(), 3);
+        assert!(acceptor.has_pending_write_marker());
+        assert_eq!(acceptor.round().number, 0, "updates do not change the round number");
+    }
+
+    #[test]
+    fn merge_joins_state_and_marks_write() {
+        let mut acceptor = acceptor();
+        let mut remote = GCounter::new();
+        remote.increment(ReplicaId::new(1), 7);
+        acceptor.handle_merge(&remote);
+        assert_eq!(acceptor.state().value(), 7);
+        assert!(acceptor.has_pending_write_marker());
+        // Merges are idempotent.
+        acceptor.handle_merge(&remote);
+        assert_eq!(acceptor.state().value(), 7);
+    }
+
+    #[test]
+    fn incremental_prepare_is_always_accepted_and_increments_round() {
+        let mut acceptor = acceptor();
+        match acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(1) }, None) {
+            AcceptOutcome::Ack { round, state } => {
+                assert_eq!(round.number, 1);
+                assert_eq!(round.id, proposer_id(1));
+                assert_eq!(state.value(), 0);
+            }
+            other => panic!("expected ack, got {other:?}"),
+        }
+        // A second incremental prepare keeps increasing the round number.
+        match acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(2) }, None) {
+            AcceptOutcome::Ack { round, .. } => assert_eq!(round.number, 2),
+            other => panic!("expected ack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_prepare_requires_strictly_larger_round_number() {
+        let mut acceptor = acceptor();
+        let high = Round::new(5, proposer_id(1));
+        assert!(matches!(
+            acceptor.handle_prepare(PrepareRound::Fixed(high), None),
+            AcceptOutcome::Ack { .. }
+        ));
+        // Same round number is rejected.
+        let same = Round::new(5, proposer_id(2));
+        assert!(matches!(
+            acceptor.handle_prepare(PrepareRound::Fixed(same), None),
+            AcceptOutcome::Nack { round, .. } if round == high
+        ));
+        // Smaller round number is rejected.
+        let low = Round::new(3, proposer_id(3));
+        assert!(matches!(
+            acceptor.handle_prepare(PrepareRound::Fixed(low), None),
+            AcceptOutcome::Nack { .. }
+        ));
+    }
+
+    #[test]
+    fn prepare_joins_the_included_payload() {
+        let mut acceptor = acceptor();
+        let mut payload = GCounter::new();
+        payload.increment(ReplicaId::new(2), 4);
+        match acceptor.handle_prepare(
+            PrepareRound::Incremental { id: proposer_id(1) },
+            Some(&payload),
+        ) {
+            AcceptOutcome::Ack { state, .. } => assert_eq!(state.value(), 4),
+            other => panic!("expected ack, got {other:?}"),
+        }
+        assert_eq!(acceptor.state().value(), 4);
+        // Joining a payload during prepare does NOT set the write marker.
+        assert!(!acceptor.has_pending_write_marker());
+    }
+
+    #[test]
+    fn vote_succeeds_only_for_the_current_round() {
+        let mut acceptor = acceptor();
+        let outcome = acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(1) }, None);
+        let round = match outcome {
+            AcceptOutcome::Ack { round, .. } => round,
+            other => panic!("expected ack, got {other:?}"),
+        };
+        let mut proposed = GCounter::new();
+        proposed.increment(ReplicaId::new(1), 1);
+        assert!(matches!(acceptor.handle_vote(round, &proposed), AcceptOutcome::Ack { .. }));
+        assert_eq!(acceptor.state().value(), 1, "vote joins the proposed payload");
+    }
+
+    #[test]
+    fn vote_is_rejected_after_a_concurrent_update() {
+        let mut acceptor = acceptor();
+        let round = match acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(1) }, None)
+        {
+            AcceptOutcome::Ack { round, .. } => round,
+            other => panic!("expected ack, got {other:?}"),
+        };
+        // An update arrives between the prepare and the vote.
+        acceptor.apply_update(&CounterUpdate::Increment(1));
+        let proposed = GCounter::new();
+        match acceptor.handle_vote(round, &proposed) {
+            AcceptOutcome::Nack { round: current, state } => {
+                assert_eq!(current.id, RoundId::Write);
+                assert_eq!(state.value(), 1);
+            }
+            other => panic!("expected nack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vote_is_rejected_after_a_competing_prepare() {
+        let mut acceptor = acceptor();
+        let round = match acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(1) }, None)
+        {
+            AcceptOutcome::Ack { round, .. } => round,
+            other => panic!("expected ack, got {other:?}"),
+        };
+        // A competing proposer prepares with a higher round in between (invariant I4).
+        acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(2) }, None);
+        assert!(matches!(
+            acceptor.handle_vote(round, &GCounter::new()),
+            AcceptOutcome::Nack { .. }
+        ));
+    }
+
+    #[test]
+    fn vote_still_joins_payload_even_when_rejected() {
+        // Lemma 3.4 (ii) requires acceptors to merge the proposed payload before
+        // replying, and the pseudocode joins even when the round check then fails.
+        let mut acceptor = acceptor();
+        acceptor.apply_update(&CounterUpdate::Increment(1));
+        let stale_round = Round::new(9, proposer_id(9));
+        let mut proposed = GCounter::new();
+        proposed.increment(ReplicaId::new(2), 5);
+        assert!(matches!(
+            acceptor.handle_vote(stale_round, &proposed),
+            AcceptOutcome::Nack { .. }
+        ));
+        assert_eq!(acceptor.state().value(), 6);
+    }
+
+    #[test]
+    fn payload_grows_monotonically_under_any_message_sequence() {
+        // Lemma 3.2: the payload state of each acceptor increases monotonically.
+        let mut acceptor = acceptor();
+        let mut previous = acceptor.state().clone();
+        let mut remote = GCounter::new();
+        remote.increment(ReplicaId::new(1), 2);
+
+        let steps: Vec<Box<dyn Fn(&mut Acceptor<GCounter>)>> = vec![
+            Box::new(|a| {
+                a.apply_update(&CounterUpdate::Increment(1));
+            }),
+            Box::new({
+                let remote = remote.clone();
+                move |a| a.handle_merge(&remote)
+            }),
+            Box::new(|a| {
+                a.handle_prepare(PrepareRound::Incremental { id: proposer_id(3) }, None);
+            }),
+            Box::new({
+                let remote = remote.clone();
+                move |a| {
+                    a.handle_vote(Round::new(42, proposer_id(4)), &remote);
+                }
+            }),
+        ];
+        for step in steps {
+            step(&mut acceptor);
+            assert!(previous.leq(acceptor.state()), "payload must never shrink");
+            previous = acceptor.state().clone();
+        }
+    }
+}

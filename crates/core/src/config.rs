@@ -1,0 +1,105 @@
+//! Protocol configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable knobs of the replication protocol.
+///
+/// The defaults correspond to the base protocol of §3.2 with the message-size
+/// optimizations of §3.6 enabled and batching disabled ("CRDT Paxos" in the figures).
+/// Enable [`ProtocolConfig::batching`] to obtain the "CRDT Paxos w/ batching"
+/// configuration (5 ms batches in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Buffer client commands and execute them batch-wise (§3.6, "Batching").
+    pub batching: bool,
+    /// Batch flush interval in milliseconds (the paper uses 5 ms).
+    pub batch_interval_ms: u64,
+    /// Include the proposer's current payload in `PREPARE` messages to speed up
+    /// convergence (§3.2). The initial state `s0` is never sent (§3.6).
+    pub send_state_in_prepare: bool,
+    /// Retry failed prepares with an incremental prepare (guarantees eventual
+    /// liveness, §3.5). When `false`, retries use fixed prepares.
+    pub retry_with_incremental_prepare: bool,
+    /// Remember the largest learned state per proposer and never return anything
+    /// smaller, providing GLA-Stability (§3.4).
+    pub gla_stability: bool,
+    /// Re-send the messages of a pending request if no quorum replied within this
+    /// many milliseconds (covers message loss; the paper assumes fair-lossy links).
+    pub retransmit_after_ms: u64,
+    /// Upper bound on query retries before giving up and reporting a failure to the
+    /// client (0 = retry forever). The paper's protocol retries indefinitely; the
+    /// bound exists so misconfigured deployments fail loudly instead of spinning.
+    pub max_query_retries: u32,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            batching: false,
+            batch_interval_ms: 5,
+            send_state_in_prepare: true,
+            retry_with_incremental_prepare: true,
+            gla_stability: false,
+            retransmit_after_ms: 100,
+            max_query_retries: 0,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// The base protocol without batching ("CRDT Paxos").
+    pub fn unbatched() -> Self {
+        ProtocolConfig::default()
+    }
+
+    /// The batched variant with the paper's 5 ms batch interval
+    /// ("CRDT Paxos w/ batching").
+    pub fn batched() -> Self {
+        ProtocolConfig { batching: true, ..ProtocolConfig::default() }
+    }
+
+    /// Sets the batch interval (implies batching).
+    #[must_use]
+    pub fn with_batch_interval_ms(mut self, interval: u64) -> Self {
+        self.batching = true;
+        self.batch_interval_ms = interval;
+        self
+    }
+
+    /// Enables GLA-Stability (§3.4).
+    #[must_use]
+    pub fn with_gla_stability(mut self) -> Self {
+        self.gla_stability = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_base_protocol() {
+        let config = ProtocolConfig::default();
+        assert!(!config.batching);
+        assert_eq!(config.batch_interval_ms, 5);
+        assert!(config.send_state_in_prepare);
+        assert!(config.retry_with_incremental_prepare);
+        assert!(!config.gla_stability);
+    }
+
+    #[test]
+    fn batched_preset_enables_batching() {
+        let config = ProtocolConfig::batched();
+        assert!(config.batching);
+        assert_eq!(config.batch_interval_ms, 5);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let config = ProtocolConfig::unbatched().with_batch_interval_ms(10).with_gla_stability();
+        assert!(config.batching);
+        assert_eq!(config.batch_interval_ms, 10);
+        assert!(config.gla_stability);
+    }
+}

@@ -1,0 +1,221 @@
+//! Protocol messages (Algorithm 2) and client-facing request/response types.
+
+use crdt::{Crdt, ReplicaId};
+use serde::{Deserialize, Serialize};
+
+use crate::round::{PrepareRound, Round};
+
+/// Identifies a protocol instance (one update round or one query attempt) at a
+/// proposer. Fresh ids are allocated per attempt so stale replies can be discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+/// Identifies a client session submitting commands to a proposer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ClientId(pub u64);
+
+/// Correlates a client command with its eventual response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct CommandId(pub u64);
+
+/// A replica-to-replica protocol message, generic over the replicated CRDT `C`.
+///
+/// Message names follow Algorithm 2: `MERGE`/`MERGED` implement the single-round-trip
+/// update path, `PREPARE`/`ACK` and `VOTE`/`VOTED` implement the two-phase query path,
+/// and `NACK` tells a proposer to retry. Per the optimizations of §3.6, `VOTED` omits
+/// the payload state (the proposer already knows what it proposed) and `PREPARE` may
+/// omit the payload when it would not grow any acceptor state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message<C: Crdt> {
+    /// Update path: "join this payload into your state" (paper line 4).
+    Merge {
+        /// Protocol instance this message belongs to.
+        request: RequestId,
+        /// The proposer's payload state after applying the update locally.
+        state: C,
+    },
+    /// Acknowledgement of a [`Message::Merge`] (paper line 35, `MERGED`).
+    MergeAck {
+        /// Protocol instance being acknowledged.
+        request: RequestId,
+    },
+    /// First query phase: announce the intent to learn a state (paper line 10).
+    Prepare {
+        /// Protocol instance this message belongs to.
+        request: RequestId,
+        /// Incremental or fixed round.
+        round: PrepareRound,
+        /// Optional payload to speed up convergence (omitted when it equals `s0`).
+        state: Option<C>,
+    },
+    /// Acceptor acknowledgement of a prepare (paper line 42, `ACK`).
+    PrepareAck {
+        /// Protocol instance being acknowledged.
+        request: RequestId,
+        /// The acceptor's round after processing the prepare.
+        round: Round,
+        /// The acceptor's payload state after processing the prepare.
+        state: C,
+    },
+    /// Second query phase: propose a state to learn (paper line 17).
+    Vote {
+        /// Protocol instance this message belongs to.
+        request: RequestId,
+        /// The round agreed on in the first phase.
+        round: Round,
+        /// The proposed payload state (LUB of all first-phase payloads).
+        state: C,
+    },
+    /// Acceptor acknowledgement of a vote (paper line 47, `VOTED`).
+    ///
+    /// The payload state is omitted (optimization §3.6): the proposer remembers what
+    /// it proposed.
+    VoteAck {
+        /// Protocol instance being acknowledged.
+        request: RequestId,
+    },
+    /// Rejection of a fixed prepare or a vote; carries the acceptor's current round
+    /// and payload so the proposer can retry with more information (§3.2, "Retrying
+    /// Requests").
+    Nack {
+        /// Protocol instance being rejected.
+        request: RequestId,
+        /// The acceptor's current round.
+        round: Round,
+        /// The acceptor's current payload state.
+        state: C,
+    },
+}
+
+impl<C: Crdt> Message<C> {
+    /// Returns the protocol instance id the message belongs to.
+    pub fn request(&self) -> RequestId {
+        match self {
+            Message::Merge { request, .. }
+            | Message::MergeAck { request }
+            | Message::Prepare { request, .. }
+            | Message::PrepareAck { request, .. }
+            | Message::Vote { request, .. }
+            | Message::VoteAck { request }
+            | Message::Nack { request, .. } => *request,
+        }
+    }
+
+    /// Short, human-readable message kind (used by traces and tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Merge { .. } => "MERGE",
+            Message::MergeAck { .. } => "MERGED",
+            Message::Prepare { .. } => "PREPARE",
+            Message::PrepareAck { .. } => "ACK",
+            Message::Vote { .. } => "VOTE",
+            Message::VoteAck { .. } => "VOTED",
+            Message::Nack { .. } => "NACK",
+        }
+    }
+}
+
+/// A message addressed from one replica to another.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope<C: Crdt> {
+    /// Sending replica.
+    pub from: ReplicaId,
+    /// Receiving replica.
+    pub to: ReplicaId,
+    /// The protocol message.
+    pub message: Message<C>,
+}
+
+/// A command submitted by a client to a proposer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(bound(
+    serialize = "C::Update: Serialize, C::Query: Serialize",
+    deserialize = "C::Update: Deserialize<'de>, C::Query: Deserialize<'de>"
+))]
+pub enum Command<C: Crdt> {
+    /// An update command carrying an update function `f_u ∈ U`.
+    Update(C::Update),
+    /// A query command carrying a query function `f_q ∈ Q`.
+    Query(C::Query),
+}
+
+/// The proposer's reply to a client command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientResponse<C: Crdt> {
+    /// The client the response is addressed to.
+    pub client: ClientId,
+    /// The command being answered.
+    pub command: CommandId,
+    /// The actual result.
+    pub body: ResponseBody<C>,
+    /// Number of quorum round trips the command needed (1 for every update; 1 for a
+    /// consistent-quorum read, 2 for a read by vote, more when retries were needed).
+    pub round_trips: u32,
+}
+
+/// Result payload of a [`ClientResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody<C: Crdt> {
+    /// The update has been applied on a quorum (paper line 6, `UPDATE_DONE`).
+    UpdateDone,
+    /// The query has learned a state and evaluated the query function on it
+    /// (paper lines 15 and 24, `QUERY_DONE`).
+    QueryDone(C::Output),
+    /// The query exhausted the configured retry budget without learning a state.
+    ///
+    /// Only produced when [`crate::ProtocolConfig::max_query_retries`] is non-zero;
+    /// the paper's protocol retries indefinitely.
+    QueryFailed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt::GCounter;
+
+    #[test]
+    fn message_kind_and_request_accessors() {
+        let state = GCounter::new();
+        let request = RequestId(7);
+        let messages: Vec<Message<GCounter>> = vec![
+            Message::Merge { request, state: state.clone() },
+            Message::MergeAck { request },
+            Message::Prepare {
+                request,
+                round: PrepareRound::Fixed(Round::ZERO),
+                state: Some(state.clone()),
+            },
+            Message::PrepareAck { request, round: Round::ZERO, state: state.clone() },
+            Message::Vote { request, round: Round::ZERO, state: state.clone() },
+            Message::VoteAck { request },
+            Message::Nack { request, round: Round::ZERO, state },
+        ];
+        let kinds: Vec<&str> = messages.iter().map(Message::kind).collect();
+        assert_eq!(kinds, ["MERGE", "MERGED", "PREPARE", "ACK", "VOTE", "VOTED", "NACK"]);
+        assert!(messages.iter().all(|m| m.request() == request));
+    }
+
+    #[test]
+    fn messages_survive_the_wire_format() {
+        let mut state = GCounter::new();
+        state.increment(ReplicaId::new(1), 5);
+        let message: Message<GCounter> = Message::PrepareAck {
+            request: RequestId(3),
+            round: Round::new(2, crate::round::RoundId::proposer(1, ReplicaId::new(0))),
+            state,
+        };
+        let envelope = Envelope { from: ReplicaId::new(0), to: ReplicaId::new(2), message };
+        let bytes = wire::to_vec(&envelope).unwrap();
+        let decoded: Envelope<GCounter> = wire::from_slice(&bytes).unwrap();
+        assert_eq!(decoded, envelope);
+    }
+
+    #[test]
+    fn message_overhead_is_a_single_round() {
+        // The paper's claim: coordination overhead per message is a single counter.
+        // A MERGE-ACK (no payload) must encode to just a handful of bytes.
+        let ack: Message<GCounter> = Message::MergeAck { request: RequestId(1) };
+        let bytes = wire::to_vec(&ack).unwrap();
+        assert!(bytes.len() <= 3, "MergeAck encoded to {} bytes", bytes.len());
+    }
+}

@@ -1,0 +1,989 @@
+//! The replica: proposer role, batching, and the local acceptor glued together.
+//!
+//! Every process implements both the proposer and the acceptor role (§3.2). The
+//! [`Replica`] type is a *sans-io* state machine: it never performs I/O, never spawns
+//! threads, and never reads a clock. Callers feed it client commands
+//! ([`Replica::submit`]), replica messages ([`Replica::handle_message`]) and time
+//! ([`Replica::tick`]), and drain the resulting outgoing messages
+//! ([`Replica::take_outbox`]) and client responses ([`Replica::take_responses`]).
+//! The same state machine is driven by the deterministic simulator, the tokio TCP
+//! runtime, and the unit tests.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crdt::{Crdt, ReplicaId};
+use quorum::{Membership, QuorumSystem};
+
+use crate::acceptor::{AcceptOutcome, Acceptor};
+use crate::config::ProtocolConfig;
+use crate::metrics::Metrics;
+use crate::msg::{ClientId, ClientResponse, Command, CommandId, Envelope, Message, RequestId, ResponseBody};
+use crate::round::{PrepareRound, Round, RoundId};
+
+/// A client command waiting for an update round to complete.
+#[derive(Debug, Clone)]
+struct UpdateWaiter {
+    client: ClientId,
+    command: CommandId,
+}
+
+/// A client query waiting for a state to be learned.
+#[derive(Debug, Clone)]
+struct QueryWaiter<C: Crdt> {
+    client: ClientId,
+    command: CommandId,
+    query: C::Query,
+}
+
+/// Phase of an in-flight query protocol instance.
+#[derive(Debug, Clone)]
+enum QueryPhase<C: Crdt> {
+    /// First phase: waiting for `ACK`s from a quorum.
+    Prepare {
+        round: PrepareRound,
+        sent_state: Option<C>,
+        acks: BTreeMap<ReplicaId, (Round, C)>,
+    },
+    /// Second phase: waiting for `VOTED`s from a quorum.
+    Vote { round: Round, proposed: C, acks: BTreeSet<ReplicaId> },
+}
+
+/// An in-flight protocol instance at the proposer.
+#[derive(Debug, Clone)]
+enum InFlight<C: Crdt> {
+    Update {
+        waiters: Vec<UpdateWaiter>,
+        merged_state: C,
+        acks: BTreeSet<ReplicaId>,
+        round_trips: u32,
+        last_sent_ms: u64,
+    },
+    Query {
+        waiters: Vec<QueryWaiter<C>>,
+        phase: QueryPhase<C>,
+        /// LUB of every payload state received for this query so far; used as the
+        /// payload of retry prepares (§3.2, "Retrying Requests").
+        gathered: C,
+        round_trips: u32,
+        retries: u32,
+        last_sent_ms: u64,
+    },
+}
+
+/// One replica of the CRDT Paxos protocol (proposer + acceptor).
+///
+/// # Example
+///
+/// Three replicas completing an update and a consistent read by explicitly shuttling
+/// messages (what the simulator and runtimes do automatically):
+///
+/// ```
+/// use crdt::{CounterQuery, CounterUpdate, GCounter, ReplicaId};
+/// use crdt_paxos_core::{Command, ProtocolConfig, Replica, ResponseBody};
+///
+/// let ids: Vec<ReplicaId> = (0..3).map(ReplicaId::new).collect();
+/// let mut replicas: Vec<Replica<GCounter>> = ids
+///     .iter()
+///     .map(|&id| Replica::new(id, ids.clone(), GCounter::default(), ProtocolConfig::default()))
+///     .collect();
+///
+/// // Client 0 submits an increment to replica 0.
+/// replicas[0].submit(crdt_paxos_core::ClientId(0), Command::Update(CounterUpdate::Increment(1)));
+///
+/// // Deliver all produced messages until quiescence.
+/// loop {
+///     let mut envelopes = Vec::new();
+///     for replica in &mut replicas {
+///         envelopes.extend(replica.take_outbox());
+///     }
+///     if envelopes.is_empty() {
+///         break;
+///     }
+///     for env in envelopes {
+///         let to = env.to.as_u64() as usize;
+///         replicas[to].handle_message(env.from, env.message);
+///     }
+/// }
+/// let responses = replicas[0].take_responses();
+/// assert!(matches!(responses[0].body, ResponseBody::UpdateDone));
+/// ```
+#[derive(Debug)]
+pub struct Replica<C: Crdt> {
+    id: ReplicaId,
+    membership: Membership<ReplicaId>,
+    quorum_size: usize,
+    acceptor: Acceptor<C>,
+    config: ProtocolConfig,
+    metrics: Metrics,
+    now_ms: u64,
+    next_request: u64,
+    next_round_seq: u64,
+    next_command: u64,
+    requests: BTreeMap<RequestId, InFlight<C>>,
+    outbox: Vec<Envelope<C>>,
+    responses: Vec<ClientResponse<C>>,
+    /// Largest state ever learned by this proposer (GLA-Stability, §3.4).
+    largest_learned: Option<C>,
+    update_batch: Vec<(UpdateWaiter, C::Update)>,
+    query_batch: Vec<QueryWaiter<C>>,
+    next_flush_ms: u64,
+}
+
+impl<C: Crdt> Replica<C> {
+    /// Creates a replica.
+    ///
+    /// `members` is the full replica group (must contain `id`); `initial` is the
+    /// CRDT's initial payload `s0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` does not contain `id`.
+    pub fn new(id: ReplicaId, members: Vec<ReplicaId>, initial: C, config: ProtocolConfig) -> Self {
+        let membership = Membership::new(members);
+        assert!(membership.contains(&id), "replica {id} must be part of the membership");
+        let quorum_size = membership.majority().min_quorum_size();
+        let batch_interval = config.batch_interval_ms;
+        // Stagger the first batch flush across replicas so their batch windows do not
+        // all fire at the same instant (synchronized batches would make every query
+        // batch collide with every other replica's update batch).
+        let position = membership.members().iter().position(|m| *m == id).unwrap_or(0) as u64;
+        let flush_offset = if membership.len() > 1 {
+            position * batch_interval.max(1) / membership.len() as u64
+        } else {
+            0
+        };
+        Replica {
+            id,
+            membership,
+            quorum_size,
+            acceptor: Acceptor::new(id, initial),
+            config,
+            metrics: Metrics::new(),
+            now_ms: 0,
+            next_request: 0,
+            next_round_seq: 0,
+            next_command: 0,
+            requests: BTreeMap::new(),
+            outbox: Vec::new(),
+            responses: Vec::new(),
+            largest_learned: None,
+            update_batch: Vec::new(),
+            query_batch: Vec::new(),
+            next_flush_ms: batch_interval + flush_offset,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The replica group.
+    pub fn membership(&self) -> &Membership<ReplicaId> {
+        &self.membership
+    }
+
+    /// The local acceptor's payload state (useful for tests and observability; reads
+    /// that need linearizability must go through [`Replica::submit`]).
+    pub fn local_state(&self) -> &C {
+        self.acceptor.state()
+    }
+
+    /// Proposer metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of protocol instances currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Submits a client command and returns the id used to correlate the response.
+    pub fn submit(&mut self, client: ClientId, command: Command<C>) -> CommandId {
+        let command_id = CommandId(self.next_command);
+        self.next_command += 1;
+        match command {
+            Command::Update(update) => {
+                let waiter = UpdateWaiter { client, command: command_id };
+                if self.config.batching {
+                    self.update_batch.push((waiter, update));
+                } else {
+                    self.start_update(vec![(waiter, update)]);
+                }
+            }
+            Command::Query(query) => {
+                let waiter = QueryWaiter { client, command: command_id, query };
+                if self.config.batching {
+                    self.query_batch.push(waiter);
+                } else {
+                    self.start_query(vec![waiter]);
+                }
+            }
+        }
+        command_id
+    }
+
+    /// Convenience wrapper for [`Replica::submit`] with an update command.
+    pub fn submit_update(&mut self, client: ClientId, update: C::Update) -> CommandId {
+        self.submit(client, Command::Update(update))
+    }
+
+    /// Convenience wrapper for [`Replica::submit`] with a query command.
+    pub fn submit_query(&mut self, client: ClientId, query: C::Query) -> CommandId {
+        self.submit(client, Command::Query(query))
+    }
+
+    /// Handles a protocol message from another replica.
+    pub fn handle_message(&mut self, from: ReplicaId, message: Message<C>) {
+        match message {
+            Message::Merge { request, state } => {
+                self.acceptor.handle_merge(&state);
+                self.send(from, Message::MergeAck { request });
+            }
+            Message::MergeAck { request } => self.handle_merge_ack(from, request),
+            Message::Prepare { request, round, state } => {
+                let outcome = self.acceptor.handle_prepare(round, state.as_ref());
+                let reply = match outcome {
+                    AcceptOutcome::Ack { round, state } => {
+                        Message::PrepareAck { request, round, state }
+                    }
+                    AcceptOutcome::Nack { round, state } => Message::Nack { request, round, state },
+                };
+                self.send(from, reply);
+            }
+            Message::PrepareAck { request, round, state } => {
+                self.handle_prepare_ack(from, request, round, state);
+            }
+            Message::Vote { request, round, state } => {
+                let outcome = self.acceptor.handle_vote(round, &state);
+                let reply = match outcome {
+                    AcceptOutcome::Ack { .. } => Message::VoteAck { request },
+                    AcceptOutcome::Nack { round, state } => Message::Nack { request, round, state },
+                };
+                self.send(from, reply);
+            }
+            Message::VoteAck { request } => self.handle_vote_ack(from, request),
+            Message::Nack { request, round, state } => self.handle_nack(request, round, state),
+        }
+    }
+
+    /// Advances the replica's notion of time, flushing batches and retransmitting
+    /// stalled requests.
+    pub fn tick(&mut self, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
+        if self.config.batching && self.now_ms >= self.next_flush_ms {
+            self.flush_batches();
+            self.next_flush_ms = self.now_ms + self.config.batch_interval_ms;
+        }
+        self.retransmit_stalled();
+    }
+
+    /// Drains the messages produced since the last call.
+    pub fn take_outbox(&mut self) -> Vec<Envelope<C>> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Drains the client responses produced since the last call.
+    pub fn take_responses(&mut self) -> Vec<ClientResponse<C>> {
+        std::mem::take(&mut self.responses)
+    }
+
+    // ----- internals -------------------------------------------------------------
+
+    fn send(&mut self, to: ReplicaId, message: Message<C>) {
+        self.outbox.push(Envelope { from: self.id, to, message });
+    }
+
+    fn broadcast(&mut self, message: Message<C>) {
+        let others: Vec<ReplicaId> = self.membership.others(self.id).collect();
+        for peer in others {
+            self.outbox.push(Envelope { from: self.id, to: peer, message: message.clone() });
+        }
+    }
+
+    fn alloc_request(&mut self) -> RequestId {
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        id
+    }
+
+    fn new_round_id(&mut self) -> RoundId {
+        let seq = self.next_round_seq;
+        self.next_round_seq += 1;
+        RoundId::proposer(seq, self.id)
+    }
+
+    fn respond(&mut self, client: ClientId, command: CommandId, body: ResponseBody<C>, round_trips: u32) {
+        self.responses.push(ClientResponse { client, command, body, round_trips });
+    }
+
+    /// Starts one update protocol instance covering all the given (waiter, update)
+    /// pairs (a single pair without batching, a whole batch otherwise).
+    fn start_update(&mut self, batch: Vec<(UpdateWaiter, C::Update)>) {
+        debug_assert!(!batch.is_empty());
+        let request = self.alloc_request();
+        let mut waiters = Vec::with_capacity(batch.len());
+        let mut merged_state = self.acceptor.state().clone();
+        for (waiter, update) in batch {
+            merged_state = self.acceptor.apply_update(&update);
+            waiters.push(waiter);
+        }
+        let mut acks = BTreeSet::new();
+        acks.insert(self.id);
+        if acks.len() >= self.quorum_size {
+            self.finish_update(waiters, 1);
+            return;
+        }
+        self.requests.insert(
+            request,
+            InFlight::Update {
+                waiters,
+                merged_state: merged_state.clone(),
+                acks,
+                round_trips: 1,
+                last_sent_ms: self.now_ms,
+            },
+        );
+        self.broadcast(Message::Merge { request, state: merged_state });
+    }
+
+    /// Starts one query protocol instance covering all the given waiters.
+    fn start_query(&mut self, waiters: Vec<QueryWaiter<C>>) {
+        debug_assert!(!waiters.is_empty());
+        let request = self.alloc_request();
+        let gathered = self.acceptor.state().clone();
+        let entry = InFlight::Query {
+            waiters,
+            phase: QueryPhase::Prepare {
+                round: PrepareRound::Incremental { id: RoundId::Bottom },
+                sent_state: None,
+                acks: BTreeMap::new(),
+            },
+            gathered,
+            round_trips: 0,
+            retries: 0,
+            last_sent_ms: self.now_ms,
+        };
+        self.requests.insert(request, entry);
+        let id = self.new_round_id();
+        self.begin_prepare(request, PrepareRound::Incremental { id });
+    }
+
+    /// Sends the first query phase for `request` with the given round and records the
+    /// local acceptor's answer immediately.
+    fn begin_prepare(&mut self, request: RequestId, round: PrepareRound) {
+        // Decide which payload to ship: the LUB gathered so far, unless it is still
+        // the initial state (§3.6: never ship s0) or the config disables it.
+        let (payload, local_outcome) = {
+            let Some(InFlight::Query { gathered, .. }) = self.requests.get(&request) else {
+                return;
+            };
+            let payload = if self.config.send_state_in_prepare && !gathered.leq(&C::default()) {
+                Some(gathered.clone())
+            } else {
+                None
+            };
+            let local_outcome = self.acceptor.handle_prepare(round, payload.as_ref());
+            (payload, local_outcome)
+        };
+
+        let Some(InFlight::Query { phase, gathered, round_trips, last_sent_ms, .. }) =
+            self.requests.get_mut(&request)
+        else {
+            return;
+        };
+        *round_trips += 1;
+        *last_sent_ms = self.now_ms;
+        let mut acks = BTreeMap::new();
+        match local_outcome {
+            AcceptOutcome::Ack { round: acked_round, state } => {
+                gathered.join(&state);
+                acks.insert(self.id, (acked_round, state));
+            }
+            AcceptOutcome::Nack { round: _, state } => {
+                // Only possible for a fixed prepare that lost locally; keep going, the
+                // remote acceptors may still accept, and the retry logic handles the
+                // rest.
+                gathered.join(&state);
+            }
+        }
+        *phase = QueryPhase::Prepare { round, sent_state: payload.clone(), acks };
+        self.broadcast(Message::Prepare { request, round, state: payload });
+        self.maybe_finish_prepare(request);
+    }
+
+    fn handle_merge_ack(&mut self, from: ReplicaId, request: RequestId) {
+        let finished = match self.requests.get_mut(&request) {
+            Some(InFlight::Update { acks, .. }) => {
+                acks.insert(from);
+                acks.len() >= self.quorum_size
+            }
+            _ => false,
+        };
+        if finished {
+            if let Some(InFlight::Update { waiters, round_trips, .. }) = self.requests.remove(&request)
+            {
+                self.finish_update(waiters, round_trips);
+            }
+        }
+    }
+
+    fn finish_update(&mut self, waiters: Vec<UpdateWaiter>, round_trips: u32) {
+        for waiter in waiters {
+            self.metrics.record_update(round_trips);
+            self.respond(waiter.client, waiter.command, ResponseBody::UpdateDone, round_trips);
+        }
+    }
+
+    fn handle_prepare_ack(&mut self, from: ReplicaId, request: RequestId, round: Round, state: C) {
+        match self.requests.get_mut(&request) {
+            Some(InFlight::Query { phase: QueryPhase::Prepare { acks, .. }, gathered, .. }) => {
+                gathered.join(&state);
+                acks.insert(from, (round, state));
+            }
+            _ => return,
+        }
+        self.maybe_finish_prepare(request);
+    }
+
+    /// Checks whether the first query phase has gathered a quorum and decides between
+    /// the three outcomes of the paper (lines 11–21): learn by consistent quorum,
+    /// propose a vote, or retry with a fixed prepare.
+    fn maybe_finish_prepare(&mut self, request: RequestId) {
+        enum Decision<C> {
+            ConsistentQuorum(C),
+            Vote(Round, C),
+            Retry(u64),
+        }
+
+        let decision = {
+            let Some(InFlight::Query { phase: QueryPhase::Prepare { acks, .. }, .. }) =
+                self.requests.get(&request)
+            else {
+                return;
+            };
+            if acks.len() < self.quorum_size {
+                return;
+            }
+            // s' ← ⊔ S˘ (line 12)
+            let mut lub: Option<C> = None;
+            for (_, state) in acks.values() {
+                match &mut lub {
+                    Some(acc) => acc.join(state),
+                    None => lub = Some(state.clone()),
+                }
+            }
+            let lub = lub.expect("quorum is non-empty");
+            if acks.values().all(|(_, state)| state.equivalent(&lub)) {
+                // Case (a): learned unanimously by consistent states (lines 13–15).
+                Decision::ConsistentQuorum(lub)
+            } else {
+                let mut rounds = acks.values().map(|(round, _)| *round);
+                let first = rounds.next().expect("quorum is non-empty");
+                if rounds.all(|r| r == first) {
+                    // Case (b): consistent rounds, propose to learn the LUB (lines 16–17).
+                    Decision::Vote(first, lub)
+                } else {
+                    // Case (c): inconsistent rounds, retry with a greater round (lines 18–21).
+                    let max_number =
+                        acks.values().map(|(round, _)| round.number).max().expect("non-empty");
+                    Decision::Retry(max_number)
+                }
+            }
+        };
+
+        match decision {
+            Decision::ConsistentQuorum(state) => self.finish_query(request, state, false),
+            Decision::Vote(round, proposed) => self.enter_vote_phase(request, round, proposed),
+            Decision::Retry(max_number) => {
+                self.metrics.prepare_retries += 1;
+                let id = self.new_round_id();
+                let next = PrepareRound::Fixed(Round::new(max_number + 1, id));
+                self.retry_query(request, next);
+            }
+        }
+    }
+
+    fn enter_vote_phase(&mut self, request: RequestId, round: Round, proposed: C) {
+        // The local acceptor votes first.
+        let local = self.acceptor.handle_vote(round, &proposed);
+        let Some(InFlight::Query { phase, round_trips, .. }) = self.requests.get_mut(&request) else {
+            return;
+        };
+        *round_trips += 1;
+        let mut acks = BTreeSet::new();
+        if matches!(local, AcceptOutcome::Ack { .. }) {
+            acks.insert(self.id);
+        }
+        let done = acks.len() >= self.quorum_size;
+        *phase = QueryPhase::Vote { round, proposed: proposed.clone(), acks };
+        self.broadcast(Message::Vote { request, round, state: proposed.clone() });
+        if done {
+            self.finish_query(request, proposed, true);
+        }
+    }
+
+    fn handle_vote_ack(&mut self, from: ReplicaId, request: RequestId) {
+        let learned = match self.requests.get_mut(&request) {
+            Some(InFlight::Query { phase: QueryPhase::Vote { acks, proposed, .. }, .. }) => {
+                acks.insert(from);
+                if acks.len() >= self.quorum_size {
+                    Some(proposed.clone())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(state) = learned {
+            self.finish_query(request, state, true);
+        }
+    }
+
+    fn handle_nack(&mut self, request: RequestId, _round: Round, state: C) {
+        self.metrics.nacks_received += 1;
+        let retry = match self.requests.get_mut(&request) {
+            Some(InFlight::Query { gathered, .. }) => {
+                gathered.join(&state);
+                true
+            }
+            // Updates never receive NACKs (merges are unconditional); ignore strays.
+            _ => false,
+        };
+        if retry {
+            let next = if self.config.retry_with_incremental_prepare {
+                PrepareRound::Incremental { id: self.new_round_id() }
+            } else {
+                let number = self.acceptor.round().number + 1;
+                PrepareRound::Fixed(Round::new(number, self.new_round_id()))
+            };
+            self.retry_query(request, next);
+        }
+    }
+
+    /// Restarts the query protocol for `request` under a fresh request id so replies
+    /// to the abandoned attempt are ignored.
+    fn retry_query(&mut self, request: RequestId, round: PrepareRound) {
+        let Some(entry) = self.requests.remove(&request) else { return };
+        let InFlight::Query { waiters, gathered, round_trips, retries, .. } = entry else {
+            return;
+        };
+        if self.config.max_query_retries > 0 && retries + 1 > self.config.max_query_retries {
+            for waiter in waiters {
+                self.metrics.queries_failed += 1;
+                self.respond(waiter.client, waiter.command, ResponseBody::QueryFailed, round_trips);
+            }
+            return;
+        }
+        let new_request = self.alloc_request();
+        self.requests.insert(
+            new_request,
+            InFlight::Query {
+                waiters,
+                phase: QueryPhase::Prepare {
+                    round,
+                    sent_state: None,
+                    acks: BTreeMap::new(),
+                },
+                gathered,
+                round_trips,
+                retries: retries + 1,
+                last_sent_ms: self.now_ms,
+            },
+        );
+        self.begin_prepare(new_request, round);
+    }
+
+    /// Completes a query: applies GLA-Stability if configured, evaluates every
+    /// waiter's query function on the learned state, and records metrics.
+    fn finish_query(&mut self, request: RequestId, learned: C, by_vote: bool) {
+        let Some(InFlight::Query { waiters, round_trips, .. }) = self.requests.remove(&request) else {
+            return;
+        };
+        let state = if self.config.gla_stability {
+            match &self.largest_learned {
+                // Consistency guarantees comparability; keep the larger state.
+                Some(previous) if learned.leq(previous) => previous.clone(),
+                _ => learned,
+            }
+        } else {
+            learned
+        };
+        self.largest_learned = Some(match self.largest_learned.take() {
+            Some(previous) if state.leq(&previous) => previous,
+            _ => state.clone(),
+        });
+        for waiter in waiters {
+            let output = state.query(&waiter.query);
+            self.metrics.record_query(round_trips, by_vote);
+            self.respond(waiter.client, waiter.command, ResponseBody::QueryDone(output), round_trips);
+        }
+    }
+
+    fn flush_batches(&mut self) {
+        if !self.update_batch.is_empty() {
+            let batch = std::mem::take(&mut self.update_batch);
+            self.start_update(batch);
+        }
+        if !self.query_batch.is_empty() {
+            let batch = std::mem::take(&mut self.query_batch);
+            self.start_query(batch);
+        }
+    }
+
+    /// Re-sends the messages of requests that have not progressed for a while.
+    ///
+    /// Only replicas that have not answered yet are contacted again; this covers lost
+    /// messages and crashed-and-recovered acceptors.
+    fn retransmit_stalled(&mut self) {
+        if self.config.retransmit_after_ms == 0 {
+            return;
+        }
+        let deadline = self.now_ms.saturating_sub(self.config.retransmit_after_ms);
+        let mut to_send: Vec<Envelope<C>> = Vec::new();
+        let my_id = self.id;
+        let peers: Vec<ReplicaId> = self.membership.others(my_id).collect();
+        for (&request, entry) in self.requests.iter_mut() {
+            match entry {
+                InFlight::Update { merged_state, acks, last_sent_ms, .. } => {
+                    if *last_sent_ms > deadline {
+                        continue;
+                    }
+                    *last_sent_ms = self.now_ms;
+                    for &peer in peers.iter().filter(|p| !acks.contains(p)) {
+                        to_send.push(Envelope {
+                            from: my_id,
+                            to: peer,
+                            message: Message::Merge { request, state: merged_state.clone() },
+                        });
+                    }
+                }
+                InFlight::Query { phase, last_sent_ms, .. } => {
+                    if *last_sent_ms > deadline {
+                        continue;
+                    }
+                    *last_sent_ms = self.now_ms;
+                    match phase {
+                        QueryPhase::Prepare { round, sent_state, acks } => {
+                            for &peer in peers.iter().filter(|p| !acks.contains_key(p)) {
+                                to_send.push(Envelope {
+                                    from: my_id,
+                                    to: peer,
+                                    message: Message::Prepare {
+                                        request,
+                                        round: *round,
+                                        state: sent_state.clone(),
+                                    },
+                                });
+                            }
+                        }
+                        QueryPhase::Vote { round, proposed, acks } => {
+                            for &peer in peers.iter().filter(|p| !acks.contains(p)) {
+                                to_send.push(Envelope {
+                                    from: my_id,
+                                    to: peer,
+                                    message: Message::Vote {
+                                        request,
+                                        round: *round,
+                                        state: proposed.clone(),
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.outbox.extend(to_send);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt::{CounterQuery, CounterUpdate, GCounter};
+
+    type Counter = GCounter;
+
+    fn ids(n: u64) -> Vec<ReplicaId> {
+        (0..n).map(ReplicaId::new).collect()
+    }
+
+    fn cluster(n: u64, config: ProtocolConfig) -> Vec<Replica<Counter>> {
+        ids(n)
+            .iter()
+            .map(|&id| Replica::new(id, ids(n), Counter::default(), config.clone()))
+            .collect()
+    }
+
+    /// Delivers every outstanding message until the cluster is quiescent.
+    fn run_to_quiescence(replicas: &mut [Replica<Counter>]) {
+        loop {
+            let mut envelopes = Vec::new();
+            for replica in replicas.iter_mut() {
+                envelopes.extend(replica.take_outbox());
+            }
+            if envelopes.is_empty() {
+                break;
+            }
+            for env in envelopes {
+                let index = replicas.iter().position(|r| r.id() == env.to).expect("known replica");
+                replicas[index].handle_message(env.from, env.message);
+            }
+        }
+    }
+
+    fn drain_responses(replica: &mut Replica<Counter>) -> Vec<ClientResponse<Counter>> {
+        replica.take_responses()
+    }
+
+    #[test]
+    fn update_completes_in_a_single_round_trip() {
+        let mut replicas = cluster(3, ProtocolConfig::default());
+        replicas[0].submit_update(ClientId(1), CounterUpdate::Increment(5));
+        run_to_quiescence(&mut replicas);
+        let responses = drain_responses(&mut replicas[0]);
+        assert_eq!(responses.len(), 1);
+        assert!(matches!(responses[0].body, ResponseBody::UpdateDone));
+        assert_eq!(responses[0].round_trips, 1);
+        assert_eq!(replicas[0].metrics().updates_completed, 1);
+        // All replicas eventually hold the update.
+        for replica in &replicas {
+            assert_eq!(replica.local_state().value(), 5);
+        }
+    }
+
+    #[test]
+    fn query_after_update_sees_the_update() {
+        // Update Visibility (Theorem 3.10): a query submitted after an update
+        // completed must observe it — even when submitted at a different replica.
+        let mut replicas = cluster(3, ProtocolConfig::default());
+        replicas[0].submit_update(ClientId(1), CounterUpdate::Increment(3));
+        run_to_quiescence(&mut replicas);
+        drain_responses(&mut replicas[0]);
+
+        replicas[2].submit_query(ClientId(2), CounterQuery::Value);
+        run_to_quiescence(&mut replicas);
+        let responses = drain_responses(&mut replicas[2]);
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].body, ResponseBody::QueryDone(3));
+    }
+
+    #[test]
+    fn quiet_read_uses_a_single_round_trip_consistent_quorum() {
+        let mut replicas = cluster(3, ProtocolConfig::default());
+        replicas[0].submit_update(ClientId(1), CounterUpdate::Increment(1));
+        run_to_quiescence(&mut replicas);
+        drain_responses(&mut replicas[0]);
+
+        replicas[1].submit_query(ClientId(2), CounterQuery::Value);
+        run_to_quiescence(&mut replicas);
+        let responses = drain_responses(&mut replicas[1]);
+        assert_eq!(responses[0].round_trips, 1, "quiet reads finish in one round trip");
+        assert_eq!(replicas[1].metrics().queries_consistent_quorum, 1);
+        assert_eq!(replicas[1].metrics().queries_by_vote, 0);
+    }
+
+    #[test]
+    fn read_concurrent_with_update_needs_a_vote_or_retry_but_stays_correct() {
+        let mut replicas = cluster(3, ProtocolConfig::default());
+        // Submit the update but do NOT deliver its merge messages yet.
+        replicas[0].submit_update(ClientId(1), CounterUpdate::Increment(1));
+        let pending_merges = replicas[0].take_outbox();
+
+        // Deliver the merge to replica 1 only: acceptor states now diverge.
+        for env in pending_merges {
+            if env.to == ReplicaId::new(1) {
+                let (from, msg) = (env.from, env.message);
+                replicas[1].handle_message(from, msg);
+            }
+        }
+        // Drop replica 1's ack; the update stays in flight. Now run a query at r2.
+        replicas[1].take_outbox();
+        replicas[2].submit_query(ClientId(2), CounterQuery::Value);
+        run_to_quiescence(&mut replicas);
+        let responses = drain_responses(&mut replicas[2]);
+        assert_eq!(responses.len(), 1);
+        match &responses[0].body {
+            ResponseBody::QueryDone(value) => {
+                assert!(*value == 0 || *value == 1, "linearizable value before ack");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert!(responses[0].round_trips >= 2, "divergent states require the vote phase");
+    }
+
+    #[test]
+    fn reads_never_go_backwards_across_replicas() {
+        // Stability (Theorem 3.5) on the counter: subsequent reads observe
+        // non-decreasing values even when issued at different replicas.
+        let mut replicas = cluster(3, ProtocolConfig::default());
+        let mut last = 0i64;
+        for step in 0..5u64 {
+            replicas[(step % 3) as usize].submit_update(ClientId(9), CounterUpdate::Increment(1));
+            run_to_quiescence(&mut replicas);
+            drain_responses(&mut replicas[(step % 3) as usize]);
+
+            let reader = ((step + 1) % 3) as usize;
+            replicas[reader].submit_query(ClientId(10), CounterQuery::Value);
+            run_to_quiescence(&mut replicas);
+            let responses = drain_responses(&mut replicas[reader]);
+            match responses[0].body {
+                ResponseBody::QueryDone(value) => {
+                    assert!(value >= last, "read {value} went backwards from {last}");
+                    last = value;
+                }
+                _ => panic!("expected query response"),
+            }
+        }
+        assert_eq!(last, 5);
+    }
+
+    #[test]
+    fn single_replica_cluster_answers_immediately() {
+        let mut replicas = cluster(1, ProtocolConfig::default());
+        replicas[0].submit_update(ClientId(0), CounterUpdate::Increment(2));
+        replicas[0].submit_query(ClientId(0), CounterQuery::Value);
+        run_to_quiescence(&mut replicas);
+        let responses = drain_responses(&mut replicas[0]);
+        assert_eq!(responses.len(), 2);
+        assert!(matches!(responses[0].body, ResponseBody::UpdateDone));
+        assert_eq!(responses[1].body, ResponseBody::QueryDone(2));
+    }
+
+    #[test]
+    fn batching_combines_multiple_commands_into_one_protocol_instance() {
+        let mut replicas = cluster(3, ProtocolConfig::batched());
+        for i in 0..10 {
+            replicas[0].submit_update(ClientId(i), CounterUpdate::Increment(1));
+            replicas[0].submit_query(ClientId(i), CounterQuery::Value);
+        }
+        // Nothing happens until the batch interval elapses.
+        assert_eq!(replicas[0].take_outbox().len(), 0);
+        replicas[0].tick(5);
+        assert!(replicas[0].in_flight() <= 2, "one update batch and one query batch");
+        run_to_quiescence(&mut replicas);
+        let responses = drain_responses(&mut replicas[0]);
+        assert_eq!(responses.len(), 20);
+        let updates = responses
+            .iter()
+            .filter(|r| matches!(r.body, ResponseBody::UpdateDone))
+            .count();
+        assert_eq!(updates, 10);
+        // All queries in the batch see all updates of the batch (applied locally first).
+        for response in responses.iter().filter(|r| matches!(r.body, ResponseBody::QueryDone(_))) {
+            assert_eq!(response.body, ResponseBody::QueryDone(10));
+        }
+        assert_eq!(replicas[0].metrics().updates_completed, 10);
+        assert_eq!(replicas[0].metrics().queries_completed, 10);
+    }
+
+    #[test]
+    fn gla_stability_never_returns_a_smaller_state_at_the_same_proposer() {
+        let mut config = ProtocolConfig::default();
+        config.gla_stability = true;
+        let mut replicas = cluster(3, config);
+
+        // Learn a large state first.
+        replicas[0].submit_update(ClientId(0), CounterUpdate::Increment(10));
+        run_to_quiescence(&mut replicas);
+        replicas[0].submit_query(ClientId(0), CounterQuery::Value);
+        run_to_quiescence(&mut replicas);
+        drain_responses(&mut replicas[0]);
+
+        // Later reads at the same proposer can never observe less.
+        replicas[0].submit_query(ClientId(0), CounterQuery::Value);
+        run_to_quiescence(&mut replicas);
+        let responses = drain_responses(&mut replicas[0]);
+        assert_eq!(responses.last().unwrap().body, ResponseBody::QueryDone(10));
+    }
+
+    #[test]
+    fn retransmission_recovers_from_lost_merge_messages() {
+        let mut replicas = cluster(3, ProtocolConfig::default());
+        replicas[0].submit_update(ClientId(1), CounterUpdate::Increment(1));
+        // Drop every outgoing merge (simulated message loss).
+        let lost = replicas[0].take_outbox();
+        assert_eq!(lost.len(), 2);
+        assert!(drain_responses(&mut replicas[0]).is_empty());
+
+        // After the retransmit interval the replica re-sends and completes.
+        replicas[0].tick(200);
+        run_to_quiescence(&mut replicas);
+        let responses = drain_responses(&mut replicas[0]);
+        assert_eq!(responses.len(), 1);
+        assert!(matches!(responses[0].body, ResponseBody::UpdateDone));
+    }
+
+    #[test]
+    fn crashed_minority_does_not_block_progress() {
+        let mut replicas = cluster(3, ProtocolConfig::default());
+        // Replica 2 "crashes": we simply never deliver messages to it.
+        replicas[0].submit_update(ClientId(1), CounterUpdate::Increment(4));
+        loop {
+            let mut envelopes = Vec::new();
+            for replica in replicas.iter_mut() {
+                envelopes.extend(replica.take_outbox());
+            }
+            if envelopes.is_empty() {
+                break;
+            }
+            for env in envelopes {
+                if env.to == ReplicaId::new(2) {
+                    continue; // crashed
+                }
+                let index = replicas.iter().position(|r| r.id() == env.to).unwrap();
+                replicas[index].handle_message(env.from, env.message);
+            }
+        }
+        let responses = drain_responses(&mut replicas[0]);
+        assert_eq!(responses.len(), 1, "a two-replica quorum suffices");
+
+        // Queries also succeed with only two live replicas.
+        replicas[1].submit_query(ClientId(2), CounterQuery::Value);
+        loop {
+            let mut envelopes = Vec::new();
+            for replica in replicas.iter_mut() {
+                envelopes.extend(replica.take_outbox());
+            }
+            if envelopes.is_empty() {
+                break;
+            }
+            for env in envelopes {
+                if env.to == ReplicaId::new(2) {
+                    continue;
+                }
+                let index = replicas.iter().position(|r| r.id() == env.to).unwrap();
+                replicas[index].handle_message(env.from, env.message);
+            }
+        }
+        let responses = drain_responses(&mut replicas[1]);
+        assert_eq!(responses[0].body, ResponseBody::QueryDone(4));
+    }
+
+    #[test]
+    fn metrics_track_learning_paths() {
+        let mut replicas = cluster(3, ProtocolConfig::default());
+        replicas[0].submit_update(ClientId(0), CounterUpdate::Increment(1));
+        run_to_quiescence(&mut replicas);
+        replicas[0].submit_query(ClientId(0), CounterQuery::Value);
+        run_to_quiescence(&mut replicas);
+        let metrics = replicas[0].metrics();
+        assert_eq!(metrics.updates_completed, 1);
+        assert_eq!(metrics.queries_completed, 1);
+        assert_eq!(metrics.queries_consistent_quorum + metrics.queries_by_vote, 1);
+        assert!(metrics.query_fraction_within(2) >= 1.0 - f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be part of the membership")]
+    fn replica_must_belong_to_membership() {
+        let _ = Replica::<Counter>::new(
+            ReplicaId::new(9),
+            ids(3),
+            Counter::default(),
+            ProtocolConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,368 @@
+//! Property-based safety tests of the replication protocol.
+//!
+//! The paper proves five conditions (§3.1/§3.3): Validity, Stability, Consistency,
+//! Update Stability, and Update Visibility. These tests drive small clusters through
+//! randomly interleaved, randomly delayed (and optionally duplicated) message
+//! schedules — the same idea as the protocol scheduler used for the Erlang
+//! implementation — and assert the conditions on every learned state.
+
+use crdt::{CounterQuery, CounterUpdate, GCounter, Lattice, ReplicaId};
+use crdt_paxos_core::{ClientId, Command, Envelope, ProtocolConfig, Replica, ResponseBody};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+type Counter = GCounter;
+
+/// One client command injected at a particular replica at a particular step.
+#[derive(Debug, Clone)]
+enum Op {
+    Update { replica: usize, amount: u64 },
+    Query { replica: usize },
+}
+
+fn op_strategy(replicas: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..replicas, 1u64..4).prop_map(|(replica, amount)| Op::Update { replica, amount }),
+        (0..replicas).prop_map(|replica| Op::Query { replica }),
+    ]
+}
+
+struct Harness {
+    replicas: Vec<Replica<Counter>>,
+    /// Messages currently "in the network".
+    network: Vec<Envelope<Counter>>,
+    rng: StdRng,
+    duplicate_probability: f64,
+}
+
+struct QueryRecord {
+    replica: usize,
+    /// Value returned to the client.
+    value: i64,
+    /// The order in which the query completed (for Stability checks).
+    completion_index: usize,
+}
+
+impl Harness {
+    fn new(n: usize, seed: u64, config: ProtocolConfig, duplicate_probability: f64) -> Self {
+        let ids: Vec<ReplicaId> = (0..n as u64).map(ReplicaId::new).collect();
+        let replicas = ids
+            .iter()
+            .map(|&id| Replica::new(id, ids.clone(), Counter::default(), config.clone()))
+            .collect();
+        Harness {
+            replicas,
+            network: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            duplicate_probability,
+        }
+    }
+
+    fn collect_outgoing(&mut self) {
+        for replica in &mut self.replicas {
+            for envelope in replica.take_outbox() {
+                if self.rng.gen_bool(self.duplicate_probability) {
+                    self.network.push(envelope.clone());
+                }
+                self.network.push(envelope);
+            }
+        }
+    }
+
+    /// Delivers one randomly chosen in-flight message.
+    fn deliver_one(&mut self) -> bool {
+        self.collect_outgoing();
+        if self.network.is_empty() {
+            return false;
+        }
+        let index = self.rng.gen_range(0..self.network.len());
+        let envelope = self.network.swap_remove(index);
+        let target = self
+            .replicas
+            .iter_mut()
+            .find(|r| r.id() == envelope.to)
+            .expect("message addressed to known replica");
+        target.handle_message(envelope.from, envelope.message);
+        true
+    }
+
+    fn run_until_quiescent(&mut self) {
+        while self.deliver_one() {}
+        // Allow retransmissions to fire in case duplicates confused an instance.
+        for now in [200u64, 400, 600] {
+            for replica in &mut self.replicas {
+                replica.tick(now);
+            }
+            while self.deliver_one() {}
+        }
+    }
+}
+
+/// Runs a random schedule and returns (total updates applied, completed query records).
+fn run_schedule(
+    ops: &[Op],
+    seed: u64,
+    config: ProtocolConfig,
+    duplicate_probability: f64,
+) -> (u64, Vec<QueryRecord>) {
+    let n = 3;
+    let mut harness = Harness::new(n, seed, config, duplicate_probability);
+    let mut total_increment = 0u64;
+    let mut shuffled = ops.to_vec();
+    shuffled.shuffle(&mut harness.rng);
+
+    // Inject every command, interleaving random message deliveries between them.
+    for op in &shuffled {
+        match op {
+            Op::Update { replica, amount } => {
+                total_increment += amount;
+                harness.replicas[*replica]
+                    .submit(ClientId(0), Command::Update(CounterUpdate::Increment(*amount)));
+            }
+            Op::Query { replica } => {
+                harness.replicas[*replica].submit(ClientId(1), Command::Query(CounterQuery::Value));
+            }
+        }
+        let deliveries = harness.rng.gen_range(0..4);
+        for _ in 0..deliveries {
+            if !harness.deliver_one() {
+                break;
+            }
+        }
+    }
+    harness.run_until_quiescent();
+
+    let mut records = Vec::new();
+    let mut completion_index = 0usize;
+    for (replica_index, replica) in harness.replicas.iter_mut().enumerate() {
+        for response in replica.take_responses() {
+            if let ResponseBody::QueryDone(value) = response.body {
+                records.push(QueryRecord { replica: replica_index, value, completion_index });
+                completion_index += 1;
+            }
+        }
+    }
+
+    // Validity of the final acceptor states: every replica's payload is built only
+    // from submitted updates, so its value never exceeds the total submitted.
+    for replica in &harness.replicas {
+        assert!(replica.local_state().value() <= total_increment);
+    }
+
+    (total_increment, records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Validity: any learned value corresponds to a subset of the submitted updates
+    /// (never more than the total submitted, never negative).
+    #[test]
+    fn learned_values_are_valid(
+        ops in proptest::collection::vec(op_strategy(3), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let (total, records) = run_schedule(&ops, seed, ProtocolConfig::default(), 0.0);
+        for record in &records {
+            prop_assert!(record.value >= 0);
+            prop_assert!(record.value as u64 <= total,
+                "learned {} but only {} was submitted", record.value, total);
+        }
+    }
+
+    /// GLA-Stability (§3.4): with the flag enabled, the states learned at the same
+    /// proposer increase monotonically in completion order, even for concurrent
+    /// queries whose replies arrive out of order. (Without the flag the paper only
+    /// guarantees Stability for *subsequent* queries; the simulator-level
+    /// linearizability tests in the `cluster` crate cover that case.)
+    #[test]
+    fn gla_stability_makes_per_proposer_reads_monotone(
+        ops in proptest::collection::vec(op_strategy(3), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let config = ProtocolConfig::default().with_gla_stability();
+        let (_, mut records) = run_schedule(&ops, seed, config, 0.0);
+        records.sort_by_key(|r| r.completion_index);
+        for replica in 0..3 {
+            let mut last = i64::MIN;
+            for record in records.iter().filter(|r| r.replica == replica) {
+                prop_assert!(record.value >= last,
+                    "replica {replica} observed {} after {}", record.value, last);
+                last = record.value;
+            }
+        }
+    }
+
+    /// Message duplication must not violate validity (merges and joins are idempotent).
+    #[test]
+    fn duplicated_messages_do_not_break_safety(
+        ops in proptest::collection::vec(op_strategy(3), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let (total, records) = run_schedule(&ops, seed, ProtocolConfig::default(), 0.3);
+        for record in &records {
+            prop_assert!(record.value as u64 <= total);
+        }
+    }
+
+    /// The batched configuration obeys the same safety conditions.
+    #[test]
+    fn batching_preserves_safety(
+        ops in proptest::collection::vec(op_strategy(3), 1..24),
+        seed in any::<u64>(),
+    ) {
+        let (total, records) = run_schedule(&ops, seed, ProtocolConfig::batched(), 0.0);
+        for record in &records {
+            prop_assert!(record.value as u64 <= total);
+        }
+    }
+
+    /// Eventual liveness (§3.5): once updates stop, every submitted query eventually
+    /// completes (our harness keeps delivering messages until quiescence, so all
+    /// queries must have completed by then).
+    #[test]
+    fn all_queries_eventually_complete(
+        ops in proptest::collection::vec(op_strategy(3), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let queries_submitted = ops.iter().filter(|op| matches!(op, Op::Query { .. })).count();
+        let (_, records) = run_schedule(&ops, seed, ProtocolConfig::default(), 0.0);
+        prop_assert_eq!(records.len(), queries_submitted);
+    }
+}
+
+/// Update Visibility (Theorem 3.10) exercised deterministically across every pair of
+/// (updating replica, querying replica).
+#[test]
+fn update_visibility_holds_for_every_replica_pair() {
+    for updater in 0..3usize {
+        for reader in 0..3usize {
+            let ids: Vec<ReplicaId> = (0..3).map(ReplicaId::new).collect();
+            let mut replicas: Vec<Replica<Counter>> = ids
+                .iter()
+                .map(|&id| {
+                    Replica::new(id, ids.clone(), Counter::default(), ProtocolConfig::default())
+                })
+                .collect();
+
+            replicas[updater].submit(ClientId(0), Command::Update(CounterUpdate::Increment(7)));
+            deliver_all(&mut replicas);
+            assert!(matches!(
+                replicas[updater].take_responses()[0].body,
+                ResponseBody::UpdateDone
+            ));
+
+            replicas[reader].submit(ClientId(1), Command::Query(CounterQuery::Value));
+            deliver_all(&mut replicas);
+            let responses = replicas[reader].take_responses();
+            assert_eq!(
+                responses[0].body,
+                ResponseBody::QueryDone(7),
+                "update at {updater} not visible to query at {reader}"
+            );
+        }
+    }
+}
+
+/// Consistency (Theorem 3.8): states learned by concurrent queries at different
+/// replicas are comparable — exercised by checking that two interleaved counters read
+/// values that are consistent with a single linearization point.
+#[test]
+fn concurrent_queries_learn_comparable_states() {
+    let ids: Vec<ReplicaId> = (0..3).map(ReplicaId::new).collect();
+    let mut replicas: Vec<Replica<Counter>> = ids
+        .iter()
+        .map(|&id| Replica::new(id, ids.clone(), Counter::default(), ProtocolConfig::default()))
+        .collect();
+
+    // Start an update whose MERGE only reaches replica 1.
+    replicas[0].submit(ClientId(0), Command::Update(CounterUpdate::Increment(1)));
+    let merges = replicas[0].take_outbox();
+    for env in merges {
+        if env.to == ReplicaId::new(1) {
+            replicas[1].handle_message(env.from, env.message);
+        }
+    }
+    replicas[1].take_outbox();
+
+    // Two concurrent queries at replicas 1 and 2.
+    replicas[1].submit(ClientId(1), Command::Query(CounterQuery::Value));
+    replicas[2].submit(ClientId(2), Command::Query(CounterQuery::Value));
+    deliver_all(&mut replicas);
+
+    let v1 = query_value(&mut replicas[1]);
+    let v2 = query_value(&mut replicas[2]);
+    // Both learned states are elements of the chain 0 ⊑ 1, hence comparable.
+    assert!(v1 <= 1 && v2 <= 1);
+
+    // After the system quiesces, the final acceptor states are all comparable with
+    // both learned states (they only grew).
+    for replica in &replicas {
+        assert!(replica.local_state().value() >= v1.max(v2) as u64 || v1.max(v2) == 0);
+    }
+}
+
+fn query_value(replica: &mut Replica<Counter>) -> i64 {
+    replica
+        .take_responses()
+        .into_iter()
+        .find_map(|response| match response.body {
+            ResponseBody::QueryDone(value) => Some(value),
+            _ => None,
+        })
+        .expect("query completed")
+}
+
+fn deliver_all(replicas: &mut Vec<Replica<Counter>>) {
+    loop {
+        let mut envelopes = Vec::new();
+        for replica in replicas.iter_mut() {
+            envelopes.extend(replica.take_outbox());
+        }
+        if envelopes.is_empty() {
+            break;
+        }
+        for env in envelopes {
+            let index = replicas.iter().position(|r| r.id() == env.to).unwrap();
+            replicas[index].handle_message(env.from, env.message);
+        }
+    }
+}
+
+/// Update Stability (Theorem 3.9): if update u1 completes before u2 is submitted, any
+/// learned state including u2 also includes u1. On a counter this means a learned
+/// value that reflects the second update also reflects the first.
+#[test]
+fn update_stability_orders_sequential_updates() {
+    let ids: Vec<ReplicaId> = (0..3).map(ReplicaId::new).collect();
+    let mut replicas: Vec<Replica<Counter>> = ids
+        .iter()
+        .map(|&id| Replica::new(id, ids.clone(), Counter::default(), ProtocolConfig::default()))
+        .collect();
+
+    // u1: +1 at replica 0, runs to completion.
+    replicas[0].submit(ClientId(0), Command::Update(CounterUpdate::Increment(1)));
+    deliver_all(&mut replicas);
+    replicas[0].take_responses();
+
+    // u2: +10 at replica 1, runs to completion.
+    replicas[1].submit(ClientId(1), Command::Update(CounterUpdate::Increment(10)));
+    deliver_all(&mut replicas);
+    replicas[1].take_responses();
+
+    // Any learned state that includes u2 (value >= 10) must also include u1 (>= 11).
+    replicas[2].submit(ClientId(2), Command::Query(CounterQuery::Value));
+    deliver_all(&mut replicas);
+    let value = query_value(&mut replicas[2]);
+    assert_eq!(value, 11);
+
+    // The acceptors' final payloads also include both updates.
+    for replica in &replicas {
+        let state = replica.local_state();
+        let mut expected = Counter::default();
+        expected.increment(ReplicaId::new(0), 1);
+        assert!(expected.leq(state));
+    }
+}

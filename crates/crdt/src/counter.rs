@@ -1,0 +1,286 @@
+//! Counter CRDTs: the grow-only counter (G-Counter) of Algorithm 1 and the
+//! increment/decrement PN-Counter built from two G-Counters.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::crdt::Crdt;
+use crate::lattice::Lattice;
+use crate::replica::ReplicaId;
+
+/// Grow-only counter (G-Counter), the running example of the paper (Algorithm 1).
+///
+/// The payload is one non-negative slot per replica; a replica increments only its own
+/// slot, `merge` takes the pointwise maximum, and the counter value is the sum of all
+/// slots.
+///
+/// # Example
+///
+/// ```
+/// use crdt::{GCounter, Lattice, ReplicaId};
+///
+/// let mut a = GCounter::new();
+/// let mut b = GCounter::new();
+/// a.increment(ReplicaId::new(0), 2);
+/// b.increment(ReplicaId::new(1), 3);
+/// a.join(&b);
+/// assert_eq!(a.value(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GCounter {
+    slots: BTreeMap<ReplicaId, u64>,
+}
+
+impl GCounter {
+    /// Creates a zero counter.
+    pub fn new() -> Self {
+        GCounter::default()
+    }
+
+    /// Adds `amount` to the slot of `replica`.
+    pub fn increment(&mut self, replica: ReplicaId, amount: u64) {
+        *self.slots.entry(replica).or_insert(0) += amount;
+    }
+
+    /// Returns the counter value (sum of all slots).
+    pub fn value(&self) -> u64 {
+        self.slots.values().sum()
+    }
+
+    /// Returns the slot of a single replica.
+    pub fn slot(&self, replica: ReplicaId) -> u64 {
+        self.slots.get(&replica).copied().unwrap_or(0)
+    }
+
+    /// Number of replicas that have contributed at least one increment.
+    pub fn contributors(&self) -> usize {
+        self.slots.values().filter(|&&v| v > 0).count()
+    }
+}
+
+impl Lattice for GCounter {
+    fn join(&mut self, other: &Self) {
+        for (&replica, &count) in &other.slots {
+            let slot = self.slots.entry(replica).or_insert(0);
+            *slot = (*slot).max(count);
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.slots.iter().all(|(replica, &count)| count <= other.slot(*replica))
+    }
+}
+
+/// Update commands accepted by [`GCounter`] when used as a replicated state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CounterUpdate {
+    /// Add the given amount to the counter.
+    Increment(u64),
+}
+
+/// Query commands accepted by counter CRDTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CounterQuery {
+    /// Read the current counter value.
+    #[default]
+    Value,
+}
+
+impl Crdt for GCounter {
+    type Update = CounterUpdate;
+    type Query = CounterQuery;
+    type Output = i64;
+
+    fn apply(&mut self, replica: ReplicaId, update: &Self::Update) {
+        match update {
+            CounterUpdate::Increment(amount) => self.increment(replica, *amount),
+        }
+    }
+
+    fn query(&self, _query: &Self::Query) -> Self::Output {
+        self.value() as i64
+    }
+}
+
+/// Positive-negative counter supporting increments and decrements.
+///
+/// Implemented as a product of two G-Counters (one for increments, one for
+/// decrements); its value is the difference of the two.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PNCounter {
+    increments: GCounter,
+    decrements: GCounter,
+}
+
+impl PNCounter {
+    /// Creates a zero counter.
+    pub fn new() -> Self {
+        PNCounter::default()
+    }
+
+    /// Adds `amount` to the counter on behalf of `replica`.
+    pub fn increment(&mut self, replica: ReplicaId, amount: u64) {
+        self.increments.increment(replica, amount);
+    }
+
+    /// Subtracts `amount` from the counter on behalf of `replica`.
+    pub fn decrement(&mut self, replica: ReplicaId, amount: u64) {
+        self.decrements.increment(replica, amount);
+    }
+
+    /// Returns the counter value (increments minus decrements).
+    pub fn value(&self) -> i64 {
+        self.increments.value() as i64 - self.decrements.value() as i64
+    }
+}
+
+impl Lattice for PNCounter {
+    fn join(&mut self, other: &Self) {
+        self.increments.join(&other.increments);
+        self.decrements.join(&other.decrements);
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.increments.leq(&other.increments) && self.decrements.leq(&other.decrements)
+    }
+}
+
+/// Update commands accepted by [`PNCounter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PnUpdate {
+    /// Add the given amount.
+    Increment(u64),
+    /// Subtract the given amount.
+    Decrement(u64),
+}
+
+impl Crdt for PNCounter {
+    type Update = PnUpdate;
+    type Query = CounterQuery;
+    type Output = i64;
+
+    fn apply(&mut self, replica: ReplicaId, update: &Self::Update) {
+        match update {
+            PnUpdate::Increment(amount) => self.increment(replica, *amount),
+            PnUpdate::Decrement(amount) => self.decrement(replica, *amount),
+        }
+    }
+
+    fn query(&self, _query: &Self::Query) -> Self::Output {
+        self.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(id: u64) -> ReplicaId {
+        ReplicaId::new(id)
+    }
+
+    #[test]
+    fn gcounter_sums_slots() {
+        let mut counter = GCounter::new();
+        counter.increment(r(0), 1);
+        counter.increment(r(0), 2);
+        counter.increment(r(1), 10);
+        assert_eq!(counter.value(), 13);
+        assert_eq!(counter.slot(r(0)), 3);
+        assert_eq!(counter.slot(r(2)), 0);
+        assert_eq!(counter.contributors(), 2);
+    }
+
+    #[test]
+    fn gcounter_join_keeps_maximum_per_slot() {
+        let mut a = GCounter::new();
+        a.increment(r(0), 5);
+        a.increment(r(1), 1);
+        let mut b = GCounter::new();
+        b.increment(r(0), 3);
+        b.increment(r(2), 7);
+
+        let joined = a.clone().joined(&b);
+        assert_eq!(joined.slot(r(0)), 5);
+        assert_eq!(joined.slot(r(1)), 1);
+        assert_eq!(joined.slot(r(2)), 7);
+        assert_eq!(joined.value(), 13);
+        assert!(a.leq(&joined));
+        assert!(b.leq(&joined));
+        assert!(!joined.leq(&a));
+    }
+
+    #[test]
+    fn gcounter_concurrent_states_are_incomparable() {
+        let mut a = GCounter::new();
+        a.increment(r(0), 1);
+        let mut b = GCounter::new();
+        b.increment(r(1), 1);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(a.partial_order(&b).is_none());
+    }
+
+    #[test]
+    fn gcounter_as_crdt_state_machine() {
+        let mut counter = GCounter::default();
+        counter.apply(r(0), &CounterUpdate::Increment(4));
+        counter.apply(r(1), &CounterUpdate::Increment(1));
+        assert_eq!(counter.query(&CounterQuery::Value), 5);
+    }
+
+    #[test]
+    fn gcounter_join_merges_update_sets() {
+        // Validity (Theorem 3.1) depends on joins merging the update sets of both
+        // operands: applying {+1 at r0} and {+2 at r1} then joining must be the same
+        // as applying both to one replica chain.
+        let mut a = GCounter::new();
+        a.apply(r(0), &CounterUpdate::Increment(1));
+        let mut b = GCounter::new();
+        b.apply(r(1), &CounterUpdate::Increment(2));
+        let joined = a.joined(&b);
+        assert_eq!(joined.value(), 3);
+    }
+
+    #[test]
+    fn pncounter_value_can_go_negative() {
+        let mut counter = PNCounter::new();
+        counter.increment(r(0), 2);
+        counter.decrement(r(1), 5);
+        assert_eq!(counter.value(), -3);
+    }
+
+    #[test]
+    fn pncounter_join_is_componentwise() {
+        let mut a = PNCounter::new();
+        a.increment(r(0), 2);
+        let mut b = PNCounter::new();
+        b.decrement(r(1), 1);
+        let joined = a.clone().joined(&b);
+        assert_eq!(joined.value(), 1);
+        assert!(a.leq(&joined));
+        assert!(b.leq(&joined));
+    }
+
+    #[test]
+    fn pncounter_as_crdt_state_machine() {
+        let mut counter = PNCounter::default();
+        counter.apply(r(0), &PnUpdate::Increment(10));
+        counter.apply(r(1), &PnUpdate::Decrement(4));
+        assert_eq!(counter.query(&CounterQuery::Value), 6);
+    }
+
+    #[test]
+    fn decrement_is_monotone_in_the_lattice() {
+        // A decrement shrinks the *value* but still grows the lattice state, which is
+        // exactly why PN-Counters work as state-based CRDTs.
+        let mut counter = PNCounter::new();
+        counter.increment(r(0), 1);
+        let before = counter.clone();
+        counter.decrement(r(0), 1);
+        assert!(before.leq(&counter));
+        assert!(!counter.leq(&before));
+        assert_eq!(counter.value(), 0);
+    }
+}

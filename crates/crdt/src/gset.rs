@@ -1,0 +1,330 @@
+//! Grow-only set (G-Set) and two-phase set (2P-Set).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::crdt::Crdt;
+use crate::lattice::Lattice;
+use crate::replica::ReplicaId;
+
+/// Grow-only set: elements can only be added, join is set union.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GSet<T: Ord> {
+    elements: BTreeSet<T>,
+}
+
+impl<T: Ord> Default for GSet<T> {
+    fn default() -> Self {
+        GSet { elements: BTreeSet::new() }
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> GSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        GSet::default()
+    }
+
+    /// Adds an element.
+    pub fn insert(&mut self, value: T) {
+        self.elements.insert(value);
+    }
+
+    /// Returns `true` if the element has been added.
+    pub fn contains(&self, value: &T) -> bool {
+        self.elements.contains(value)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Returns `true` if no element has ever been added.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Iterates over the elements in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.elements.iter()
+    }
+
+    /// Consumes the set and returns the underlying `BTreeSet`.
+    pub fn into_inner(self) -> BTreeSet<T> {
+        self.elements
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> Lattice for GSet<T> {
+    fn join(&mut self, other: &Self) {
+        self.elements.join(&other.elements);
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.elements.leq(&other.elements)
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> FromIterator<T> for GSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        GSet { elements: iter.into_iter().collect() }
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> Extend<T> for GSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.elements.extend(iter);
+    }
+}
+
+/// Update commands for [`GSet`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GSetUpdate<T> {
+    /// Add an element to the set.
+    Insert(T),
+}
+
+/// Query commands for set CRDTs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SetQuery<T> {
+    /// Does the set contain this element?
+    Contains(T),
+    /// How many elements does the set contain?
+    Len,
+    /// Return all elements.
+    Elements,
+}
+
+/// Results returned by [`SetQuery`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SetOutput<T: Ord> {
+    /// Answer to [`SetQuery::Contains`].
+    Contains(bool),
+    /// Answer to [`SetQuery::Len`].
+    Len(u64),
+    /// Answer to [`SetQuery::Elements`].
+    Elements(BTreeSet<T>),
+}
+
+impl<T> Crdt for GSet<T>
+where
+    T: Ord + Clone + fmt::Debug + Send + 'static,
+{
+    type Update = GSetUpdate<T>;
+    type Query = SetQuery<T>;
+    type Output = SetOutput<T>;
+
+    fn apply(&mut self, _replica: ReplicaId, update: &Self::Update) {
+        match update {
+            GSetUpdate::Insert(value) => self.insert(value.clone()),
+        }
+    }
+
+    fn query(&self, query: &Self::Query) -> Self::Output {
+        match query {
+            SetQuery::Contains(value) => SetOutput::Contains(self.contains(value)),
+            SetQuery::Len => SetOutput::Len(self.len() as u64),
+            SetQuery::Elements => SetOutput::Elements(self.elements.clone()),
+        }
+    }
+}
+
+/// Two-phase set: supports removal, but a removed element can never be re-added.
+///
+/// The payload is a pair of G-Sets (added, removed); an element is a member iff it was
+/// added and not removed. Join is the pairwise union.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoPhaseSet<T: Ord> {
+    added: BTreeSet<T>,
+    removed: BTreeSet<T>,
+}
+
+impl<T: Ord> Default for TwoPhaseSet<T> {
+    fn default() -> Self {
+        TwoPhaseSet { added: BTreeSet::new(), removed: BTreeSet::new() }
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> TwoPhaseSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        TwoPhaseSet::default()
+    }
+
+    /// Adds an element. Has no visible effect if the element was already removed.
+    pub fn insert(&mut self, value: T) {
+        self.added.insert(value);
+    }
+
+    /// Removes an element permanently (tombstone).
+    pub fn remove(&mut self, value: T) {
+        self.added.insert(value.clone());
+        self.removed.insert(value);
+    }
+
+    /// Returns `true` if the element is currently a member.
+    pub fn contains(&self, value: &T) -> bool {
+        self.added.contains(value) && !self.removed.contains(value)
+    }
+
+    /// Number of live (non-removed) members.
+    pub fn len(&self) -> usize {
+        self.added.iter().filter(|v| !self.removed.contains(v)).count()
+    }
+
+    /// Returns `true` if there are no live members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over the live members.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.added.iter().filter(|v| !self.removed.contains(*v))
+    }
+
+    /// Number of tombstoned elements (useful for observing state inflation).
+    pub fn tombstones(&self) -> usize {
+        self.removed.len()
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> Lattice for TwoPhaseSet<T> {
+    fn join(&mut self, other: &Self) {
+        self.added.join(&other.added);
+        self.removed.join(&other.removed);
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.added.leq(&other.added) && self.removed.leq(&other.removed)
+    }
+}
+
+/// Update commands for [`TwoPhaseSet`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TwoPhaseSetUpdate<T> {
+    /// Add an element.
+    Insert(T),
+    /// Remove an element forever.
+    Remove(T),
+}
+
+impl<T> Crdt for TwoPhaseSet<T>
+where
+    T: Ord + Clone + fmt::Debug + Send + 'static,
+{
+    type Update = TwoPhaseSetUpdate<T>;
+    type Query = SetQuery<T>;
+    type Output = SetOutput<T>;
+
+    fn apply(&mut self, _replica: ReplicaId, update: &Self::Update) {
+        match update {
+            TwoPhaseSetUpdate::Insert(value) => self.insert(value.clone()),
+            TwoPhaseSetUpdate::Remove(value) => self.remove(value.clone()),
+        }
+    }
+
+    fn query(&self, query: &Self::Query) -> Self::Output {
+        match query {
+            SetQuery::Contains(value) => SetOutput::Contains(self.contains(value)),
+            SetQuery::Len => SetOutput::Len(self.len() as u64),
+            SetQuery::Elements => SetOutput::Elements(self.iter().cloned().collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(id: u64) -> ReplicaId {
+        ReplicaId::new(id)
+    }
+
+    #[test]
+    fn gset_insert_and_query() {
+        let mut set: GSet<&str> = GSet::new();
+        assert!(set.is_empty());
+        set.insert("a");
+        set.insert("b");
+        set.insert("a");
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&"a"));
+        assert!(!set.contains(&"c"));
+        assert_eq!(set.iter().count(), 2);
+    }
+
+    #[test]
+    fn gset_join_is_union() {
+        let a: GSet<u32> = [1, 2].into_iter().collect();
+        let b: GSet<u32> = [2, 3].into_iter().collect();
+        let joined = a.clone().joined(&b);
+        assert_eq!(joined.len(), 3);
+        assert!(a.leq(&joined));
+        assert!(b.leq(&joined));
+        assert!(!joined.leq(&a));
+    }
+
+    #[test]
+    fn gset_crdt_interface() {
+        let mut set: GSet<String> = GSet::default();
+        set.apply(r(0), &GSetUpdate::Insert("x".to_string()));
+        assert_eq!(set.query(&SetQuery::Contains("x".to_string())), SetOutput::Contains(true));
+        assert_eq!(set.query(&SetQuery::Len), SetOutput::Len(1));
+        match set.query(&SetQuery::Elements) {
+            SetOutput::Elements(elems) => assert_eq!(elems.len(), 1),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn twophase_remove_wins_forever() {
+        let mut set: TwoPhaseSet<u32> = TwoPhaseSet::new();
+        set.insert(1);
+        assert!(set.contains(&1));
+        set.remove(1);
+        assert!(!set.contains(&1));
+        // Re-adding has no effect: removal is permanent in a 2P-Set.
+        set.insert(1);
+        assert!(!set.contains(&1));
+        assert_eq!(set.tombstones(), 1);
+    }
+
+    #[test]
+    fn twophase_join_merges_adds_and_removes() {
+        let mut a: TwoPhaseSet<u32> = TwoPhaseSet::new();
+        a.insert(1);
+        a.insert(2);
+        let mut b: TwoPhaseSet<u32> = TwoPhaseSet::new();
+        b.remove(2);
+        b.insert(3);
+
+        let joined = a.clone().joined(&b);
+        assert!(joined.contains(&1));
+        assert!(!joined.contains(&2));
+        assert!(joined.contains(&3));
+        assert_eq!(joined.len(), 2);
+        assert!(a.leq(&joined) && b.leq(&joined));
+    }
+
+    #[test]
+    fn twophase_crdt_interface() {
+        let mut set: TwoPhaseSet<u32> = TwoPhaseSet::default();
+        set.apply(r(0), &TwoPhaseSetUpdate::Insert(7));
+        set.apply(r(1), &TwoPhaseSetUpdate::Remove(7));
+        assert_eq!(set.query(&SetQuery::Contains(7)), SetOutput::Contains(false));
+        assert_eq!(set.query(&SetQuery::Len), SetOutput::Len(0));
+    }
+
+    #[test]
+    fn removal_grows_the_lattice_state() {
+        let mut set: TwoPhaseSet<u32> = TwoPhaseSet::new();
+        set.insert(1);
+        let before = set.clone();
+        set.remove(1);
+        assert!(before.leq(&set));
+        assert!(!set.leq(&before));
+    }
+}

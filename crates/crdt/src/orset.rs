@@ -1,0 +1,289 @@
+//! Observed-remove set (OR-Set / add-wins set).
+//!
+//! Unlike the two-phase set, an element can be re-added after removal. Every add is
+//! tagged with a globally unique `(replica, sequence)` tag; a remove tombstones all
+//! tags *observed* at the removing replica. Concurrent add/remove resolves in favour
+//! of the add ("add wins") because the concurrent add's tag was not observed.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::crdt::Crdt;
+use crate::gset::{SetOutput, SetQuery};
+use crate::lattice::Lattice;
+use crate::replica::ReplicaId;
+
+/// A unique tag identifying one add operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tag {
+    /// Replica that performed the add.
+    pub replica: ReplicaId,
+    /// Per-replica sequence number of the add.
+    pub sequence: u64,
+}
+
+/// Observed-remove set (add-wins semantics).
+///
+/// # Example
+///
+/// ```
+/// use crdt::{Lattice, ORSet, ReplicaId};
+///
+/// let mut a: ORSet<&str> = ORSet::new();
+/// a.insert(ReplicaId::new(0), "milk");
+/// let mut b = a.clone();
+/// b.remove(&"milk");          // b observed the add and removes it
+/// a.insert(ReplicaId::new(0), "milk"); // a concurrently re-adds
+/// a.join(&b);
+/// assert!(a.contains(&"milk")); // add wins
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ORSet<T: Ord> {
+    /// Live and historical tags per element.
+    entries: BTreeMap<T, BTreeSet<Tag>>,
+    /// Tags that have been removed (tombstones).
+    tombstones: BTreeSet<Tag>,
+    /// Per-replica counters used to mint fresh tags.
+    counters: BTreeMap<ReplicaId, u64>,
+}
+
+impl<T: Ord> Default for ORSet<T> {
+    fn default() -> Self {
+        ORSet {
+            entries: BTreeMap::new(),
+            tombstones: BTreeSet::new(),
+            counters: BTreeMap::new(),
+        }
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> ORSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ORSet::default()
+    }
+
+    /// Adds `value` at `replica`, minting a fresh tag.
+    pub fn insert(&mut self, replica: ReplicaId, value: T) {
+        let counter = self.counters.entry(replica).or_insert(0);
+        *counter += 1;
+        let tag = Tag { replica, sequence: *counter };
+        self.entries.entry(value).or_default().insert(tag);
+    }
+
+    /// Removes `value` by tombstoning every currently observed live tag.
+    pub fn remove(&mut self, value: &T) {
+        if let Some(tags) = self.entries.get(value) {
+            for tag in tags {
+                if !self.tombstones.contains(tag) {
+                    self.tombstones.insert(*tag);
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if at least one non-tombstoned tag exists for `value`.
+    pub fn contains(&self, value: &T) -> bool {
+        self.entries
+            .get(value)
+            .is_some_and(|tags| tags.iter().any(|tag| !self.tombstones.contains(tag)))
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        self.entries.keys().filter(|value| self.contains(value)).count()
+    }
+
+    /// Returns `true` if the set has no live elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over live elements in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.keys().filter(|value| self.contains(value))
+    }
+
+    /// Returns the live elements as an owned set.
+    pub fn elements(&self) -> BTreeSet<T> {
+        self.iter().cloned().collect()
+    }
+
+    /// Number of tombstoned tags (a measure of state inflation, see paper §5).
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Restricts the payload to the tags and tombstones of a single element.
+    ///
+    /// Used by the delta-mutators in [`crate::delta`] to build minimal deltas.
+    pub(crate) fn retain_only(&mut self, value: &T) {
+        let kept_tags = self.entries.get(value).cloned().unwrap_or_default();
+        self.entries.retain(|key, _| key == value);
+        self.tombstones.retain(|tag| kept_tags.contains(tag));
+        self.counters.retain(|replica, counter| {
+            kept_tags.iter().any(|tag| tag.replica == *replica && tag.sequence <= *counter)
+        });
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> Lattice for ORSet<T> {
+    fn join(&mut self, other: &Self) {
+        for (value, tags) in &other.entries {
+            self.entries.entry(value.clone()).or_default().join(tags);
+        }
+        self.tombstones.join(&other.tombstones);
+        for (&replica, &counter) in &other.counters {
+            let existing = self.counters.entry(replica).or_insert(0);
+            *existing = (*existing).max(counter);
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        let entries_leq = self.entries.iter().all(|(value, tags)| {
+            other.entries.get(value).is_some_and(|other_tags| tags.leq(other_tags))
+        });
+        let counters_leq = self
+            .counters
+            .iter()
+            .all(|(replica, &counter)| counter <= other.counters.get(replica).copied().unwrap_or(0));
+        entries_leq && self.tombstones.leq(&other.tombstones) && counters_leq
+    }
+}
+
+/// Update commands for [`ORSet`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ORSetUpdate<T> {
+    /// Add an element (add-wins).
+    Insert(T),
+    /// Remove all currently observed instances of an element.
+    Remove(T),
+}
+
+impl<T> Crdt for ORSet<T>
+where
+    T: Ord + Clone + fmt::Debug + Send + 'static,
+{
+    type Update = ORSetUpdate<T>;
+    type Query = SetQuery<T>;
+    type Output = SetOutput<T>;
+
+    fn apply(&mut self, replica: ReplicaId, update: &Self::Update) {
+        match update {
+            ORSetUpdate::Insert(value) => self.insert(replica, value.clone()),
+            ORSetUpdate::Remove(value) => self.remove(value),
+        }
+    }
+
+    fn query(&self, query: &Self::Query) -> Self::Output {
+        match query {
+            SetQuery::Contains(value) => SetOutput::Contains(self.contains(value)),
+            SetQuery::Len => SetOutput::Len(self.len() as u64),
+            SetQuery::Elements => SetOutput::Elements(self.elements()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(id: u64) -> ReplicaId {
+        ReplicaId::new(id)
+    }
+
+    #[test]
+    fn insert_remove_reinsert() {
+        let mut set: ORSet<&str> = ORSet::new();
+        set.insert(r(0), "a");
+        assert!(set.contains(&"a"));
+        set.remove(&"a");
+        assert!(!set.contains(&"a"));
+        set.insert(r(0), "a");
+        assert!(set.contains(&"a"), "unlike 2P-Set, re-adding after remove works");
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn add_wins_over_concurrent_remove() {
+        let mut a: ORSet<&str> = ORSet::new();
+        a.insert(r(0), "x");
+
+        // Replica b observes the add, then removes.
+        let mut b = a.clone();
+        b.remove(&"x");
+
+        // Replica a concurrently re-adds with a fresh tag.
+        a.insert(r(0), "x");
+
+        let merged = a.clone().joined(&b);
+        assert!(merged.contains(&"x"));
+        // Symmetric join gives the same answer (commutativity).
+        let merged2 = b.joined(&a);
+        assert!(merged2.contains(&"x"));
+    }
+
+    #[test]
+    fn remove_only_affects_observed_tags() {
+        let mut a: ORSet<&str> = ORSet::new();
+        a.insert(r(0), "x");
+        let mut b: ORSet<&str> = ORSet::new();
+        b.insert(r(1), "x");
+        // b never observed a's add, so removing at b only tombstones b's tag.
+        b.remove(&"x");
+        let merged = a.clone().joined(&b);
+        assert!(merged.contains(&"x"));
+    }
+
+    #[test]
+    fn join_is_monotone_and_commutative() {
+        let mut a: ORSet<u32> = ORSet::new();
+        a.insert(r(0), 1);
+        a.remove(&1);
+        let mut b: ORSet<u32> = ORSet::new();
+        b.insert(r(1), 2);
+
+        let ab = a.clone().joined(&b);
+        let ba = b.clone().joined(&a);
+        assert_eq!(ab, ba);
+        assert!(a.leq(&ab));
+        assert!(b.leq(&ab));
+    }
+
+    #[test]
+    fn crdt_interface() {
+        let mut set: ORSet<String> = ORSet::default();
+        set.apply(r(0), &ORSetUpdate::Insert("item".to_string()));
+        set.apply(r(1), &ORSetUpdate::Remove("item".to_string()));
+        assert_eq!(set.query(&SetQuery::Contains("item".to_string())), SetOutput::Contains(false));
+        set.apply(r(2), &ORSetUpdate::Insert("item".to_string()));
+        assert_eq!(set.query(&SetQuery::Len), SetOutput::Len(1));
+    }
+
+    #[test]
+    fn tombstones_accumulate() {
+        let mut set: ORSet<u32> = ORSet::new();
+        for i in 0..10 {
+            set.insert(r(0), i);
+            set.remove(&i);
+        }
+        assert!(set.is_empty());
+        assert_eq!(set.tombstone_count(), 10);
+    }
+
+    #[test]
+    fn distinct_replicas_mint_distinct_tags() {
+        let mut a: ORSet<u32> = ORSet::new();
+        a.insert(r(0), 1);
+        let mut b: ORSet<u32> = ORSet::new();
+        b.insert(r(1), 1);
+        let merged = a.joined(&b);
+        // Removing at the merged state tombstones both tags.
+        let mut merged2 = merged.clone();
+        merged2.remove(&1);
+        assert!(!merged2.contains(&1));
+        assert_eq!(merged2.tombstone_count(), 2);
+    }
+}

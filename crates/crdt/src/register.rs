@@ -1,0 +1,331 @@
+//! Register CRDTs: last-writer-wins, max-value, and multi-value registers.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::crdt::Crdt;
+use crate::lattice::Lattice;
+use crate::replica::ReplicaId;
+use crate::vclock::VClock;
+
+/// Logical timestamp for last-writer-wins resolution: totally ordered by
+/// `(time, replica)` so ties between replicas break deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct LwwStamp {
+    /// Logical or physical time of the write.
+    pub time: u64,
+    /// Replica that performed the write (tie breaker).
+    pub replica: ReplicaId,
+}
+
+impl LwwStamp {
+    /// Creates a timestamp.
+    pub fn new(time: u64, replica: ReplicaId) -> Self {
+        LwwStamp { time, replica }
+    }
+}
+
+/// Last-writer-wins register.
+///
+/// The payload is an optional `(stamp, value)` pair; join keeps the pair with the
+/// larger stamp. Writes must supply a stamp that is larger than any stamp the writer
+/// has observed, which the caller typically derives from a logical clock.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LwwRegister<T> {
+    entry: Option<(LwwStamp, T)>,
+}
+
+impl<T> Default for LwwRegister<T> {
+    fn default() -> Self {
+        LwwRegister { entry: None }
+    }
+}
+
+impl<T: Clone + fmt::Debug> LwwRegister<T> {
+    /// Creates an empty register.
+    pub fn new() -> Self {
+        LwwRegister::default()
+    }
+
+    /// Writes `value` with the given stamp if the stamp is newer than the current one.
+    pub fn set(&mut self, stamp: LwwStamp, value: T) {
+        match &self.entry {
+            Some((current, _)) if *current >= stamp => {}
+            _ => self.entry = Some((stamp, value)),
+        }
+    }
+
+    /// Returns the current value, if any write has been observed.
+    pub fn get(&self) -> Option<&T> {
+        self.entry.as_ref().map(|(_, value)| value)
+    }
+
+    /// Returns the stamp of the current value.
+    pub fn stamp(&self) -> Option<LwwStamp> {
+        self.entry.as_ref().map(|(stamp, _)| *stamp)
+    }
+}
+
+impl<T: Clone + fmt::Debug> Lattice for LwwRegister<T> {
+    fn join(&mut self, other: &Self) {
+        if let Some((stamp, value)) = &other.entry {
+            self.set(*stamp, value.clone());
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (&self.entry, &other.entry) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some((a, _)), Some((b, _))) => a <= b,
+        }
+    }
+}
+
+/// Update commands for [`LwwRegister`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegisterUpdate<T> {
+    /// Write a value with an explicit timestamp.
+    Set {
+        /// Timestamp ordering this write against others.
+        stamp: LwwStamp,
+        /// The value to store.
+        value: T,
+    },
+}
+
+/// Query commands for registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RegisterQuery {
+    /// Read the register.
+    #[default]
+    Get,
+}
+
+impl<T> Crdt for LwwRegister<T>
+where
+    T: Clone + fmt::Debug + PartialEq + Send + 'static,
+{
+    type Update = RegisterUpdate<T>;
+    type Query = RegisterQuery;
+    type Output = Option<T>;
+
+    fn apply(&mut self, _replica: ReplicaId, update: &Self::Update) {
+        match update {
+            RegisterUpdate::Set { stamp, value } => self.set(*stamp, value.clone()),
+        }
+    }
+
+    fn query(&self, _query: &Self::Query) -> Self::Output {
+        self.get().cloned()
+    }
+}
+
+/// A register that keeps the maximum value ever written (for totally ordered values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MaxRegister<T: Ord> {
+    value: Option<T>,
+}
+
+impl<T: Ord + Clone + fmt::Debug> MaxRegister<T> {
+    /// Creates an empty register.
+    pub fn new() -> Self {
+        MaxRegister { value: None }
+    }
+
+    /// Writes `value`, keeping the maximum of old and new.
+    pub fn set(&mut self, value: T) {
+        match &self.value {
+            Some(current) if *current >= value => {}
+            _ => self.value = Some(value),
+        }
+    }
+
+    /// Returns the largest value written so far.
+    pub fn get(&self) -> Option<&T> {
+        self.value.as_ref()
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> Lattice for MaxRegister<T> {
+    fn join(&mut self, other: &Self) {
+        if let Some(value) = &other.value {
+            self.set(value.clone());
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (&self.value, &other.value) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(a), Some(b)) => a <= b,
+        }
+    }
+}
+
+/// Multi-value register: concurrent writes are all retained until overwritten.
+///
+/// The payload is a set of `(version vector, value)` pairs; join keeps the causally
+/// maximal pairs. A read returns every concurrent value (the application resolves).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MvRegister<T: Ord> {
+    versions: BTreeSet<(VClock, T)>,
+}
+
+impl<T: Ord> Default for MvRegister<T> {
+    fn default() -> Self {
+        MvRegister { versions: BTreeSet::new() }
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> MvRegister<T> {
+    /// Creates an empty register.
+    pub fn new() -> Self {
+        MvRegister::default()
+    }
+
+    /// Writes `value` at `replica`, superseding every currently visible version.
+    pub fn set(&mut self, replica: ReplicaId, value: T) {
+        let mut clock = VClock::new();
+        for (existing, _) in &self.versions {
+            clock.join(existing);
+        }
+        clock.increment(replica);
+        self.versions = BTreeSet::from([(clock, value)]);
+    }
+
+    /// Returns all concurrently visible values.
+    pub fn get(&self) -> Vec<&T> {
+        self.versions.iter().map(|(_, value)| value).collect()
+    }
+
+    /// Number of concurrent versions currently visible.
+    pub fn version_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    fn prune_dominated(&mut self) {
+        let snapshot: Vec<(VClock, T)> = self.versions.iter().cloned().collect();
+        self.versions.retain(|(clock, value)| {
+            !snapshot.iter().any(|(other_clock, other_value)| {
+                (clock, value) != (other_clock, other_value)
+                    && clock.leq(other_clock)
+                    && !other_clock.leq(clock)
+            })
+        });
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> Lattice for MvRegister<T> {
+    fn join(&mut self, other: &Self) {
+        for pair in &other.versions {
+            self.versions.insert(pair.clone());
+        }
+        self.prune_dominated();
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        // Every version we hold must be dominated by (or present in) the other side.
+        self.versions.iter().all(|(clock, value)| {
+            other
+                .versions
+                .iter()
+                .any(|(other_clock, other_value)| {
+                    (clock, value) == (other_clock, other_value) || clock.leq(other_clock)
+                })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(id: u64) -> ReplicaId {
+        ReplicaId::new(id)
+    }
+
+    #[test]
+    fn lww_latest_stamp_wins() {
+        let mut reg: LwwRegister<&str> = LwwRegister::new();
+        assert_eq!(reg.get(), None);
+        reg.set(LwwStamp::new(1, r(0)), "old");
+        reg.set(LwwStamp::new(5, r(1)), "new");
+        reg.set(LwwStamp::new(3, r(2)), "stale");
+        assert_eq!(reg.get(), Some(&"new"));
+        assert_eq!(reg.stamp(), Some(LwwStamp::new(5, r(1))));
+    }
+
+    #[test]
+    fn lww_replica_breaks_ties() {
+        let mut a: LwwRegister<&str> = LwwRegister::new();
+        a.set(LwwStamp::new(7, r(0)), "from r0");
+        let mut b: LwwRegister<&str> = LwwRegister::new();
+        b.set(LwwStamp::new(7, r(1)), "from r1");
+        let ab = a.clone().joined(&b);
+        let ba = b.joined(&a);
+        assert_eq!(ab, ba, "join must be commutative even on timestamp ties");
+        assert_eq!(ab.get(), Some(&"from r1"));
+    }
+
+    #[test]
+    fn lww_crdt_interface() {
+        let mut reg: LwwRegister<u32> = LwwRegister::default();
+        reg.apply(r(0), &RegisterUpdate::Set { stamp: LwwStamp::new(1, r(0)), value: 10 });
+        assert_eq!(reg.query(&RegisterQuery::Get), Some(10));
+    }
+
+    #[test]
+    fn max_register_keeps_maximum() {
+        let mut reg: MaxRegister<u64> = MaxRegister::new();
+        reg.set(5);
+        reg.set(3);
+        assert_eq!(reg.get(), Some(&5));
+        let other = {
+            let mut o = MaxRegister::new();
+            o.set(9u64);
+            o
+        };
+        reg.join(&other);
+        assert_eq!(reg.get(), Some(&9));
+        assert!(MaxRegister::<u64>::new().leq(&reg));
+    }
+
+    #[test]
+    fn mv_register_retains_concurrent_writes() {
+        let mut a: MvRegister<&str> = MvRegister::new();
+        a.set(r(0), "left");
+        let mut b: MvRegister<&str> = MvRegister::new();
+        b.set(r(1), "right");
+        let merged = a.clone().joined(&b);
+        assert_eq!(merged.version_count(), 2);
+        let values: Vec<_> = merged.get().into_iter().copied().collect();
+        assert!(values.contains(&"left") && values.contains(&"right"));
+    }
+
+    #[test]
+    fn mv_register_overwrite_supersedes_merged_versions() {
+        let mut a: MvRegister<&str> = MvRegister::new();
+        a.set(r(0), "left");
+        let mut b: MvRegister<&str> = MvRegister::new();
+        b.set(r(1), "right");
+        let mut merged = a.joined(&b);
+        merged.set(r(0), "resolved");
+        assert_eq!(merged.version_count(), 1);
+        assert_eq!(merged.get(), vec![&"resolved"]);
+        // Joining an old version back does not resurrect it.
+        merged.join(&b);
+        assert_eq!(merged.get(), vec![&"resolved"]);
+    }
+
+    #[test]
+    fn mv_register_join_is_idempotent() {
+        let mut a: MvRegister<u32> = MvRegister::new();
+        a.set(r(0), 1);
+        let snapshot = a.clone();
+        a.join(&snapshot);
+        assert_eq!(a, snapshot);
+    }
+}

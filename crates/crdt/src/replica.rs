@@ -1,0 +1,60 @@
+//! Replica identity.
+
+use std::fmt;
+
+/// Identifies one replica of a CRDT.
+///
+/// State-based CRDTs such as the G-Counter keep one payload slot per replica, so every
+/// update must know which replica it executes on (Algorithm 1, `my_replica_id()`).
+/// The same identifier doubles as the process identity of the replication protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct ReplicaId(pub u64);
+
+impl ReplicaId {
+    /// Creates a replica id from a raw integer.
+    pub const fn new(id: u64) -> Self {
+        ReplicaId(id)
+    }
+
+    /// Returns the raw integer value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u64> for ReplicaId {
+    fn from(value: u64) -> Self {
+        ReplicaId(value)
+    }
+}
+
+impl From<ReplicaId> for u64 {
+    fn from(value: ReplicaId) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let id = ReplicaId::new(3);
+        assert_eq!(id.to_string(), "r3");
+        assert_eq!(u64::from(id), 3);
+        assert_eq!(ReplicaId::from(3u64), id);
+        assert_eq!(id.as_u64(), 3);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(ReplicaId::new(1) < ReplicaId::new(2));
+    }
+}

@@ -1,0 +1,179 @@
+//! Vector clocks (version vectors).
+//!
+//! A vector clock maps every replica to the number of events it has produced. It is a
+//! join semilattice under pointwise maximum and is the causality-tracking substrate of
+//! the multi-value register and the observed-remove set.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::lattice::Lattice;
+use crate::replica::ReplicaId;
+
+/// A vector clock: a pointwise-max map from replica id to event counter.
+///
+/// # Example
+///
+/// ```
+/// use crdt::{Lattice, ReplicaId, VClock};
+///
+/// let mut a = VClock::new();
+/// a.increment(ReplicaId::new(0));
+/// let mut b = VClock::new();
+/// b.increment(ReplicaId::new(1));
+///
+/// // Concurrent clocks are incomparable until joined.
+/// assert!(!a.leq(&b) && !b.leq(&a));
+/// a.join(&b);
+/// assert!(b.leq(&a));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct VClock {
+    entries: BTreeMap<ReplicaId, u64>,
+}
+
+impl VClock {
+    /// Creates an empty (all-zero) vector clock.
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// Returns the counter recorded for `replica` (zero if absent).
+    pub fn get(&self, replica: ReplicaId) -> u64 {
+        self.entries.get(&replica).copied().unwrap_or(0)
+    }
+
+    /// Increments the counter of `replica` and returns the new value.
+    pub fn increment(&mut self, replica: ReplicaId) -> u64 {
+        let counter = self.entries.entry(replica).or_insert(0);
+        *counter += 1;
+        *counter
+    }
+
+    /// Sets `replica`'s entry to `max(current, value)`.
+    pub fn observe(&mut self, replica: ReplicaId, value: u64) {
+        let counter = self.entries.entry(replica).or_insert(0);
+        *counter = (*counter).max(value);
+    }
+
+    /// Returns `true` if every entry is zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.values().all(|&v| v == 0)
+    }
+
+    /// Returns the number of replicas with a non-zero entry.
+    pub fn len(&self) -> usize {
+        self.entries.values().filter(|&&v| v > 0).count()
+    }
+
+    /// Returns `true` iff the two clocks are concurrent (neither dominates).
+    pub fn concurrent(&self, other: &Self) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+
+    /// Iterates over `(replica, counter)` pairs with non-zero counters.
+    pub fn iter(&self) -> impl Iterator<Item = (ReplicaId, u64)> + '_ {
+        self.entries.iter().filter(|(_, &v)| v > 0).map(|(&r, &v)| (r, v))
+    }
+
+    /// Sum of all entries; a convenient logical "size" of the causal history.
+    pub fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+}
+
+impl Lattice for VClock {
+    fn join(&mut self, other: &Self) {
+        for (&replica, &counter) in &other.entries {
+            self.observe(replica, counter);
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.entries.iter().all(|(replica, &counter)| counter <= other.get(*replica))
+    }
+}
+
+impl FromIterator<(ReplicaId, u64)> for VClock {
+    fn from_iter<I: IntoIterator<Item = (ReplicaId, u64)>>(iter: I) -> Self {
+        let mut clock = VClock::new();
+        for (replica, counter) in iter {
+            clock.observe(replica, counter);
+        }
+        clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(id: u64) -> ReplicaId {
+        ReplicaId::new(id)
+    }
+
+    #[test]
+    fn increment_and_get() {
+        let mut clock = VClock::new();
+        assert_eq!(clock.get(r(0)), 0);
+        assert_eq!(clock.increment(r(0)), 1);
+        assert_eq!(clock.increment(r(0)), 2);
+        assert_eq!(clock.increment(r(1)), 1);
+        assert_eq!(clock.get(r(0)), 2);
+        assert_eq!(clock.total(), 3);
+        assert_eq!(clock.len(), 2);
+        assert!(!clock.is_empty());
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let a: VClock = [(r(0), 3), (r(1), 1)].into_iter().collect();
+        let b: VClock = [(r(0), 1), (r(2), 5)].into_iter().collect();
+        let joined = a.clone().joined(&b);
+        assert_eq!(joined.get(r(0)), 3);
+        assert_eq!(joined.get(r(1)), 1);
+        assert_eq!(joined.get(r(2)), 5);
+        assert!(a.leq(&joined));
+        assert!(b.leq(&joined));
+    }
+
+    #[test]
+    fn concurrency_detection() {
+        let a: VClock = [(r(0), 1)].into_iter().collect();
+        let b: VClock = [(r(1), 1)].into_iter().collect();
+        assert!(a.concurrent(&b));
+        let joined = a.clone().joined(&b);
+        assert!(!a.concurrent(&joined));
+        assert!(a.leq(&joined));
+    }
+
+    #[test]
+    fn observe_never_decreases() {
+        let mut clock = VClock::new();
+        clock.observe(r(0), 5);
+        clock.observe(r(0), 3);
+        assert_eq!(clock.get(r(0)), 5);
+    }
+
+    #[test]
+    fn empty_clock_is_bottom() {
+        let empty = VClock::new();
+        let other: VClock = [(r(0), 1)].into_iter().collect();
+        assert!(empty.leq(&other));
+        assert!(empty.leq(&empty));
+        assert!(!other.leq(&empty));
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+    }
+
+    #[test]
+    fn zero_entries_do_not_affect_order() {
+        let mut with_zero = VClock::new();
+        with_zero.observe(r(5), 0);
+        let empty = VClock::new();
+        assert!(with_zero.leq(&empty));
+        assert!(empty.leq(&with_zero));
+        assert!(with_zero.is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! Property-based tests of the join-semilattice laws for every CRDT in the crate.
+//!
+//! Definition 2 of the paper requires the join to be idempotent, commutative, and
+//! associative, and the update functions to be monotone (`s ⊑ u(s)`). These laws are
+//! exactly what the safety proofs of the replication protocol rely on, so we check
+//! them exhaustively with proptest-generated states.
+
+use std::collections::BTreeSet;
+
+use crdt::{
+    Crdt, CounterUpdate, GCounter, GSet, GSetUpdate, Lattice, LatticeMap, LwwRegister, LwwStamp,
+    Max, MaxRegister, MvRegister, ORSet, ORSetUpdate, PNCounter, PnUpdate, ReplicaId, TwoPhaseSet,
+    TwoPhaseSetUpdate, VClock,
+};
+use proptest::prelude::*;
+
+const REPLICAS: u64 = 4;
+
+fn replica_strategy() -> impl Strategy<Value = ReplicaId> {
+    (0..REPLICAS).prop_map(ReplicaId::new)
+}
+
+/// Builds a random G-Counter by replaying random increments.
+fn gcounter_strategy() -> impl Strategy<Value = GCounter> {
+    proptest::collection::vec((replica_strategy(), 0u64..20), 0..12).prop_map(|ops| {
+        let mut counter = GCounter::new();
+        for (replica, amount) in ops {
+            counter.increment(replica, amount);
+        }
+        counter
+    })
+}
+
+fn pncounter_strategy() -> impl Strategy<Value = PNCounter> {
+    proptest::collection::vec((replica_strategy(), 0u64..20, proptest::bool::ANY), 0..12).prop_map(
+        |ops| {
+            let mut counter = PNCounter::new();
+            for (replica, amount, is_increment) in ops {
+                if is_increment {
+                    counter.increment(replica, amount);
+                } else {
+                    counter.decrement(replica, amount);
+                }
+            }
+            counter
+        },
+    )
+}
+
+fn gset_strategy() -> impl Strategy<Value = GSet<u8>> {
+    proptest::collection::btree_set(any::<u8>(), 0..10).prop_map(|set| set.into_iter().collect())
+}
+
+fn twophase_strategy() -> impl Strategy<Value = TwoPhaseSet<u8>> {
+    proptest::collection::vec((any::<u8>(), proptest::bool::ANY), 0..12).prop_map(|ops| {
+        let mut set = TwoPhaseSet::new();
+        for (value, add) in ops {
+            if add {
+                set.insert(value);
+            } else {
+                set.remove(value);
+            }
+        }
+        set
+    })
+}
+
+fn orset_strategy() -> impl Strategy<Value = ORSet<u8>> {
+    proptest::collection::vec((replica_strategy(), any::<u8>(), proptest::bool::ANY), 0..12)
+        .prop_map(|ops| {
+            let mut set = ORSet::new();
+            for (replica, value, add) in ops {
+                if add {
+                    set.insert(replica, value);
+                } else {
+                    set.remove(&value);
+                }
+            }
+            set
+        })
+}
+
+fn vclock_strategy() -> impl Strategy<Value = VClock> {
+    proptest::collection::vec((replica_strategy(), 1u64..30), 0..8)
+        .prop_map(|entries| entries.into_iter().collect())
+}
+
+fn lww_strategy() -> impl Strategy<Value = LwwRegister<u8>> {
+    proptest::collection::vec((0u64..50, replica_strategy(), any::<u8>()), 0..6).prop_map(|ops| {
+        let mut register = LwwRegister::new();
+        for (time, replica, value) in ops {
+            register.set(LwwStamp::new(time, replica), value);
+        }
+        register
+    })
+}
+
+fn mv_strategy() -> impl Strategy<Value = MvRegister<u8>> {
+    proptest::collection::vec((replica_strategy(), any::<u8>()), 0..6).prop_map(|ops| {
+        let mut register = MvRegister::new();
+        for (replica, value) in ops {
+            register.set(replica, value);
+        }
+        register
+    })
+}
+
+fn max_register_strategy() -> impl Strategy<Value = MaxRegister<u16>> {
+    proptest::option::of(any::<u16>()).prop_map(|value| {
+        let mut register = MaxRegister::new();
+        if let Some(v) = value {
+            register.set(v);
+        }
+        register
+    })
+}
+
+fn map_strategy() -> impl Strategy<Value = LatticeMap<u8, Max<u16>>> {
+    proptest::collection::vec((any::<u8>(), any::<u16>()), 0..10).prop_map(|entries| {
+        entries.into_iter().map(|(k, v)| (k, Max::new(v))).collect()
+    })
+}
+
+/// Asserts the semilattice laws for three arbitrary states of one lattice type.
+fn assert_lattice_laws<L: Lattice + PartialEq>(a: &L, b: &L, c: &L) {
+    // Idempotence: a ⊔ a ≡ a
+    let aa = a.clone().joined(a);
+    assert!(aa.equivalent(a), "join must be idempotent");
+
+    // Commutativity: a ⊔ b ≡ b ⊔ a
+    let ab = a.clone().joined(b);
+    let ba = b.clone().joined(a);
+    assert!(ab.equivalent(&ba), "join must be commutative");
+
+    // Associativity: (a ⊔ b) ⊔ c ≡ a ⊔ (b ⊔ c)
+    let ab_c = a.clone().joined(b).joined(c);
+    let a_bc = a.clone().joined(&b.clone().joined(c));
+    assert!(ab_c.equivalent(&a_bc), "join must be associative");
+
+    // The join is an upper bound of both operands.
+    assert!(a.leq(&ab), "a ⊑ a ⊔ b");
+    assert!(b.leq(&ab), "b ⊑ a ⊔ b");
+
+    // Consistency of the order with the join: a ⊑ b ⇒ a ⊔ b ≡ b.
+    if a.leq(b) {
+        assert!(a.clone().joined(b).equivalent(b));
+    }
+
+    // Reflexivity and antisymmetry-up-to-equivalence of ⊑.
+    assert!(a.leq(a));
+    if a.leq(b) && b.leq(a) {
+        assert!(a.equivalent(b));
+    }
+
+    // partial_order agrees with leq.
+    match a.partial_order(b) {
+        Some(std::cmp::Ordering::Less) => assert!(a.leq(b) && !b.leq(a)),
+        Some(std::cmp::Ordering::Greater) => assert!(b.leq(a) && !a.leq(b)),
+        Some(std::cmp::Ordering::Equal) => assert!(a.equivalent(b)),
+        None => assert!(!a.leq(b) && !b.leq(a)),
+    }
+}
+
+macro_rules! lattice_law_tests {
+    ($name:ident, $strategy:expr) => {
+        proptest! {
+            #[test]
+            fn $name((a, b, c) in ($strategy, $strategy, $strategy)) {
+                assert_lattice_laws(&a, &b, &c);
+            }
+        }
+    };
+}
+
+lattice_law_tests!(gcounter_lattice_laws, gcounter_strategy());
+lattice_law_tests!(pncounter_lattice_laws, pncounter_strategy());
+lattice_law_tests!(gset_lattice_laws, gset_strategy());
+lattice_law_tests!(twophase_lattice_laws, twophase_strategy());
+lattice_law_tests!(orset_lattice_laws, orset_strategy());
+lattice_law_tests!(vclock_lattice_laws, vclock_strategy());
+lattice_law_tests!(lww_lattice_laws, lww_strategy());
+lattice_law_tests!(mv_lattice_laws, mv_strategy());
+lattice_law_tests!(max_register_lattice_laws, max_register_strategy());
+lattice_law_tests!(map_lattice_laws, map_strategy());
+
+proptest! {
+    /// Update functions must be monotone: s ⊑ u(s) (Definition 3).
+    #[test]
+    fn gcounter_updates_are_monotone(
+        counter in gcounter_strategy(),
+        replica in replica_strategy(),
+        amount in 0u64..50,
+    ) {
+        let before = counter.clone();
+        let mut after = counter;
+        after.apply(replica, &CounterUpdate::Increment(amount));
+        prop_assert!(before.leq(&after));
+    }
+
+    #[test]
+    fn pncounter_updates_are_monotone(
+        counter in pncounter_strategy(),
+        replica in replica_strategy(),
+        amount in 0u64..50,
+        increment in proptest::bool::ANY,
+    ) {
+        let before = counter.clone();
+        let mut after = counter;
+        let update = if increment { PnUpdate::Increment(amount) } else { PnUpdate::Decrement(amount) };
+        after.apply(replica, &update);
+        prop_assert!(before.leq(&after));
+    }
+
+    #[test]
+    fn gset_updates_are_monotone(set in gset_strategy(), replica in replica_strategy(), value in any::<u8>()) {
+        let before = set.clone();
+        let mut after = set;
+        after.apply(replica, &GSetUpdate::Insert(value));
+        prop_assert!(before.leq(&after));
+    }
+
+    #[test]
+    fn twophase_updates_are_monotone(
+        set in twophase_strategy(),
+        replica in replica_strategy(),
+        value in any::<u8>(),
+        add in proptest::bool::ANY,
+    ) {
+        let before = set.clone();
+        let mut after = set;
+        let update = if add { TwoPhaseSetUpdate::Insert(value) } else { TwoPhaseSetUpdate::Remove(value) };
+        after.apply(replica, &update);
+        prop_assert!(before.leq(&after));
+    }
+
+    #[test]
+    fn orset_updates_are_monotone(
+        set in orset_strategy(),
+        replica in replica_strategy(),
+        value in any::<u8>(),
+        add in proptest::bool::ANY,
+    ) {
+        let before = set.clone();
+        let mut after = set;
+        let update = if add { ORSetUpdate::Insert(value) } else { ORSetUpdate::Remove(value) };
+        after.apply(replica, &update);
+        prop_assert!(before.leq(&after));
+    }
+
+    /// Convergence: applying two sets of updates on separate replicas and joining in
+    /// either order yields equivalent states (strong eventual consistency).
+    #[test]
+    fn gcounter_replicas_converge(
+        ops_a in proptest::collection::vec((0u64..REPLICAS, 0u64..10), 0..10),
+        ops_b in proptest::collection::vec((0u64..REPLICAS, 0u64..10), 0..10),
+    ) {
+        let mut a = GCounter::new();
+        for (replica, amount) in &ops_a {
+            a.increment(ReplicaId::new(*replica), *amount);
+        }
+        let mut b = GCounter::new();
+        // Offset replica ids so the two replicas' slots overlap only partially.
+        for (replica, amount) in &ops_b {
+            b.increment(ReplicaId::new((*replica + 1) % REPLICAS), *amount);
+        }
+        let ab = a.clone().joined(&b);
+        let ba = b.joined(&a);
+        prop_assert!(ab.equivalent(&ba));
+        prop_assert_eq!(ab.value(), ba.value());
+    }
+
+    /// Joining merges update sets: the merged counter value equals the sum of both
+    /// replicas' contributions when their slots are disjoint.
+    #[test]
+    fn gcounter_disjoint_slots_sum(increments_a in 0u64..100, increments_b in 0u64..100) {
+        let mut a = GCounter::new();
+        a.increment(ReplicaId::new(0), increments_a);
+        let mut b = GCounter::new();
+        b.increment(ReplicaId::new(1), increments_b);
+        prop_assert_eq!(a.joined(&b).value(), increments_a + increments_b);
+    }
+
+    /// The `lub` helper equals a left fold of joins.
+    #[test]
+    fn lub_equals_fold(states in proptest::collection::vec(gcounter_strategy(), 1..6)) {
+        let expected = states.iter().skip(1).fold(states[0].clone(), |acc, s| acc.joined(s));
+        let computed = crdt::lub(states.clone()).unwrap();
+        prop_assert!(expected.equivalent(&computed));
+    }
+
+    /// OR-Set convergence under arbitrary interleavings of per-replica histories.
+    #[test]
+    fn orset_replicas_converge(
+        ops in proptest::collection::vec((0u64..REPLICAS, any::<u8>(), proptest::bool::ANY), 0..24),
+    ) {
+        // Apply each op at its owning replica, then join everything pairwise in two
+        // different orders; results must agree on membership.
+        let mut replicas: Vec<ORSet<u8>> = (0..REPLICAS).map(|_| ORSet::new()).collect();
+        for (replica, value, add) in &ops {
+            let idx = *replica as usize;
+            if *add {
+                replicas[idx].insert(ReplicaId::new(*replica), *value);
+            } else {
+                replicas[idx].remove(value);
+            }
+        }
+        let forward = replicas.iter().fold(ORSet::new(), |acc, r| acc.joined(r));
+        let backward = replicas.iter().rev().fold(ORSet::new(), |acc, r| acc.joined(r));
+        let forward_elems: BTreeSet<u8> = forward.elements();
+        let backward_elems: BTreeSet<u8> = backward.elements();
+        prop_assert_eq!(forward_elems, backward_elems);
+    }
+}

@@ -1,0 +1,129 @@
+//! Round-trip serialization tests: every CRDT payload must survive the wire codec,
+//! because the networked deployment ships full payload states in protocol messages.
+
+use crdt::{
+    GCounter, GSet, Lattice, LatticeMap, LwwRegister, LwwStamp, Max, MvRegister, ORSet, PNCounter,
+    ReplicaId, TwoPhaseSet, VClock,
+};
+use proptest::prelude::*;
+use serde::{de::DeserializeOwned, Serialize};
+
+fn wire_roundtrip<T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug>(value: &T) {
+    let bytes = wire::to_vec(value).expect("serialize");
+    let back: T = wire::from_slice(&bytes).expect("deserialize");
+    assert_eq!(&back, value);
+}
+
+fn r(id: u64) -> ReplicaId {
+    ReplicaId::new(id)
+}
+
+#[test]
+fn gcounter_roundtrip() {
+    let mut counter = GCounter::new();
+    counter.increment(r(0), 10);
+    counter.increment(r(2), 3);
+    wire_roundtrip(&counter);
+}
+
+#[test]
+fn pncounter_roundtrip() {
+    let mut counter = PNCounter::new();
+    counter.increment(r(0), 10);
+    counter.decrement(r(1), 4);
+    wire_roundtrip(&counter);
+}
+
+#[test]
+fn sets_roundtrip() {
+    let gset: GSet<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+    wire_roundtrip(&gset);
+
+    let mut twop: TwoPhaseSet<u32> = TwoPhaseSet::new();
+    twop.insert(1);
+    twop.remove(1);
+    twop.insert(2);
+    wire_roundtrip(&twop);
+
+    let mut orset: ORSet<String> = ORSet::new();
+    orset.insert(r(0), "x".to_string());
+    orset.insert(r(1), "y".to_string());
+    orset.remove(&"x".to_string());
+    wire_roundtrip(&orset);
+}
+
+#[test]
+fn registers_roundtrip() {
+    let mut lww: LwwRegister<String> = LwwRegister::new();
+    lww.set(LwwStamp::new(5, r(1)), "value".to_string());
+    wire_roundtrip(&lww);
+
+    let mut mv: MvRegister<u32> = MvRegister::new();
+    mv.set(r(0), 1);
+    let mut other = MvRegister::new();
+    other.set(r(1), 2);
+    mv.join(&other);
+    wire_roundtrip(&mv);
+}
+
+#[test]
+fn vclock_and_map_roundtrip() {
+    let clock: VClock = [(r(0), 3), (r(5), 9)].into_iter().collect();
+    wire_roundtrip(&clock);
+
+    let mut map: LatticeMap<String, Max<u64>> = LatticeMap::new();
+    map.update("a".to_string(), |m| m.join(&Max::new(10)));
+    map.update("b".to_string(), |m| m.join(&Max::new(2)));
+    wire_roundtrip(&map);
+}
+
+#[test]
+fn empty_payloads_roundtrip() {
+    wire_roundtrip(&GCounter::new());
+    wire_roundtrip(&PNCounter::new());
+    wire_roundtrip(&GSet::<u8>::new());
+    wire_roundtrip(&ORSet::<u8>::new());
+    wire_roundtrip(&VClock::new());
+    wire_roundtrip(&LwwRegister::<u8>::new());
+}
+
+proptest! {
+    #[test]
+    fn gcounter_roundtrip_prop(ops in proptest::collection::vec((0u64..5, 0u64..50), 0..16)) {
+        let mut counter = GCounter::new();
+        for (replica, amount) in ops {
+            counter.increment(ReplicaId::new(replica), amount);
+        }
+        let bytes = wire::to_vec(&counter).unwrap();
+        let back: GCounter = wire::from_slice(&bytes).unwrap();
+        prop_assert_eq!(back, counter);
+    }
+
+    #[test]
+    fn orset_roundtrip_prop(ops in proptest::collection::vec((0u64..4, any::<u8>(), proptest::bool::ANY), 0..16)) {
+        let mut set = ORSet::new();
+        for (replica, value, add) in ops {
+            if add {
+                set.insert(ReplicaId::new(replica), value);
+            } else {
+                set.remove(&value);
+            }
+        }
+        let bytes = wire::to_vec(&set).unwrap();
+        let back: ORSet<u8> = wire::from_slice(&bytes).unwrap();
+        prop_assert_eq!(back.elements(), set.elements());
+        prop_assert!(back.equivalent(&set));
+    }
+
+    /// Serialization must not lose lattice information: joining a decoded copy back
+    /// into the original must not change the original (the copy is ⊑ the original).
+    #[test]
+    fn decoding_preserves_lattice_order(ops in proptest::collection::vec((0u64..4, 0u64..20), 0..12)) {
+        let mut counter = GCounter::new();
+        for (replica, amount) in ops {
+            counter.increment(ReplicaId::new(replica), amount);
+        }
+        let decoded: GCounter = wire::from_slice(&wire::to_vec(&counter).unwrap()).unwrap();
+        prop_assert!(decoded.leq(&counter) && counter.leq(&decoded));
+    }
+}

@@ -1,0 +1,122 @@
+//! Grid quorum system.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ProcessId, QuorumSystem};
+
+/// Grid quorum system: processes are arranged row-major in a `rows × cols` grid and a
+/// quorum consists of **one complete row** plus **one process from every row**.
+///
+/// Any two quorums intersect: quorum A contains a full row `rA`, quorum B contains one
+/// element of every row, in particular of `rA`.
+///
+/// Grids give quorums of size `O(√n)` instead of `O(n/2)`, trading fault tolerance for
+/// smaller quorums — included here to exercise the protocol with a non-majority `QS`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridQuorum<P: Ord> {
+    processes: Vec<P>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<P: ProcessId> GridQuorum<P> {
+    /// Creates a grid quorum system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols != processes.len()` or either dimension is zero.
+    pub fn new(processes: Vec<P>, rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        assert_eq!(rows * cols, processes.len(), "grid dimensions must match process count");
+        GridQuorum { processes, rows, cols }
+    }
+
+    /// Returns the grid dimensions `(rows, cols)`.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    fn row(&self, index: usize) -> &[P] {
+        &self.processes[index * self.cols..(index + 1) * self.cols]
+    }
+}
+
+impl<P: ProcessId> QuorumSystem<P> for GridQuorum<P> {
+    fn processes(&self) -> &[P] {
+        &self.processes
+    }
+
+    fn is_quorum(&self, acks: &BTreeSet<P>) -> bool {
+        let full_row = (0..self.rows).any(|r| self.row(r).iter().all(|p| acks.contains(p)));
+        let one_of_each_row =
+            (0..self.rows).all(|r| self.row(r).iter().any(|p| acks.contains(p)));
+        full_row && one_of_each_row
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        // One full row (cols) plus one element of each of the remaining rows.
+        self.cols + (self.rows - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_3x3() -> GridQuorum<u64> {
+        GridQuorum::new((0..9).collect(), 3, 3)
+    }
+
+    #[test]
+    fn full_row_plus_column_cover_is_a_quorum() {
+        let grid = grid_3x3();
+        // Row 0 = {0,1,2}; cover rows 1 and 2 with 3 and 6.
+        let quorum: BTreeSet<u64> = [0, 1, 2, 3, 6].into_iter().collect();
+        assert!(grid.is_quorum(&quorum));
+        assert_eq!(grid.min_quorum_size(), 5);
+    }
+
+    #[test]
+    fn full_row_alone_is_not_a_quorum() {
+        let grid = grid_3x3();
+        let row_only: BTreeSet<u64> = [0, 1, 2].into_iter().collect();
+        assert!(!grid.is_quorum(&row_only));
+    }
+
+    #[test]
+    fn row_cover_without_full_row_is_not_a_quorum() {
+        let grid = grid_3x3();
+        let cover_only: BTreeSet<u64> = [0, 3, 6].into_iter().collect();
+        assert!(!grid.is_quorum(&cover_only));
+    }
+
+    #[test]
+    fn grid_quorums_intersect() {
+        assert!(crate::verify_intersection(&grid_3x3()));
+        let grid_2x3 = GridQuorum::new((0u64..6).collect(), 2, 3);
+        assert!(crate::verify_intersection(&grid_2x3));
+        let grid_3x2 = GridQuorum::new((0u64..6).collect(), 3, 2);
+        assert!(crate::verify_intersection(&grid_3x2));
+    }
+
+    #[test]
+    fn degenerate_single_row_grid_behaves_like_all_processes() {
+        let grid = GridQuorum::new(vec![0u64, 1, 2], 1, 3);
+        assert_eq!(grid.min_quorum_size(), 3);
+        assert!(grid.is_quorum(&[0, 1, 2].into_iter().collect()));
+        assert!(!grid.is_quorum(&[0, 1].into_iter().collect()));
+    }
+
+    #[test]
+    #[should_panic(expected = "grid dimensions must match")]
+    fn mismatched_dimensions_panic() {
+        let _ = GridQuorum::new(vec![0u64, 1, 2], 2, 2);
+    }
+
+    #[test]
+    fn dimensions_accessor() {
+        assert_eq!(grid_3x3().dimensions(), (3, 3));
+    }
+}

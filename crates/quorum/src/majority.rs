@@ -1,0 +1,121 @@
+//! Simple majority quorums.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ProcessId, QuorumSystem};
+
+/// Majority quorum system: any strict majority of the processes is a quorum.
+///
+/// This is the quorum system used throughout the paper's evaluation (three replicas,
+/// quorums of size two).
+///
+/// # Example
+///
+/// ```
+/// use std::collections::BTreeSet;
+/// use quorum::{MajorityQuorum, QuorumSystem};
+///
+/// let system = MajorityQuorum::new(vec![0u64, 1, 2]);
+/// assert_eq!(system.min_quorum_size(), 2);
+/// assert!(system.is_quorum(&BTreeSet::from([0, 2])));
+/// assert!(!system.is_quorum(&BTreeSet::from([1])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MajorityQuorum<P: Ord> {
+    processes: Vec<P>,
+}
+
+impl<P: ProcessId> MajorityQuorum<P> {
+    /// Creates a majority quorum system over the given processes.
+    ///
+    /// Duplicate process ids are removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` is empty.
+    pub fn new(processes: Vec<P>) -> Self {
+        assert!(!processes.is_empty(), "a quorum system needs at least one process");
+        let mut deduped: Vec<P> = processes;
+        deduped.sort();
+        deduped.dedup();
+        MajorityQuorum { processes: deduped }
+    }
+}
+
+impl<P: ProcessId> QuorumSystem<P> for MajorityQuorum<P> {
+    fn processes(&self) -> &[P] {
+        &self.processes
+    }
+
+    fn is_quorum(&self, acks: &BTreeSet<P>) -> bool {
+        let relevant = acks.iter().filter(|p| self.processes.binary_search(p).is_ok()).count();
+        relevant >= self.min_quorum_size()
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        self.processes.len() / 2 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_replicas_need_two_acks() {
+        let system = MajorityQuorum::new(vec![0u64, 1, 2]);
+        assert_eq!(system.len(), 3);
+        assert_eq!(system.min_quorum_size(), 2);
+        assert_eq!(system.fault_tolerance(), 1);
+        assert!(!system.is_quorum(&BTreeSet::from([0])));
+        assert!(system.is_quorum(&BTreeSet::from([0, 1])));
+        assert!(system.is_quorum(&BTreeSet::from([0, 1, 2])));
+    }
+
+    #[test]
+    fn five_replicas_need_three_acks() {
+        let system = MajorityQuorum::new(vec![10u64, 20, 30, 40, 50]);
+        assert_eq!(system.min_quorum_size(), 3);
+        assert_eq!(system.fault_tolerance(), 2);
+        assert!(!system.is_quorum(&BTreeSet::from([10, 20])));
+        assert!(system.is_quorum(&BTreeSet::from([10, 30, 50])));
+    }
+
+    #[test]
+    fn single_replica_is_its_own_quorum() {
+        let system = MajorityQuorum::new(vec![7u64]);
+        assert_eq!(system.min_quorum_size(), 1);
+        assert_eq!(system.fault_tolerance(), 0);
+        assert!(system.is_quorum(&BTreeSet::from([7])));
+        assert!(!system.is_quorum(&BTreeSet::new()));
+    }
+
+    #[test]
+    fn unknown_processes_do_not_count() {
+        let system = MajorityQuorum::new(vec![0u64, 1, 2]);
+        assert!(!system.is_quorum(&BTreeSet::from([0, 99])));
+        assert!(system.is_quorum(&BTreeSet::from([0, 1, 99])));
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let system = MajorityQuorum::new(vec![1u64, 1, 2, 2, 3]);
+        assert_eq!(system.len(), 3);
+        assert_eq!(system.min_quorum_size(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_process_set_panics() {
+        let _ = MajorityQuorum::<u64>::new(vec![]);
+    }
+
+    #[test]
+    fn even_sized_groups_still_intersect() {
+        let system = MajorityQuorum::new(vec![0u64, 1, 2, 3]);
+        assert_eq!(system.min_quorum_size(), 3);
+        assert!(crate::verify_intersection(&system));
+    }
+}

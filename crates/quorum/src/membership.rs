@@ -1,0 +1,102 @@
+//! Static cluster membership.
+
+use serde::{Deserialize, Serialize};
+
+use crate::majority::MajorityQuorum;
+use crate::ProcessId;
+
+/// A fixed replica group: the process set `Π` of the paper's system model.
+///
+/// Membership is static (the paper does not consider reconfiguration); the type mainly
+/// provides convenient iteration helpers and the default majority quorum system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Membership<P: Ord> {
+    members: Vec<P>,
+}
+
+impl<P: ProcessId> Membership<P> {
+    /// Creates a membership from the given members (deduplicated, sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<P>) -> Self {
+        assert!(!members.is_empty(), "a replica group needs at least one member");
+        let mut members = members;
+        members.sort();
+        members.dedup();
+        Membership { members }
+    }
+
+    /// Returns all members in sorted order.
+    pub fn members(&self) -> &[P] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if there are no members (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Returns `true` if `process` belongs to the group.
+    pub fn contains(&self, process: &P) -> bool {
+        self.members.binary_search(process).is_ok()
+    }
+
+    /// Iterates over the members excluding `process` (e.g. "all remote acceptors").
+    pub fn others(&self, process: P) -> impl Iterator<Item = P> + '_ {
+        self.members.iter().copied().filter(move |p| *p != process)
+    }
+
+    /// Builds the default majority quorum system over this membership.
+    pub fn majority(&self) -> MajorityQuorum<P> {
+        MajorityQuorum::new(self.members.clone())
+    }
+}
+
+impl<P: ProcessId> FromIterator<P> for Membership<P> {
+    fn from_iter<I: IntoIterator<Item = P>>(iter: I) -> Self {
+        Membership::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QuorumSystem;
+
+    #[test]
+    fn members_are_sorted_and_deduplicated() {
+        let membership = Membership::new(vec![3u64, 1, 2, 1]);
+        assert_eq!(membership.members(), &[1, 2, 3]);
+        assert_eq!(membership.len(), 3);
+        assert!(!membership.is_empty());
+        assert!(membership.contains(&2));
+        assert!(!membership.contains(&9));
+    }
+
+    #[test]
+    fn others_excludes_self() {
+        let membership: Membership<u64> = [0u64, 1, 2].into_iter().collect();
+        let others: Vec<u64> = membership.others(1).collect();
+        assert_eq!(others, vec![0, 2]);
+    }
+
+    #[test]
+    fn majority_quorum_from_membership() {
+        let membership = Membership::new(vec![0u64, 1, 2]);
+        let quorum = membership.majority();
+        assert_eq!(quorum.min_quorum_size(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_membership_panics() {
+        let _ = Membership::<u64>::new(vec![]);
+    }
+}

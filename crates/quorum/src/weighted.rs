@@ -1,0 +1,120 @@
+//! Weighted-majority quorum system.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ProcessId, QuorumSystem};
+
+/// Weighted voting: each process holds a weight; a quorum is any set of processes whose
+/// combined weight strictly exceeds half of the total weight.
+///
+/// Strict majorities of the total weight always intersect, so the quorum intersection
+/// property holds for any weight assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightedMajority<P: Ord> {
+    processes: Vec<P>,
+    weights: Vec<u64>,
+    total: u64,
+}
+
+impl<P: ProcessId> WeightedMajority<P> {
+    /// Creates a weighted majority system from `(process, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process has a positive weight.
+    pub fn new(entries: Vec<(P, u64)>) -> Self {
+        let mut entries = entries;
+        entries.sort_by_key(|(p, _)| *p);
+        entries.dedup_by_key(|(p, _)| *p);
+        let total: u64 = entries.iter().map(|(_, w)| w).sum();
+        assert!(total > 0, "total weight must be positive");
+        let (processes, weights) = entries.into_iter().unzip();
+        WeightedMajority { processes, weights, total }
+    }
+
+    /// Returns the weight assigned to `process` (zero for unknown processes).
+    pub fn weight(&self, process: &P) -> u64 {
+        match self.processes.binary_search(process) {
+            Ok(index) => self.weights[index],
+            Err(_) => 0,
+        }
+    }
+
+    /// Returns the total weight of all processes.
+    pub fn total_weight(&self) -> u64 {
+        self.total
+    }
+}
+
+impl<P: ProcessId> QuorumSystem<P> for WeightedMajority<P> {
+    fn processes(&self) -> &[P] {
+        &self.processes
+    }
+
+    fn is_quorum(&self, acks: &BTreeSet<P>) -> bool {
+        let weight: u64 = acks.iter().map(|p| self.weight(p)).sum();
+        weight * 2 > self.total
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        // Greedily take the heaviest processes until a strict weight majority is held.
+        let mut weights = self.weights.clone();
+        weights.sort_unstable_by(|a, b| b.cmp(a));
+        let mut acc = 0u64;
+        for (count, weight) in weights.iter().enumerate() {
+            acc += weight;
+            if acc * 2 > self.total {
+                return count + 1;
+            }
+        }
+        self.processes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_behave_like_majority() {
+        let system = WeightedMajority::new(vec![(0u64, 1), (1, 1), (2, 1)]);
+        assert_eq!(system.min_quorum_size(), 2);
+        assert!(system.is_quorum(&BTreeSet::from([0, 1])));
+        assert!(!system.is_quorum(&BTreeSet::from([2])));
+        assert!(crate::verify_intersection(&system));
+    }
+
+    #[test]
+    fn heavy_process_can_form_small_quorums() {
+        let system = WeightedMajority::new(vec![(0u64, 3), (1, 1), (2, 1)]);
+        // Process 0 alone holds 3 of 5 votes.
+        assert!(system.is_quorum(&BTreeSet::from([0])));
+        assert!(!system.is_quorum(&BTreeSet::from([1, 2])));
+        assert_eq!(system.min_quorum_size(), 1);
+        assert!(crate::verify_intersection(&system));
+    }
+
+    #[test]
+    fn zero_weight_processes_never_tip_the_scale() {
+        let system = WeightedMajority::new(vec![(0u64, 2), (1, 2), (2, 0)]);
+        assert!(!system.is_quorum(&BTreeSet::from([0, 2])));
+        assert!(system.is_quorum(&BTreeSet::from([0, 1])));
+    }
+
+    #[test]
+    fn weight_accessors() {
+        let system = WeightedMajority::new(vec![(5u64, 4), (6, 1)]);
+        assert_eq!(system.weight(&5), 4);
+        assert_eq!(system.weight(&99), 0);
+        assert_eq!(system.total_weight(), 5);
+        assert_eq!(system.fault_tolerance(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight must be positive")]
+    fn all_zero_weights_panic() {
+        let _ = WeightedMajority::new(vec![(0u64, 0), (1, 0)]);
+    }
+}

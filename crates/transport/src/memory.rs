@@ -1,0 +1,150 @@
+//! In-process transport backed by crossbeam channels.
+//!
+//! Messages are serialized through the wire codec even though they never leave the
+//! process; this keeps the behaviour (and the serializability requirement) identical
+//! to the TCP transport and catches encoding bugs in tests.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::RwLock;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::{PeerId, Transport, TransportError};
+
+type Packet = (PeerId, Vec<u8>);
+
+/// A mesh of in-process endpoints.
+///
+/// # Example
+///
+/// ```
+/// use transport::memory::MemoryNetwork;
+/// use transport::Transport;
+///
+/// let network = MemoryNetwork::new(&[0, 1]);
+/// let a = network.endpoint(0).unwrap();
+/// let b = network.endpoint(1).unwrap();
+/// a.send(1, &"ping".to_string()).unwrap();
+/// let (from, message): (u64, String) = b.recv().unwrap();
+/// assert_eq!((from, message.as_str()), (0, "ping"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryNetwork {
+    senders: Arc<RwLock<HashMap<PeerId, Sender<Packet>>>>,
+    receivers: Arc<RwLock<HashMap<PeerId, Receiver<Packet>>>>,
+}
+
+impl MemoryNetwork {
+    /// Creates a network with one endpoint per peer id.
+    pub fn new(peers: &[PeerId]) -> Self {
+        let mut senders = HashMap::new();
+        let mut receivers = HashMap::new();
+        for &peer in peers {
+            let (tx, rx) = unbounded();
+            senders.insert(peer, tx);
+            receivers.insert(peer, rx);
+        }
+        MemoryNetwork { senders: Arc::new(RwLock::new(senders)), receivers: Arc::new(RwLock::new(receivers)) }
+    }
+
+    /// Returns the endpoint of `peer`, or `None` if the peer is unknown.
+    pub fn endpoint(&self, peer: PeerId) -> Option<MemoryEndpoint> {
+        let receiver = self.receivers.read().get(&peer)?.clone();
+        Some(MemoryEndpoint { id: peer, senders: Arc::clone(&self.senders), receiver })
+    }
+}
+
+/// One endpoint of a [`MemoryNetwork`].
+#[derive(Debug, Clone)]
+pub struct MemoryEndpoint {
+    id: PeerId,
+    senders: Arc<RwLock<HashMap<PeerId, Sender<Packet>>>>,
+    receiver: Receiver<Packet>,
+}
+
+impl MemoryEndpoint {
+    /// The peer id of this endpoint.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+}
+
+impl Transport for MemoryEndpoint {
+    fn send<M: Serialize>(&self, peer: PeerId, message: &M) -> Result<(), TransportError> {
+        let bytes = wire::to_vec(message)?;
+        let senders = self.senders.read();
+        let sender = senders.get(&peer).ok_or(TransportError::UnknownPeer(peer))?;
+        sender.send((self.id, bytes)).map_err(|_| TransportError::Closed)
+    }
+
+    fn recv<M: DeserializeOwned>(&self) -> Result<(PeerId, M), TransportError> {
+        let (from, bytes) = self.receiver.recv().map_err(|_| TransportError::Closed)?;
+        Ok((from, wire::from_slice(&bytes)?))
+    }
+
+    fn try_recv<M: DeserializeOwned>(&self) -> Result<Option<(PeerId, M)>, TransportError> {
+        match self.receiver.try_recv() {
+            Ok((from, bytes)) => Ok(Some((from, wire::from_slice(&bytes)?))),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, Serialize, Deserialize, PartialEq)]
+    struct Ping {
+        seq: u64,
+    }
+
+    #[test]
+    fn messages_flow_between_endpoints() {
+        let network = MemoryNetwork::new(&[0, 1, 2]);
+        let a = network.endpoint(0).unwrap();
+        let b = network.endpoint(1).unwrap();
+        a.send(1, &Ping { seq: 1 }).unwrap();
+        a.send(1, &Ping { seq: 2 }).unwrap();
+        let (from, first): (u64, Ping) = b.recv().unwrap();
+        assert_eq!((from, first), (0, Ping { seq: 1 }));
+        let (_, second): (u64, Ping) = b.recv().unwrap();
+        assert_eq!(second, Ping { seq: 2 });
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let network = MemoryNetwork::new(&[0, 1]);
+        let b = network.endpoint(1).unwrap();
+        let none: Option<(u64, Ping)> = b.try_recv().unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn unknown_peers_are_reported() {
+        let network = MemoryNetwork::new(&[0]);
+        let a = network.endpoint(0).unwrap();
+        let err = a.send(9, &Ping { seq: 1 }).unwrap_err();
+        assert!(matches!(err, TransportError::UnknownPeer(9)));
+        assert!(network.endpoint(5).is_none());
+    }
+
+    #[test]
+    fn endpoints_work_across_threads() {
+        let network = MemoryNetwork::new(&[0, 1]);
+        let a = network.endpoint(0).unwrap();
+        let b = network.endpoint(1).unwrap();
+        let handle = std::thread::spawn(move || {
+            let (from, ping): (u64, Ping) = b.recv().unwrap();
+            assert_eq!(from, 0);
+            ping.seq
+        });
+        a.send(1, &Ping { seq: 42 }).unwrap();
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+}

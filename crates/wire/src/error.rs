@@ -1,0 +1,112 @@
+//! Error type shared by the serializer and deserializer.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while encoding or decoding the wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A custom error message produced by serde (e.g. from a `Serialize` impl).
+    Message(String),
+    /// The input ended before the value was fully decoded.
+    UnexpectedEof,
+    /// Extra bytes remained after a complete value was decoded.
+    TrailingBytes(usize),
+    /// A boolean byte was neither `0` nor `1`.
+    InvalidBool(u8),
+    /// An `Option` tag byte was neither `0` nor `1`.
+    InvalidOptionTag(u8),
+    /// A decoded string was not valid UTF-8.
+    InvalidUtf8,
+    /// A decoded char was not a valid Unicode scalar value.
+    InvalidChar(u32),
+    /// A variable-length integer used more bytes than allowed.
+    VarintOverflow,
+    /// A decoded length exceeded the configured limit.
+    LengthOverflow(u64),
+    /// Sequences serialized with this format must know their length up front.
+    UnknownLength,
+    /// The format is not self-describing, so `deserialize_any` is unsupported.
+    NotSelfDescribing,
+    /// A frame header announced a payload larger than the configured maximum.
+    FrameTooLarge {
+        /// Length announced by the frame header.
+        announced: usize,
+        /// Maximum length permitted by the decoder.
+        max: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Message(msg) => write!(f, "{msg}"),
+            Error::UnexpectedEof => write!(f, "unexpected end of input"),
+            Error::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            Error::InvalidBool(b) => write!(f, "invalid boolean byte {b}"),
+            Error::InvalidOptionTag(b) => write!(f, "invalid option tag byte {b}"),
+            Error::InvalidUtf8 => write!(f, "string payload was not valid UTF-8"),
+            Error::InvalidChar(c) => write!(f, "invalid unicode scalar value {c}"),
+            Error::VarintOverflow => write!(f, "variable-length integer overflow"),
+            Error::LengthOverflow(n) => write!(f, "length {n} exceeds supported maximum"),
+            Error::UnknownLength => write!(f, "sequence length must be known up front"),
+            Error::NotSelfDescribing => {
+                write!(f, "wire format is not self-describing; deserialize_any unsupported")
+            }
+            Error::FrameTooLarge { announced, max } => {
+                write!(f, "frame of {announced} bytes exceeds maximum of {max} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            Error::Message("boom".into()),
+            Error::UnexpectedEof,
+            Error::TrailingBytes(3),
+            Error::InvalidBool(9),
+            Error::InvalidOptionTag(9),
+            Error::InvalidUtf8,
+            Error::InvalidChar(0xD800),
+            Error::VarintOverflow,
+            Error::LengthOverflow(1),
+            Error::UnknownLength,
+            Error::NotSelfDescribing,
+            Error::FrameTooLarge { announced: 10, max: 5 },
+        ];
+        for err in errors {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(!text.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

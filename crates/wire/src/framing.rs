@@ -1,0 +1,157 @@
+//! Length-prefixed framing for stream transports.
+//!
+//! TCP delivers a byte stream, so the networked replicas delimit messages with a
+//! 4-byte little-endian length prefix followed by the wire-format payload. The
+//! [`FrameDecoder`] is an incremental decoder suitable for feeding arbitrary chunks
+//! (as produced by socket reads), and [`encode_frame`] produces one framed message.
+
+use bytes::{Buf, BufMut, BytesMut};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::error::{Error, Result};
+
+/// Default maximum frame size (16 MiB) to guard against corrupt length prefixes.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Serializes `value` and appends a length-prefixed frame to `out`.
+///
+/// # Errors
+///
+/// Returns an error if serialization fails or the encoded payload exceeds `u32::MAX`.
+pub fn encode_frame<T: Serialize + ?Sized>(value: &T, out: &mut BytesMut) -> Result<()> {
+    let payload = crate::to_vec(value)?;
+    let len = u32::try_from(payload.len()).map_err(|_| Error::LengthOverflow(payload.len() as u64))?;
+    out.reserve(4 + payload.len());
+    out.put_u32_le(len);
+    out.put_slice(&payload);
+    Ok(())
+}
+
+/// Incremental frame decoder.
+///
+/// Feed raw bytes with [`FrameDecoder::extend`] and drain complete messages with
+/// [`FrameDecoder::decode_next`].
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buffer: BytesMut,
+    max_frame: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new(DEFAULT_MAX_FRAME)
+    }
+}
+
+impl FrameDecoder {
+    /// Creates a decoder that rejects frames larger than `max_frame` bytes.
+    pub fn new(max_frame: usize) -> Self {
+        FrameDecoder { buffer: BytesMut::with_capacity(4096), max_frame }
+    }
+
+    /// Appends freshly received bytes to the internal buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not yet decoded bytes.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Attempts to decode the next complete frame into a value of type `T`.
+    ///
+    /// Returns `Ok(None)` if more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FrameTooLarge`] for oversized frames and any payload decoding
+    /// error from [`crate::from_slice`].
+    pub fn decode_next<T: DeserializeOwned>(&mut self) -> Result<Option<T>> {
+        if self.buffer.len() < 4 {
+            return Ok(None);
+        }
+        let mut len_bytes = [0u8; 4];
+        len_bytes.copy_from_slice(&self.buffer[..4]);
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > self.max_frame {
+            return Err(Error::FrameTooLarge { announced: len, max: self.max_frame });
+        }
+        if self.buffer.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buffer.advance(4);
+        let payload = self.buffer.split_to(len);
+        let value = crate::from_slice(&payload)?;
+        Ok(Some(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Msg {
+        id: u64,
+        body: String,
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let msg = Msg { id: 9, body: "payload".into() };
+        let mut buf = BytesMut::new();
+        encode_frame(&msg, &mut buf).unwrap();
+
+        let mut decoder = FrameDecoder::default();
+        decoder.extend(&buf);
+        let decoded: Msg = decoder.decode_next().unwrap().unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let msg = Msg { id: 1, body: "x".repeat(100) };
+        let mut buf = BytesMut::new();
+        encode_frame(&msg, &mut buf).unwrap();
+
+        let mut decoder = FrameDecoder::default();
+        // Feed one byte at a time; only the final byte completes the frame.
+        for (i, byte) in buf.iter().enumerate() {
+            decoder.extend(&[*byte]);
+            let result: Option<Msg> = decoder.decode_next().unwrap();
+            if i + 1 < buf.len() {
+                assert!(result.is_none());
+            } else {
+                assert_eq!(result.unwrap(), msg);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_frames_in_one_chunk() {
+        let mut buf = BytesMut::new();
+        for id in 0..5u64 {
+            encode_frame(&Msg { id, body: format!("m{id}") }, &mut buf).unwrap();
+        }
+        let mut decoder = FrameDecoder::default();
+        decoder.extend(&buf);
+        for id in 0..5u64 {
+            let msg: Msg = decoder.decode_next().unwrap().unwrap();
+            assert_eq!(msg.id, id);
+        }
+        let none: Option<Msg> = decoder.decode_next().unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut decoder = FrameDecoder::new(8);
+        decoder.extend(&1024u32.to_le_bytes());
+        let err = decoder.decode_next::<Msg>().unwrap_err();
+        assert!(matches!(err, Error::FrameTooLarge { announced: 1024, max: 8 }));
+    }
+}

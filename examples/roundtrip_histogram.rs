@@ -1,0 +1,41 @@
+//! Round trips needed per read under concurrent updates (the statistic of Figure 3).
+//!
+//! ```bash
+//! cargo run --release --example roundtrip_histogram
+//! ```
+
+use crdt_paxos::cluster::{run_crdt_paxos, SimConfig};
+use crdt_paxos::protocol::ProtocolConfig;
+
+fn main() {
+    for (label, protocol) in [
+        ("without batching", ProtocolConfig::default()),
+        ("with 5 ms batching", ProtocolConfig::batched()),
+    ] {
+        let config = SimConfig {
+            clients: 64,
+            read_fraction: 0.9,
+            duration_ms: 3_000,
+            warmup_ms: 500,
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let result = run_crdt_paxos(&config, protocol);
+        println!("round trips per read, 64 clients, 10 % updates, {label}:");
+        let total: u64 = result.read_round_trips.values().sum();
+        let mut cumulative = 0u64;
+        for (&round_trips, &count) in &result.read_round_trips {
+            cumulative += count;
+            println!(
+                "  {:>2} round trips: {:>8} reads ({:>6.2} % cumulative)",
+                round_trips,
+                count,
+                cumulative as f64 / total.max(1) as f64 * 100.0
+            );
+        }
+        println!(
+            "  => {:.2} % of reads finished within two round trips\n",
+            result.read_fraction_within(2) * 100.0
+        );
+    }
+}

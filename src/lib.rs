@@ -1,0 +1,54 @@
+//! # crdt-paxos — linearizable state machine replication of state-based CRDTs without logs
+//!
+//! This is the facade crate of a full Rust reproduction of
+//! *Linearizable State Machine Replication of State-Based CRDTs without Logs*
+//! (Jan Skrzypczak, Florian Schintke, Thorsten Schütt — PODC 2019). It re-exports the
+//! workspace crates under one roof:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`crdt`] | join semilattices and state-based CRDTs (G-Counter, PN-Counter, sets, registers, maps, vector clocks, delta mutators) |
+//! | [`quorum`] | quorum systems (majority, grid, weighted) and membership |
+//! | [`wire`] | compact binary serde codec and message framing |
+//! | [`protocol`] | the CRDT Paxos protocol core: [`protocol::Replica`], messages, configuration, metrics |
+//! | [`baselines`] | Multi-Paxos (read leases) and Raft baselines |
+//! | [`transport`] | in-memory and tokio TCP transports |
+//! | [`cluster`] | deterministic simulator, workloads, statistics, linearizability checker |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use crdt_paxos::crdt::{CounterQuery, CounterUpdate, GCounter};
+//! use crdt_paxos::local::LocalCluster;
+//! use crdt_paxos::protocol::{ProtocolConfig, ResponseBody};
+//!
+//! // A three-replica in-process cluster replicating a G-Counter.
+//! let mut cluster = LocalCluster::<GCounter>::new(3, ProtocolConfig::default());
+//!
+//! // Linearizable update handled by replica 0 …
+//! cluster.update(0, CounterUpdate::Increment(3));
+//! // … is visible to a linearizable read at replica 2.
+//! let value = cluster.query(2, CounterQuery::Value);
+//! assert_eq!(value, ResponseBody::QueryDone(3));
+//! ```
+//!
+//! See `examples/` for runnable programs (quickstart, replicated shopping carts,
+//! fail-over, TCP deployment, round-trip histograms) and the `bench` crate for the
+//! harnesses that regenerate every figure of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use cluster;
+pub use crdt;
+pub use quorum;
+pub use transport;
+pub use wire;
+
+/// The CRDT Paxos protocol core (re-export of `crdt_paxos_core`).
+pub mod protocol {
+    pub use crdt_paxos_core::*;
+}
+
+pub mod local;

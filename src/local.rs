@@ -1,0 +1,145 @@
+//! A convenience in-process cluster for examples, tests, and embedding.
+//!
+//! [`LocalCluster`] wires `n` CRDT Paxos replicas together with an in-memory "perfect"
+//! network (instant, reliable delivery) and offers a synchronous API: submit a command
+//! to a replica and get the response back once the protocol has quiesced. This is the
+//! easiest way to embed a linearizable CRDT in a single process, and the entry point
+//! used by the quickstart example.
+
+use crdt::{Crdt, ReplicaId};
+use crdt_paxos_core::{ClientId, Command, ProtocolConfig, Replica, ResponseBody};
+
+/// An in-process cluster of CRDT Paxos replicas with synchronous message delivery.
+#[derive(Debug)]
+pub struct LocalCluster<C: Crdt> {
+    replicas: Vec<Replica<C>>,
+    now_ms: u64,
+}
+
+impl<C: Crdt> LocalCluster<C> {
+    /// Creates a cluster of `n` replicas with the given protocol configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u64, config: ProtocolConfig) -> Self {
+        assert!(n > 0, "a cluster needs at least one replica");
+        let ids: Vec<ReplicaId> = (0..n).map(ReplicaId::new).collect();
+        let replicas = ids
+            .iter()
+            .map(|&id| Replica::new(id, ids.clone(), C::default(), config.clone()))
+            .collect();
+        LocalCluster { replicas, now_ms: 0 }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Returns `true` if the cluster has no replicas (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Read-only access to one replica (metrics, local state).
+    pub fn replica(&self, index: usize) -> &Replica<C> {
+        &self.replicas[index]
+    }
+
+    /// Submits a linearizable update at the replica with the given index and waits
+    /// for it to complete.
+    pub fn update(&mut self, replica: usize, update: C::Update) -> ResponseBody<C> {
+        self.submit(replica, Command::Update(update))
+    }
+
+    /// Submits a linearizable query at the replica with the given index and returns
+    /// its result.
+    pub fn query(&mut self, replica: usize, query: C::Query) -> ResponseBody<C> {
+        self.submit(replica, Command::Query(query))
+    }
+
+    /// Submits any command and runs the protocol to completion.
+    pub fn submit(&mut self, replica: usize, command: Command<C>) -> ResponseBody<C> {
+        let command_id = self.replicas[replica].submit(ClientId(0), command);
+        loop {
+            self.pump();
+            let response = self.replicas[replica]
+                .take_responses()
+                .into_iter()
+                .find(|response| response.command == command_id);
+            if let Some(response) = response {
+                return response.body;
+            }
+            // Batching configurations need time to pass before a batch is flushed.
+            self.now_ms += 1;
+            let now = self.now_ms;
+            for replica in &mut self.replicas {
+                replica.tick(now);
+            }
+        }
+    }
+
+    /// Delivers every in-flight message until the cluster is quiescent.
+    fn pump(&mut self) {
+        loop {
+            let mut envelopes = Vec::new();
+            for replica in &mut self.replicas {
+                envelopes.extend(replica.take_outbox());
+            }
+            if envelopes.is_empty() {
+                return;
+            }
+            for envelope in envelopes {
+                let index = envelope.to.as_u64() as usize;
+                self.replicas[index].handle_message(envelope.from, envelope.message);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt::{CounterQuery, CounterUpdate, GCounter, ORSet, ORSetUpdate, SetOutput, SetQuery};
+
+    #[test]
+    fn counter_cluster_round_trips() {
+        let mut cluster = LocalCluster::<GCounter>::new(3, ProtocolConfig::default());
+        assert_eq!(cluster.len(), 3);
+        assert!(!cluster.is_empty());
+        assert!(matches!(
+            cluster.update(0, CounterUpdate::Increment(2)),
+            ResponseBody::UpdateDone
+        ));
+        assert!(matches!(
+            cluster.update(1, CounterUpdate::Increment(3)),
+            ResponseBody::UpdateDone
+        ));
+        assert_eq!(cluster.query(2, CounterQuery::Value), ResponseBody::QueryDone(5));
+        assert!(cluster.replica(0).metrics().updates_completed >= 1);
+    }
+
+    #[test]
+    fn batched_cluster_also_completes() {
+        let mut cluster = LocalCluster::<GCounter>::new(3, ProtocolConfig::batched());
+        cluster.update(0, CounterUpdate::Increment(1));
+        assert_eq!(cluster.query(1, CounterQuery::Value), ResponseBody::QueryDone(1));
+    }
+
+    #[test]
+    fn orset_cluster_supports_add_and_remove() {
+        let mut cluster = LocalCluster::<ORSet<String>>::new(3, ProtocolConfig::default());
+        cluster.update(0, ORSetUpdate::Insert("milk".to_string()));
+        cluster.update(1, ORSetUpdate::Insert("eggs".to_string()));
+        cluster.update(2, ORSetUpdate::Remove("milk".to_string()));
+        let result = cluster.query(0, SetQuery::Elements);
+        match result {
+            ResponseBody::QueryDone(SetOutput::Elements(elements)) => {
+                assert!(elements.contains("eggs"));
+                assert!(!elements.contains("milk"));
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+}
