@@ -32,7 +32,9 @@ use serde::{Deserialize, Serialize};
 
 /// Identifies a replica in a baseline cluster (kept separate from `crdt::ReplicaId`
 /// so the baselines have no dependency on the CRDT crate).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct NodeId(pub u64);
 
 impl std::fmt::Display for NodeId {
@@ -42,16 +44,24 @@ impl std::fmt::Display for NodeId {
 }
 
 /// Identifies a client session.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ClientId(pub u64);
 
 /// Correlates a client command with its response.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct CommandId(pub u64);
 
 /// A client command for a replicated state machine: either a state-mutating command or
 /// a linearizable read.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(bound(
+    serialize = "S::Command: Serialize, S::Query: Serialize",
+    deserialize = "S::Command: Deserialize<'de>, S::Query: Deserialize<'de>"
+))]
 pub enum Request<S: StateMachine> {
     /// Apply a command to the state machine.
     Update(S::Command),

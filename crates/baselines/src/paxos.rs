@@ -154,6 +154,10 @@ enum Role {
     Leader,
 }
 
+/// One acceptor's reply to a prepare: its accepted `(slot, ballot, entry)`
+/// triples above the leader's commit index, plus its own commit index.
+type Promise<S> = (Vec<(u64, Ballot, PaxosEntry<S>)>, u64);
+
 /// A Multi-Paxos replica hosting a replicated state machine of type `S`.
 #[derive(Debug)]
 pub struct PaxosReplica<S: StateMachine> {
@@ -180,7 +184,7 @@ pub struct PaxosReplica<S: StateMachine> {
     next_slot: u64,
     accept_acks: BTreeMap<u64, BTreeSet<NodeId>>,
     chosen: BTreeSet<u64>,
-    promises: BTreeMap<NodeId, (Vec<(u64, Ballot, PaxosEntry<S>)>, u64)>,
+    promises: BTreeMap<NodeId, Promise<S>>,
     last_heartbeat_ack: BTreeMap<NodeId, u64>,
     /// Queued reads waiting for the lease to become valid.
     pending_reads: Vec<(NodeId, ClientId, CommandId, S::Query)>,
@@ -293,7 +297,11 @@ impl<S: StateMachine> PaxosReplica<S> {
             (Request::Read(query), Role::Leader) => {
                 if self.has_read_lease() && self.applied == self.commit_index {
                     let output = self.machine.query(query);
-                    self.replies.push(Reply { client, command: id, body: ReplyBody::ReadDone(output) });
+                    self.replies.push(Reply {
+                        client,
+                        command: id,
+                        body: ReplyBody::ReadDone(output),
+                    });
                 } else {
                     self.pending_reads.push((self.id, client, id, query.clone()));
                 }
@@ -350,8 +358,10 @@ impl<S: StateMachine> PaxosReplica<S> {
         match self.role {
             Role::Leader => {
                 if self.now_ms >= self.next_heartbeat_ms {
-                    let message =
-                        PaxosMessage::Heartbeat { ballot: self.ballot, commit_index: self.commit_index };
+                    let message = PaxosMessage::Heartbeat {
+                        ballot: self.ballot,
+                        commit_index: self.commit_index,
+                    };
                     self.broadcast(message);
                     self.next_heartbeat_ms = self.now_ms + self.config.heartbeat_interval_ms;
                 }
@@ -381,10 +391,17 @@ impl<S: StateMachine> PaxosReplica<S> {
                 .collect();
             self.outbox.push(Outgoing {
                 to: from,
-                message: PaxosMessage::Promise { ballot, accepted, commit_index: self.commit_index },
+                message: PaxosMessage::Promise {
+                    ballot,
+                    accepted,
+                    commit_index: self.commit_index,
+                },
             });
         } else {
-            self.outbox.push(Outgoing { to: from, message: PaxosMessage::Reject { ballot: self.promised } });
+            self.outbox.push(Outgoing {
+                to: from,
+                message: PaxosMessage::Reject { ballot: self.promised },
+            });
         }
     }
 
@@ -405,9 +422,13 @@ impl<S: StateMachine> PaxosReplica<S> {
             self.reset_takeover_deadline();
             self.accepted.insert(slot, (ballot, entry));
             self.learn_commit(leader_commit);
-            self.outbox.push(Outgoing { to: from, message: PaxosMessage::Accepted { ballot, slot } });
+            self.outbox
+                .push(Outgoing { to: from, message: PaxosMessage::Accepted { ballot, slot } });
         } else {
-            self.outbox.push(Outgoing { to: from, message: PaxosMessage::Reject { ballot: self.promised } });
+            self.outbox.push(Outgoing {
+                to: from,
+                message: PaxosMessage::Reject { ballot: self.promised },
+            });
         }
     }
 
@@ -446,7 +467,8 @@ impl<S: StateMachine> PaxosReplica<S> {
         self.promises.clear();
         self.leader_hint = None;
         self.reset_takeover_deadline();
-        let message = PaxosMessage::Prepare { ballot: self.ballot, commit_index: self.commit_index };
+        let message =
+            PaxosMessage::Prepare { ballot: self.ballot, commit_index: self.commit_index };
         self.broadcast(message);
         // Count our own (implicit) promise.
         let own: Vec<(u64, Ballot, PaxosEntry<S>)> = self
@@ -517,10 +539,8 @@ impl<S: StateMachine> PaxosReplica<S> {
 
         // Re-propose every pending slot (filling holes with no-ops) under our ballot.
         for slot in self.commit_index + 1..self.next_slot {
-            let entry = merged
-                .get(&slot)
-                .map(|(_, entry)| entry.clone())
-                .unwrap_or(PaxosEntry::Noop);
+            let entry =
+                merged.get(&slot).map(|(_, entry)| entry.clone()).unwrap_or(PaxosEntry::Noop);
             self.propose_at(slot, entry);
         }
         // Followers whose commit index was ahead of ours: catch up by re-learning.
@@ -588,7 +608,13 @@ impl<S: StateMachine> PaxosReplica<S> {
         self.serve_pending_reads();
     }
 
-    fn handle_forward(&mut self, origin: NodeId, client: ClientId, id: CommandId, request: Request<S>) {
+    fn handle_forward(
+        &mut self,
+        origin: NodeId,
+        client: ClientId,
+        id: CommandId,
+        request: Request<S>,
+    ) {
         if self.role == Role::Leader {
             match request {
                 Request::Update(command) => {
@@ -638,7 +664,11 @@ impl<S: StateMachine> PaxosReplica<S> {
                 PaxosEntry::Command { command, origin, client, id } => {
                     self.machine.apply(&command);
                     if origin == self.id {
-                        self.replies.push(Reply { client, command: id, body: ReplyBody::UpdateDone });
+                        self.replies.push(Reply {
+                            client,
+                            command: id,
+                            body: ReplyBody::UpdateDone,
+                        });
                     }
                 }
             }
@@ -648,7 +678,8 @@ impl<S: StateMachine> PaxosReplica<S> {
 
     /// Serves queued reads once the lease is valid and the state machine is caught up.
     fn serve_pending_reads(&mut self) {
-        if self.role != Role::Leader || !self.has_read_lease() || self.applied != self.commit_index {
+        if self.role != Role::Leader || !self.has_read_lease() || self.applied != self.commit_index
+        {
             return;
         }
         let pending = std::mem::take(&mut self.pending_reads);
@@ -684,10 +715,7 @@ mod tests {
 
     fn cluster(n: u64) -> Vec<Node> {
         let members: Vec<NodeId> = (0..n).map(NodeId).collect();
-        members
-            .iter()
-            .map(|&id| Node::new(id, members.clone(), PaxosConfig::default()))
-            .collect()
+        members.iter().map(|&id| Node::new(id, members.clone(), PaxosConfig::default())).collect()
     }
 
     fn run(nodes: &mut [Node], from_ms: u64, to_ms: u64) {

@@ -313,7 +313,9 @@ impl<S: StateMachine> RaftReplica<S> {
             RaftMessage::Forward { origin, client, id, request } => {
                 if self.role == Role::Leader {
                     let kind = match request {
-                        Request::Update(command) => EntryKind::Command { command, origin, client, id },
+                        Request::Update(command) => {
+                            EntryKind::Command { command, origin, client, id }
+                        }
                         Request::Read(query) => EntryKind::Read { query, origin, client, id },
                     };
                     self.append_as_leader(kind);
@@ -442,10 +444,15 @@ impl<S: StateMachine> RaftReplica<S> {
         for peer in peers {
             self.outbox.push(Outgoing {
                 to: peer,
-                message: RaftMessage::RequestVote { term, candidate, last_log_index, last_log_term },
+                message: RaftMessage::RequestVote {
+                    term,
+                    candidate,
+                    last_log_index,
+                    last_log_term,
+                },
             });
         }
-        if self.votes_received >= self.peers.len() / 2 + 1 {
+        if self.votes_received > self.peers.len() / 2 {
             self.become_leader();
         }
     }
@@ -490,7 +497,7 @@ impl<S: StateMachine> RaftReplica<S> {
             return;
         }
         self.votes_received += 1;
-        if self.votes_received >= self.peers.len() / 2 + 1 {
+        if self.votes_received > self.peers.len() / 2 {
             self.become_leader();
         }
     }
@@ -635,10 +642,7 @@ mod tests {
 
     fn cluster(n: u64) -> Vec<Node> {
         let members: Vec<NodeId> = (0..n).map(NodeId).collect();
-        members
-            .iter()
-            .map(|&id| Node::new(id, members.clone(), RaftConfig::default()))
-            .collect()
+        members.iter().map(|&id| Node::new(id, members.clone(), RaftConfig::default())).collect()
     }
 
     /// Delivers all pending messages and ticks until quiescent or `max_ms` elapsed.
@@ -739,8 +743,12 @@ mod tests {
         assert_eq!(nodes[old_leader].machine().value(), 9);
 
         // "Crash" the leader: stop delivering to/from it by running only the others.
-        let mut survivors: Vec<Node> =
-            nodes.into_iter().enumerate().filter(|(i, _)| *i != old_leader).map(|(_, n)| n).collect();
+        let mut survivors: Vec<Node> = nodes
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| *i != old_leader)
+            .map(|(_, n)| n)
+            .collect();
         run(&mut survivors, 450, 1200);
         let new_leader = survivors.iter().position(|n| n.is_leader()).expect("new leader elected");
         assert_eq!(survivors[new_leader].machine().value(), 9, "committed command survived");

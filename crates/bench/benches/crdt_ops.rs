@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the CRDT substrate: join and update throughput.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use crdt::{GCounter, Lattice, ORSet, ReplicaId};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 fn gcounter_of(replicas: u64, per_replica: u64) -> GCounter {
     let mut counter = GCounter::new();

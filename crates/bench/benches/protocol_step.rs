@@ -1,9 +1,9 @@
 //! Micro-benchmarks of the protocol state machines: how fast can a replica process
 //! an update or a query round when messages are delivered instantly (no network)?
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use crdt::{CounterQuery, CounterUpdate, GCounter, ReplicaId};
 use crdt_paxos_core::{ClientId, Command, ProtocolConfig, Replica};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn cluster(n: u64) -> Vec<Replica<GCounter>> {
     let ids: Vec<ReplicaId> = (0..n).map(ReplicaId::new).collect();

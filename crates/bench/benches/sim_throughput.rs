@@ -2,12 +2,18 @@
 //! harness achieves for each protocol (a sanity check that the figure harnesses are
 //! tractable), plus an ablation of the batching optimization.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cluster::SimConfig;
 use crdt_paxos_core::ProtocolConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn quick_config() -> SimConfig {
-    SimConfig { clients: 32, read_fraction: 0.9, duration_ms: 500, warmup_ms: 100, ..SimConfig::default() }
+    SimConfig {
+        clients: 32,
+        read_fraction: 0.9,
+        duration_ms: 500,
+        warmup_ms: 100,
+        ..SimConfig::default()
+    }
 }
 
 fn bench_sim(c: &mut Criterion) {
@@ -15,11 +21,15 @@ fn bench_sim(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("crdt_paxos_500ms_32_clients", |b| {
-        b.iter(|| cluster::run_crdt_paxos(&quick_config(), ProtocolConfig::default()).completed_reads);
+        b.iter(|| {
+            cluster::run_crdt_paxos(&quick_config(), ProtocolConfig::default()).completed_reads
+        });
     });
 
     group.bench_function("crdt_paxos_batched_500ms_32_clients", |b| {
-        b.iter(|| cluster::run_crdt_paxos(&quick_config(), ProtocolConfig::batched()).completed_reads);
+        b.iter(|| {
+            cluster::run_crdt_paxos(&quick_config(), ProtocolConfig::batched()).completed_reads
+        });
     });
 
     group.bench_function("raft_500ms_32_clients", |b| {

@@ -1,8 +1,8 @@
 //! Micro-benchmarks of the wire codec: encoding/decoding protocol messages.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use crdt::{GCounter, ReplicaId};
 use crdt_paxos_core::{Message, RequestId, Round, RoundId};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn sample_message(slots: u64) -> Message<GCounter> {
     let mut state = GCounter::new();

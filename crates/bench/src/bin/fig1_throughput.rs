@@ -6,7 +6,13 @@ use bench::{experiment_config, Scale, System};
 
 fn main() {
     let scale = Scale::from_args();
-    let mixes = [("100% reads", 1.0), ("95% reads", 0.95), ("90% reads", 0.9), ("50% reads", 0.5), ("0% reads", 0.0)];
+    let mixes = [
+        ("100% reads", 1.0),
+        ("95% reads", 0.95),
+        ("90% reads", 0.9),
+        ("50% reads", 0.5),
+        ("0% reads", 0.0),
+    ];
 
     println!("# Figure 1 — throughput vs. number of clients (3 replicas)");
     for (label, read_fraction) in mixes {

@@ -19,12 +19,18 @@ fn main() {
             for system in System::ALL {
                 let config = experiment_config(clients, 0.9, &scale);
                 let mut result = system.run(&config);
-                let p95 = if pick_reads { result.read_latency.p95_us() } else { result.update_latency.p95_us() };
+                let p95 = if pick_reads {
+                    result.read_latency.p95_us()
+                } else {
+                    result.update_latency.p95_us()
+                };
                 print!("{:>24}", format_ms(p95));
             }
             println!();
         }
     }
-    println!("\n(CRDT Paxos updates stay flat — one round trip — while its reads grow under contention;");
+    println!(
+        "\n(CRDT Paxos updates stay flat — one round trip — while its reads grow under contention;"
+    );
     println!(" leader-based baselines bottleneck on the leader as the client count rises)");
 }

@@ -26,7 +26,10 @@ fn main() {
 
         println!("# Figure 4 — 95th pctl. latency over time with a node failure ({label})");
         println!("   crash of replica 1 at t = {crash_at} ms; 64 clients, 10 % updates");
-        println!("{:>10} {:>12} {:>18} {:>18}", "t (ms)", "ops", "read p95 (ms)", "update p95 (ms)");
+        println!(
+            "{:>10} {:>12} {:>18} {:>18}",
+            "t (ms)", "ops", "read p95 (ms)", "update p95 (ms)"
+        );
         let result = cluster::run_crdt_paxos(&config, protocol);
         for interval in result.intervals.iter().filter(|i| i.start_ms < duration_ms) {
             println!(

@@ -75,18 +75,11 @@ pub struct Scale {
 
 impl Scale {
     /// The full sweep (paper-like shape; runs for a few minutes in release mode).
-    pub const FULL: Scale = Scale {
-        client_counts: &[1, 8, 64, 256, 1024],
-        duration_ms: 4_000,
-        warmup_ms: 1_000,
-    };
+    pub const FULL: Scale =
+        Scale { client_counts: &[1, 8, 64, 256, 1024], duration_ms: 4_000, warmup_ms: 1_000 };
 
     /// A reduced sweep for CI and `cargo bench` smoke runs.
-    pub const QUICK: Scale = Scale {
-        client_counts: &[8, 64],
-        duration_ms: 1_500,
-        warmup_ms: 500,
-    };
+    pub const QUICK: Scale = Scale { client_counts: &[8, 64], duration_ms: 1_500, warmup_ms: 500 };
 
     /// Chooses the scale based on the presence of a `--quick` CLI flag.
     pub fn from_args() -> Scale {

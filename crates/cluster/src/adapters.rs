@@ -133,7 +133,11 @@ impl SimNode for RaftNode {
     }
 
     fn drain_messages(&mut self) -> Vec<(u64, Self::Message)> {
-        self.inner.take_outbox().into_iter().map(|outgoing| (outgoing.to.0, outgoing.message)).collect()
+        self.inner
+            .take_outbox()
+            .into_iter()
+            .map(|outgoing| (outgoing.to.0, outgoing.message))
+            .collect()
     }
 
     fn drain_replies(&mut self) -> Vec<SimReply> {
@@ -198,7 +202,11 @@ impl SimNode for MultiPaxosNode {
     }
 
     fn drain_messages(&mut self) -> Vec<(u64, Self::Message)> {
-        self.inner.take_outbox().into_iter().map(|outgoing| (outgoing.to.0, outgoing.message)).collect()
+        self.inner
+            .take_outbox()
+            .into_iter()
+            .map(|outgoing| (outgoing.to.0, outgoing.message))
+            .collect()
     }
 
     fn drain_replies(&mut self) -> Vec<SimReply> {
@@ -243,8 +251,9 @@ mod tests {
         let mut config = quick_config();
         config.duration_ms = 1_000;
         config.warmup_ms = 500; // allow for the initial election
-        let result =
-            run_simulation(&config, |id, members| RaftNode::new(id, members, RaftConfig::default()));
+        let result = run_simulation(&config, |id, members| {
+            RaftNode::new(id, members, RaftConfig::default())
+        });
         assert!(result.completed_reads + result.completed_updates > 0);
     }
 

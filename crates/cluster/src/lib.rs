@@ -36,7 +36,9 @@ pub mod workload;
 
 pub use adapters::{CrdtPaxosNode, MultiPaxosNode, RaftNode};
 pub use linearizability::{check_counter_history, HistoryOp, OpKind, Violation};
-pub use sim::{run_simulation, CrashEvent, SimConfig, SimNode, SimOp, SimOutcome, SimReply, SimResult};
+pub use sim::{
+    run_simulation, CrashEvent, SimConfig, SimNode, SimOp, SimOutcome, SimReply, SimResult,
+};
 pub use stats::{IntervalStats, LatencyStats};
 pub use workload::{ClientWorkload, WorkloadMix};
 

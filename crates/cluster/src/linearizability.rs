@@ -135,15 +135,9 @@ pub fn check_counter_history(history: &[HistoryOp]) -> Result<(), Violation> {
     for (a_pos, (first_index, first, first_value)) in reads.iter().enumerate() {
         for (second_index, second, second_value) in reads.iter().skip(a_pos + 1) {
             let (earlier, later) = if first.responded_us <= second.invoked_us {
-                (
-                    (*first_index, *first_value),
-                    (*second_index, *second_value),
-                )
+                ((*first_index, *first_value), (*second_index, *second_value))
             } else if second.responded_us <= first.invoked_us {
-                (
-                    (*second_index, *second_value),
-                    (*first_index, *first_value),
-                )
+                ((*second_index, *second_value), (*first_index, *first_value))
             } else {
                 continue; // overlapping reads may return either order
             };
@@ -215,9 +209,9 @@ mod tests {
         assert!(check_counter_history(&history).is_err());
 
         let history = vec![
-            inc(0, 100, 2),       // long-running increment
-            read(10, 20, 2),      // observed it early
-            read(30, 40, 0),      // later non-overlapping read went backwards
+            inc(0, 100, 2),  // long-running increment
+            read(10, 20, 2), // observed it early
+            read(30, 40, 0), // later non-overlapping read went backwards
         ];
         match check_counter_history(&history) {
             Err(Violation::NonMonotonicReads { first_value: 2, second_value: 0, .. }) => {}
@@ -234,17 +228,16 @@ mod tests {
     #[test]
     fn malformed_operations_are_rejected() {
         let history = vec![HistoryOp { invoked_us: 10, responded_us: 5, kind: OpKind::Read(0) }];
-        assert_eq!(check_counter_history(&history), Err(Violation::MalformedOperation { index: 0 }));
+        assert_eq!(
+            check_counter_history(&history),
+            Err(Violation::MalformedOperation { index: 0 })
+        );
     }
 
     #[test]
     fn violations_have_readable_messages() {
-        let violation = Violation::ReadOutOfBounds {
-            read_index: 3,
-            value: 7,
-            lower_bound: 8,
-            upper_bound: 9,
-        };
+        let violation =
+            Violation::ReadOutOfBounds { read_index: 3, value: 7, lower_bound: 8, upper_bound: 9 };
         assert!(violation.to_string().contains("read #3"));
     }
 }

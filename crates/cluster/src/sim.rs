@@ -10,8 +10,8 @@
 //! Because everything is seeded, runs are bit-for-bit reproducible.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::collections::BTreeMap;
+use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -271,7 +271,10 @@ where
     let warmup_us = config.warmup_ms * 1_000;
     let mut heap: BinaryHeap<QueueItem<N::Message>> = BinaryHeap::new();
     let mut seq = 0u64;
-    let mut push = |heap: &mut BinaryHeap<QueueItem<N::Message>>, seq: &mut u64, time_us: u64, event: Event<N::Message>| {
+    let push = |heap: &mut BinaryHeap<QueueItem<N::Message>>,
+                seq: &mut u64,
+                time_us: u64,
+                event: Event<N::Message>| {
         *seq += 1;
         heap.push(QueueItem { time_us, seq: *seq, event });
     };
@@ -285,7 +288,12 @@ where
     if let Some(crash) = config.crash {
         push(&mut heap, &mut seq, crash.at_ms * 1_000, Event::Crash { replica: crash.replica });
         if let Some(recover_at) = crash.recover_at_ms {
-            push(&mut heap, &mut seq, recover_at * 1_000, Event::Recover { replica: crash.replica });
+            push(
+                &mut heap,
+                &mut seq,
+                recover_at * 1_000,
+                Event::Recover { replica: crash.replica },
+            );
         }
     }
 
@@ -321,12 +329,7 @@ where
                         node.tick(now_us / 1_000);
                     }
                 }
-                push(
-                    &mut heap,
-                    &mut seq,
-                    now_us + config.tick_interval_ms * 1_000,
-                    Event::Tick,
-                );
+                push(&mut heap, &mut seq, now_us + config.tick_interval_ms * 1_000, Event::Tick);
             }
             Event::Crash { replica } => {
                 alive[replica as usize] = false;
@@ -343,12 +346,14 @@ where
                 if !alive[state.replica as usize] {
                     let alternatives: Vec<u64> =
                         (0..config.replicas).filter(|&r| alive[r as usize]).collect();
-                    if let Some(&target) = alternatives.get(client as usize % alternatives.len().max(1))
+                    if let Some(&target) =
+                        alternatives.get(client as usize % alternatives.len().max(1))
                     {
                         state.replica = target;
                     }
                 }
-                let op = if state.workload.next_is_read() { SimOp::Read } else { SimOp::Increment(1) };
+                let op =
+                    if state.workload.next_is_read() { SimOp::Read } else { SimOp::Increment(1) };
                 state.outstanding = Some(Outstanding { issued_us: now_us, op });
                 let delay = net_latency(&mut rng);
                 let replica = state.replica;
@@ -563,7 +568,10 @@ mod tests {
         config.latency_jitter_us = 0;
         let mut result = run_simulation(&config, |id, _| EchoNode { id, replies: Vec::new() });
         // Client -> replica -> client = 2 one-way latencies for the echo node.
-        assert_eq!(result.read_latency.median_us().or(result.update_latency.median_us()), Some(1_000));
+        assert_eq!(
+            result.read_latency.median_us().or(result.update_latency.median_us()),
+            Some(1_000)
+        );
     }
 
     #[test]

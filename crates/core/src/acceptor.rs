@@ -211,10 +211,9 @@ mod tests {
         let mut acceptor = acceptor();
         let mut payload = GCounter::new();
         payload.increment(ReplicaId::new(2), 4);
-        match acceptor.handle_prepare(
-            PrepareRound::Incremental { id: proposer_id(1) },
-            Some(&payload),
-        ) {
+        match acceptor
+            .handle_prepare(PrepareRound::Incremental { id: proposer_id(1) }, Some(&payload))
+        {
             AcceptOutcome::Ack { state, .. } => assert_eq!(state.value(), 4),
             other => panic!("expected ack, got {other:?}"),
         }
@@ -226,7 +225,8 @@ mod tests {
     #[test]
     fn vote_succeeds_only_for_the_current_round() {
         let mut acceptor = acceptor();
-        let outcome = acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(1) }, None);
+        let outcome =
+            acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(1) }, None);
         let round = match outcome {
             AcceptOutcome::Ack { round, .. } => round,
             other => panic!("expected ack, got {other:?}"),
@@ -240,11 +240,11 @@ mod tests {
     #[test]
     fn vote_is_rejected_after_a_concurrent_update() {
         let mut acceptor = acceptor();
-        let round = match acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(1) }, None)
-        {
-            AcceptOutcome::Ack { round, .. } => round,
-            other => panic!("expected ack, got {other:?}"),
-        };
+        let round =
+            match acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(1) }, None) {
+                AcceptOutcome::Ack { round, .. } => round,
+                other => panic!("expected ack, got {other:?}"),
+            };
         // An update arrives between the prepare and the vote.
         acceptor.apply_update(&CounterUpdate::Increment(1));
         let proposed = GCounter::new();
@@ -260,11 +260,11 @@ mod tests {
     #[test]
     fn vote_is_rejected_after_a_competing_prepare() {
         let mut acceptor = acceptor();
-        let round = match acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(1) }, None)
-        {
-            AcceptOutcome::Ack { round, .. } => round,
-            other => panic!("expected ack, got {other:?}"),
-        };
+        let round =
+            match acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(1) }, None) {
+                AcceptOutcome::Ack { round, .. } => round,
+                other => panic!("expected ack, got {other:?}"),
+            };
         // A competing proposer prepares with a higher round in between (invariant I4).
         acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(2) }, None);
         assert!(matches!(
@@ -282,10 +282,7 @@ mod tests {
         let stale_round = Round::new(9, proposer_id(9));
         let mut proposed = GCounter::new();
         proposed.increment(ReplicaId::new(2), 5);
-        assert!(matches!(
-            acceptor.handle_vote(stale_round, &proposed),
-            AcceptOutcome::Nack { .. }
-        ));
+        assert!(matches!(acceptor.handle_vote(stale_round, &proposed), AcceptOutcome::Nack { .. }));
         assert_eq!(acceptor.state().value(), 6);
     }
 
@@ -297,7 +294,8 @@ mod tests {
         let mut remote = GCounter::new();
         remote.increment(ReplicaId::new(1), 2);
 
-        let steps: Vec<Box<dyn Fn(&mut Acceptor<GCounter>)>> = vec![
+        type Step = Box<dyn Fn(&mut Acceptor<GCounter>)>;
+        let steps: Vec<Step> = vec![
             Box::new(|a| {
                 a.apply_update(&CounterUpdate::Increment(1));
             }),

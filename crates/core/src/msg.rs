@@ -7,15 +7,21 @@ use crate::round::{PrepareRound, Round};
 
 /// Identifies a protocol instance (one update round or one query attempt) at a
 /// proposer. Fresh ids are allocated per attempt so stale replies can be discarded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct RequestId(pub u64);
 
 /// Identifies a client session submitting commands to a proposer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ClientId(pub u64);
 
 /// Correlates a client command with its eventual response.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct CommandId(pub u64);
 
 /// A replica-to-replica protocol message, generic over the replicated CRDT `C`.

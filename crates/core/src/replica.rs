@@ -17,7 +17,9 @@ use quorum::{Membership, QuorumSystem};
 use crate::acceptor::{AcceptOutcome, Acceptor};
 use crate::config::ProtocolConfig;
 use crate::metrics::Metrics;
-use crate::msg::{ClientId, ClientResponse, Command, CommandId, Envelope, Message, RequestId, ResponseBody};
+use crate::msg::{
+    ClientId, ClientResponse, Command, CommandId, Envelope, Message, RequestId, ResponseBody,
+};
 use crate::round::{PrepareRound, Round, RoundId};
 
 /// A client command waiting for an update round to complete.
@@ -39,11 +41,7 @@ struct QueryWaiter<C: Crdt> {
 #[derive(Debug, Clone)]
 enum QueryPhase<C: Crdt> {
     /// First phase: waiting for `ACK`s from a quorum.
-    Prepare {
-        round: PrepareRound,
-        sent_state: Option<C>,
-        acks: BTreeMap<ReplicaId, (Round, C)>,
-    },
+    Prepare { round: PrepareRound, sent_state: Option<C>, acks: BTreeMap<ReplicaId, (Round, C)> },
     /// Second phase: waiting for `VOTED`s from a quorum.
     Vote { round: Round, proposed: C, acks: BTreeSet<ReplicaId> },
 }
@@ -314,7 +312,13 @@ impl<C: Crdt> Replica<C> {
         RoundId::proposer(seq, self.id)
     }
 
-    fn respond(&mut self, client: ClientId, command: CommandId, body: ResponseBody<C>, round_trips: u32) {
+    fn respond(
+        &mut self,
+        client: ClientId,
+        command: CommandId,
+        body: ResponseBody<C>,
+        round_trips: u32,
+    ) {
         self.responses.push(ClientResponse { client, command, body, round_trips });
     }
 
@@ -422,7 +426,8 @@ impl<C: Crdt> Replica<C> {
             _ => false,
         };
         if finished {
-            if let Some(InFlight::Update { waiters, round_trips, .. }) = self.requests.remove(&request)
+            if let Some(InFlight::Update { waiters, round_trips, .. }) =
+                self.requests.remove(&request)
             {
                 self.finish_update(waiters, round_trips);
             }
@@ -508,7 +513,8 @@ impl<C: Crdt> Replica<C> {
     fn enter_vote_phase(&mut self, request: RequestId, round: Round, proposed: C) {
         // The local acceptor votes first.
         let local = self.acceptor.handle_vote(round, &proposed);
-        let Some(InFlight::Query { phase, round_trips, .. }) = self.requests.get_mut(&request) else {
+        let Some(InFlight::Query { phase, round_trips, .. }) = self.requests.get_mut(&request)
+        else {
             return;
         };
         *round_trips += 1;
@@ -581,11 +587,7 @@ impl<C: Crdt> Replica<C> {
             new_request,
             InFlight::Query {
                 waiters,
-                phase: QueryPhase::Prepare {
-                    round,
-                    sent_state: None,
-                    acks: BTreeMap::new(),
-                },
+                phase: QueryPhase::Prepare { round, sent_state: None, acks: BTreeMap::new() },
                 gathered,
                 round_trips,
                 retries: retries + 1,
@@ -598,7 +600,8 @@ impl<C: Crdt> Replica<C> {
     /// Completes a query: applies GLA-Stability if configured, evaluates every
     /// waiter's query function on the learned state, and records metrics.
     fn finish_query(&mut self, request: RequestId, learned: C, by_vote: bool) {
-        let Some(InFlight::Query { waiters, round_trips, .. }) = self.requests.remove(&request) else {
+        let Some(InFlight::Query { waiters, round_trips, .. }) = self.requests.remove(&request)
+        else {
             return;
         };
         let state = if self.config.gla_stability {
@@ -617,7 +620,12 @@ impl<C: Crdt> Replica<C> {
         for waiter in waiters {
             let output = state.query(&waiter.query);
             self.metrics.record_query(round_trips, by_vote);
-            self.respond(waiter.client, waiter.command, ResponseBody::QueryDone(output), round_trips);
+            self.respond(
+                waiter.client,
+                waiter.command,
+                ResponseBody::QueryDone(output),
+                round_trips,
+            );
         }
     }
 
@@ -866,10 +874,8 @@ mod tests {
         run_to_quiescence(&mut replicas);
         let responses = drain_responses(&mut replicas[0]);
         assert_eq!(responses.len(), 20);
-        let updates = responses
-            .iter()
-            .filter(|r| matches!(r.body, ResponseBody::UpdateDone))
-            .count();
+        let updates =
+            responses.iter().filter(|r| matches!(r.body, ResponseBody::UpdateDone)).count();
         assert_eq!(updates, 10);
         // All queries in the batch see all updates of the batch (applied locally first).
         for response in responses.iter().filter(|r| matches!(r.body, ResponseBody::QueryDone(_))) {
@@ -881,8 +887,7 @@ mod tests {
 
     #[test]
     fn gla_stability_never_returns_a_smaller_state_at_the_same_proposer() {
-        let mut config = ProtocolConfig::default();
-        config.gla_stability = true;
+        let config = ProtocolConfig { gla_stability: true, ..ProtocolConfig::default() };
         let mut replicas = cluster(3, config);
 
         // Learn a large state first.

@@ -249,10 +249,7 @@ fn update_visibility_holds_for_every_replica_pair() {
 
             replicas[updater].submit(ClientId(0), Command::Update(CounterUpdate::Increment(7)));
             deliver_all(&mut replicas);
-            assert!(matches!(
-                replicas[updater].take_responses()[0].body,
-                ResponseBody::UpdateDone
-            ));
+            assert!(matches!(replicas[updater].take_responses()[0].body, ResponseBody::UpdateDone));
 
             replicas[reader].submit(ClientId(1), Command::Query(CounterQuery::Value));
             deliver_all(&mut replicas);
@@ -315,7 +312,7 @@ fn query_value(replica: &mut Replica<Counter>) -> i64 {
         .expect("query completed")
 }
 
-fn deliver_all(replicas: &mut Vec<Replica<Counter>>) {
+fn deliver_all(replicas: &mut [Replica<Counter>]) {
     loop {
         let mut envelopes = Vec::new();
         for replica in replicas.iter_mut() {

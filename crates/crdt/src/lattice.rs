@@ -101,7 +101,19 @@ where
 }
 
 /// Max lattice over a totally ordered type: join is `max`, order is `<=`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct Max<T>(T);
 
 impl<T: Ord + Clone + fmt::Debug> Max<T> {
@@ -137,7 +149,19 @@ impl<T: Ord + Clone + fmt::Debug> Lattice for Max<T> {
 ///
 /// This is the dual of [`Max`]; it is useful for monotonically *shrinking* quantities
 /// such as "earliest deadline seen".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct Min<T>(T);
 
 impl<T: Ord + Clone + fmt::Debug> Min<T> {
@@ -165,7 +189,19 @@ impl<T: Ord + Clone + fmt::Debug> Lattice for Min<T> {
 }
 
 /// Boolean "or" lattice: `false ⊑ true`, join is logical or.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct Flag(bool);
 
 impl Flag {

@@ -51,11 +51,7 @@ pub struct ORSet<T: Ord> {
 
 impl<T: Ord> Default for ORSet<T> {
     fn default() -> Self {
-        ORSet {
-            entries: BTreeMap::new(),
-            tombstones: BTreeSet::new(),
-            counters: BTreeMap::new(),
-        }
+        ORSet { entries: BTreeMap::new(), tombstones: BTreeSet::new(), counters: BTreeMap::new() }
     }
 }
 
@@ -145,10 +141,9 @@ impl<T: Ord + Clone + fmt::Debug> Lattice for ORSet<T> {
         let entries_leq = self.entries.iter().all(|(value, tags)| {
             other.entries.get(value).is_some_and(|other_tags| tags.leq(other_tags))
         });
-        let counters_leq = self
-            .counters
-            .iter()
-            .all(|(replica, &counter)| counter <= other.counters.get(replica).copied().unwrap_or(0));
+        let counters_leq = self.counters.iter().all(|(replica, &counter)| {
+            counter <= other.counters.get(replica).copied().unwrap_or(0)
+        });
         entries_leq && self.tombstones.leq(&other.tombstones) && counters_leq
     }
 }

@@ -12,7 +12,9 @@ use crate::vclock::VClock;
 
 /// Logical timestamp for last-writer-wins resolution: totally ordered by
 /// `(time, replica)` so ties between replicas break deterministically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LwwStamp {
     /// Logical or physical time of the write.
     pub time: u64,
@@ -229,12 +231,9 @@ impl<T: Ord + Clone + fmt::Debug> Lattice for MvRegister<T> {
     fn leq(&self, other: &Self) -> bool {
         // Every version we hold must be dominated by (or present in) the other side.
         self.versions.iter().all(|(clock, value)| {
-            other
-                .versions
-                .iter()
-                .any(|(other_clock, other_value)| {
-                    (clock, value) == (other_clock, other_value) || clock.leq(other_clock)
-                })
+            other.versions.iter().any(|(other_clock, other_value)| {
+                (clock, value) == (other_clock, other_value) || clock.leq(other_clock)
+            })
         })
     }
 }

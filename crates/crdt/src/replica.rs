@@ -7,7 +7,19 @@ use std::fmt;
 /// State-based CRDTs such as the G-Counter keep one payload slot per replica, so every
 /// update must know which replica it executes on (Algorithm 1, `my_replica_id()`).
 /// The same identifier doubles as the process identity of the replication protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct ReplicaId(pub u64);
 
 impl ReplicaId {

@@ -8,7 +8,7 @@
 use std::collections::BTreeSet;
 
 use crdt::{
-    Crdt, CounterUpdate, GCounter, GSet, GSetUpdate, Lattice, LatticeMap, LwwRegister, LwwStamp,
+    CounterUpdate, Crdt, GCounter, GSet, GSetUpdate, Lattice, LatticeMap, LwwRegister, LwwStamp,
     Max, MaxRegister, MvRegister, ORSet, ORSetUpdate, PNCounter, PnUpdate, ReplicaId, TwoPhaseSet,
     TwoPhaseSetUpdate, VClock,
 };
@@ -116,9 +116,8 @@ fn max_register_strategy() -> impl Strategy<Value = MaxRegister<u16>> {
 }
 
 fn map_strategy() -> impl Strategy<Value = LatticeMap<u8, Max<u16>>> {
-    proptest::collection::vec((any::<u8>(), any::<u16>()), 0..10).prop_map(|entries| {
-        entries.into_iter().map(|(k, v)| (k, Max::new(v))).collect()
-    })
+    proptest::collection::vec((any::<u8>(), any::<u16>()), 0..10)
+        .prop_map(|entries| entries.into_iter().map(|(k, v)| (k, Max::new(v))).collect())
 }
 
 /// Asserts the semilattice laws for three arbitrary states of one lattice type.

@@ -50,8 +50,7 @@ impl<P: ProcessId> QuorumSystem<P> for GridQuorum<P> {
 
     fn is_quorum(&self, acks: &BTreeSet<P>) -> bool {
         let full_row = (0..self.rows).any(|r| self.row(r).iter().all(|p| acks.contains(p)));
-        let one_of_each_row =
-            (0..self.rows).all(|r| self.row(r).iter().any(|p| acks.contains(p)));
+        let one_of_each_row = (0..self.rows).all(|r| self.row(r).iter().any(|p| acks.contains(p)));
         full_row && one_of_each_row
     }
 

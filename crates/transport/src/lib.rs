@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod memory;
+#[cfg(feature = "tcp")]
 pub mod tcp;
 
 use serde::de::DeserializeOwned;

@@ -47,7 +47,10 @@ impl MemoryNetwork {
             senders.insert(peer, tx);
             receivers.insert(peer, rx);
         }
-        MemoryNetwork { senders: Arc::new(RwLock::new(senders)), receivers: Arc::new(RwLock::new(receivers)) }
+        MemoryNetwork {
+            senders: Arc::new(RwLock::new(senders)),
+            receivers: Arc::new(RwLock::new(receivers)),
+        }
     }
 
     /// Returns the endpoint of `peer`, or `None` if the peer is unknown.

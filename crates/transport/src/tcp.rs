@@ -78,7 +78,8 @@ impl TcpMesh {
                 }
                 while let Some(frame) = rx.recv().await {
                     let len = (frame.len() as u32).to_le_bytes();
-                    if stream.write_all(&len).await.is_err() || stream.write_all(&frame).await.is_err()
+                    if stream.write_all(&len).await.is_err()
+                        || stream.write_all(&frame).await.is_err()
                     {
                         return;
                     }
@@ -99,7 +100,11 @@ impl TcpMesh {
     /// # Errors
     ///
     /// Returns an error if the peer is unknown or the message cannot be encoded.
-    pub async fn send<M: Serialize>(&self, peer: PeerId, message: &M) -> Result<(), TransportError> {
+    pub async fn send<M: Serialize>(
+        &self,
+        peer: PeerId,
+        message: &M,
+    ) -> Result<(), TransportError> {
         let bytes = wire::to_vec(message)?;
         let peers = self.peers.lock().await;
         let sender = peers.get(&peer).ok_or(TransportError::UnknownPeer(peer))?;

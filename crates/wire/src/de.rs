@@ -83,8 +83,9 @@ macro_rules! deserialize_unsigned {
     ($method:ident, $visit:ident, $ty:ty) => {
         fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
             let value = self.read_u64()?;
-            let narrowed = <$ty>::try_from(value)
-                .map_err(|_| Error::Message(format!("value {value} out of range for {}", stringify!($ty))))?;
+            let narrowed = <$ty>::try_from(value).map_err(|_| {
+                Error::Message(format!("value {value} out of range for {}", stringify!($ty)))
+            })?;
             visitor.$visit(narrowed)
         }
     };
@@ -94,14 +95,15 @@ macro_rules! deserialize_signed {
     ($method:ident, $visit:ident, $ty:ty) => {
         fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
             let value = self.read_i64()?;
-            let narrowed = <$ty>::try_from(value)
-                .map_err(|_| Error::Message(format!("value {value} out of range for {}", stringify!($ty))))?;
+            let narrowed = <$ty>::try_from(value).map_err(|_| {
+                Error::Message(format!("value {value} out of range for {}", stringify!($ty)))
+            })?;
             visitor.$visit(narrowed)
         }
     };
 }
 
-impl<'de, 'a> de::Deserializer<'de> for &'a mut Deserializer<'de> {
+impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
     type Error = Error;
 
     fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {

@@ -21,7 +21,8 @@ pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
 /// Returns an error if serialization fails or the encoded payload exceeds `u32::MAX`.
 pub fn encode_frame<T: Serialize + ?Sized>(value: &T, out: &mut BytesMut) -> Result<()> {
     let payload = crate::to_vec(value)?;
-    let len = u32::try_from(payload.len()).map_err(|_| Error::LengthOverflow(payload.len() as u64))?;
+    let len =
+        u32::try_from(payload.len()).map_err(|_| Error::LengthOverflow(payload.len() as u64))?;
     out.reserve(4 + payload.len());
     out.put_u32_le(len);
     out.put_slice(&payload);

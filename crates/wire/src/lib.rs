@@ -73,8 +73,8 @@ mod tests {
 
     #[test]
     fn roundtrip_primitives() {
-        assert_eq!(roundtrip(&true), true);
-        assert_eq!(roundtrip(&false), false);
+        assert!(roundtrip(&true));
+        assert!(!roundtrip(&false));
         assert_eq!(roundtrip(&0u8), 0u8);
         assert_eq!(roundtrip(&255u8), 255u8);
         assert_eq!(roundtrip(&u64::MAX), u64::MAX);

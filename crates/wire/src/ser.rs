@@ -325,7 +325,11 @@ impl<'a, 'b> ser::SerializeStruct for Compound<'a, 'b> {
     type Ok = ();
     type Error = Error;
 
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, _key: &'static str, value: &T) -> Result<()> {
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
         value.serialize(&mut *self.ser)
     }
 
@@ -338,7 +342,11 @@ impl<'a, 'b> ser::SerializeStructVariant for Compound<'a, 'b> {
     type Ok = ();
     type Error = Error;
 
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, _key: &'static str, value: &T) -> Result<()> {
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
         value.serialize(&mut *self.ser)
     }
 
@@ -355,7 +363,10 @@ mod tests {
     fn unknown_length_sequences_are_rejected() {
         struct Unsized;
         impl Serialize for Unsized {
-            fn serialize<S: ser::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+            fn serialize<S: ser::Serializer>(
+                &self,
+                serializer: S,
+            ) -> std::result::Result<S::Ok, S::Error> {
                 use serde::ser::SerializeSeq;
                 let mut seq = serializer.serialize_seq(None)?;
                 seq.serialize_element(&1u8)?;

@@ -144,7 +144,7 @@ pub fn encoded_len_u64(value: u64) -> usize {
     if value == 0 {
         1
     } else {
-        (64 - value.leading_zeros() as usize + 6) / 7
+        (64 - value.leading_zeros() as usize).div_ceil(7)
     }
 }
 
@@ -164,19 +164,9 @@ mod tests {
 
     #[test]
     fn u64_roundtrip_boundaries() {
-        for value in [
-            0,
-            1,
-            127,
-            128,
-            255,
-            256,
-            16383,
-            16384,
-            u32::MAX as u64,
-            u64::MAX - 1,
-            u64::MAX,
-        ] {
+        for value in
+            [0, 1, 127, 128, 255, 256, 16383, 16384, u32::MAX as u64, u64::MAX - 1, u64::MAX]
+        {
             assert_eq!(roundtrip_u64(value), value);
         }
     }

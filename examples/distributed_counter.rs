@@ -11,7 +11,9 @@
 use std::time::Duration;
 
 use crdt_paxos::crdt::{CounterQuery, CounterUpdate, GCounter, ReplicaId};
-use crdt_paxos::protocol::{ClientId, Command, Envelope, Message, ProtocolConfig, Replica, ResponseBody};
+use crdt_paxos::protocol::{
+    ClientId, Command, Envelope, Message, ProtocolConfig, Replica, ResponseBody,
+};
 use crdt_paxos::transport::tcp::TcpMesh;
 use tokio::sync::mpsc;
 
@@ -107,7 +109,9 @@ async fn main() {
         let (reply_tx, mut reply_rx) = mpsc::unbounded_channel();
         command_channels[replica].send((ClientCommand::Read, reply_tx)).unwrap();
         match reply_rx.recv().await {
-            Some(ResponseBody::QueryDone(value)) => println!("  read via replica {replica}: {value}"),
+            Some(ResponseBody::QueryDone(value)) => {
+                println!("  read via replica {replica}: {value}")
+            }
             other => println!("  read via replica {replica}: unexpected {other:?}"),
         }
     }

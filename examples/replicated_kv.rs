@@ -13,19 +13,15 @@ use crdt_paxos::protocol::{ProtocolConfig, ResponseBody};
 type Carts = LatticeMap<String, ORSet<String>>;
 
 fn add(cluster: &mut LocalCluster<Carts>, replica: usize, user: &str, item: &str) {
-    let update = MapUpdate::Apply {
-        key: user.to_string(),
-        update: ORSetUpdate::Insert(item.to_string()),
-    };
+    let update =
+        MapUpdate::Apply { key: user.to_string(), update: ORSetUpdate::Insert(item.to_string()) };
     cluster.update(replica, update);
     println!("  [replica {replica}] {user} adds {item}");
 }
 
 fn remove(cluster: &mut LocalCluster<Carts>, replica: usize, user: &str, item: &str) {
-    let update = MapUpdate::Apply {
-        key: user.to_string(),
-        update: ORSetUpdate::Remove(item.to_string()),
-    };
+    let update =
+        MapUpdate::Apply { key: user.to_string(), update: ORSetUpdate::Remove(item.to_string()) };
     cluster.update(replica, update);
     println!("  [replica {replica}] {user} removes {item}");
 }

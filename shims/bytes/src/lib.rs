@@ -1,0 +1,172 @@
+//! Minimal `bytes` stand-in: a growable byte buffer with cheap front-advance.
+//!
+//! Implements the subset of the upstream API used by this workspace:
+//! `BytesMut` with `Buf::advance` / `BufMut::{put_u32_le, put_slice}` semantics,
+//! `split_to`, `resize`, and `Deref`/`DerefMut` to `[u8]`.
+
+use std::ops::{Deref, DerefMut};
+
+/// A mutable, growable byte buffer.
+///
+/// Backed by a `Vec<u8>` plus a start offset so `advance`/`split_to` are O(1)
+/// bookkeeping until the next compaction.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new(), start: 0 }
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes of capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity), start: 0 }
+    }
+
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Returns `true` if no readable bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ensures space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.compact();
+        self.data.reserve(additional);
+    }
+
+    /// Appends `bytes` to the buffer.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Splits off and returns the first `count` readable bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the number of readable bytes.
+    pub fn split_to(&mut self, count: usize) -> BytesMut {
+        assert!(count <= self.len(), "split_to past end of buffer");
+        let head = self.as_slice()[..count].to_vec();
+        self.start += count;
+        self.maybe_compact();
+        BytesMut { data: head, start: 0 }
+    }
+
+    /// Resizes the readable region to `new_len`, filling with `fill` when growing.
+    pub fn resize(&mut self, new_len: usize, fill: u8) {
+        self.compact();
+        self.data.resize(new_len, fill);
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    fn maybe_compact(&mut self) {
+        // Reclaim memory once the dead prefix dominates the buffer.
+        if self.start > 4096 && self.start * 2 > self.data.len() {
+            self.compact();
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let start = self.start;
+        &mut self.data[start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({:?})", self.as_slice())
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(bytes: &[u8]) -> Self {
+        BytesMut { data: bytes.to_vec(), start: 0 }
+    }
+}
+
+/// Read-side methods (subset of the upstream `Buf` trait).
+pub trait Buf {
+    /// Discards the first `count` readable bytes.
+    fn advance(&mut self, count: usize);
+}
+
+impl Buf for BytesMut {
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the number of readable bytes.
+    fn advance(&mut self, count: usize) {
+        assert!(count <= self.len(), "advance past end of buffer");
+        self.start += count;
+        self.maybe_compact();
+    }
+}
+
+/// Write-side methods (subset of the upstream `BufMut` trait).
+pub trait BufMut {
+    /// Appends `bytes`.
+    fn put_slice(&mut self, bytes: &[u8]);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_advance_split() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u32_le(5);
+        buf.put_slice(b"hello");
+        assert_eq!(buf.len(), 9);
+        buf.advance(4);
+        let head = buf.split_to(3);
+        assert_eq!(&head[..], b"hel");
+        assert_eq!(&buf[..], b"lo");
+        buf.resize(4, 0);
+        assert_eq!(&buf[..], b"lo\0\0");
+    }
+}

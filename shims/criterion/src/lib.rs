@@ -1,0 +1,227 @@
+//! Minimal `criterion` stand-in: measures wall-clock time per iteration and
+//! prints one line per benchmark. When `SHIM_CRITERION_JSONL` names a file,
+//! each result is also appended as a JSON line (used to record baselines).
+
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque to the optimizer (re-export of `std::hint::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// How batched setup costs are amortized (accepted and ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Benchmark identifier (subset; unused helpers omitted).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        run_benchmark(None, &name.into(), self.default_sample_size, f);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        run_benchmark(Some(&self.name), &name.into(), self.sample_size, f);
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    name: &str,
+    sample_size: usize,
+    mut f: F,
+) {
+    let full_name = group.map(|g| format!("{g}/{name}")).unwrap_or_else(|| name.to_string());
+    let mut bencher = Bencher { samples: Vec::with_capacity(sample_size), sample_size };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("bench {full_name:<50} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let low = samples[0];
+    let high = samples[samples.len() - 1];
+    println!(
+        "bench {full_name:<50} median {} (range {} .. {})",
+        format_ns(median),
+        format_ns(low),
+        format_ns(high)
+    );
+    if let Ok(path) = std::env::var("SHIM_CRITERION_JSONL") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                file,
+                "{{\"name\":\"{full_name}\",\"median_ns\":{median},\"min_ns\":{low},\"max_ns\":{high},\"samples\":{}}}",
+                samples.len()
+            );
+        }
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<u64>,
+    sample_size: usize,
+}
+
+/// Target wall-clock budget for one sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(20);
+
+impl Bencher {
+    /// Measures a routine, timing batches of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibrate: how many iterations fit the per-sample budget?
+        let calibration_start = Instant::now();
+        black_box(routine());
+        let once = calibration_start.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as u64;
+            self.samples.push(elapsed / iters_per_sample);
+        }
+    }
+
+    /// Measures a routine with a per-iteration setup whose cost is excluded.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.sample_size {
+            // One batch of inputs per sample; time only the routine.
+            const BATCH: usize = 64;
+            let inputs: Vec<I> = (0..BATCH).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed().as_nanos() as u64;
+            self.samples.push(elapsed / BATCH as u64);
+        }
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_samples_and_reasonable_times() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_function("noop_loop", |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for i in 0..100u64 {
+                    total = total.wrapping_add(black_box(i));
+                }
+                total
+            });
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+}

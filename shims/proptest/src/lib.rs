@@ -1,0 +1,435 @@
+//! Minimal `proptest` stand-in: deterministic randomized property testing.
+//!
+//! Implements the subset of the upstream API used by this workspace —
+//! `proptest!`, `prop_oneof!`, `Strategy`/`prop_map`, `any::<T>()`, range and
+//! tuple strategies, and the `collection`/`option`/`bool` strategy modules.
+//! Cases are generated from a seed derived from the test name, so runs are
+//! reproducible; there is no shrinking.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-`proptest!` configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Overrides the number of cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Creates the deterministic RNG for one test case.
+pub fn test_rng(module: &str, test: &str, case: u32) -> StdRng {
+    let mut hasher = DefaultHasher::new();
+    module.hash(&mut hasher);
+    test.hash(&mut hasher);
+    case.hash(&mut hasher);
+    StdRng::seed_from_u64(hasher.finish())
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `map`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, map }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+/// Boxed generation closure stored by [`Union`].
+pub type GenFn<V> = Box<dyn Fn(&mut StdRng) -> V>;
+
+/// Strategy choosing uniformly between boxed alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<GenFn<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from generation closures.
+    pub fn new(options: Vec<GenFn<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let index = rng.gen_range(0..self.options.len());
+        (self.options[index])(rng)
+    }
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut StdRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> char {
+        // Mostly ASCII with occasional higher scalars.
+        match rng.gen_range(0..4u32) {
+            0..=2 => char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap_or('a'),
+            _ => char::from_u32(rng.gen_range(0xA0u32..0xD7FF)).unwrap_or('λ'),
+        }
+    }
+}
+
+/// Full-range strategy for an [`Arbitrary`] type.
+pub struct AnyStrategy<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T` (`any::<T>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { marker: std::marker::PhantomData }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (S0 0)
+    (S0 0, S1 1)
+    (S0 0, S1 1, S2 2)
+    (S0 0, S1 1, S2 2, S3 3)
+    (S0 0, S1 1, S2 2, S3 3, S4 4)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+}
+
+/// Strategy yielding a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+
+    fn generate(&self, _rng: &mut StdRng) -> V {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `btree_set`.
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` targeting a size drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates sets whose target size is drawn from `size` (duplicates may
+    /// make the actual size smaller, as in upstream proptest).
+    pub fn btree_set<S>(element: S, size: std::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` three quarters of the time, like upstream's default.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod bool {
+    //! `bool` strategies.
+
+    use super::{StdRng, Strategy};
+
+    /// The canonical strategy for `bool`.
+    pub struct BoolStrategy;
+
+    /// Uniformly random booleans.
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rand::Rng::next_u64(rng) & 1 == 1
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }` becomes
+/// a `#[test]` running `ProptestConfig::cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest_internal! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest_internal! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! proptest_internal {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:pat_param in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_rng(module_path!(), stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniformly chooses between several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(
+                {
+                    let __strategy = $strategy;
+                    Box::new(move |__rng: &mut $crate::StdRngAlias| {
+                        $crate::Strategy::generate(&__strategy, __rng)
+                    }) as Box<dyn Fn(&mut $crate::StdRngAlias) -> _>
+                }
+            ),+
+        ])
+    };
+}
+
+/// RNG type used by generated code (an implementation detail).
+#[doc(hidden)]
+pub type StdRngAlias = rand::rngs::StdRng;
+
+/// Property assertion (no shrinking, so this is a plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn small() -> impl Strategy<Value = u8> {
+        prop_oneof![0u8..10, 200u8..255]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(value in 3u64..17, flag in crate::bool::ANY) {
+            prop_assert!((3..17).contains(&value));
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_and_collections((a, b) in (small(), small()), items in crate::collection::vec(0u32..5, 0..8)) {
+            prop_assert!(!(10..200).contains(&a));
+            prop_assert!(!(10..200).contains(&b));
+            prop_assert!(items.len() < 8);
+            prop_assert!(items.iter().all(|&i| i < 5));
+        }
+
+        #[test]
+        fn mapping_applies(doubled in (0u64..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_rng("m", "t", 3);
+        let mut b = crate::test_rng("m", "t", 3);
+        let strategy = crate::collection::vec(0u64..100, 1..10);
+        assert_eq!(strategy.generate(&mut a), strategy.generate(&mut b));
+    }
+}

@@ -1,0 +1,14 @@
+//! Minimal `serde` stand-in implementing the serde data model: the
+//! `Serialize`/`Deserialize` traits, the `Serializer`/`Deserializer` traits with
+//! their compound/visitor machinery, impls for the std types used in this
+//! workspace, and re-exported derive macros compatible with this shim.
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

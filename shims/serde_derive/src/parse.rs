@@ -1,0 +1,413 @@
+//! Hand-rolled parser for derive input token streams.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed generic parameters.
+pub struct Generics {
+    /// Text inside the `<...>` declaration (bounds included), empty if none.
+    pub decl: String,
+    /// Argument list for the self type (lifetimes + type param names, in order).
+    pub args: Vec<String>,
+    /// Type parameter names only (targets for default serde bounds).
+    pub type_params: Vec<String>,
+    /// Text of the type's own `where` clause predicates, empty if none.
+    pub where_predicates: String,
+}
+
+/// `#[serde(bound(serialize = "…", deserialize = "…"))]` overrides.
+#[derive(Default)]
+pub struct SerdeBounds {
+    pub serialize: Option<String>,
+    pub deserialize: Option<String>,
+}
+
+/// Field list of a struct or enum variant.
+pub enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// One enum variant.
+pub struct Variant {
+    pub name: String,
+    pub fields: Fields,
+}
+
+/// Struct or enum payload.
+pub enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+/// Fully parsed derive input.
+pub struct Input {
+    pub name: String,
+    pub generics: Generics,
+    pub data: Data,
+    pub bounds: SerdeBounds,
+}
+
+/// Parses a derive input item.
+pub fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    let mut bounds = SerdeBounds::default();
+
+    // Outer attributes (doc comments, #[non_exhaustive], #[serde(bound(...))], …).
+    while matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        pos += 1;
+        let TokenTree::Group(group) = tokens.get(pos).ok_or("truncated attribute")? else {
+            return Err("expected [...] after #".into());
+        };
+        parse_attribute(group.stream(), &mut bounds)?;
+        pos += 1;
+    }
+
+    // Visibility.
+    if matches!(tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        pos += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            pos += 1;
+        }
+    }
+
+    // `struct` or `enum` keyword and the type name.
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("serde_derive shim cannot derive for `{kind}` items"));
+    }
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    pos += 1;
+
+    // Generic parameter list.
+    let mut generic_tokens: Vec<TokenTree> = Vec::new();
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        pos += 1;
+        let mut depth = 1usize;
+        loop {
+            let token = tokens.get(pos).ok_or("unterminated generic parameter list")?.clone();
+            if let TokenTree::Punct(punct) = &token {
+                match punct.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            pos += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            generic_tokens.push(token);
+            pos += 1;
+        }
+    }
+    let mut generics = parse_generics(&generic_tokens)?;
+
+    // Optional where clause (between generics and the body for named structs
+    // and enums; tuple structs put it after the parens — handled below).
+    let mut where_tokens: Vec<TokenTree> = Vec::new();
+    if matches!(tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "where") {
+        pos += 1;
+        while let Some(token) = tokens.get(pos) {
+            let done = match token {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => true,
+                TokenTree::Punct(p) if p.as_char() == ';' => true,
+                _ => false,
+            };
+            if done {
+                break;
+            }
+            where_tokens.push(token.clone());
+            pos += 1;
+        }
+    }
+
+    let data = if kind == "struct" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(group.stream())?))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(group.stream());
+                pos += 1;
+                // `struct T(..) where ...;`
+                if matches!(tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "where")
+                {
+                    pos += 1;
+                    while let Some(token) = tokens.get(pos) {
+                        if matches!(token, TokenTree::Punct(p) if p.as_char() == ';') {
+                            break;
+                        }
+                        where_tokens.push(token.clone());
+                        pos += 1;
+                    }
+                }
+                Data::Struct(Fields::Tuple(arity))
+            }
+            Some(TokenTree::Punct(punct)) if punct.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(group.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        }
+    };
+
+    generics.where_predicates = tokens_to_string(&where_tokens);
+    Ok(Input { name, generics, data, bounds })
+}
+
+/// Extracts `#[serde(bound(...))]` from one attribute body (the tokens inside
+/// the `[...]`), rejecting other serde attributes.
+fn parse_attribute(stream: TokenStream, bounds: &mut SerdeBounds) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let is_serde = matches!(tokens.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+    if !is_serde {
+        return Ok(());
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return Err("malformed #[serde] attribute".into());
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let Some(TokenTree::Ident(directive)) = args.first() else {
+        return Err("malformed #[serde(...)] attribute".into());
+    };
+    if directive.to_string() != "bound" {
+        return Err(format!(
+            "unsupported serde attribute `{directive}`; the shim only supports #[serde(bound(...))]"
+        ));
+    }
+    let Some(TokenTree::Group(bound_args)) = args.get(1) else {
+        return Err("malformed #[serde(bound(...))] attribute".into());
+    };
+    let parts: Vec<TokenTree> = bound_args.stream().into_iter().collect();
+    let mut index = 0usize;
+    while index < parts.len() {
+        let TokenTree::Ident(key) = &parts[index] else {
+            return Err("expected serialize/deserialize key in #[serde(bound(...))]".into());
+        };
+        let key = key.to_string();
+        if !matches!(parts.get(index + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err("expected `=` in #[serde(bound(...))]".into());
+        }
+        let Some(TokenTree::Literal(value)) = parts.get(index + 2) else {
+            return Err("expected string literal in #[serde(bound(...))]".into());
+        };
+        let text = value.to_string();
+        let text = text
+            .strip_prefix('"')
+            .and_then(|t| t.strip_suffix('"'))
+            .ok_or("expected plain string literal in #[serde(bound(...))]")?
+            .to_string();
+        match key.as_str() {
+            "serialize" => bounds.serialize = Some(text),
+            "deserialize" => bounds.deserialize = Some(text),
+            other => return Err(format!("unsupported bound key `{other}`")),
+        }
+        index += 3;
+        if matches!(parts.get(index), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            index += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Splits generic parameter tokens into declaration text, self-type args, and
+/// type parameter names.
+fn parse_generics(tokens: &[TokenTree]) -> Result<Generics, String> {
+    let decl = tokens_to_string(tokens);
+    let mut args = Vec::new();
+    let mut type_params = Vec::new();
+
+    let mut depth = 0usize;
+    let mut at_param_start = true;
+    let mut index = 0usize;
+    while index < tokens.len() {
+        match &tokens[index] {
+            TokenTree::Punct(punct) => match punct.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => at_param_start = true,
+                '\'' if depth == 0 && at_param_start => {
+                    // Lifetime parameter: '<lifetime-name>.
+                    let TokenTree::Ident(lifetime) =
+                        tokens.get(index + 1).ok_or("dangling lifetime quote in generics")?
+                    else {
+                        return Err("dangling lifetime quote in generics".into());
+                    };
+                    args.push(format!("'{lifetime}"));
+                    at_param_start = false;
+                    index += 1;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(ident) if depth == 0 && at_param_start => {
+                let text = ident.to_string();
+                if text == "const" {
+                    // `const N: usize` — the next ident is the parameter name.
+                    let TokenTree::Ident(const_name) =
+                        tokens.get(index + 1).ok_or("dangling const in generics")?
+                    else {
+                        return Err("dangling const in generics".into());
+                    };
+                    args.push(const_name.to_string());
+                    index += 1;
+                } else {
+                    args.push(text.clone());
+                    type_params.push(text);
+                }
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        index += 1;
+    }
+
+    Ok(Generics { decl, args, type_params, where_predicates: String::new() })
+}
+
+/// Parses `name: Type` field lists, returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        // Field attributes and visibility.
+        while matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            pos += 2;
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            pos += 1;
+            if matches!(tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                pos += 1;
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.get(pos) else {
+            if tokens.get(pos).is_none() {
+                break;
+            }
+            return Err(format!("expected field name, found {:?}", tokens.get(pos)));
+        };
+        fields.push(field.to_string());
+        pos += 1;
+        if !matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{}`", fields.last().unwrap()));
+        }
+        pos += 1;
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0usize;
+        let mut previous_dash = false;
+        while let Some(token) = tokens.get(pos) {
+            if let TokenTree::Punct(punct) = token {
+                match punct.as_char() {
+                    '<' => depth += 1,
+                    '>' if !previous_dash => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                previous_dash = punct.as_char() == '-';
+            } else {
+                previous_dash = false;
+            }
+            pos += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut depth = 0usize;
+    let mut previous_dash = false;
+    let mut saw_tokens_since_comma = false;
+    for token in &tokens {
+        if let TokenTree::Punct(punct) = token {
+            match punct.as_char() {
+                '<' => depth += 1,
+                '>' if !previous_dash => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    count += 1;
+                    saw_tokens_since_comma = false;
+                    previous_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            previous_dash = punct.as_char() == '-';
+        } else {
+            previous_dash = false;
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        // Trailing comma.
+        count -= 1;
+    }
+    count
+}
+
+/// Parses enum variants.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        while matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            pos += 2;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            if tokens.get(pos).is_none() {
+                break;
+            }
+            return Err(format!("expected variant name, found {:?}", tokens.get(pos)));
+        };
+        let name = name.to_string();
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(group.stream())?)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(group.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!("explicit discriminants are not supported (variant `{name}`)"));
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+}

@@ -1,0 +1,68 @@
+//! Async read/write extension traits (subset used by this workspace).
+
+use std::future::poll_fn;
+use std::io;
+use std::task::Poll;
+
+use crate::net::TcpStream;
+
+/// Async reading helpers (subset of upstream `AsyncReadExt`).
+pub trait AsyncReadExt {
+    /// Reads exactly `buf.len()` bytes.
+    fn read_exact(
+        &mut self,
+        buf: &mut [u8],
+    ) -> impl std::future::Future<Output = io::Result<usize>>;
+}
+
+/// Async writing helpers (subset of upstream `AsyncWriteExt`).
+pub trait AsyncWriteExt {
+    /// Writes the whole buffer.
+    fn write_all(&mut self, buf: &[u8]) -> impl std::future::Future<Output = io::Result<()>>;
+}
+
+impl AsyncReadExt for TcpStream {
+    async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut filled = 0usize;
+        poll_fn(|_cx| {
+            while filled < buf.len() {
+                match self.poll_read(&mut buf[filled..]) {
+                    Poll::Ready(Ok(0)) => {
+                        return Poll::Ready(Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-read",
+                        )))
+                    }
+                    Poll::Ready(Ok(n)) => filled += n,
+                    Poll::Ready(Err(err)) => return Poll::Ready(Err(err)),
+                    Poll::Pending => return Poll::Pending,
+                }
+            }
+            Poll::Ready(Ok(filled))
+        })
+        .await
+    }
+}
+
+impl AsyncWriteExt for TcpStream {
+    async fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut written = 0usize;
+        poll_fn(|_cx| {
+            while written < buf.len() {
+                match self.poll_write(&buf[written..]) {
+                    Poll::Ready(Ok(0)) => {
+                        return Poll::Ready(Err(io::Error::new(
+                            io::ErrorKind::WriteZero,
+                            "connection closed mid-write",
+                        )))
+                    }
+                    Poll::Ready(Ok(n)) => written += n,
+                    Poll::Ready(Err(err)) => return Poll::Ready(Err(err)),
+                    Poll::Pending => return Poll::Pending,
+                }
+            }
+            Poll::Ready(Ok(()))
+        })
+        .await
+    }
+}

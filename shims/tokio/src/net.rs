@@ -1,0 +1,82 @@
+//! Async TCP over non-blocking `std::net` sockets.
+
+use std::future::poll_fn;
+use std::io::{self, Read, Write};
+use std::net::{self, SocketAddr, ToSocketAddrs};
+use std::task::Poll;
+
+/// A TCP listener accepting connections asynchronously.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: net::TcpListener,
+}
+
+impl TcpListener {
+    /// Binds to `addr` and starts listening.
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let inner = net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// Accepts the next inbound connection.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        poll_fn(|_cx| match self.inner.accept() {
+            Ok((stream, addr)) => {
+                if let Err(err) = stream.set_nonblocking(true) {
+                    return Poll::Ready(Err(err));
+                }
+                Poll::Ready(Ok((TcpStream { inner: stream }, addr)))
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => Poll::Pending,
+            Err(err) => Poll::Ready(Err(err)),
+        })
+        .await
+    }
+
+    /// The local address the listener is bound to.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+/// An async TCP connection.
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: net::TcpStream,
+}
+
+impl TcpStream {
+    /// Connects to `addr`.
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        // The blocking connect happens on this task's dedicated thread.
+        let inner = net::TcpStream::connect(addr)?;
+        inner.set_nodelay(true).ok();
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    pub(crate) fn poll_read(&mut self, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        match self.inner.read(buf) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => Poll::Pending,
+            Err(err) => Poll::Ready(Err(err)),
+        }
+    }
+
+    pub(crate) fn poll_write(&mut self, buf: &[u8]) -> Poll<io::Result<usize>> {
+        match self.inner.write(buf) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => Poll::Pending,
+            Err(err) => Poll::Ready(Err(err)),
+        }
+    }
+}

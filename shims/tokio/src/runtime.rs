@@ -1,0 +1,146 @@
+//! Spin-polling executor: `block_on`, `spawn`, and `JoinHandle`.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+use std::time::Duration;
+
+/// How long the executor sleeps between polls of a pending future.
+const POLL_INTERVAL: Duration = Duration::from_micros(100);
+
+fn noop_waker() -> Waker {
+    const VTABLE: RawWakerVTable =
+        RawWakerVTable::new(|_| RawWaker::new(std::ptr::null(), &VTABLE), |_| {}, |_| {}, |_| {});
+    // SAFETY: the vtable functions do nothing and carry no data.
+    unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+}
+
+/// Runs a future to completion on the current thread by polling at a fixed
+/// interval.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future = Box::pin(future);
+    let waker = noop_waker();
+    let mut context = Context::from_waker(&waker);
+    loop {
+        match future.as_mut().poll(&mut context) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Error returned by awaiting a [`JoinHandle`] whose task was aborted.
+#[derive(Debug)]
+pub struct JoinError;
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("task was aborted or panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Handle to a spawned task.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    result: mpsc::Receiver<T>,
+    aborted: Arc<AtomicBool>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Requests the task to stop at its next poll point.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match self.result.try_recv() {
+            Ok(value) => Poll::Ready(Ok(value)),
+            Err(mpsc::TryRecvError::Empty) => Poll::Pending,
+            Err(mpsc::TryRecvError::Disconnected) => Poll::Ready(Err(JoinError)),
+        }
+    }
+}
+
+/// Spawns a future on a dedicated OS thread driven by a spin-polling executor.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let (result_tx, result_rx) = mpsc::channel();
+    let aborted = Arc::new(AtomicBool::new(false));
+    let abort_flag = Arc::clone(&aborted);
+    std::thread::spawn(move || {
+        let mut future = Box::pin(future);
+        let waker = noop_waker();
+        let mut context = Context::from_waker(&waker);
+        loop {
+            if abort_flag.load(Ordering::Acquire) {
+                return;
+            }
+            match future.as_mut().poll(&mut context) {
+                Poll::Ready(value) => {
+                    let _ = result_tx.send(value);
+                    return;
+                }
+                Poll::Pending => std::thread::sleep(POLL_INTERVAL),
+            }
+        }
+    });
+    JoinHandle { result: result_rx, aborted }
+}
+
+/// Outcome carrier for two-branch [`crate::select!`].
+#[doc(hidden)]
+pub enum Select2<A, B> {
+    C0(A),
+    C1(B),
+}
+
+/// Outcome carrier for three-branch [`crate::select!`].
+#[doc(hidden)]
+pub enum Select3<A, B, C> {
+    C0(A),
+    C1(B),
+    C2(C),
+}
+
+/// Outcome carrier for four-branch [`crate::select!`].
+#[doc(hidden)]
+pub enum Select4<A, B, C, D> {
+    C0(A),
+    C1(B),
+    C2(C),
+    C3(D),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_and_spawn_round_trip() {
+        let handle = spawn(async { 2 + 3 });
+        let value = block_on(async move { handle.await.unwrap() });
+        assert_eq!(value, 5);
+    }
+
+    #[test]
+    fn aborted_tasks_report_join_error() {
+        let handle = spawn(async {
+            crate::time::sleep(Duration::from_secs(60)).await;
+            1
+        });
+        handle.abort();
+        assert!(block_on(handle).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Async synchronization primitives: unbounded mpsc channels and an async
+//! mutex (subset used by this workspace).
+
+use std::collections::VecDeque;
+use std::future::poll_fn;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::Poll;
+
+pub mod mpsc {
+    //! Unbounded multi-producer single-consumer channels.
+
+    use super::*;
+
+    struct Shared<T> {
+        queue: std::sync::Mutex<VecDeque<T>>,
+        senders: AtomicUsize,
+    }
+
+    /// Error returned when the receiver has been dropped.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("channel closed")
+        }
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct UnboundedSender<T> {
+        shared: Arc<Shared<T>>,
+        receiver_alive: Arc<AtomicBool>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct UnboundedReceiver<T> {
+        shared: Arc<Shared<T>>,
+        receiver_alive: Arc<AtomicBool>,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: std::sync::Mutex::new(VecDeque::new()),
+            senders: AtomicUsize::new(1),
+        });
+        let receiver_alive = Arc::new(AtomicBool::new(true));
+        (
+            UnboundedSender {
+                shared: Arc::clone(&shared),
+                receiver_alive: Arc::clone(&receiver_alive),
+            },
+            UnboundedReceiver { shared, receiver_alive },
+        )
+    }
+
+    impl<T> UnboundedSender<T> {
+        /// Enqueues a message; fails if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if !self.receiver_alive.load(Ordering::Acquire) {
+                return Err(SendError(value));
+            }
+            self.shared.queue.lock().unwrap().push_back(value);
+            Ok(())
+        }
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        /// Waits for the next message; `None` once all senders are dropped and
+        /// the queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            poll_fn(|_cx| {
+                let mut queue = self.shared.queue.lock().unwrap();
+                if let Some(value) = queue.pop_front() {
+                    return Poll::Ready(Some(value));
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Poll::Ready(None);
+                }
+                Poll::Pending
+            })
+            .await
+        }
+
+        /// Dequeues a message if one is ready.
+        pub fn try_recv(&mut self) -> Option<T> {
+            self.shared.queue.lock().unwrap().pop_front()
+        }
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            UnboundedSender {
+                shared: Arc::clone(&self.shared),
+                receiver_alive: Arc::clone(&self.receiver_alive),
+            }
+        }
+    }
+
+    impl<T> Drop for UnboundedSender<T> {
+        fn drop(&mut self) {
+            self.shared.senders.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    impl<T> Drop for UnboundedReceiver<T> {
+        fn drop(&mut self) {
+            self.receiver_alive.store(false, Ordering::Release);
+        }
+    }
+
+    impl<T> std::fmt::Debug for UnboundedSender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("UnboundedSender")
+        }
+    }
+
+    impl<T> std::fmt::Debug for UnboundedReceiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("UnboundedReceiver")
+        }
+    }
+}
+
+/// An async mutex implemented as a polled spinlock. The guard is `Send`, so it
+/// may be held across `.await` points.
+pub struct Mutex<T: ?Sized> {
+    locked: AtomicBool,
+    value: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: access to `value` is serialized by the `locked` flag.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a new async mutex.
+    pub fn new(value: T) -> Self {
+        Mutex { locked: AtomicBool::new(false), value: std::cell::UnsafeCell::new(value) }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock.
+    pub async fn lock(&self) -> MutexGuard<'_, T> {
+        poll_fn(|_cx| {
+            if self
+                .locked
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                Poll::Ready(MutexGuard { mutex: self })
+            } else {
+                Poll::Pending
+            }
+        })
+        .await
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Mutex(..)")
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+// SAFETY: the guard owns the lock; the data it protects is Send.
+unsafe impl<T: ?Sized + Send> Send for MutexGuard<'_, T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for MutexGuard<'_, T> {}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the lock is held.
+        unsafe { &*self.mutex.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the lock is held exclusively.
+        unsafe { &mut *self.mutex.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on;
+
+    #[test]
+    fn channel_delivers_in_order() {
+        block_on(async {
+            let (tx, mut rx) = mpsc::unbounded_channel();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv().await, Some(1));
+            assert_eq!(rx.recv().await, Some(2));
+            drop(tx);
+            assert_eq!(rx.recv().await, None);
+        });
+    }
+
+    #[test]
+    fn mutex_provides_exclusive_access() {
+        block_on(async {
+            let mutex = Mutex::new(10);
+            {
+                let mut guard = mutex.lock().await;
+                *guard += 1;
+            }
+            assert_eq!(*mutex.lock().await, 11);
+        });
+    }
+}

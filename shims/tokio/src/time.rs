@@ -1,0 +1,57 @@
+//! Timers: `sleep` and `interval` (subset used by this workspace).
+
+use std::future::poll_fn;
+use std::task::Poll;
+use std::time::{Duration, Instant};
+
+/// Completes once `duration` has elapsed.
+pub async fn sleep(duration: Duration) {
+    let deadline = Instant::now() + duration;
+    poll_fn(|_cx| if Instant::now() >= deadline { Poll::Ready(()) } else { Poll::Pending }).await
+}
+
+/// Creates an interval timer; the first tick completes immediately.
+pub fn interval(period: Duration) -> Interval {
+    Interval { period, next: Instant::now() }
+}
+
+/// Ticks at a fixed period.
+#[derive(Debug)]
+pub struct Interval {
+    period: Duration,
+    next: Instant,
+}
+
+impl Interval {
+    /// Waits until the next tick.
+    pub async fn tick(&mut self) -> Instant {
+        let deadline = self.next;
+        poll_fn(|_cx| if Instant::now() >= deadline { Poll::Ready(()) } else { Poll::Pending })
+            .await;
+        self.next = deadline.max(Instant::now() - self.period) + self.period;
+        Instant::now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on;
+
+    #[test]
+    fn sleep_waits_roughly_the_requested_time() {
+        let start = Instant::now();
+        block_on(sleep(Duration::from_millis(20)));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn interval_first_tick_is_immediate() {
+        block_on(async {
+            let mut interval = interval(Duration::from_millis(50));
+            let start = Instant::now();
+            interval.tick().await;
+            assert!(start.elapsed() < Duration::from_millis(40));
+        });
+    }
+}

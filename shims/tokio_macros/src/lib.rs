@@ -1,0 +1,65 @@
+//! `#[tokio::main]` / `#[tokio::test]` for the tokio shim: rewrite an
+//! `async fn` into a sync fn that drives the body with the shim's `block_on`.
+//! Attribute arguments (`flavor`, `worker_threads`, …) are accepted and
+//! ignored — the shim runtime is always thread-per-task.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+fn rewrite(item: TokenStream, test: bool) -> TokenStream {
+    let mut tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // The function body is the trailing brace group.
+    let body = match tokens.pop() {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group.stream(),
+        other => {
+            let found = other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into());
+            return format!(
+                "compile_error!(\"#[tokio::main]/#[tokio::test] requires an async fn body, found {found}\");"
+            )
+            .parse()
+            .unwrap();
+        }
+    };
+
+    // Drop the first top-level `async` keyword.
+    let mut signature: Vec<TokenTree> = Vec::new();
+    let mut removed_async = false;
+    for token in tokens {
+        if !removed_async {
+            if let TokenTree::Ident(ident) = &token {
+                if ident.to_string() == "async" {
+                    removed_async = true;
+                    continue;
+                }
+            }
+        }
+        signature.push(token);
+    }
+    if !removed_async {
+        return "compile_error!(\"#[tokio::main]/#[tokio::test] requires an async fn\");"
+            .parse()
+            .unwrap();
+    }
+
+    let wrapped: TokenStream =
+        format!("::tokio::runtime::block_on(async move {{ {body} }})").parse().unwrap();
+    let mut out: Vec<TokenTree> = Vec::new();
+    if test {
+        out.extend("#[test]".parse::<TokenStream>().unwrap());
+    }
+    out.extend(signature);
+    out.push(TokenTree::Group(Group::new(Delimiter::Brace, wrapped)));
+    out.into_iter().collect()
+}
+
+/// Runs an async `main` on the shim runtime.
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+/// Runs an async test on the shim runtime.
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}

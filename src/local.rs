@@ -108,14 +108,8 @@ mod tests {
         let mut cluster = LocalCluster::<GCounter>::new(3, ProtocolConfig::default());
         assert_eq!(cluster.len(), 3);
         assert!(!cluster.is_empty());
-        assert!(matches!(
-            cluster.update(0, CounterUpdate::Increment(2)),
-            ResponseBody::UpdateDone
-        ));
-        assert!(matches!(
-            cluster.update(1, CounterUpdate::Increment(3)),
-            ResponseBody::UpdateDone
-        ));
+        assert!(matches!(cluster.update(0, CounterUpdate::Increment(2)), ResponseBody::UpdateDone));
+        assert!(matches!(cluster.update(1, CounterUpdate::Increment(3)), ResponseBody::UpdateDone));
         assert_eq!(cluster.query(2, CounterQuery::Value), ResponseBody::QueryDone(5));
         assert!(cluster.replica(0).metrics().updates_completed >= 1);
     }

@@ -1,0 +1,22 @@
+//! Workspace smoke test: every example and bench target must keep compiling.
+//!
+//! `cargo test` only builds lib/bin/test targets, so a broken example or
+//! criterion bench would otherwise go unnoticed until someone runs
+//! `cargo bench`. This test shells out to `cargo check` over the whole
+//! workspace with those targets enabled.
+
+use std::process::Command;
+
+#[test]
+fn examples_and_benches_check_green() {
+    let output = Command::new(env!("CARGO"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(["check", "--workspace", "--examples", "--benches", "--quiet"])
+        .output()
+        .expect("failed to launch cargo check");
+    assert!(
+        output.status.success(),
+        "cargo check --workspace --examples --benches failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
