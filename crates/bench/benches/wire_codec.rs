@@ -1,19 +1,39 @@
-//! Micro-benchmarks of the wire codec: encoding/decoding protocol messages.
+//! Micro-benchmarks of the wire codec: encoding/decoding protocol messages,
+//! including the full-vs-delta MERGE payload comparison (64-slot counter case).
 
-use crdt::{GCounter, ReplicaId};
-use crdt_paxos_core::{Message, RequestId, Round, RoundId};
+use crdt::{DeltaCrdt, GCounter, ReplicaId};
+use crdt_paxos_core::{Message, Payload, RequestId, Round, RoundId};
 use criterion::{criterion_group, criterion_main, Criterion};
 
-fn sample_message(slots: u64) -> Message<GCounter> {
+fn wide_state(slots: u64) -> GCounter {
     let mut state = GCounter::new();
     for replica in 0..slots {
         state.increment(ReplicaId::new(replica), replica * 1000 + 17);
     }
+    state
+}
+
+fn sample_message(slots: u64) -> Message<GCounter> {
     Message::PrepareAck {
         request: RequestId(42),
         round: Round::new(7, RoundId::proposer(3, ReplicaId::new(1))),
-        state,
+        state: wide_state(slots),
     }
+}
+
+/// The MERGE a proposer sends in `Full` mode after one increment on a wide counter.
+fn merge_full(slots: u64) -> Message<GCounter> {
+    let mut state = wide_state(slots);
+    state.increment(ReplicaId::new(0), 1);
+    Message::Merge { request: RequestId(42), payload: Payload::Full(state) }
+}
+
+/// The same MERGE in `DeltaWhenPossible` mode: a single-slot delta.
+fn merge_delta(slots: u64) -> Message<GCounter> {
+    let known = wide_state(slots);
+    let mut state = known.clone();
+    state.increment(ReplicaId::new(0), 1);
+    Message::Merge { request: RequestId(42), payload: Payload::Delta(state.delta_since(&known)) }
 }
 
 fn bench_wire(c: &mut Criterion) {
@@ -31,6 +51,15 @@ fn bench_wire(c: &mut Criterion) {
                 let decoded: Message<GCounter> = wire::from_slice(&encoded).unwrap();
                 decoded.kind()
             });
+        });
+    }
+
+    for (label, message) in [
+        ("encode_merge_full_64_slots", merge_full(64)),
+        ("encode_merge_delta_64_slots", merge_delta(64)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| wire::to_vec(&message).unwrap().len());
         });
     }
 

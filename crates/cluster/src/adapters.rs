@@ -10,7 +10,7 @@ use baselines::paxos::{PaxosConfig, PaxosMessage, PaxosReplica};
 use baselines::raft::{RaftConfig, RaftMessage, RaftReplica};
 use baselines::{CounterOp, CounterRegister, NodeId, ReplyBody, Request};
 use crdt::{CounterQuery, CounterUpdate, GCounter, ReplicaId};
-use crdt_paxos_core::{ClientId, Command, ProtocolConfig, Replica, ResponseBody};
+use crdt_paxos_core::{ClientId, Command, ProtocolConfig, Replica, ResponseBody, WireMetrics};
 
 use crate::sim::{SimNode, SimOp, SimOutcome, SimReply};
 
@@ -18,6 +18,9 @@ use crate::sim::{SimNode, SimOp, SimOutcome, SimReply};
 #[derive(Debug)]
 pub struct CrdtPaxosNode {
     inner: Replica<GCounter>,
+    /// Encode every outgoing message with the `wire` codec and account its size in
+    /// the replica's [`WireMetrics`] (costs one serialization per message).
+    measure_wire: bool,
 }
 
 impl CrdtPaxosNode {
@@ -26,7 +29,15 @@ impl CrdtPaxosNode {
         let member_ids: Vec<ReplicaId> = members.iter().map(|&m| ReplicaId::new(m)).collect();
         CrdtPaxosNode {
             inner: Replica::new(ReplicaId::new(id), member_ids, GCounter::default(), config),
+            measure_wire: false,
         }
+    }
+
+    /// Enables or disables encoded-bytes accounting for outgoing messages.
+    #[must_use]
+    pub fn with_wire_accounting(mut self, enabled: bool) -> Self {
+        self.measure_wire = enabled;
+        self
     }
 
     /// Access to the wrapped replica (metrics, state).
@@ -59,11 +70,22 @@ impl SimNode for CrdtPaxosNode {
     }
 
     fn drain_messages(&mut self) -> Vec<(u64, Self::Message)> {
-        self.inner
-            .take_outbox()
-            .into_iter()
-            .map(|envelope| (envelope.to.as_u64(), envelope.message))
-            .collect()
+        let envelopes = self.inner.take_outbox();
+        if self.measure_wire {
+            for envelope in &envelopes {
+                // Protocol messages must always encode; failing silently here would
+                // quietly undercount the byte-reduction figures.
+                let bytes = wire::to_vec(&envelope.message).expect("protocol messages encode");
+                // Key state-bearing messages by payload representation too
+                // ("MERGE:full" / "MERGE:delta"), so one run shows both.
+                let kind = match envelope.message.payload() {
+                    Some(payload) => format!("{}:{}", envelope.message.kind(), payload.kind()),
+                    None => envelope.message.kind().to_string(),
+                };
+                self.inner.record_wire_bytes(&kind, bytes.len() as u64);
+            }
+        }
+        envelopes.into_iter().map(|envelope| (envelope.to.as_u64(), envelope.message)).collect()
     }
 
     fn drain_replies(&mut self) -> Vec<SimReply> {
@@ -79,6 +101,14 @@ impl SimNode for CrdtPaxosNode {
                 SimReply { client: response.client.0, outcome, round_trips: response.round_trips }
             })
             .collect()
+    }
+
+    fn wire_metrics(&self) -> Option<WireMetrics> {
+        if self.measure_wire {
+            Some(self.inner.metrics().wire.clone())
+        } else {
+            None
+        }
     }
 }
 

@@ -39,16 +39,27 @@ pub use linearizability::{check_counter_history, HistoryOp, OpKind, Violation};
 pub use sim::{
     run_simulation, CrashEvent, SimConfig, SimNode, SimOp, SimOutcome, SimReply, SimResult,
 };
-pub use stats::{IntervalStats, LatencyStats};
+pub use stats::{wire_reduction, IntervalStats, LatencyStats};
 pub use workload::{ClientWorkload, WorkloadMix};
+
+// Byte-accounting types, re-exported so analysis code does not need to depend on the
+// protocol core directly.
+pub use crdt_paxos_core::{KindBytes, WireMetrics};
 
 use baselines::paxos::PaxosConfig;
 use baselines::raft::RaftConfig;
 use crdt_paxos_core::ProtocolConfig;
 
 /// Runs one experiment with CRDT Paxos replicas under the given protocol configuration.
+///
+/// When [`SimConfig::measure_wire_bytes`] is set, every replica-to-replica message is
+/// encoded with the `wire` codec and [`SimResult::wire`] reports bytes per message
+/// kind — the basis of the full-vs-delta payload comparison in the `bench` crate.
 pub fn run_crdt_paxos(config: &SimConfig, protocol: ProtocolConfig) -> SimResult {
-    run_simulation(config, |id, members| CrdtPaxosNode::new(id, members, protocol.clone()))
+    run_simulation(config, |id, members| {
+        CrdtPaxosNode::new(id, members, protocol.clone())
+            .with_wire_accounting(config.measure_wire_bytes)
+    })
 }
 
 /// Runs one experiment with CRDT Paxos using the paper's 5 ms batching configuration.

@@ -13,6 +13,7 @@ use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::collections::BinaryHeap;
 
+use crdt_paxos_core::WireMetrics;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -77,6 +78,14 @@ pub trait SimNode {
 
     /// Drains client replies.
     fn drain_replies(&mut self) -> Vec<SimReply>;
+
+    /// Encoded bytes-on-the-wire sent by this node, per message kind.
+    ///
+    /// Only adapters that actually encode their messages (see
+    /// [`SimConfig::measure_wire_bytes`]) return `Some`; the default is `None`.
+    fn wire_metrics(&self) -> Option<WireMetrics> {
+        None
+    }
 }
 
 /// A crash (and optional recovery) of one replica at a fixed point in time.
@@ -122,6 +131,10 @@ pub struct SimConfig {
     /// Record a full operation history for linearizability checking (bounded; meant
     /// for tests, not for the large throughput runs).
     pub collect_history: bool,
+    /// Encode every replica-to-replica message with the `wire` codec and account the
+    /// bytes per message kind in [`SimResult::wire`]. Costs one serialization per
+    /// message, so it is off by default.
+    pub measure_wire_bytes: bool,
 }
 
 impl Default for SimConfig {
@@ -141,6 +154,7 @@ impl Default for SimConfig {
             seed: 0xC0FFEE,
             crash: None,
             collect_history: false,
+            measure_wire_bytes: false,
         }
     }
 }
@@ -167,6 +181,10 @@ pub struct SimResult {
     /// Histogram of quorum round trips needed per read (Figure 3); empty for
     /// protocols that do not report round trips.
     pub read_round_trips: BTreeMap<u32, u64>,
+    /// Encoded bytes-on-the-wire per message kind, aggregated over all replicas
+    /// (only filled when [`SimConfig::measure_wire_bytes`] was set and the protocol
+    /// adapter supports it; empty otherwise).
+    pub wire: WireMetrics,
     /// Recorded operation history (only when `collect_history` was set).
     pub history: Vec<HistoryOp>,
 }
@@ -477,6 +495,15 @@ where
         }
     }
 
+    // Aggregate encoded-bytes accounting across all replicas (crashed ones included:
+    // their bytes were on the wire before the crash).
+    let mut wire = WireMetrics::default();
+    for node in &nodes {
+        if let Some(metrics) = node.wire_metrics() {
+            wire.merge(&metrics);
+        }
+    }
+
     let measured_ms = config.duration_ms.saturating_sub(config.warmup_ms).max(1);
     let total_ops = completed_reads + completed_updates;
     SimResult {
@@ -489,6 +516,7 @@ where
         update_latency,
         intervals: intervals.finish(),
         read_round_trips,
+        wire,
         history,
     }
 }

@@ -1,8 +1,24 @@
-//! Latency and throughput statistics.
+//! Latency, throughput, and bytes-on-the-wire statistics.
 //!
 //! The paper reports medians, 95th percentiles with 99 % confidence intervals, and
 //! throughput aggregated over 1 s intervals. This module provides the corresponding
-//! aggregation machinery for the simulator.
+//! aggregation machinery for the simulator, plus helpers over the encoded-bytes
+//! accounting (`WireMetrics`) used by the full-vs-delta payload comparison.
+
+use crdt_paxos_core::WireMetrics;
+
+/// Relative byte reduction of `candidate` versus `baseline` for one message kind
+/// (payload sub-kinds like `"MERGE:full"` / `"MERGE:delta"` are aggregated).
+///
+/// Returns a fraction in `[-∞, 1]`: `0.5` means the candidate shipped half the bytes
+/// the baseline did for this kind. Returns `0.0` when the baseline recorded nothing.
+pub fn wire_reduction(baseline: &WireMetrics, candidate: &WireMetrics, kind: &str) -> f64 {
+    let base = baseline.bytes_for_kind(kind);
+    if base == 0 {
+        return 0.0;
+    }
+    1.0 - candidate.bytes_for_kind(kind) as f64 / base as f64
+}
 
 /// A collection of latency samples (microseconds).
 #[derive(Debug, Clone, Default)]
@@ -199,5 +215,15 @@ mod tests {
     #[should_panic(expected = "interval must be positive")]
     fn zero_interval_panics() {
         let _ = IntervalSeries::new(0, 100);
+    }
+
+    #[test]
+    fn wire_reduction_compares_byte_totals() {
+        let mut baseline = WireMetrics::default();
+        baseline.record("MERGE", 1000);
+        let mut candidate = WireMetrics::default();
+        candidate.record("MERGE", 250);
+        assert!((wire_reduction(&baseline, &candidate, "MERGE") - 0.75).abs() < 1e-12);
+        assert_eq!(wire_reduction(&candidate, &baseline, "VOTE"), 0.0, "no baseline bytes");
     }
 }

@@ -1,0 +1,111 @@
+//! Full-vs-delta payload equivalence under the simulator.
+//!
+//! `PayloadMode::DeltaWhenPossible` only changes how state-bearing messages encode
+//! their payload — the message flow, the acceptor states, and therefore the client
+//! histories must be *identical* to `PayloadMode::Full` under the same seed. The
+//! property tests below drive both modes through the same simulated schedules,
+//! including message loss and crash/recovery (which exercise the NACK and
+//! retransmission fallback paths), and require bit-identical results on top of
+//! linearizability.
+
+use cluster::{run_crdt_paxos, CrashEvent, SimConfig};
+use crdt_paxos_core::ProtocolConfig;
+use proptest::prelude::*;
+
+fn config_for(seed: u64, clients: u64, loss: f64, crash: Option<CrashEvent>) -> SimConfig {
+    SimConfig {
+        clients,
+        duration_ms: 800,
+        warmup_ms: 0,
+        read_fraction: 0.6,
+        message_loss: loss,
+        crash,
+        collect_history: true,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+fn assert_modes_agree(config: &SimConfig) {
+    let full = run_crdt_paxos(config, ProtocolConfig::default());
+    let delta = run_crdt_paxos(config, ProtocolConfig::default().with_delta_payloads());
+
+    full.check_linearizable().expect("full mode must stay linearizable");
+    delta.check_linearizable().expect("delta mode must stay linearizable");
+
+    assert_eq!(full.completed_reads, delta.completed_reads);
+    assert_eq!(full.completed_updates, delta.completed_updates);
+    assert_eq!(full.retries, delta.retries);
+    assert_eq!(full.read_round_trips, delta.read_round_trips);
+    assert_eq!(full.history.len(), delta.history.len());
+    for (a, b) in full.history.iter().zip(delta.history.iter()) {
+        assert_eq!(a.kind, b.kind, "histories diverged between payload modes");
+        assert_eq!(a.invoked_us, b.invoked_us);
+        assert_eq!(a.responded_us, b.responded_us);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Clean networks: identical histories in both payload modes.
+    #[test]
+    fn delta_mode_matches_full_mode(seed in any::<u64>(), clients in 4u64..16) {
+        assert_modes_agree(&config_for(seed, clients, 0.0, None));
+    }
+
+    /// Message loss triggers retransmissions, which fall back to full payloads in
+    /// delta mode — the histories must still be identical.
+    #[test]
+    fn delta_mode_matches_full_mode_under_message_loss(seed in any::<u64>()) {
+        assert_modes_agree(&config_for(seed, 8, 0.02, None));
+    }
+
+    /// Crash / recovery exercises client rerouting and NACK recovery paths.
+    #[test]
+    fn delta_mode_matches_full_mode_through_a_crash(seed in any::<u64>()) {
+        let crash = CrashEvent { replica: 1, at_ms: 250, recover_at_ms: Some(500) };
+        assert_modes_agree(&config_for(seed, 8, 0.0, Some(crash)));
+    }
+}
+
+#[test]
+fn delta_mode_ships_fewer_merge_bytes_in_the_simulator() {
+    // Update-heavy workload so MERGE dominates; byte accounting enabled.
+    let config = SimConfig {
+        clients: 16,
+        duration_ms: 1_000,
+        warmup_ms: 0,
+        read_fraction: 0.2,
+        measure_wire_bytes: true,
+        seed: 0xD1FF,
+        ..SimConfig::default()
+    };
+    let full = run_crdt_paxos(&config, ProtocolConfig::default());
+    let delta = run_crdt_paxos(&config, ProtocolConfig::default().with_delta_payloads());
+
+    assert!(!full.wire.is_empty() && !delta.wire.is_empty(), "byte accounting must be on");
+    assert_eq!(
+        full.wire.messages_for_kind("MERGE"),
+        delta.wire.messages_for_kind("MERGE"),
+        "same message flow, different encoding"
+    );
+    assert!(
+        delta.wire.messages_for("MERGE:delta") > 0,
+        "delta mode must actually ship delta MERGEs"
+    );
+    let reduction = cluster::wire_reduction(&full.wire, &delta.wire, "MERGE");
+    assert!(
+        reduction > 0.0,
+        "delta MERGEs must be smaller: full = {} B, delta = {} B",
+        full.wire.bytes_for_kind("MERGE"),
+        delta.wire.bytes_for_kind("MERGE")
+    );
+}
+
+#[test]
+fn wire_accounting_is_off_by_default() {
+    let config = SimConfig { clients: 4, duration_ms: 200, warmup_ms: 0, ..SimConfig::default() };
+    let result = run_crdt_paxos(&config, ProtocolConfig::default());
+    assert!(result.wire.is_empty());
+}

@@ -3,9 +3,14 @@
 //! An acceptor holds exactly two pieces of state: the current CRDT payload `s` and the
 //! highest round `r` it has observed. There is no command log; updates and merges
 //! modify the payload *in place* by monotone growth.
+//!
+//! The message-facing handlers operate on [`Payload`]s, so an acceptor absorbs full
+//! states and deltas uniformly; the `*_local` variants are the allocation-free entry
+//! points the co-located proposer uses for its own acceptor.
 
-use crdt::{Crdt, ReplicaId};
+use crdt::{Crdt, DeltaCrdt, ReplicaId};
 
+use crate::msg::Payload;
 use crate::round::{PrepareRound, Round, RoundId};
 
 /// Outcome of handling a `PREPARE` or `VOTE` message.
@@ -37,7 +42,7 @@ pub struct Acceptor<C> {
     round: Round,
 }
 
-impl<C: Crdt> Acceptor<C> {
+impl<C: Crdt + DeltaCrdt> Acceptor<C> {
     /// Creates an acceptor with the initial payload `s0` and round `(0, ⊥)`
     /// (paper lines 25–27).
     pub fn new(replica: ReplicaId, initial: C) -> Self {
@@ -70,10 +75,11 @@ impl<C: Crdt> Acceptor<C> {
         self.state.clone()
     }
 
-    /// Handles a `MERGE` message (paper lines 32–35): joins the received payload and
-    /// installs the write marker. The caller replies with `MERGED`.
-    pub fn handle_merge(&mut self, state: &C) {
-        self.state.join(state);
+    /// Handles a `MERGE` message (paper lines 32–35): joins the received payload
+    /// (full state or delta) and installs the write marker. The caller replies with
+    /// `MERGED`.
+    pub fn handle_merge(&mut self, payload: &Payload<C>) {
+        payload.join_into(&mut self.state);
         self.round = self.round.with_write_marker();
     }
 
@@ -83,10 +89,27 @@ impl<C: Crdt> Acceptor<C> {
     /// prepare is always accepted (the local round number strictly increases); a fixed
     /// prepare is accepted only if its round number is strictly larger than the
     /// current one, otherwise a `NACK` outcome is returned.
-    pub fn handle_prepare(&mut self, round: PrepareRound, state: Option<&C>) -> AcceptOutcome<C> {
-        if let Some(payload) = state {
-            self.state.join(payload);
+    pub fn handle_prepare(
+        &mut self,
+        round: PrepareRound,
+        payload: Option<&Payload<C>>,
+    ) -> AcceptOutcome<C> {
+        if let Some(payload) = payload {
+            payload.join_into(&mut self.state);
         }
+        self.decide_prepare(round)
+    }
+
+    /// [`Acceptor::handle_prepare`] for the proposer's own acceptor, which holds the
+    /// payload state by reference and never wraps it in a [`Payload`].
+    pub fn prepare_local(&mut self, round: PrepareRound, state: Option<&C>) -> AcceptOutcome<C> {
+        if let Some(state) = state {
+            self.state.join(state);
+        }
+        self.decide_prepare(round)
+    }
+
+    fn decide_prepare(&mut self, round: PrepareRound) -> AcceptOutcome<C> {
         let requested = match round {
             PrepareRound::Incremental { id } => Round::new(self.round.number + 1, id),
             PrepareRound::Fixed(round) => round,
@@ -105,8 +128,19 @@ impl<C: Crdt> Acceptor<C> {
     /// succeeds only if the acceptor's round still equals the proposal's round, i.e.
     /// no concurrent update, merge, or competing prepare has intervened since the
     /// first phase (invariant I4).
-    pub fn handle_vote(&mut self, round: Round, state: &C) -> AcceptOutcome<C> {
+    pub fn handle_vote(&mut self, round: Round, payload: &Payload<C>) -> AcceptOutcome<C> {
+        payload.join_into(&mut self.state);
+        self.decide_vote(round)
+    }
+
+    /// [`Acceptor::handle_vote`] for the proposer's own acceptor (no [`Payload`]
+    /// wrapping, no clone).
+    pub fn vote_local(&mut self, round: Round, state: &C) -> AcceptOutcome<C> {
         self.state.join(state);
+        self.decide_vote(round)
+    }
+
+    fn decide_vote(&mut self, round: Round) -> AcceptOutcome<C> {
         if round == self.round {
             AcceptOutcome::Ack { round: self.round, state: self.state.clone() }
         } else {
@@ -158,12 +192,30 @@ mod tests {
         let mut acceptor = acceptor();
         let mut remote = GCounter::new();
         remote.increment(ReplicaId::new(1), 7);
-        acceptor.handle_merge(&remote);
+        acceptor.handle_merge(&Payload::Full(remote.clone()));
         assert_eq!(acceptor.state().value(), 7);
         assert!(acceptor.has_pending_write_marker());
         // Merges are idempotent.
-        acceptor.handle_merge(&remote);
+        acceptor.handle_merge(&Payload::Full(remote));
         assert_eq!(acceptor.state().value(), 7);
+    }
+
+    #[test]
+    fn delta_merge_has_the_same_effect_as_a_full_merge() {
+        let mut sender = GCounter::new();
+        sender.increment(ReplicaId::new(1), 7);
+
+        let mut by_full = acceptor();
+        by_full.handle_merge(&Payload::Full(sender.clone()));
+
+        // The acceptor's pre-state (s0) is trivially contained in the sender, so a
+        // delta against s0 carries everything.
+        let delta = sender.delta_since(&GCounter::new());
+        let mut by_delta = acceptor();
+        by_delta.handle_merge(&Payload::Delta(delta));
+
+        assert_eq!(by_full.state(), by_delta.state());
+        assert!(by_delta.has_pending_write_marker());
     }
 
     #[test]
@@ -211,15 +263,37 @@ mod tests {
         let mut acceptor = acceptor();
         let mut payload = GCounter::new();
         payload.increment(ReplicaId::new(2), 4);
-        match acceptor
-            .handle_prepare(PrepareRound::Incremental { id: proposer_id(1) }, Some(&payload))
-        {
+        match acceptor.handle_prepare(
+            PrepareRound::Incremental { id: proposer_id(1) },
+            Some(&Payload::Full(payload)),
+        ) {
             AcceptOutcome::Ack { state, .. } => assert_eq!(state.value(), 4),
             other => panic!("expected ack, got {other:?}"),
         }
         assert_eq!(acceptor.state().value(), 4);
         // Joining a payload during prepare does NOT set the write marker.
         assert!(!acceptor.has_pending_write_marker());
+    }
+
+    #[test]
+    fn local_variants_match_the_payload_handlers() {
+        let mut payload = GCounter::new();
+        payload.increment(ReplicaId::new(2), 4);
+
+        let mut via_payload = acceptor();
+        via_payload.handle_prepare(
+            PrepareRound::Incremental { id: proposer_id(1) },
+            Some(&Payload::Full(payload.clone())),
+        );
+        let mut via_local = acceptor();
+        via_local.prepare_local(PrepareRound::Incremental { id: proposer_id(1) }, Some(&payload));
+        assert_eq!(via_payload.state(), via_local.state());
+        assert_eq!(via_payload.round(), via_local.round());
+
+        let round = via_payload.round();
+        via_payload.handle_vote(round, &Payload::Full(payload.clone()));
+        via_local.vote_local(round, &payload);
+        assert_eq!(via_payload.state(), via_local.state());
     }
 
     #[test]
@@ -233,7 +307,10 @@ mod tests {
         };
         let mut proposed = GCounter::new();
         proposed.increment(ReplicaId::new(1), 1);
-        assert!(matches!(acceptor.handle_vote(round, &proposed), AcceptOutcome::Ack { .. }));
+        assert!(matches!(
+            acceptor.handle_vote(round, &Payload::Full(proposed)),
+            AcceptOutcome::Ack { .. }
+        ));
         assert_eq!(acceptor.state().value(), 1, "vote joins the proposed payload");
     }
 
@@ -248,7 +325,7 @@ mod tests {
         // An update arrives between the prepare and the vote.
         acceptor.apply_update(&CounterUpdate::Increment(1));
         let proposed = GCounter::new();
-        match acceptor.handle_vote(round, &proposed) {
+        match acceptor.handle_vote(round, &Payload::Full(proposed)) {
             AcceptOutcome::Nack { round: current, state } => {
                 assert_eq!(current.id, RoundId::Write);
                 assert_eq!(state.value(), 1);
@@ -268,7 +345,7 @@ mod tests {
         // A competing proposer prepares with a higher round in between (invariant I4).
         acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(2) }, None);
         assert!(matches!(
-            acceptor.handle_vote(round, &GCounter::new()),
+            acceptor.handle_vote(round, &Payload::Full(GCounter::new())),
             AcceptOutcome::Nack { .. }
         ));
     }
@@ -282,7 +359,10 @@ mod tests {
         let stale_round = Round::new(9, proposer_id(9));
         let mut proposed = GCounter::new();
         proposed.increment(ReplicaId::new(2), 5);
-        assert!(matches!(acceptor.handle_vote(stale_round, &proposed), AcceptOutcome::Nack { .. }));
+        assert!(matches!(
+            acceptor.handle_vote(stale_round, &Payload::Full(proposed)),
+            AcceptOutcome::Nack { .. }
+        ));
         assert_eq!(acceptor.state().value(), 6);
     }
 
@@ -301,7 +381,7 @@ mod tests {
             }),
             Box::new({
                 let remote = remote.clone();
-                move |a| a.handle_merge(&remote)
+                move |a| a.handle_merge(&Payload::Full(remote.clone()))
             }),
             Box::new(|a| {
                 a.handle_prepare(PrepareRound::Incremental { id: proposer_id(3) }, None);
@@ -309,7 +389,7 @@ mod tests {
             Box::new({
                 let remote = remote.clone();
                 move |a| {
-                    a.handle_vote(Round::new(42, proposer_id(4)), &remote);
+                    a.handle_vote(Round::new(42, proposer_id(4)), &Payload::Full(remote.clone()));
                 }
             }),
         ];

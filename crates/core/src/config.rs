@@ -2,6 +2,20 @@
 
 use serde::{Deserialize, Serialize};
 
+/// How state-bearing messages (`MERGE`, `PREPARE`, `VOTE`) carry their payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PayloadMode {
+    /// Always ship the full CRDT state, exactly as in the paper (Algorithm 2).
+    #[default]
+    Full,
+    /// Ship a [`crate::Payload::Delta`] when the proposer knows (from a previous
+    /// `MERGED`/`ACK`/`NACK` of that peer) a state the receiver is guaranteed to
+    /// contain; fall back to the full state on first contact, query retries, and
+    /// retransmissions. Cuts bytes-on-the-wire roughly by the ratio of changed to
+    /// total state — on the 64-slot counter benchmark well over 50 %.
+    DeltaWhenPossible,
+}
+
 /// Tunable knobs of the replication protocol.
 ///
 /// The defaults correspond to the base protocol of §3.2 with the message-size
@@ -30,6 +44,9 @@ pub struct ProtocolConfig {
     /// client (0 = retry forever). The paper's protocol retries indefinitely; the
     /// bound exists so misconfigured deployments fail loudly instead of spinning.
     pub max_query_retries: u32,
+    /// Whether state-bearing messages may carry deltas instead of full states.
+    /// Defaults to [`PayloadMode::Full`] (the paper-faithful wire format).
+    pub payload_mode: PayloadMode,
 }
 
 impl Default for ProtocolConfig {
@@ -42,6 +59,7 @@ impl Default for ProtocolConfig {
             gla_stability: false,
             retransmit_after_ms: 100,
             max_query_retries: 0,
+            payload_mode: PayloadMode::Full,
         }
     }
 }
@@ -72,6 +90,13 @@ impl ProtocolConfig {
         self.gla_stability = true;
         self
     }
+
+    /// Enables delta payloads ([`PayloadMode::DeltaWhenPossible`]).
+    #[must_use]
+    pub fn with_delta_payloads(mut self) -> Self {
+        self.payload_mode = PayloadMode::DeltaWhenPossible;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +111,13 @@ mod tests {
         assert!(config.send_state_in_prepare);
         assert!(config.retry_with_incremental_prepare);
         assert!(!config.gla_stability);
+        assert_eq!(config.payload_mode, PayloadMode::Full, "paper ships full states");
+    }
+
+    #[test]
+    fn delta_payloads_builder() {
+        let config = ProtocolConfig::default().with_delta_payloads();
+        assert_eq!(config.payload_mode, PayloadMode::DeltaWhenPossible);
     }
 
     #[test]

@@ -26,8 +26,16 @@
 //!   [`Replica::take_responses`].
 //! * [`Acceptor`] — the acceptor role alone (payload + round), useful for tests.
 //! * [`Message`], [`Envelope`] — the wire-level protocol messages of Algorithm 2.
-//! * [`ProtocolConfig`] — batching, GLA-stability, retry and retransmission knobs.
-//! * [`Metrics`] — round-trip histograms and learning-path counters (Figure 3).
+//! * [`Payload`] — what state-bearing messages carry: the full CRDT state (as in
+//!   the paper) or a delta (Almeida et al.), selected per peer when
+//!   [`ProtocolConfig::payload_mode`] is [`PayloadMode::DeltaWhenPossible`]. The
+//!   proposer tracks, per peer, the largest state the peer is known to contain
+//!   (from `MERGED`/`ACK`/`NACK` replies) and diffs against it; first contact,
+//!   retries, and retransmissions fall back to full states.
+//! * [`ProtocolConfig`] — batching, GLA-stability, payload mode, retry and
+//!   retransmission knobs.
+//! * [`Metrics`] — round-trip histograms, learning-path counters (Figure 3), and
+//!   encoded bytes-on-the-wire per message kind ([`WireMetrics`]).
 //!
 //! The companion crates provide the substrates: `crdt` (the data types), `quorum`
 //! (quorum systems), `cluster` (deterministic simulator and workloads), `transport`
@@ -44,10 +52,11 @@ mod replica;
 mod round;
 
 pub use acceptor::{AcceptOutcome, Acceptor};
-pub use config::ProtocolConfig;
-pub use metrics::Metrics;
+pub use config::{PayloadMode, ProtocolConfig};
+pub use metrics::{KindBytes, Metrics, WireMetrics};
 pub use msg::{
-    ClientId, ClientResponse, Command, CommandId, Envelope, Message, RequestId, ResponseBody,
+    ClientId, ClientResponse, Command, CommandId, Envelope, Message, Payload, RequestId,
+    ResponseBody,
 };
 pub use replica::Replica;
 pub use round::{PrepareRound, Round, RoundId};

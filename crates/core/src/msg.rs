@@ -1,6 +1,6 @@
 //! Protocol messages (Algorithm 2) and client-facing request/response types.
 
-use crdt::{Crdt, ReplicaId};
+use crdt::{Crdt, DeltaCrdt, ReplicaId};
 use serde::{Deserialize, Serialize};
 
 use crate::round::{PrepareRound, Round};
@@ -24,6 +24,50 @@ pub struct ClientId(pub u64);
 )]
 pub struct CommandId(pub u64);
 
+/// The state carried by a state-bearing protocol message.
+///
+/// The paper ships the full CRDT state in every `MERGE`/`PREPARE`/`VOTE`; for large
+/// payloads (a 64-slot counter, a populated `LatticeMap`) this is quadratic pain. A
+/// proposer that knows a lower bound of the receiver's state (tracked from
+/// `MERGED`/`ACK`/`NACK` replies) may instead ship a [`DeltaCrdt::delta_since`]
+/// delta — see [`crate::PayloadMode`]. Joining `Full(s)` and joining `Delta(d)` into
+/// an acceptor whose state contains the delta's baseline produce the same state, so
+/// the protocol's safety argument is untouched.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(bound(
+    serialize = "C: Serialize, C::Delta: Serialize",
+    deserialize = "C: Deserialize<'de>, C::Delta: Deserialize<'de>"
+))]
+pub enum Payload<C: DeltaCrdt> {
+    /// The sender's full payload state.
+    Full(C),
+    /// A delta covering everything the receiver is known to be missing.
+    Delta(C::Delta),
+}
+
+impl<C: DeltaCrdt> Payload<C> {
+    /// Joins the payload's content into `state` (full join or delta application).
+    pub fn join_into(&self, state: &mut C) {
+        match self {
+            Payload::Full(full) => state.join(full),
+            Payload::Delta(delta) => state.apply_delta(delta),
+        }
+    }
+
+    /// Returns `true` if this payload is a delta.
+    pub fn is_delta(&self) -> bool {
+        matches!(self, Payload::Delta(_))
+    }
+
+    /// Short label used by traces and byte-accounting reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::Full(_) => "full",
+            Payload::Delta(_) => "delta",
+        }
+    }
+}
+
 /// A replica-to-replica protocol message, generic over the replicated CRDT `C`.
 ///
 /// Message names follow Algorithm 2: `MERGE`/`MERGED` implement the single-round-trip
@@ -31,14 +75,25 @@ pub struct CommandId(pub u64);
 /// and `NACK` tells a proposer to retry. Per the optimizations of §3.6, `VOTED` omits
 /// the payload state (the proposer already knows what it proposed) and `PREPARE` may
 /// omit the payload when it would not grow any acceptor state.
+///
+/// State-bearing messages carry a [`Payload`] — either the full state (as in the
+/// paper) or a delta (Almeida et al.), depending on [`crate::PayloadMode`] and on
+/// what the proposer knows about the receiver. Replies (`ACK`, `NACK`) always carry
+/// the acceptor's full state: they are what teaches the proposer a peer's state in
+/// the first place.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum Message<C: Crdt> {
+#[serde(bound(
+    serialize = "C: Serialize, C::Delta: Serialize",
+    deserialize = "C: Deserialize<'de>, C::Delta: Deserialize<'de>"
+))]
+pub enum Message<C: Crdt + DeltaCrdt> {
     /// Update path: "join this payload into your state" (paper line 4).
     Merge {
         /// Protocol instance this message belongs to.
         request: RequestId,
-        /// The proposer's payload state after applying the update locally.
-        state: C,
+        /// The proposer's payload state after applying the update locally (full or
+        /// as a delta on top of what the receiver is known to hold).
+        payload: Payload<C>,
     },
     /// Acknowledgement of a [`Message::Merge`] (paper line 35, `MERGED`).
     MergeAck {
@@ -52,7 +107,7 @@ pub enum Message<C: Crdt> {
         /// Incremental or fixed round.
         round: PrepareRound,
         /// Optional payload to speed up convergence (omitted when it equals `s0`).
-        state: Option<C>,
+        payload: Option<Payload<C>>,
     },
     /// Acceptor acknowledgement of a prepare (paper line 42, `ACK`).
     PrepareAck {
@@ -70,7 +125,7 @@ pub enum Message<C: Crdt> {
         /// The round agreed on in the first phase.
         round: Round,
         /// The proposed payload state (LUB of all first-phase payloads).
-        state: C,
+        payload: Payload<C>,
     },
     /// Acceptor acknowledgement of a vote (paper line 47, `VOTED`).
     ///
@@ -93,7 +148,7 @@ pub enum Message<C: Crdt> {
     },
 }
 
-impl<C: Crdt> Message<C> {
+impl<C: Crdt + DeltaCrdt> Message<C> {
     /// Returns the protocol instance id the message belongs to.
     pub fn request(&self) -> RequestId {
         match self {
@@ -107,7 +162,8 @@ impl<C: Crdt> Message<C> {
         }
     }
 
-    /// Short, human-readable message kind (used by traces and tests).
+    /// Short, human-readable message kind (used by traces, tests, and the wire
+    /// byte-accounting reports).
     pub fn kind(&self) -> &'static str {
         match self {
             Message::Merge { .. } => "MERGE",
@@ -119,11 +175,24 @@ impl<C: Crdt> Message<C> {
             Message::Nack { .. } => "NACK",
         }
     }
+
+    /// The payload carried by a state-bearing request message, if any.
+    pub fn payload(&self) -> Option<&Payload<C>> {
+        match self {
+            Message::Merge { payload, .. } | Message::Vote { payload, .. } => Some(payload),
+            Message::Prepare { payload, .. } => payload.as_ref(),
+            _ => None,
+        }
+    }
 }
 
 /// A message addressed from one replica to another.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Envelope<C: Crdt> {
+#[serde(bound(
+    serialize = "C: Serialize, C::Delta: Serialize",
+    deserialize = "C: Deserialize<'de>, C::Delta: Deserialize<'de>"
+))]
+pub struct Envelope<C: Crdt + DeltaCrdt> {
     /// Sending replica.
     pub from: ReplicaId,
     /// Receiving replica.
@@ -184,15 +253,15 @@ mod tests {
         let state = GCounter::new();
         let request = RequestId(7);
         let messages: Vec<Message<GCounter>> = vec![
-            Message::Merge { request, state: state.clone() },
+            Message::Merge { request, payload: Payload::Full(state.clone()) },
             Message::MergeAck { request },
             Message::Prepare {
                 request,
                 round: PrepareRound::Fixed(Round::ZERO),
-                state: Some(state.clone()),
+                payload: Some(Payload::Full(state.clone())),
             },
             Message::PrepareAck { request, round: Round::ZERO, state: state.clone() },
-            Message::Vote { request, round: Round::ZERO, state: state.clone() },
+            Message::Vote { request, round: Round::ZERO, payload: Payload::Full(state.clone()) },
             Message::VoteAck { request },
             Message::Nack { request, round: Round::ZERO, state },
         ];
@@ -217,11 +286,38 @@ mod tests {
     }
 
     #[test]
+    fn delta_payloads_survive_the_wire_format() {
+        let mut state = GCounter::new();
+        let delta = state.increment_delta(ReplicaId::new(2), 9);
+        let message: Message<GCounter> =
+            Message::Merge { request: RequestId(11), payload: Payload::Delta(delta) };
+        let bytes = wire::to_vec(&message).unwrap();
+        let decoded: Message<GCounter> = wire::from_slice(&bytes).unwrap();
+        assert_eq!(decoded, message);
+        assert!(decoded.payload().unwrap().is_delta());
+    }
+
+    #[test]
     fn message_overhead_is_a_single_round() {
         // The paper's claim: coordination overhead per message is a single counter.
         // A MERGE-ACK (no payload) must encode to just a handful of bytes.
         let ack: Message<GCounter> = Message::MergeAck { request: RequestId(1) };
         let bytes = wire::to_vec(&ack).unwrap();
         assert!(bytes.len() <= 3, "MergeAck encoded to {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn payload_join_into_is_equivalent_for_full_and_delta() {
+        let mut sender = GCounter::new();
+        sender.increment(ReplicaId::new(0), 3);
+        let known = sender.clone();
+        sender.increment(ReplicaId::new(0), 2);
+
+        let mut via_full = known.clone();
+        Payload::Full(sender.clone()).join_into(&mut via_full);
+        let mut via_delta = known.clone();
+        Payload::<GCounter>::Delta(sender.delta_since(&known)).join_into(&mut via_delta);
+        assert_eq!(via_full, via_delta);
+        assert_eq!(via_full.value(), 5);
     }
 }

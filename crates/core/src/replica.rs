@@ -11,14 +11,15 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crdt::{Crdt, ReplicaId};
+use crdt::{Crdt, DeltaCrdt, ReplicaId};
 use quorum::{Membership, QuorumSystem};
 
 use crate::acceptor::{AcceptOutcome, Acceptor};
-use crate::config::ProtocolConfig;
+use crate::config::{PayloadMode, ProtocolConfig};
 use crate::metrics::Metrics;
 use crate::msg::{
-    ClientId, ClientResponse, Command, CommandId, Envelope, Message, RequestId, ResponseBody,
+    ClientId, ClientResponse, Command, CommandId, Envelope, Message, Payload, RequestId,
+    ResponseBody,
 };
 use crate::round::{PrepareRound, Round, RoundId};
 
@@ -106,7 +107,7 @@ enum InFlight<C: Crdt> {
 /// assert!(matches!(responses[0].body, ResponseBody::UpdateDone));
 /// ```
 #[derive(Debug)]
-pub struct Replica<C: Crdt> {
+pub struct Replica<C: Crdt + DeltaCrdt> {
     id: ReplicaId,
     membership: Membership<ReplicaId>,
     quorum_size: usize,
@@ -122,12 +123,21 @@ pub struct Replica<C: Crdt> {
     responses: Vec<ClientResponse<C>>,
     /// Largest state ever learned by this proposer (GLA-Stability, §3.4).
     largest_learned: Option<C>,
+    /// Per peer, the largest state the peer is *known* to contain, learned from its
+    /// `MERGED`/`ACK`/`NACK` replies. Only maintained (and only paid for) in
+    /// [`PayloadMode::DeltaWhenPossible`]; it is what makes delta payloads safe:
+    /// a delta against this state lands on an acceptor that contains its baseline.
+    peer_known: BTreeMap<ReplicaId, C>,
+    /// Completed update instances some peers have not acknowledged yet (an update
+    /// finishes at quorum, not at full coverage). Kept — bounded — so late `MERGED`
+    /// replies still teach us the slow peer's state. Delta mode only.
+    recent_merges: BTreeMap<RequestId, (C, BTreeSet<ReplicaId>)>,
     update_batch: Vec<(UpdateWaiter, C::Update)>,
     query_batch: Vec<QueryWaiter<C>>,
     next_flush_ms: u64,
 }
 
-impl<C: Crdt> Replica<C> {
+impl<C: Crdt + DeltaCrdt> Replica<C> {
     /// Creates a replica.
     ///
     /// `members` is the full replica group (must contain `id`); `initial` is the
@@ -165,6 +175,8 @@ impl<C: Crdt> Replica<C> {
             outbox: Vec::new(),
             responses: Vec::new(),
             largest_learned: None,
+            peer_known: BTreeMap::new(),
+            recent_merges: BTreeMap::new(),
             update_batch: Vec::new(),
             query_batch: Vec::new(),
             next_flush_ms: batch_interval + flush_offset,
@@ -195,6 +207,22 @@ impl<C: Crdt> Replica<C> {
     /// Number of protocol instances currently in flight.
     pub fn in_flight(&self) -> usize {
         self.requests.len()
+    }
+
+    /// The largest state `peer` is known to contain (delta-payload tracking).
+    ///
+    /// Always `None` in [`PayloadMode::Full`], where the tracking is disabled.
+    pub fn known_peer_state(&self, peer: ReplicaId) -> Option<&C> {
+        self.peer_known.get(&peer)
+    }
+
+    /// Records the encoded size of one outgoing message, by kind.
+    ///
+    /// The replica is sans-io and never encodes messages itself; drivers that do
+    /// (the simulator adapter, the TCP runtime) report sizes here so they surface in
+    /// [`Metrics::wire`].
+    pub fn record_wire_bytes(&mut self, kind: &str, bytes: u64) {
+        self.metrics.wire.record(kind, bytes);
     }
 
     /// Submits a client command and returns the id used to correlate the response.
@@ -235,13 +263,13 @@ impl<C: Crdt> Replica<C> {
     /// Handles a protocol message from another replica.
     pub fn handle_message(&mut self, from: ReplicaId, message: Message<C>) {
         match message {
-            Message::Merge { request, state } => {
-                self.acceptor.handle_merge(&state);
+            Message::Merge { request, payload } => {
+                self.acceptor.handle_merge(&payload);
                 self.send(from, Message::MergeAck { request });
             }
             Message::MergeAck { request } => self.handle_merge_ack(from, request),
-            Message::Prepare { request, round, state } => {
-                let outcome = self.acceptor.handle_prepare(round, state.as_ref());
+            Message::Prepare { request, round, payload } => {
+                let outcome = self.acceptor.handle_prepare(round, payload.as_ref());
                 let reply = match outcome {
                     AcceptOutcome::Ack { round, state } => {
                         Message::PrepareAck { request, round, state }
@@ -251,10 +279,13 @@ impl<C: Crdt> Replica<C> {
                 self.send(from, reply);
             }
             Message::PrepareAck { request, round, state } => {
+                // The ACK carries the acceptor's full state: record it as the peer's
+                // known lower bound even when the request is no longer in flight.
+                self.note_peer_state(from, &state);
                 self.handle_prepare_ack(from, request, round, state);
             }
-            Message::Vote { request, round, state } => {
-                let outcome = self.acceptor.handle_vote(round, &state);
+            Message::Vote { request, round, payload } => {
+                let outcome = self.acceptor.handle_vote(round, &payload);
                 let reply = match outcome {
                     AcceptOutcome::Ack { .. } => Message::VoteAck { request },
                     AcceptOutcome::Nack { round, state } => Message::Nack { request, round, state },
@@ -262,7 +293,10 @@ impl<C: Crdt> Replica<C> {
                 self.send(from, reply);
             }
             Message::VoteAck { request } => self.handle_vote_ack(from, request),
-            Message::Nack { request, round, state } => self.handle_nack(request, round, state),
+            Message::Nack { request, round, state } => {
+                self.note_peer_state(from, &state);
+                self.handle_nack(request, round, state);
+            }
         }
     }
 
@@ -293,10 +327,107 @@ impl<C: Crdt> Replica<C> {
         self.outbox.push(Envelope { from: self.id, to, message });
     }
 
+    /// Sends the same message to every peer; the last envelope takes ownership of
+    /// the message instead of cloning it (one payload clone saved per broadcast).
     fn broadcast(&mut self, message: Message<C>) {
-        let others: Vec<ReplicaId> = self.membership.others(self.id).collect();
-        for peer in others {
+        let peers: Vec<ReplicaId> = self.membership.others(self.id).collect();
+        let Some((&last, rest)) = peers.split_last() else { return };
+        for &peer in rest {
             self.outbox.push(Envelope { from: self.id, to: peer, message: message.clone() });
+        }
+        self.outbox.push(Envelope { from: self.id, to: last, message });
+    }
+
+    /// Records that `peer` is known to contain (at least) `state`.
+    ///
+    /// Only active in [`PayloadMode::DeltaWhenPossible`]; the paper-faithful full
+    /// mode pays neither the memory nor the join.
+    fn note_peer_state(&mut self, peer: ReplicaId, state: &C) {
+        if self.config.payload_mode != PayloadMode::DeltaWhenPossible || peer == self.id {
+            return;
+        }
+        Self::note_peer(&mut self.peer_known, peer, state);
+    }
+
+    /// [`Replica::note_peer_state`] without the config/id guards, callable while
+    /// another field of `self` (e.g. `requests`) is mutably borrowed.
+    fn note_peer(peer_known: &mut BTreeMap<ReplicaId, C>, peer: ReplicaId, state: &C) {
+        match peer_known.get_mut(&peer) {
+            Some(known) => known.join(state),
+            None => {
+                peer_known.insert(peer, state.clone());
+            }
+        }
+    }
+
+    /// Builds the payload to ship `state` to `peer`: a delta when the peer is known
+    /// to contain a baseline, the full state otherwise (first contact).
+    fn payload_for(&self, peer: ReplicaId, state: &C) -> Payload<C> {
+        match self.peer_known.get(&peer) {
+            Some(known) => Payload::Delta(state.delta_since(known)),
+            None => Payload::Full(state.clone()),
+        }
+    }
+
+    /// Whether outgoing payloads to peers may be deltas right now.
+    fn delta_payloads_enabled(&self) -> bool {
+        self.config.payload_mode == PayloadMode::DeltaWhenPossible
+    }
+
+    /// Broadcasts a `MERGE` for `state`, per-peer delta-encoded when possible.
+    ///
+    /// Takes the state by value so the paper-faithful full mode moves it straight
+    /// into the (last) envelope instead of cloning.
+    fn broadcast_merge(&mut self, request: RequestId, state: C) {
+        if self.delta_payloads_enabled() {
+            let peers: Vec<ReplicaId> = self.membership.others(self.id).collect();
+            for peer in peers {
+                let payload = self.payload_for(peer, &state);
+                self.send(peer, Message::Merge { request, payload });
+            }
+        } else {
+            self.broadcast(Message::Merge { request, payload: Payload::Full(state) });
+        }
+    }
+
+    /// Broadcasts a `PREPARE`, per-peer delta-encoded when possible. Retries pass
+    /// `allow_delta = false` and fall back to full payloads (NACK recovery).
+    fn broadcast_prepare(
+        &mut self,
+        request: RequestId,
+        round: PrepareRound,
+        state: Option<C>,
+        allow_delta: bool,
+    ) {
+        let Some(state) = state else {
+            self.broadcast(Message::Prepare { request, round, payload: None });
+            return;
+        };
+        if allow_delta && self.delta_payloads_enabled() {
+            let peers: Vec<ReplicaId> = self.membership.others(self.id).collect();
+            for peer in peers {
+                let payload = Some(self.payload_for(peer, &state));
+                self.send(peer, Message::Prepare { request, round, payload });
+            }
+        } else {
+            self.broadcast(Message::Prepare {
+                request,
+                round,
+                payload: Some(Payload::Full(state)),
+            });
+        }
+    }
+
+    /// Broadcasts a `VOTE` for `state`, per-peer delta-encoded when possible.
+    fn broadcast_vote(&mut self, request: RequestId, round: Round, state: C) {
+        if self.delta_payloads_enabled() {
+            let peers: Vec<ReplicaId> = self.membership.others(self.id).collect();
+            for peer in peers {
+                let payload = self.payload_for(peer, &state);
+                self.send(peer, Message::Vote { request, round, payload });
+            }
+        } else {
+            self.broadcast(Message::Vote { request, round, payload: Payload::Full(state) });
         }
     }
 
@@ -349,7 +480,7 @@ impl<C: Crdt> Replica<C> {
                 last_sent_ms: self.now_ms,
             },
         );
-        self.broadcast(Message::Merge { request, state: merged_state });
+        self.broadcast_merge(request, merged_state);
     }
 
     /// Starts one query protocol instance covering all the given waiters.
@@ -371,12 +502,13 @@ impl<C: Crdt> Replica<C> {
         };
         self.requests.insert(request, entry);
         let id = self.new_round_id();
-        self.begin_prepare(request, PrepareRound::Incremental { id });
+        self.begin_prepare(request, PrepareRound::Incremental { id }, true);
     }
 
     /// Sends the first query phase for `request` with the given round and records the
-    /// local acceptor's answer immediately.
-    fn begin_prepare(&mut self, request: RequestId, round: PrepareRound) {
+    /// local acceptor's answer immediately. `allow_delta` is `false` on retries,
+    /// where the payload falls back to the full state (NACK recovery).
+    fn begin_prepare(&mut self, request: RequestId, round: PrepareRound, allow_delta: bool) {
         // Decide which payload to ship: the LUB gathered so far, unless it is still
         // the initial state (§3.6: never ship s0) or the config disables it.
         let (payload, local_outcome) = {
@@ -388,7 +520,7 @@ impl<C: Crdt> Replica<C> {
             } else {
                 None
             };
-            let local_outcome = self.acceptor.handle_prepare(round, payload.as_ref());
+            let local_outcome = self.acceptor.prepare_local(round, payload.as_ref());
             (payload, local_outcome)
         };
 
@@ -413,22 +545,56 @@ impl<C: Crdt> Replica<C> {
             }
         }
         *phase = QueryPhase::Prepare { round, sent_state: payload.clone(), acks };
-        self.broadcast(Message::Prepare { request, round, state: payload });
+        self.broadcast_prepare(request, round, payload, allow_delta);
         self.maybe_finish_prepare(request);
     }
 
+    /// How many quorum-complete update instances are remembered for the sake of
+    /// late `MERGED` replies (delta-payload tracking only).
+    const RECENT_MERGE_CAP: usize = 64;
+
     fn handle_merge_ack(&mut self, from: ReplicaId, request: RequestId) {
+        let track = self.config.payload_mode == PayloadMode::DeltaWhenPossible;
         let finished = match self.requests.get_mut(&request) {
-            Some(InFlight::Update { acks, .. }) => {
+            Some(InFlight::Update { acks, merged_state, .. }) => {
                 acks.insert(from);
+                // The MERGED proves the peer joined this instance's payload: its
+                // state now contains the state this proposer merged.
+                if track && from != self.id {
+                    Self::note_peer(&mut self.peer_known, from, merged_state);
+                }
                 acks.len() >= self.quorum_size
             }
-            _ => false,
+            _ => {
+                // A late MERGED for an instance that already reached quorum: it
+                // still proves the peer holds the merged state.
+                let mut emptied = false;
+                if let Some((state, missing)) = self.recent_merges.get_mut(&request) {
+                    if missing.remove(&from) {
+                        Self::note_peer(&mut self.peer_known, from, state);
+                        emptied = missing.is_empty();
+                    }
+                }
+                if emptied {
+                    self.recent_merges.remove(&request);
+                }
+                false
+            }
         };
         if finished {
-            if let Some(InFlight::Update { waiters, round_trips, .. }) =
+            if let Some(InFlight::Update { waiters, round_trips, merged_state, acks, .. }) =
                 self.requests.remove(&request)
             {
+                if track {
+                    let missing: BTreeSet<ReplicaId> =
+                        self.membership.others(self.id).filter(|p| !acks.contains(p)).collect();
+                    if !missing.is_empty() {
+                        while self.recent_merges.len() >= Self::RECENT_MERGE_CAP {
+                            self.recent_merges.pop_first();
+                        }
+                        self.recent_merges.insert(request, (merged_state, missing));
+                    }
+                }
                 self.finish_update(waiters, round_trips);
             }
         }
@@ -512,7 +678,7 @@ impl<C: Crdt> Replica<C> {
 
     fn enter_vote_phase(&mut self, request: RequestId, round: Round, proposed: C) {
         // The local acceptor votes first.
-        let local = self.acceptor.handle_vote(round, &proposed);
+        let local = self.acceptor.vote_local(round, &proposed);
         let Some(InFlight::Query { phase, round_trips, .. }) = self.requests.get_mut(&request)
         else {
             return;
@@ -524,16 +690,23 @@ impl<C: Crdt> Replica<C> {
         }
         let done = acks.len() >= self.quorum_size;
         *phase = QueryPhase::Vote { round, proposed: proposed.clone(), acks };
-        self.broadcast(Message::Vote { request, round, state: proposed.clone() });
         if done {
+            self.broadcast_vote(request, round, proposed.clone());
             self.finish_query(request, proposed, true);
+        } else {
+            self.broadcast_vote(request, round, proposed);
         }
     }
 
     fn handle_vote_ack(&mut self, from: ReplicaId, request: RequestId) {
+        let track = self.config.payload_mode == PayloadMode::DeltaWhenPossible;
         let learned = match self.requests.get_mut(&request) {
             Some(InFlight::Query { phase: QueryPhase::Vote { acks, proposed, .. }, .. }) => {
                 acks.insert(from);
+                // A VOTED proves the peer joined the proposed state (line 44).
+                if track && from != self.id {
+                    Self::note_peer(&mut self.peer_known, from, proposed);
+                }
                 if acks.len() >= self.quorum_size {
                     Some(proposed.clone())
                 } else {
@@ -594,7 +767,10 @@ impl<C: Crdt> Replica<C> {
                 last_sent_ms: self.now_ms,
             },
         );
-        self.begin_prepare(new_request, round);
+        // Retries always ship full payloads: after a NACK or an inconsistent quorum
+        // the proposer's picture of the peers may be stale, and a full state is the
+        // robust way to re-establish common ground.
+        self.begin_prepare(new_request, round, false);
     }
 
     /// Completes a query: applies GLA-Stability if configured, evaluates every
@@ -643,7 +819,9 @@ impl<C: Crdt> Replica<C> {
     /// Re-sends the messages of requests that have not progressed for a while.
     ///
     /// Only replicas that have not answered yet are contacted again; this covers lost
-    /// messages and crashed-and-recovered acceptors.
+    /// messages and crashed-and-recovered acceptors. Retransmissions always carry
+    /// the full payload state, never a delta: a peer that went silent is exactly the
+    /// peer whose state this proposer should not make assumptions about.
     fn retransmit_stalled(&mut self) {
         if self.config.retransmit_after_ms == 0 {
             return;
@@ -663,7 +841,10 @@ impl<C: Crdt> Replica<C> {
                         to_send.push(Envelope {
                             from: my_id,
                             to: peer,
-                            message: Message::Merge { request, state: merged_state.clone() },
+                            message: Message::Merge {
+                                request,
+                                payload: Payload::Full(merged_state.clone()),
+                            },
                         });
                     }
                 }
@@ -681,7 +862,7 @@ impl<C: Crdt> Replica<C> {
                                     message: Message::Prepare {
                                         request,
                                         round: *round,
-                                        state: sent_state.clone(),
+                                        payload: sent_state.clone().map(Payload::Full),
                                     },
                                 });
                             }
@@ -694,7 +875,7 @@ impl<C: Crdt> Replica<C> {
                                     message: Message::Vote {
                                         request,
                                         round: *round,
-                                        state: proposed.clone(),
+                                        payload: Payload::Full(proposed.clone()),
                                     },
                                 });
                             }
@@ -990,5 +1171,122 @@ mod tests {
             Counter::default(),
             ProtocolConfig::default(),
         );
+    }
+
+    #[test]
+    fn full_mode_never_tracks_peer_states() {
+        let mut replicas = cluster(3, ProtocolConfig::default());
+        replicas[0].submit_update(ClientId(0), CounterUpdate::Increment(1));
+        run_to_quiescence(&mut replicas);
+        assert!(replicas[0].known_peer_state(ReplicaId::new(1)).is_none());
+        assert!(replicas[0].known_peer_state(ReplicaId::new(2)).is_none());
+    }
+
+    #[test]
+    fn delta_mode_sends_full_on_first_contact_then_deltas() {
+        let config = ProtocolConfig::default().with_delta_payloads();
+        let mut replicas = cluster(3, config);
+
+        // First contact: nothing is known about the peers, the MERGE ships full.
+        replicas[0].submit_update(ClientId(0), CounterUpdate::Increment(1));
+        let first = replicas[0].take_outbox();
+        assert!(first
+            .iter()
+            .all(|env| matches!(&env.message, Message::Merge { payload: Payload::Full(_), .. })));
+        for env in first {
+            let index = replicas.iter().position(|r| r.id() == env.to).unwrap();
+            replicas[index].handle_message(env.from, env.message);
+        }
+        run_to_quiescence(&mut replicas);
+        drain_responses(&mut replicas[0]);
+
+        // The MERGED replies taught the proposer what the peers hold.
+        let known = replicas[0].known_peer_state(ReplicaId::new(1)).expect("peer tracked");
+        assert_eq!(known.value(), 1);
+
+        // Second update: the peers are known to contain the pre-state, so the MERGE
+        // ships a single-slot delta instead of the full counter.
+        replicas[0].submit_update(ClientId(0), CounterUpdate::Increment(1));
+        let second = replicas[0].take_outbox();
+        for env in &second {
+            match &env.message {
+                Message::Merge { payload: Payload::Delta(delta), .. } => {
+                    assert_eq!(delta.contributors(), 1, "delta carries one slot");
+                }
+                other => panic!("expected delta merge, got {other:?}"),
+            }
+        }
+        for env in second {
+            let index = replicas.iter().position(|r| r.id() == env.to).unwrap();
+            replicas[index].handle_message(env.from, env.message);
+        }
+        run_to_quiescence(&mut replicas);
+        let responses = drain_responses(&mut replicas[0]);
+        assert!(matches!(responses[0].body, ResponseBody::UpdateDone));
+        for replica in &replicas {
+            assert_eq!(replica.local_state().value(), 2, "deltas converge like full states");
+        }
+    }
+
+    #[test]
+    fn delta_mode_retransmissions_fall_back_to_full_payloads() {
+        let config = ProtocolConfig::default().with_delta_payloads();
+        let mut replicas = cluster(3, config);
+
+        // Establish peer knowledge with a completed round.
+        replicas[0].submit_update(ClientId(0), CounterUpdate::Increment(1));
+        run_to_quiescence(&mut replicas);
+        drain_responses(&mut replicas[0]);
+
+        // Lose every merge of the next update, then let the retransmit timer fire.
+        replicas[0].submit_update(ClientId(0), CounterUpdate::Increment(1));
+        let lost = replicas[0].take_outbox();
+        assert!(lost.iter().all(|env| env.message.payload().unwrap().is_delta()));
+        replicas[0].tick(200);
+        let resent = replicas[0].take_outbox();
+        assert!(!resent.is_empty());
+        assert!(
+            resent.iter().all(|env| matches!(
+                &env.message,
+                Message::Merge { payload: Payload::Full(_), .. }
+            )),
+            "retransmissions must not assume anything about the silent peer"
+        );
+        for env in resent {
+            let index = replicas.iter().position(|r| r.id() == env.to).unwrap();
+            replicas[index].handle_message(env.from, env.message);
+        }
+        run_to_quiescence(&mut replicas);
+        assert!(matches!(drain_responses(&mut replicas[0])[0].body, ResponseBody::UpdateDone));
+    }
+
+    #[test]
+    fn delta_mode_matches_full_mode_results() {
+        // The payload representation must not change the protocol's observable
+        // behaviour: same updates, same learned values, same final states.
+        let mut full = cluster(3, ProtocolConfig::default());
+        let mut delta = cluster(3, ProtocolConfig::default().with_delta_payloads());
+        for replicas in [&mut full, &mut delta] {
+            for step in 0..6u64 {
+                let writer = (step % 3) as usize;
+                replicas[writer].submit_update(ClientId(0), CounterUpdate::Increment(step + 1));
+                run_to_quiescence(replicas);
+                let reader = ((step + 1) % 3) as usize;
+                replicas[reader].submit_query(ClientId(1), CounterQuery::Value);
+                run_to_quiescence(replicas);
+            }
+        }
+        for index in 0..3 {
+            assert_eq!(full[index].local_state(), delta[index].local_state());
+            let full_reads: Vec<_> = drain_responses(&mut full[index])
+                .into_iter()
+                .map(|response| response.body)
+                .collect();
+            let delta_reads: Vec<_> = drain_responses(&mut delta[index])
+                .into_iter()
+                .map(|response| response.body)
+                .collect();
+            assert_eq!(full_reads, delta_reads);
+        }
     }
 }

@@ -231,6 +231,56 @@ proptest! {
         let (_, records) = run_schedule(&ops, seed, ProtocolConfig::default(), 0.0);
         prop_assert_eq!(records.len(), queries_submitted);
     }
+
+    /// Validity holds unchanged when state-bearing messages carry deltas.
+    #[test]
+    fn delta_payloads_preserve_validity(
+        ops in proptest::collection::vec(op_strategy(3), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let config = ProtocolConfig::default().with_delta_payloads();
+        let (total, records) = run_schedule(&ops, seed, config, 0.0);
+        for record in &records {
+            prop_assert!(record.value >= 0);
+            prop_assert!(record.value as u64 <= total);
+        }
+    }
+
+    /// Joins are idempotent, so duplicated delta messages are as harmless as
+    /// duplicated full-state messages.
+    #[test]
+    fn duplicated_delta_messages_do_not_break_safety(
+        ops in proptest::collection::vec(op_strategy(3), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let config = ProtocolConfig::default().with_delta_payloads();
+        let (total, records) = run_schedule(&ops, seed, config, 0.3);
+        for record in &records {
+            prop_assert!(record.value as u64 <= total);
+        }
+    }
+
+    /// The payload representation is invisible to clients: under the *same* random
+    /// schedule, DeltaWhenPossible mode returns exactly the values Full mode does
+    /// (the harness's RNG is consumed identically because the message flow is
+    /// identical — only the payload encoding differs).
+    #[test]
+    fn delta_mode_returns_the_same_values_as_full_mode(
+        ops in proptest::collection::vec(op_strategy(3), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let (full_total, full_records) =
+            run_schedule(&ops, seed, ProtocolConfig::default(), 0.0);
+        let (delta_total, delta_records) =
+            run_schedule(&ops, seed, ProtocolConfig::default().with_delta_payloads(), 0.0);
+        prop_assert_eq!(full_total, delta_total);
+        prop_assert_eq!(full_records.len(), delta_records.len());
+        for (full, delta) in full_records.iter().zip(delta_records.iter()) {
+            prop_assert_eq!(full.replica, delta.replica);
+            prop_assert_eq!(full.value, delta.value);
+            prop_assert_eq!(full.completion_index, delta.completion_index);
+        }
+    }
 }
 
 /// Update Visibility (Theorem 3.10) exercised deterministically across every pair of

@@ -29,7 +29,7 @@ use crate::replica::ReplicaId;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct GCounter {
-    slots: BTreeMap<ReplicaId, u64>,
+    pub(crate) slots: BTreeMap<ReplicaId, u64>,
 }
 
 impl GCounter {
@@ -109,8 +109,8 @@ impl Crdt for GCounter {
 /// decrements); its value is the difference of the two.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PNCounter {
-    increments: GCounter,
-    decrements: GCounter,
+    pub(crate) increments: GCounter,
+    pub(crate) decrements: GCounter,
 }
 
 impl PNCounter {

@@ -1,32 +1,61 @@
-//! Delta-state mutators (extension beyond the paper).
+//! Delta-state CRDTs: small payloads for the protocol's state-bearing messages.
 //!
 //! The paper's related-work section points to Almeida et al. ("Efficient state-based
 //! CRDTs by delta-mutation") as the standard answer to large payload states: instead
-//! of shipping the full state, a mutation returns a small *delta* that, when joined
-//! into any state containing the pre-state, has the same effect as the full mutation.
+//! of shipping the full state, a replica ships a small *delta* that, when joined into
+//! any state containing the pre-state, has the same effect as shipping the full state.
 //!
-//! The protocol in this repository ships full payload states (as the paper does), but
-//! the delta machinery is provided so that applications with large CRDTs can propagate
-//! deltas out-of-band or use them in their own anti-entropy layers.
+//! Since the introduction of `crdt_paxos_core::Payload`, deltas are **first-class
+//! protocol payloads**: with `ProtocolConfig::payload_mode` set to
+//! `DeltaWhenPossible`, a proposer tracks the last state each peer is known to hold
+//! (learned from `MERGED`/`ACK`/`NACK` replies) and ships
+//! [`DeltaCrdt::delta_since`] deltas in `MERGE`/`PREPARE`/`VOTE` messages, falling
+//! back to the full state on first contact, retries, and retransmissions. The same
+//! machinery remains usable for out-of-band anti-entropy via [`DeltaGroup`].
+//!
+//! Two ways to obtain deltas exist:
+//!
+//! * **delta-mutators** ([`GCounter::increment_delta`], [`ORSet::insert_delta`],
+//!   [`ORSet::remove_delta`]) return the delta of a single mutation, and
+//! * **state diffing** ([`DeltaCrdt::delta_since`]) computes the delta between the
+//!   current state and any lower bound of the receiver's state — this is what the
+//!   protocol uses, because acceptor states also grow through remote joins that no
+//!   local mutator observed.
 
+use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::counter::GCounter;
+use crate::counter::{GCounter, PNCounter};
+use crate::gset::{GSet, TwoPhaseSet};
 use crate::lattice::Lattice;
-use crate::orset::ORSet;
+use crate::ormap::LatticeMap;
+use crate::orset::{ORSet, Tag};
+use crate::register::{LwwRegister, MaxRegister, MvRegister};
 use crate::replica::ReplicaId;
 
-/// A CRDT with delta-mutators.
+/// A CRDT with delta-state support.
 ///
-/// For every delta-mutation the following must hold: joining the returned delta into
-/// any state `s'` with `s ⊑ s'` (where `s` is the pre-state) yields the same result as
-/// applying the full mutation to `s'`.
+/// Implementations must guarantee, for every pair of states `s` (self) and `k`
+/// (known):
+///
+/// ```text
+/// k ⊔ s.delta_since(k) = k ⊔ s
+/// ```
+///
+/// Because join is monotone, this implies the property the protocol relies on: for
+/// **any** state `s'` with `k ⊑ s'`, joining the delta yields `s' ⊔ delta ⊒ s` — the
+/// receiver ends up containing everything the sender had, exactly as if the full
+/// state had been shipped.
 pub trait DeltaCrdt: Lattice {
     /// The delta type; must itself be a lattice so deltas can be batched by joining.
-    type Delta: Lattice;
+    type Delta: Lattice + PartialEq;
 
     /// Joins a delta into the full state.
     fn apply_delta(&mut self, delta: &Self::Delta);
+
+    /// Computes the delta covering everything in `self` that is not already
+    /// reflected in `known` (a state the receiver is known to contain).
+    fn delta_since(&self, known: &Self) -> Self::Delta;
 }
 
 /// Delta group: accumulates several deltas into one by joining them.
@@ -68,6 +97,16 @@ impl DeltaCrdt for GCounter {
     fn apply_delta(&mut self, delta: &Self::Delta) {
         self.join(delta);
     }
+
+    fn delta_since(&self, known: &Self) -> GCounter {
+        let mut delta = GCounter::new();
+        for (&replica, &count) in &self.slots {
+            if count > known.slot(replica) {
+                delta.slots.insert(replica, count);
+            }
+        }
+        delta
+    }
 }
 
 impl GCounter {
@@ -82,6 +121,54 @@ impl GCounter {
     }
 }
 
+impl DeltaCrdt for PNCounter {
+    type Delta = PNCounter;
+
+    fn apply_delta(&mut self, delta: &Self::Delta) {
+        self.join(delta);
+    }
+
+    fn delta_since(&self, known: &Self) -> PNCounter {
+        PNCounter {
+            increments: self.increments.delta_since(&known.increments),
+            decrements: self.decrements.delta_since(&known.decrements),
+        }
+    }
+}
+
+impl<T> DeltaCrdt for GSet<T>
+where
+    T: Ord + Clone + fmt::Debug,
+{
+    type Delta = GSet<T>;
+
+    fn apply_delta(&mut self, delta: &Self::Delta) {
+        self.join(delta);
+    }
+
+    fn delta_since(&self, known: &Self) -> GSet<T> {
+        GSet { elements: self.elements.difference(&known.elements).cloned().collect() }
+    }
+}
+
+impl<T> DeltaCrdt for TwoPhaseSet<T>
+where
+    T: Ord + Clone + fmt::Debug,
+{
+    type Delta = TwoPhaseSet<T>;
+
+    fn apply_delta(&mut self, delta: &Self::Delta) {
+        self.join(delta);
+    }
+
+    fn delta_since(&self, known: &Self) -> TwoPhaseSet<T> {
+        TwoPhaseSet {
+            added: self.added.difference(&known.added).cloned().collect(),
+            removed: self.removed.difference(&known.removed).cloned().collect(),
+        }
+    }
+}
+
 impl<T> DeltaCrdt for ORSet<T>
 where
     T: Ord + Clone + fmt::Debug,
@@ -91,19 +178,45 @@ where
     fn apply_delta(&mut self, delta: &Self::Delta) {
         self.join(delta);
     }
+
+    fn delta_since(&self, known: &Self) -> ORSet<T> {
+        let mut delta = ORSet::default();
+        for (value, tags) in &self.entries {
+            let missing: BTreeSet<Tag> = match known.entries.get(value) {
+                Some(known_tags) => tags.difference(known_tags).copied().collect(),
+                None => tags.clone(),
+            };
+            if !missing.is_empty() {
+                delta.entries.insert(value.clone(), missing);
+            }
+        }
+        delta.tombstones = self.tombstones.difference(&known.tombstones).copied().collect();
+        for (&replica, &counter) in &self.counters {
+            if counter > known.counters.get(&replica).copied().unwrap_or(0) {
+                delta.counters.insert(replica, counter);
+            }
+        }
+        delta
+    }
 }
 
 impl<T> ORSet<T>
 where
     T: Ord + Clone + fmt::Debug,
 {
-    /// Delta-mutator for inserts: returns an OR-Set that only carries the tags and
-    /// tombstones of the inserted element.
+    /// Delta-mutator for inserts: returns an OR-Set that carries only the freshly
+    /// minted tag (and the minting replica's counter).
     #[must_use = "the returned delta must be applied or shipped"]
     pub fn insert_delta(&mut self, replica: ReplicaId, value: T) -> ORSet<T> {
-        self.insert(replica, value.clone());
-        let mut delta = self.clone();
-        delta.retain_only(&value);
+        let counter = self.counters.entry(replica).or_insert(0);
+        *counter += 1;
+        let sequence = *counter;
+        let tag = Tag { replica, sequence };
+        self.entries.entry(value.clone()).or_default().insert(tag);
+
+        let mut delta = ORSet::default();
+        delta.entries.insert(value, BTreeSet::from([tag]));
+        delta.counters.insert(replica, sequence);
         delta
     }
 
@@ -111,9 +224,106 @@ where
     /// (and the removed element's tags so peers learn which tags were observed).
     #[must_use = "the returned delta must be applied or shipped"]
     pub fn remove_delta(&mut self, value: &T) -> ORSet<T> {
-        self.remove(value);
-        let mut delta = self.clone();
-        delta.retain_only(value);
+        let observed = self.entries.get(value).cloned().unwrap_or_default();
+        for tag in &observed {
+            self.tombstones.insert(*tag);
+        }
+
+        let mut delta = ORSet::default();
+        if !observed.is_empty() {
+            delta.entries.insert(value.clone(), observed.clone());
+            delta.tombstones = observed;
+        }
+        delta
+    }
+}
+
+impl<T> DeltaCrdt for LwwRegister<T>
+where
+    T: Clone + fmt::Debug + PartialEq,
+{
+    type Delta = LwwRegister<T>;
+
+    fn apply_delta(&mut self, delta: &Self::Delta) {
+        self.join(delta);
+    }
+
+    fn delta_since(&self, known: &Self) -> LwwRegister<T> {
+        if self.leq(known) {
+            LwwRegister::default()
+        } else {
+            self.clone()
+        }
+    }
+}
+
+impl<T> DeltaCrdt for MaxRegister<T>
+where
+    T: Ord + Clone + fmt::Debug,
+{
+    type Delta = MaxRegister<T>;
+
+    fn apply_delta(&mut self, delta: &Self::Delta) {
+        self.join(delta);
+    }
+
+    fn delta_since(&self, known: &Self) -> MaxRegister<T> {
+        if self.leq(known) {
+            MaxRegister::new()
+        } else {
+            self.clone()
+        }
+    }
+}
+
+impl<T> DeltaCrdt for MvRegister<T>
+where
+    T: Ord + Clone + fmt::Debug,
+{
+    type Delta = MvRegister<T>;
+
+    fn apply_delta(&mut self, delta: &Self::Delta) {
+        self.join(delta);
+    }
+
+    fn delta_since(&self, known: &Self) -> MvRegister<T> {
+        let mut delta = MvRegister::default();
+        for pair in &self.versions {
+            if !known.versions.contains(pair) {
+                delta.versions.insert(pair.clone());
+            }
+        }
+        delta
+    }
+}
+
+impl<K, V> DeltaCrdt for LatticeMap<K, V>
+where
+    K: Ord + Clone + fmt::Debug,
+    V: DeltaCrdt + Default,
+{
+    /// Per-key deltas: only the keys whose nested value actually grew are shipped.
+    type Delta = LatticeMap<K, V::Delta>;
+
+    fn apply_delta(&mut self, delta: &Self::Delta) {
+        for (key, nested) in &delta.entries {
+            self.entries.entry(key.clone()).or_default().apply_delta(nested);
+        }
+    }
+
+    fn delta_since(&self, known: &Self) -> Self::Delta {
+        let mut delta = LatticeMap::default();
+        for (key, value) in &self.entries {
+            match known.entries.get(key) {
+                Some(known_value) if value.leq(known_value) => {}
+                Some(known_value) => {
+                    delta.entries.insert(key.clone(), value.delta_since(known_value));
+                }
+                None => {
+                    delta.entries.insert(key.clone(), value.delta_since(&V::default()));
+                }
+            }
+        }
         delta
     }
 }
@@ -124,6 +334,17 @@ mod tests {
 
     fn r(id: u64) -> ReplicaId {
         ReplicaId::new(id)
+    }
+
+    /// Checks the `delta_since` law `k ⊔ s.delta_since(k) = k ⊔ s` for one pair.
+    fn assert_delta_law<C: DeltaCrdt>(state: &C, known: &C) {
+        let mut via_delta = known.clone();
+        via_delta.apply_delta(&state.delta_since(known));
+        let via_full = known.clone().joined(state);
+        assert!(
+            via_delta.equivalent(&via_full),
+            "delta law violated: {via_delta:?} != {via_full:?}"
+        );
     }
 
     #[test]
@@ -148,6 +369,26 @@ mod tests {
         }
         let delta = source.increment_delta(r(3), 1);
         assert_eq!(delta.contributors(), 1, "delta only carries the mutated slot");
+    }
+
+    #[test]
+    fn gcounter_delta_since_carries_only_grown_slots() {
+        let mut known = GCounter::new();
+        for id in 0..64 {
+            known.increment(r(id), 10);
+        }
+        let mut state = known.clone();
+        state.increment(r(3), 5);
+        let delta = state.delta_since(&known);
+        assert_eq!(delta.contributors(), 1);
+        assert_delta_law(&state, &known);
+        // A receiver that is already ahead ends up with the join, not a regression.
+        let mut ahead = known.clone();
+        ahead.increment(r(7), 1);
+        assert_delta_law(&state, &known);
+        let mut ahead_joined = ahead.clone();
+        ahead_joined.apply_delta(&delta);
+        assert!(state.leq(&ahead_joined) && ahead.leq(&ahead_joined));
     }
 
     #[test]
@@ -193,5 +434,122 @@ mod tests {
             }
         }
         assert_eq!(via_deltas.elements(), source.elements());
+    }
+
+    #[test]
+    fn orset_mutator_deltas_are_single_element() {
+        // The delta of one insert must not scale with the size of the whole set.
+        let mut source: ORSet<u32> = ORSet::new();
+        for i in 0..100 {
+            let _ = source.insert_delta(r(0), i);
+        }
+        let delta = source.insert_delta(r(1), 1000);
+        assert_eq!(delta.elements().len(), 1);
+        assert_eq!(delta.tombstone_count(), 0);
+
+        let delta = source.remove_delta(&5);
+        assert_eq!(delta.tombstone_count(), 1, "only the removed element's tag");
+    }
+
+    #[test]
+    fn orset_delta_since_diffs_tags_tombstones_and_counters() {
+        let mut known: ORSet<&str> = ORSet::new();
+        known.insert(r(0), "a");
+        known.insert(r(1), "b");
+        let mut state = known.clone();
+        state.insert(r(0), "c");
+        state.remove(&"b");
+        let delta = state.delta_since(&known);
+        assert_eq!(delta.elements().len(), 1, "only the new element's live tag");
+        assert_eq!(delta.tombstone_count(), 1, "only the new tombstone");
+        assert_delta_law(&state, &known);
+    }
+
+    #[test]
+    fn delta_law_holds_for_sets_and_counters() {
+        let mut k1: GSet<u32> = [1, 2, 3].into_iter().collect();
+        let mut s1 = k1.clone();
+        s1.insert(9);
+        assert_eq!(s1.delta_since(&k1).len(), 1);
+        assert_delta_law(&s1, &k1);
+        k1.insert(99);
+        assert_delta_law(&s1, &k1);
+
+        let mut k2: TwoPhaseSet<u32> = TwoPhaseSet::new();
+        k2.insert(1);
+        let mut s2 = k2.clone();
+        s2.remove(1);
+        s2.insert(2);
+        assert_delta_law(&s2, &k2);
+
+        let mut k3 = PNCounter::new();
+        k3.increment(r(0), 5);
+        let mut s3 = k3.clone();
+        s3.decrement(r(1), 2);
+        assert_delta_law(&s3, &k3);
+    }
+
+    #[test]
+    fn delta_law_holds_for_registers() {
+        use crate::register::LwwStamp;
+
+        let mut k: LwwRegister<&str> = LwwRegister::new();
+        k.set(LwwStamp::new(1, r(0)), "old");
+        let mut s = k.clone();
+        s.set(LwwStamp::new(2, r(1)), "new");
+        assert_delta_law(&s, &k);
+        // Nothing new: the delta is the empty register.
+        assert_eq!(k.delta_since(&s), LwwRegister::default());
+
+        let mut km: MaxRegister<u64> = MaxRegister::new();
+        km.set(5);
+        let mut sm = km;
+        sm.set(9);
+        assert_delta_law(&sm, &km);
+        assert_eq!(km.delta_since(&sm), MaxRegister::new());
+
+        let mut kv: MvRegister<&str> = MvRegister::new();
+        kv.set(r(0), "left");
+        let mut sv = kv.clone();
+        sv.set(r(1), "right");
+        assert_delta_law(&sv, &kv);
+        assert_eq!(kv.delta_since(&kv).version_count(), 0);
+    }
+
+    #[test]
+    fn lattice_map_delta_is_per_key() {
+        let mut known: LatticeMap<&str, GCounter> = LatticeMap::new();
+        for key in ["a", "b", "c", "d"] {
+            known.update(key, |c| c.increment(r(0), 10));
+        }
+        let mut state = known.clone();
+        state.update("b", |c| c.increment(r(1), 1));
+        state.update("new", |c| c.increment(r(2), 7));
+
+        let delta = state.delta_since(&known);
+        assert_eq!(delta.len(), 2, "unchanged keys are not shipped");
+        assert!(delta.get(&"b").is_some() && delta.get(&"new").is_some());
+        assert_delta_law(&state, &known);
+    }
+
+    #[test]
+    fn nested_orset_map_deltas_batch_through_delta_group() {
+        // LatticeMap<_, ORSet<_>> is the replicated-shopping-carts shape of the
+        // examples; per-key deltas compose with DeltaGroup batching.
+        let mut source: LatticeMap<&str, ORSet<&str>> = LatticeMap::new();
+        source.update("alice", |cart| cart.insert(r(0), "milk"));
+        let known = source.clone();
+
+        source.update("alice", |cart| cart.insert(r(0), "eggs"));
+        let first = source.delta_since(&known);
+        source.update("bob", |cart| cart.insert(r(1), "beer"));
+        let second = source.delta_since(&known);
+
+        let mut group = DeltaGroup::new();
+        group.push(first);
+        group.push(second);
+        let mut replica = known.clone();
+        replica.apply_delta(&group.into_delta().unwrap());
+        assert!(replica.equivalent(&source));
     }
 }

@@ -12,7 +12,7 @@ use crate::replica::ReplicaId;
 /// Grow-only set: elements can only be added, join is set union.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GSet<T: Ord> {
-    elements: BTreeSet<T>,
+    pub(crate) elements: BTreeSet<T>,
 }
 
 impl<T: Ord> Default for GSet<T> {
@@ -138,8 +138,8 @@ where
 /// added and not removed. Join is the pairwise union.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TwoPhaseSet<T: Ord> {
-    added: BTreeSet<T>,
-    removed: BTreeSet<T>,
+    pub(crate) added: BTreeSet<T>,
+    pub(crate) removed: BTreeSet<T>,
 }
 
 impl<T: Ord> Default for TwoPhaseSet<T> {

@@ -11,7 +11,9 @@
 //! * concrete CRDTs: [`GCounter`] (the paper's running example, Algorithm 1),
 //!   [`PNCounter`], [`GSet`], [`TwoPhaseSet`], [`ORSet`], [`LwwRegister`],
 //!   [`MaxRegister`], [`MvRegister`], [`LatticeMap`], and [`VClock`],
-//! * delta-state mutators ([`delta`]) as an extension for large payloads.
+//! * delta-state support ([`delta`]): the [`DeltaCrdt`] trait (delta-mutators and
+//!   state diffing via [`DeltaCrdt::delta_since`]) implemented by every facade type,
+//!   used by the protocol's `Payload::Delta` messages to keep large payloads small.
 //!
 //! All payload types implement serde's `Serialize`/`Deserialize` so they can be
 //! shipped by the `wire` codec of the networked deployment.

@@ -29,7 +29,7 @@ use crate::replica::ReplicaId;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatticeMap<K: Ord, V> {
-    entries: BTreeMap<K, V>,
+    pub(crate) entries: BTreeMap<K, V>,
 }
 
 impl<K: Ord, V> Default for LatticeMap<K, V> {

@@ -42,11 +42,11 @@ pub struct Tag {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ORSet<T: Ord> {
     /// Live and historical tags per element.
-    entries: BTreeMap<T, BTreeSet<Tag>>,
+    pub(crate) entries: BTreeMap<T, BTreeSet<Tag>>,
     /// Tags that have been removed (tombstones).
-    tombstones: BTreeSet<Tag>,
+    pub(crate) tombstones: BTreeSet<Tag>,
     /// Per-replica counters used to mint fresh tags.
-    counters: BTreeMap<ReplicaId, u64>,
+    pub(crate) counters: BTreeMap<ReplicaId, u64>,
 }
 
 impl<T: Ord> Default for ORSet<T> {
@@ -110,18 +110,6 @@ impl<T: Ord + Clone + fmt::Debug> ORSet<T> {
     /// Number of tombstoned tags (a measure of state inflation, see paper §5).
     pub fn tombstone_count(&self) -> usize {
         self.tombstones.len()
-    }
-
-    /// Restricts the payload to the tags and tombstones of a single element.
-    ///
-    /// Used by the delta-mutators in [`crate::delta`] to build minimal deltas.
-    pub(crate) fn retain_only(&mut self, value: &T) {
-        let kept_tags = self.entries.get(value).cloned().unwrap_or_default();
-        self.entries.retain(|key, _| key == value);
-        self.tombstones.retain(|tag| kept_tags.contains(tag));
-        self.counters.retain(|replica, counter| {
-            kept_tags.iter().any(|tag| tag.replica == *replica && tag.sequence <= *counter)
-        });
     }
 }
 

@@ -173,7 +173,7 @@ impl<T: Ord + Clone + fmt::Debug> Lattice for MaxRegister<T> {
 /// maximal pairs. A read returns every concurrent value (the application resolves).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MvRegister<T: Ord> {
-    versions: BTreeSet<(VClock, T)>,
+    pub(crate) versions: BTreeSet<(VClock, T)>,
 }
 
 impl<T: Ord> Default for MvRegister<T> {

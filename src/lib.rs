@@ -7,10 +7,10 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`crdt`] | join semilattices and state-based CRDTs (G-Counter, PN-Counter, sets, registers, maps, vector clocks, delta mutators) |
+//! | [`crdt`] | join semilattices and state-based CRDTs (G-Counter, PN-Counter, sets, registers, maps, vector clocks) with delta-state support (`DeltaCrdt`) |
 //! | [`quorum`] | quorum systems (majority, grid, weighted) and membership |
 //! | [`wire`] | compact binary serde codec and message framing |
-//! | [`protocol`] | the CRDT Paxos protocol core: [`protocol::Replica`], messages, configuration, metrics |
+//! | [`protocol`] | the CRDT Paxos protocol core: [`protocol::Replica`], messages, configuration, metrics; state-bearing messages carry a [`protocol::Payload`] — the full CRDT state or, with [`protocol::PayloadMode::DeltaWhenPossible`], a per-peer delta that cuts large payloads down to what the receiver is missing |
 //! | [`baselines`] | Multi-Paxos (read leases) and Raft baselines |
 //! | [`transport`] | in-memory and tokio TCP transports |
 //! | [`cluster`] | deterministic simulator, workloads, statistics, linearizability checker |
@@ -32,9 +32,25 @@
 //! assert_eq!(value, ResponseBody::QueryDone(3));
 //! ```
 //!
+//! Large CRDTs can switch the wire format to delta payloads without any other code
+//! change — the protocol's behaviour (and its linearizability) is identical, only
+//! the bytes shrink:
+//!
+//! ```
+//! use crdt_paxos::crdt::{CounterQuery, CounterUpdate, GCounter};
+//! use crdt_paxos::local::LocalCluster;
+//! use crdt_paxos::protocol::{ProtocolConfig, ResponseBody};
+//!
+//! let config = ProtocolConfig::default().with_delta_payloads();
+//! let mut cluster = LocalCluster::<GCounter>::new(3, config);
+//! cluster.update(0, CounterUpdate::Increment(3));
+//! assert_eq!(cluster.query(2, CounterQuery::Value), ResponseBody::QueryDone(3));
+//! ```
+//!
 //! See `examples/` for runnable programs (quickstart, replicated shopping carts,
 //! fail-over, TCP deployment, round-trip histograms) and the `bench` crate for the
-//! harnesses that regenerate every figure of the paper's evaluation.
+//! harnesses that regenerate every figure of the paper's evaluation (including the
+//! `fig5_wire_bytes` full-vs-delta byte comparison).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -6,17 +6,17 @@
 //! easiest way to embed a linearizable CRDT in a single process, and the entry point
 //! used by the quickstart example.
 
-use crdt::{Crdt, ReplicaId};
+use crdt::{Crdt, DeltaCrdt, ReplicaId};
 use crdt_paxos_core::{ClientId, Command, ProtocolConfig, Replica, ResponseBody};
 
 /// An in-process cluster of CRDT Paxos replicas with synchronous message delivery.
 #[derive(Debug)]
-pub struct LocalCluster<C: Crdt> {
+pub struct LocalCluster<C: Crdt + DeltaCrdt> {
     replicas: Vec<Replica<C>>,
     now_ms: u64,
 }
 
-impl<C: Crdt> LocalCluster<C> {
+impl<C: Crdt + DeltaCrdt> LocalCluster<C> {
     /// Creates a cluster of `n` replicas with the given protocol configuration.
     ///
     /// # Panics

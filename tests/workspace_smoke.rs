@@ -20,3 +20,22 @@ fn examples_and_benches_check_green() {
         String::from_utf8_lossy(&output.stderr)
     );
 }
+
+#[test]
+fn wire_codec_size_report_runs() {
+    // The full-vs-delta payload size report is deterministic and cheap with
+    // `--sizes-only`; running it here keeps the bench binary from bit-rotting and
+    // catches regressions in the delta encoding itself.
+    let output = Command::new(env!("CARGO"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(["run", "--quiet", "-p", "bench", "--bin", "fig5_wire_bytes", "--", "--sizes-only"])
+        .output()
+        .expect("failed to launch the wire size report");
+    assert!(
+        output.status.success(),
+        "fig5_wire_bytes --sizes-only failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("MERGE payload size"), "unexpected report output:\n{stdout}");
+}
