@@ -17,7 +17,9 @@ fn sample_message(slots: u64) -> Message<GCounter> {
     Message::PrepareAck {
         request: RequestId(42),
         round: Round::new(7, RoundId::proposer(3, ReplicaId::new(1))),
-        state: wide_state(slots),
+        state: Payload::Full(wide_state(slots)),
+        reveal: 1,
+        basis: 0,
     }
 }
 

@@ -13,7 +13,7 @@
 
 use cluster::{wire_reduction, SimConfig, WireMetrics};
 use crdt::{DeltaCrdt, GCounter, ReplicaId};
-use crdt_paxos_core::{Message, Payload, ProtocolConfig, RequestId};
+use crdt_paxos_core::{Message, Payload, ProtocolConfig, RequestId, Round, RoundId};
 
 fn wide_state(slots: u64) -> GCounter {
     let mut state = GCounter::new();
@@ -38,6 +38,38 @@ fn size_report() {
         let delta = Message::Merge {
             request: RequestId(1),
             payload: Payload::Delta(state.delta_since(&known)),
+        };
+        let (full_bytes, delta_bytes) = (encoded_len(&full), encoded_len(&delta));
+        println!(
+            "{:>6} {:>12} {:>12} {:>9.1}%",
+            slots,
+            full_bytes,
+            delta_bytes,
+            100.0 * (1.0 - delta_bytes as f64 / full_bytes as f64)
+        );
+    }
+    println!();
+
+    println!("== quiet-read ACK size: n-slot counter, full vs reply delta ==");
+    println!("{:>6} {:>12} {:>12} {:>10}", "slots", "full [B]", "delta [B]", "saved");
+    for slots in [3u64, 16, 64, 256] {
+        let state = wide_state(slots);
+        let round = Round::new(1, RoundId::proposer(1, ReplicaId::new(0)));
+        let full = Message::PrepareAck {
+            request: RequestId(1),
+            round,
+            state: Payload::Full(state.clone()),
+            reveal: 9,
+            basis: 0,
+        };
+        // A quiet read: the acceptor's state equals the prepare's content joined
+        // with the echoed basis snapshot, so the reply delta is empty.
+        let delta = Message::PrepareAck {
+            request: RequestId(1),
+            round,
+            state: Payload::Delta(state.delta_since(&state)),
+            reveal: 9,
+            basis: 8,
         };
         let (full_bytes, delta_bytes) = (encoded_len(&full), encoded_len(&delta));
         println!(

@@ -1,0 +1,81 @@
+//! Figure 6 (extension beyond the paper): committed-commands throughput vs. shard
+//! count under a uniform multi-key workload.
+//!
+//! The paper argues for fine-granular keyspaces: commands on different keys do not
+//! conflict, so a keyspace serialized through a single protocol instance (one round
+//! counter) leaves parallelism on the table. This report drives the same workload —
+//! uniform keys, closed-loop clients, 90 % reads — against:
+//!
+//! * the single-instance baseline (`Replica<LatticeMap>`, every key in one
+//!   protocol instance), and
+//! * the sharded engine (`ShardedReplica`) at 1, 2, 4, and 8 shards.
+//!
+//! Contending reads are what a single instance loses: every update on *any* key
+//! invalidates every in-flight read quorum, forcing vote phases and retries. With
+//! `S` shards, only updates on the same shard contend.
+//!
+//! Flags: `--quick` shortens the runs (used by the smoke test and CI); `--check`
+//! exits non-zero unless the 8-shard run commits at least 3x the single-instance
+//! ops (the acceptance criterion, also asserted by
+//! `crates/cluster/tests/sharding.rs` in release builds).
+
+use cluster::{run_sharded_kv, run_single_kv, sharding_workload, SimResult};
+use crdt_paxos_core::ProtocolConfig;
+
+fn committed(result: &SimResult) -> u64 {
+    result.completed_reads + result.completed_updates
+}
+
+fn row(label: &str, result: &mut SimResult, baseline_ops: u64) {
+    println!(
+        "{:>16} {:>12} {:>12} {:>10.2}x {:>12} {:>12} {:>10.3}",
+        label,
+        committed(result),
+        format!("{:.0}", result.throughput_ops_per_sec),
+        committed(result) as f64 / baseline_ops.max(1) as f64,
+        result.read_latency.median_us().unwrap_or(0),
+        result.read_latency.p95_us().unwrap_or(0),
+        result.read_fraction_within(2),
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let check = std::env::args().any(|arg| arg == "--check");
+    let config = sharding_workload(quick);
+    let protocol = ProtocolConfig::default();
+
+    println!(
+        "== throughput vs shards: {} clients, {} keys, {:.0}% reads, {} ms ==",
+        config.clients,
+        config.keyspace,
+        config.read_fraction * 100.0,
+        config.duration_ms
+    );
+    println!(
+        "{:>16} {:>12} {:>12} {:>11} {:>12} {:>12} {:>10}",
+        "config", "committed", "ops/s", "speedup", "read p50us", "read p95us", "≤2 RT"
+    );
+
+    let mut baseline = run_single_kv(&config, protocol.clone());
+    let baseline_ops = committed(&baseline);
+    row("single instance", &mut baseline, baseline_ops);
+
+    let mut eight_x = 0.0;
+    for shards in [1u32, 2, 4, 8] {
+        let mut result = run_sharded_kv(&config, protocol.clone(), shards);
+        let label = format!("{shards} shard(s)");
+        row(&label, &mut result, baseline_ops);
+        if shards == 8 {
+            eight_x = committed(&result) as f64 / baseline_ops.max(1) as f64;
+        }
+    }
+    println!();
+    println!(
+        "8-shard speedup over the single-instance keyspace: {eight_x:.2}x (acceptance: >= 3x)"
+    );
+    if check && eight_x < 3.0 {
+        eprintln!("ACCEPTANCE FAILED: 8-shard speedup {eight_x:.2}x is below the required 3x");
+        std::process::exit(1);
+    }
+}

@@ -9,10 +9,18 @@ use std::collections::HashMap;
 use baselines::paxos::{PaxosConfig, PaxosMessage, PaxosReplica};
 use baselines::raft::{RaftConfig, RaftMessage, RaftReplica};
 use baselines::{CounterOp, CounterRegister, NodeId, ReplyBody, Request};
-use crdt::{CounterQuery, CounterUpdate, GCounter, ReplicaId};
-use crdt_paxos_core::{ClientId, Command, ProtocolConfig, Replica, ResponseBody, WireMetrics};
+use crdt::{
+    CounterQuery, CounterUpdate, GCounter, LatticeMap, MapOutput, MapQuery, MapUpdate, ReplicaId,
+};
+use crdt_paxos_core::{
+    ClientId, Command, ProtocolConfig, Replica, ResponseBody, ShardMessage, ShardedReplica,
+    WireMetrics,
+};
 
 use crate::sim::{SimNode, SimOp, SimOutcome, SimReply};
+
+/// The replicated keyspace type the KV adapters drive: one G-Counter per key.
+pub type KvMap = LatticeMap<u64, GCounter>;
 
 /// Simulator adapter for the CRDT Paxos replica (`crdt_paxos_core::Replica`).
 #[derive(Debug)]
@@ -54,9 +62,13 @@ impl SimNode for CrdtPaxosNode {
     }
 
     fn submit(&mut self, client: u64, op: SimOp) {
+        // This adapter replicates a single counter; keyed operations collapse onto
+        // it (use the KV adapters for per-key semantics).
         let command = match op {
-            SimOp::Increment(amount) => Command::Update(CounterUpdate::Increment(amount)),
-            SimOp::Read => Command::Query(CounterQuery::Value),
+            SimOp::Increment(amount) | SimOp::KeyIncrement { amount, .. } => {
+                Command::Update(CounterUpdate::Increment(amount))
+            }
+            SimOp::Read | SimOp::KeyRead { .. } => Command::Query(CounterQuery::Value),
         };
         self.inner.submit(ClientId(client), command);
     }
@@ -112,6 +124,228 @@ impl SimNode for CrdtPaxosNode {
     }
 }
 
+/// Simulator adapter for a **single-instance** replicated keyspace: one
+/// `Replica<LatticeMap>` serializes every key through one round counter.
+///
+/// This is the baseline the sharded engine is measured against: it offers the
+/// same per-key API but every quorum — regardless of key — contends on the same
+/// protocol instance.
+#[derive(Debug)]
+pub struct KeyValueNode {
+    inner: Replica<KvMap>,
+    measure_wire: bool,
+}
+
+impl KeyValueNode {
+    /// Creates a node with the given protocol configuration.
+    pub fn new(id: u64, members: &[u64], config: ProtocolConfig) -> Self {
+        let member_ids: Vec<ReplicaId> = members.iter().map(|&m| ReplicaId::new(m)).collect();
+        KeyValueNode {
+            inner: Replica::new(ReplicaId::new(id), member_ids, KvMap::default(), config),
+            measure_wire: false,
+        }
+    }
+
+    /// Enables or disables encoded-bytes accounting for outgoing messages.
+    #[must_use]
+    pub fn with_wire_accounting(mut self, enabled: bool) -> Self {
+        self.measure_wire = enabled;
+        self
+    }
+
+    /// Access to the wrapped replica (metrics, state).
+    pub fn replica(&self) -> &Replica<KvMap> {
+        &self.inner
+    }
+}
+
+/// Maps a keyed simulator op onto the `LatticeMap` command set (unkeyed ops run
+/// against key 0).
+fn kv_command(op: SimOp) -> Command<KvMap> {
+    match op {
+        SimOp::Increment(amount) => {
+            Command::Update(MapUpdate::Apply { key: 0, update: CounterUpdate::Increment(amount) })
+        }
+        SimOp::Read => Command::Query(MapQuery::Get { key: 0, query: CounterQuery::Value }),
+        SimOp::KeyIncrement { key, amount } => {
+            Command::Update(MapUpdate::Apply { key, update: CounterUpdate::Increment(amount) })
+        }
+        SimOp::KeyRead { key } => Command::Query(MapQuery::Get { key, query: CounterQuery::Value }),
+    }
+}
+
+/// Maps a `LatticeMap` response body onto a simulator outcome.
+fn kv_outcome(body: ResponseBody<KvMap>) -> SimOutcome {
+    match body {
+        ResponseBody::UpdateDone => SimOutcome::UpdateDone,
+        ResponseBody::QueryDone(MapOutput::Value(Some(value))) => SimOutcome::ReadDone(value),
+        // An absent key reads as zero (no increment ever committed there).
+        ResponseBody::QueryDone(MapOutput::Value(None)) => SimOutcome::ReadDone(0),
+        ResponseBody::QueryDone(_) => SimOutcome::Retry,
+        ResponseBody::QueryFailed => SimOutcome::Retry,
+    }
+}
+
+impl SimNode for KeyValueNode {
+    type Message = crdt_paxos_core::Message<KvMap>;
+
+    fn id(&self) -> u64 {
+        self.inner.id().as_u64()
+    }
+
+    fn submit(&mut self, client: u64, op: SimOp) {
+        self.inner.submit(ClientId(client), kv_command(op));
+    }
+
+    fn handle_message(&mut self, from: u64, message: Self::Message) {
+        self.inner.handle_message(ReplicaId::new(from), message);
+    }
+
+    fn tick(&mut self, now_ms: u64) {
+        self.inner.tick(now_ms);
+    }
+
+    fn drain_messages(&mut self) -> Vec<(u64, Self::Message)> {
+        let envelopes = self.inner.take_outbox();
+        if self.measure_wire {
+            for envelope in &envelopes {
+                let bytes = wire::to_vec(&envelope.message).expect("protocol messages encode");
+                let kind = match envelope.message.payload() {
+                    Some(payload) => format!("{}:{}", envelope.message.kind(), payload.kind()),
+                    None => envelope.message.kind().to_string(),
+                };
+                self.inner.record_wire_bytes(&kind, bytes.len() as u64);
+            }
+        }
+        envelopes.into_iter().map(|envelope| (envelope.to.as_u64(), envelope.message)).collect()
+    }
+
+    fn drain_replies(&mut self) -> Vec<SimReply> {
+        self.inner
+            .take_responses()
+            .into_iter()
+            .map(|response| SimReply {
+                client: response.client.0,
+                outcome: kv_outcome(response.body),
+                round_trips: response.round_trips,
+            })
+            .collect()
+    }
+
+    fn wire_metrics(&self) -> Option<WireMetrics> {
+        if self.measure_wire {
+            Some(self.inner.metrics().wire.clone())
+        } else {
+            None
+        }
+    }
+}
+
+/// Simulator adapter for the **sharded** keyspace engine: `S` independent
+/// protocol instances with hash-routed keys and shard-tagged messages.
+#[derive(Debug)]
+pub struct ShardedKvNode {
+    inner: ShardedReplica<u64, GCounter>,
+    measure_wire: bool,
+}
+
+impl ShardedKvNode {
+    /// Creates a node with `shards` protocol instances.
+    pub fn new(id: u64, members: &[u64], shards: u32, config: ProtocolConfig) -> Self {
+        let member_ids: Vec<ReplicaId> = members.iter().map(|&m| ReplicaId::new(m)).collect();
+        ShardedKvNode {
+            inner: ShardedReplica::new(ReplicaId::new(id), member_ids, shards, config),
+            measure_wire: false,
+        }
+    }
+
+    /// Enables or disables encoded-bytes accounting for outgoing messages.
+    #[must_use]
+    pub fn with_wire_accounting(mut self, enabled: bool) -> Self {
+        self.measure_wire = enabled;
+        self
+    }
+
+    /// Access to the wrapped sharded replica (per-shard metrics, states).
+    pub fn replica(&self) -> &ShardedReplica<u64, GCounter> {
+        &self.inner
+    }
+}
+
+impl SimNode for ShardedKvNode {
+    type Message = ShardMessage<KvMap>;
+
+    fn id(&self) -> u64 {
+        self.inner.id().as_u64()
+    }
+
+    fn lane_of(&self, message: &Self::Message) -> u64 {
+        // One processing lane (core) per shard: the sharded engine's messages are
+        // handled in parallel across shards under the simulator's CPU model.
+        u64::from(message.shard.as_u32())
+    }
+
+    fn submit(&mut self, client: u64, op: SimOp) {
+        self.inner.submit(ClientId(client), kv_command(op));
+    }
+
+    fn handle_message(&mut self, from: u64, message: Self::Message) {
+        self.inner.handle_message(ReplicaId::new(from), message);
+    }
+
+    fn tick(&mut self, now_ms: u64) {
+        self.inner.tick(now_ms);
+    }
+
+    fn drain_messages(&mut self) -> Vec<(u64, Self::Message)> {
+        let envelopes = self.inner.take_outbox();
+        if self.measure_wire {
+            for envelope in &envelopes {
+                // A `ShardMessage` encodes as the shard tag followed by the inner
+                // message; summing the two parts avoids cloning the payload.
+                let tag = wire::to_vec(&envelope.shard).expect("shard ids encode");
+                let body = wire::to_vec(&envelope.inner.message).expect("protocol messages encode");
+                let kind = match envelope.inner.message.payload() {
+                    Some(payload) => {
+                        format!("{}:{}", envelope.inner.message.kind(), payload.kind())
+                    }
+                    None => envelope.inner.message.kind().to_string(),
+                };
+                let bytes = (tag.len() + body.len()) as u64;
+                self.inner.record_wire_bytes(envelope.shard, &kind, bytes);
+            }
+        }
+        envelopes
+            .into_iter()
+            .map(|envelope| {
+                let (to, message) = envelope.into_parts();
+                (to.as_u64(), message)
+            })
+            .collect()
+    }
+
+    fn drain_replies(&mut self) -> Vec<SimReply> {
+        self.inner
+            .take_responses()
+            .into_iter()
+            .map(|response| SimReply {
+                client: response.client.0,
+                outcome: kv_outcome(response.body),
+                round_trips: response.round_trips,
+            })
+            .collect()
+    }
+
+    fn wire_metrics(&self) -> Option<WireMetrics> {
+        if self.measure_wire {
+            let by_shard = self.inner.wire_metrics_by_shard();
+            Some(crate::stats::merge_wire(by_shard.iter().map(|(_, wire)| wire)))
+        } else {
+            None
+        }
+    }
+}
+
 /// Simulator adapter for the Raft baseline.
 #[derive(Debug)]
 pub struct RaftNode {
@@ -146,8 +380,10 @@ impl SimNode for RaftNode {
 
     fn submit(&mut self, client: u64, op: SimOp) {
         let request = match op {
-            SimOp::Increment(amount) => Request::Update(CounterOp::Add(amount as i64)),
-            SimOp::Read => Request::Read(()),
+            SimOp::Increment(amount) | SimOp::KeyIncrement { amount, .. } => {
+                Request::Update(CounterOp::Add(amount as i64))
+            }
+            SimOp::Read | SimOp::KeyRead { .. } => Request::Read(()),
         };
         let command = baselines::CommandId(self.next_command);
         self.next_command += 1;
@@ -215,8 +451,10 @@ impl SimNode for MultiPaxosNode {
 
     fn submit(&mut self, client: u64, op: SimOp) {
         let request = match op {
-            SimOp::Increment(amount) => Request::Update(CounterOp::Add(amount as i64)),
-            SimOp::Read => Request::Read(()),
+            SimOp::Increment(amount) | SimOp::KeyIncrement { amount, .. } => {
+                Request::Update(CounterOp::Add(amount as i64))
+            }
+            SimOp::Read | SimOp::KeyRead { .. } => Request::Read(()),
         };
         let command = baselines::CommandId(self.next_command);
         self.next_command += 1;

@@ -34,12 +34,14 @@ pub mod sim;
 pub mod stats;
 pub mod workload;
 
-pub use adapters::{CrdtPaxosNode, MultiPaxosNode, RaftNode};
-pub use linearizability::{check_counter_history, HistoryOp, OpKind, Violation};
+pub use adapters::{CrdtPaxosNode, KeyValueNode, KvMap, MultiPaxosNode, RaftNode, ShardedKvNode};
+pub use linearizability::{
+    check_counter_history, check_keyed_history, HistoryOp, OpKind, Violation,
+};
 pub use sim::{
     run_simulation, CrashEvent, SimConfig, SimNode, SimOp, SimOutcome, SimReply, SimResult,
 };
-pub use stats::{wire_reduction, IntervalStats, LatencyStats};
+pub use stats::{merge_wire, wire_reduction, IntervalStats, LatencyStats};
 pub use workload::{ClientWorkload, WorkloadMix};
 
 // Byte-accounting types, re-exported so analysis code does not need to depend on the
@@ -50,12 +52,26 @@ use baselines::paxos::PaxosConfig;
 use baselines::raft::RaftConfig;
 use crdt_paxos_core::ProtocolConfig;
 
+/// Guard for the single-counter adapters: they collapse keyed operations onto one
+/// global counter, so recording *per-key* histories against them would report
+/// spurious linearizability violations. Keyed history collection needs the KV
+/// adapters ([`run_single_kv`] / [`run_sharded_kv`]).
+fn assert_unkeyed_history(config: &SimConfig, protocol_name: &str) {
+    assert!(
+        config.keyspace <= 1 || !config.collect_history,
+        "{protocol_name} replicates a single counter and collapses keyed operations onto it; \
+         a keyed history against it is not checkable — use run_single_kv or run_sharded_kv \
+         for multi-key workloads with collect_history"
+    );
+}
+
 /// Runs one experiment with CRDT Paxos replicas under the given protocol configuration.
 ///
 /// When [`SimConfig::measure_wire_bytes`] is set, every replica-to-replica message is
 /// encoded with the `wire` codec and [`SimResult::wire`] reports bytes per message
 /// kind — the basis of the full-vs-delta payload comparison in the `bench` crate.
 pub fn run_crdt_paxos(config: &SimConfig, protocol: ProtocolConfig) -> SimResult {
+    assert_unkeyed_history(config, "CRDT Paxos (single counter)");
     run_simulation(config, |id, members| {
         CrdtPaxosNode::new(id, members, protocol.clone())
             .with_wire_accounting(config.measure_wire_bytes)
@@ -67,12 +83,56 @@ pub fn run_crdt_paxos_batched(config: &SimConfig) -> SimResult {
     run_crdt_paxos(config, ProtocolConfig::batched())
 }
 
+/// Runs one experiment with a **single-instance** replicated keyspace
+/// (`Replica<LatticeMap>`): every key is serialized through one round counter.
+///
+/// This is the baseline of the sharding comparison; drive it with a multi-key
+/// workload by setting [`SimConfig::keyspace`] > 1.
+pub fn run_single_kv(config: &SimConfig, protocol: ProtocolConfig) -> SimResult {
+    run_simulation(config, |id, members| {
+        KeyValueNode::new(id, members, protocol.clone())
+            .with_wire_accounting(config.measure_wire_bytes)
+    })
+}
+
+/// Runs one experiment with the **sharded** keyspace engine: `shards` independent
+/// protocol instances, keys hash-routed, quorums advancing in parallel.
+pub fn run_sharded_kv(config: &SimConfig, protocol: ProtocolConfig, shards: u32) -> SimResult {
+    run_simulation(config, |id, members| {
+        ShardedKvNode::new(id, members, shards, protocol.clone())
+            .with_wire_accounting(config.measure_wire_bytes)
+    })
+}
+
+/// The canonical multi-key workload of the throughput-vs-shards figure (and its
+/// acceptance test): a uniform keyspace driven by enough closed-loop clients that
+/// a single protocol instance is both contention-bound (every update invalidates
+/// every in-flight read quorum) and CPU-bound (one round counter = one serial
+/// message-handling lane, per [`SimConfig::service_time_us`]; the sharded engine
+/// gets one lane per shard).
+///
+/// `quick` shortens the run for smoke tests and CI.
+pub fn sharding_workload(quick: bool) -> SimConfig {
+    SimConfig {
+        clients: 128,
+        duration_ms: if quick { 1_500 } else { 4_000 },
+        warmup_ms: if quick { 250 } else { 500 },
+        read_fraction: 0.9,
+        keyspace: 64,
+        service_time_us: 4,
+        seed: 0x5A4D,
+        ..SimConfig::default()
+    }
+}
+
 /// Runs one experiment with the Raft baseline.
 pub fn run_raft(config: &SimConfig) -> SimResult {
+    assert_unkeyed_history(config, "Raft (single counter)");
     run_simulation(config, |id, members| RaftNode::new(id, members, RaftConfig::default()))
 }
 
 /// Runs one experiment with the Multi-Paxos (read leases) baseline.
 pub fn run_multi_paxos(config: &SimConfig) -> SimResult {
+    assert_unkeyed_history(config, "Multi-Paxos (single counter)");
     run_simulation(config, |id, members| MultiPaxosNode::new(id, members, PaxosConfig::default()))
 }

@@ -154,6 +154,28 @@ pub fn check_counter_history(history: &[HistoryOp]) -> Result<(), Violation> {
     Ok(())
 }
 
+/// Checks a keyed (multi-key) history for per-key linearizability.
+///
+/// Sharded keyspaces promise linearizability *per key*: every key's operations
+/// must form a linearizable counter history on their own, while no ordering is
+/// enforced across keys. The history is partitioned by key and each partition is
+/// checked with [`check_counter_history`].
+///
+/// # Errors
+///
+/// Returns the offending key and the first [`Violation`] found in its history.
+pub fn check_keyed_history(history: &[(u64, HistoryOp)]) -> Result<(), (u64, Violation)> {
+    use std::collections::BTreeMap;
+    let mut per_key: BTreeMap<u64, Vec<HistoryOp>> = BTreeMap::new();
+    for (key, op) in history {
+        per_key.entry(*key).or_default().push(op.clone());
+    }
+    for (key, ops) in per_key {
+        check_counter_history(&ops).map_err(|violation| (key, violation))?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +261,20 @@ mod tests {
         let violation =
             Violation::ReadOutOfBounds { read_index: 3, value: 7, lower_bound: 8, upper_bound: 9 };
         assert!(violation.to_string().contains("read #3"));
+    }
+
+    #[test]
+    fn keyed_history_is_checked_per_key() {
+        // Key 1's read misses key 1's completed increment: a violation. Key 2's
+        // identical-looking read is fine because key 2 saw no increment... and no
+        // ordering is enforced across the keys.
+        let ok = vec![(1, inc(0, 10, 5)), (1, read(20, 30, 5)), (2, read(40, 50, 0))];
+        assert_eq!(check_keyed_history(&ok), Ok(()));
+
+        let bad = vec![(1, inc(0, 10, 5)), (1, read(20, 30, 0)), (2, read(40, 50, 0))];
+        match check_keyed_history(&bad) {
+            Err((1, Violation::ReadOutOfBounds { .. })) => {}
+            other => panic!("expected a key-1 violation, got {other:?}"),
+        }
     }
 }

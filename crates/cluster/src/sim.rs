@@ -28,6 +28,34 @@ pub enum SimOp {
     Increment(u64),
     /// Read the replicated counter.
     Read,
+    /// Increment the counter stored under `key` (multi-key workloads, see
+    /// [`SimConfig::keyspace`]).
+    KeyIncrement {
+        /// The key to update.
+        key: u64,
+        /// The increment amount.
+        amount: u64,
+    },
+    /// Read the counter stored under `key`.
+    KeyRead {
+        /// The key to read.
+        key: u64,
+    },
+}
+
+impl SimOp {
+    /// Returns `true` for read operations.
+    pub fn is_read(self) -> bool {
+        matches!(self, SimOp::Read | SimOp::KeyRead { .. })
+    }
+
+    /// The key the operation addresses, if it is a keyed operation.
+    pub fn key(self) -> Option<u64> {
+        match self {
+            SimOp::KeyIncrement { key, .. } | SimOp::KeyRead { key } => Some(key),
+            _ => None,
+        }
+    }
 }
 
 /// Outcome of a client operation.
@@ -79,6 +107,18 @@ pub trait SimNode {
     /// Drains client replies.
     fn drain_replies(&mut self) -> Vec<SimReply>;
 
+    /// The processing lane a message occupies when [`SimConfig::service_time_us`]
+    /// models per-message CPU cost.
+    ///
+    /// Messages on the same `(replica, lane)` are handled serially; different lanes
+    /// of one replica proceed in parallel. A single-instance protocol has one lane
+    /// (one round counter, one event loop); a sharded engine reports the message's
+    /// shard id here — one core per shard, the deployment model sharding exists
+    /// for.
+    fn lane_of(&self, _message: &Self::Message) -> u64 {
+        0
+    }
+
     /// Encoded bytes-on-the-wire sent by this node, per message kind.
     ///
     /// Only adapters that actually encode their messages (see
@@ -120,12 +160,25 @@ pub struct SimConfig {
     pub message_loss: f64,
     /// Interval at which protocol timers fire, in milliseconds.
     pub tick_interval_ms: u64,
+    /// CPU cost of handling one replica-to-replica message, in microseconds
+    /// (0 disables the CPU model, the paper-faithful zero-cost network fiction).
+    ///
+    /// When set, each replica handles messages **serially per processing lane**
+    /// ([`SimNode::lane_of`]): a single protocol instance is one saturable event
+    /// loop, a sharded engine gets one lane per shard — the one-core-per-shard
+    /// deployment the throughput-vs-shards figure measures.
+    pub service_time_us: u64,
     /// Backoff before a client retries after a [`SimOutcome::Retry`], in microseconds.
     pub retry_backoff_us: u64,
     /// Length of the aggregation interval for the time series, in milliseconds.
     pub interval_ms: u64,
     /// Seed for all randomness (workload mix, jitter, loss).
     pub seed: u64,
+    /// Number of distinct keys the workload spreads over, uniformly. `1` (the
+    /// default) reproduces the paper's single-object workload with unkeyed
+    /// [`SimOp::Increment`]/[`SimOp::Read`]; larger values issue
+    /// [`SimOp::KeyIncrement`]/[`SimOp::KeyRead`] for the keyspace protocols.
+    pub keyspace: u64,
     /// Optional crash injection.
     pub crash: Option<CrashEvent>,
     /// Record a full operation history for linearizability checking (bounded; meant
@@ -149,9 +202,11 @@ impl Default for SimConfig {
             latency_jitter_us: 20,
             message_loss: 0.0,
             tick_interval_ms: 1,
+            service_time_us: 0,
             retry_backoff_us: 1_000,
             interval_ms: 1_000,
             seed: 0xC0FFEE,
+            keyspace: 1,
             crash: None,
             collect_history: false,
             measure_wire_bytes: false,
@@ -185,18 +240,25 @@ pub struct SimResult {
     /// (only filled when [`SimConfig::measure_wire_bytes`] was set and the protocol
     /// adapter supports it; empty otherwise).
     pub wire: WireMetrics,
-    /// Recorded operation history (only when `collect_history` was set).
+    /// Recorded operation history of unkeyed operations (only when
+    /// `collect_history` was set).
     pub history: Vec<HistoryOp>,
+    /// Recorded `(key, operation)` history of keyed operations (multi-key
+    /// workloads; only when `collect_history` was set).
+    pub keyed_history: Vec<(u64, HistoryOp)>,
 }
 
 impl SimResult {
-    /// Checks the recorded history for linearizability.
+    /// Checks the recorded histories for linearizability: the unkeyed history as
+    /// one counter history, the keyed history per key.
     ///
     /// # Errors
     ///
     /// Returns the first violation found. Returns `Ok(())` for runs without history.
     pub fn check_linearizable(&self) -> Result<(), Violation> {
-        check_counter_history(&self.history)
+        check_counter_history(&self.history)?;
+        crate::linearizability::check_keyed_history(&self.keyed_history)
+            .map_err(|(_, violation)| violation)
     }
 
     /// Fraction of reads that completed within `max_round_trips` quorum round trips.
@@ -218,7 +280,7 @@ impl SimResult {
 #[derive(Debug)]
 enum Event<M> {
     Tick,
-    Deliver { to: u64, from: u64, message: M },
+    Deliver { to: u64, from: u64, message: M, scheduled: bool },
     ClientIssue { client: u64 },
     ClientArrive { client: u64, replica: u64, op: SimOp },
     Crash { replica: u64 },
@@ -289,6 +351,9 @@ where
     let warmup_us = config.warmup_ms * 1_000;
     let mut heap: BinaryHeap<QueueItem<N::Message>> = BinaryHeap::new();
     let mut seq = 0u64;
+    // Per-(replica, lane) CPU reservation, used when `service_time_us` models
+    // message-handling cost.
+    let mut lanes: BTreeMap<(u64, u64), u64> = BTreeMap::new();
     let push = |heap: &mut BinaryHeap<QueueItem<N::Message>>,
                 seq: &mut u64,
                 time_us: u64,
@@ -324,6 +389,7 @@ where
     let mut completed_updates = 0u64;
     let mut retries = 0u64;
     let mut history: Vec<HistoryOp> = Vec::new();
+    let mut keyed_history: Vec<(u64, HistoryOp)> = Vec::new();
     const HISTORY_CAP: usize = 250_000;
 
     let net_latency = |rng: &mut StdRng| -> u64 {
@@ -370,8 +436,19 @@ where
                         state.replica = target;
                     }
                 }
-                let op =
-                    if state.workload.next_is_read() { SimOp::Read } else { SimOp::Increment(1) };
+                let is_read = state.workload.next_is_read();
+                let op = if config.keyspace > 1 {
+                    let key = state.workload.next_key(config.keyspace);
+                    if is_read {
+                        SimOp::KeyRead { key }
+                    } else {
+                        SimOp::KeyIncrement { key, amount: 1 }
+                    }
+                } else if is_read {
+                    SimOp::Read
+                } else {
+                    SimOp::Increment(1)
+                };
                 state.outstanding = Some(Outstanding { issued_us: now_us, op });
                 let delay = net_latency(&mut rng);
                 let replica = state.replica;
@@ -398,9 +475,26 @@ where
                 }
                 nodes[replica as usize].submit(client, op);
             }
-            Event::Deliver { to, from, message } => {
+            Event::Deliver { to, from, message, scheduled } => {
                 if !alive[to as usize] {
                     continue;
+                }
+                if config.service_time_us > 0 && !scheduled {
+                    // Reserve the next free slot on the message's processing lane;
+                    // if the lane is busy, re-deliver once the slot starts.
+                    let lane = nodes[to as usize].lane_of(&message);
+                    let busy = lanes.entry((to, lane)).or_insert(0);
+                    let start = now_us.max(*busy);
+                    *busy = start + config.service_time_us;
+                    if start > now_us {
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            start,
+                            Event::Deliver { to, from, message, scheduled: true },
+                        );
+                        continue;
+                    }
                 }
                 nodes[to as usize].handle_message(from, message);
             }
@@ -421,7 +515,12 @@ where
                     continue;
                 }
                 let delay = net_latency(&mut rng);
-                push(&mut heap, &mut seq, now_us + delay, Event::Deliver { to, from, message });
+                push(
+                    &mut heap,
+                    &mut seq,
+                    now_us + delay,
+                    Event::Deliver { to, from, message, scheduled: false },
+                );
             }
             for reply in nodes[index].drain_replies() {
                 let client = reply.client;
@@ -442,7 +541,7 @@ where
                     outcome => {
                         let completion_us = now_us + net_latency(&mut rng);
                         let latency = completion_us.saturating_sub(outstanding.issued_us);
-                        let is_read = matches!(outstanding.op, SimOp::Read);
+                        let is_read = outstanding.op.is_read();
                         if completion_us >= warmup_us {
                             if is_read {
                                 completed_reads += 1;
@@ -456,17 +555,29 @@ where
                             }
                             intervals.record(completion_us / 1_000, latency, is_read);
                         }
-                        if config.collect_history && history.len() < HISTORY_CAP {
+                        if config.collect_history
+                            && history.len() + keyed_history.len() < HISTORY_CAP
+                        {
                             let kind = match (outstanding.op, &outcome) {
-                                (SimOp::Increment(amount), _) => OpKind::Increment(amount),
-                                (SimOp::Read, SimOutcome::ReadDone(value)) => OpKind::Read(*value),
-                                (SimOp::Read, _) => OpKind::Read(0),
+                                (
+                                    SimOp::Increment(amount) | SimOp::KeyIncrement { amount, .. },
+                                    _,
+                                ) => OpKind::Increment(amount),
+                                (
+                                    SimOp::Read | SimOp::KeyRead { .. },
+                                    SimOutcome::ReadDone(value),
+                                ) => OpKind::Read(*value),
+                                (SimOp::Read | SimOp::KeyRead { .. }, _) => OpKind::Read(0),
                             };
-                            history.push(HistoryOp {
+                            let op = HistoryOp {
                                 invoked_us: outstanding.issued_us,
                                 responded_us: completion_us,
                                 kind,
-                            });
+                            };
+                            match outstanding.op.key() {
+                                Some(key) => keyed_history.push((key, op)),
+                                None => history.push(op),
+                            }
                         }
                         push(&mut heap, &mut seq, completion_us, Event::ClientIssue { client });
                     }
@@ -482,14 +593,22 @@ where
     if config.collect_history {
         for state in &clients {
             if let Some(outstanding) = &state.outstanding {
-                if let SimOp::Increment(amount) = outstanding.op {
-                    if history.len() < HISTORY_CAP {
-                        history.push(HistoryOp {
-                            invoked_us: outstanding.issued_us,
-                            responded_us: u64::MAX,
-                            kind: OpKind::Increment(amount),
-                        });
-                    }
+                if history.len() + keyed_history.len() >= HISTORY_CAP {
+                    break;
+                }
+                let (key, amount) = match outstanding.op {
+                    SimOp::Increment(amount) => (None, amount),
+                    SimOp::KeyIncrement { key, amount } => (Some(key), amount),
+                    SimOp::Read | SimOp::KeyRead { .. } => continue,
+                };
+                let op = HistoryOp {
+                    invoked_us: outstanding.issued_us,
+                    responded_us: u64::MAX,
+                    kind: OpKind::Increment(amount),
+                };
+                match key {
+                    Some(key) => keyed_history.push((key, op)),
+                    None => history.push(op),
                 }
             }
         }
@@ -518,6 +637,7 @@ where
         read_round_trips,
         wire,
         history,
+        keyed_history,
     }
 }
 
@@ -540,8 +660,8 @@ mod tests {
         }
         fn submit(&mut self, client: u64, op: SimOp) {
             let outcome = match op {
-                SimOp::Increment(_) => SimOutcome::UpdateDone,
-                SimOp::Read => SimOutcome::ReadDone(0),
+                SimOp::Increment(_) | SimOp::KeyIncrement { .. } => SimOutcome::UpdateDone,
+                SimOp::Read | SimOp::KeyRead { .. } => SimOutcome::ReadDone(0),
             };
             self.replies.push(SimReply { client, outcome, round_trips: 1 });
         }

@@ -20,6 +20,19 @@ pub fn wire_reduction(baseline: &WireMetrics, candidate: &WireMetrics, kind: &st
     1.0 - candidate.bytes_for_kind(kind) as f64 / base as f64
 }
 
+/// Merges per-shard (or per-replica) byte accounting records into one aggregate.
+///
+/// The sharded adapters keep one [`WireMetrics`] per protocol instance so reports
+/// can show the per-shard traffic split; this folds them back together for
+/// keyspace-wide totals.
+pub fn merge_wire<'a>(parts: impl IntoIterator<Item = &'a WireMetrics>) -> WireMetrics {
+    let mut total = WireMetrics::default();
+    for part in parts {
+        total.merge(part);
+    }
+    total
+}
+
 /// A collection of latency samples (microseconds).
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {

@@ -54,6 +54,15 @@ impl ClientWorkload {
     pub fn next_is_read(&mut self) -> bool {
         self.rng.gen_bool(self.mix.read_fraction)
     }
+
+    /// Picks the key of the next operation, uniformly over `0..keyspace`
+    /// (multi-key workloads for the sharded engine).
+    pub fn next_key(&mut self, keyspace: u64) -> u64 {
+        if keyspace <= 1 {
+            return 0;
+        }
+        self.rng.gen_range(0..keyspace)
+    }
 }
 
 #[cfg(test)]

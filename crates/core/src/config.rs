@@ -11,8 +11,10 @@ pub enum PayloadMode {
     /// Ship a [`crate::Payload::Delta`] when the proposer knows (from a previous
     /// `MERGED`/`ACK`/`NACK` of that peer) a state the receiver is guaranteed to
     /// contain; fall back to the full state on first contact, query retries, and
-    /// retransmissions. Cuts bytes-on-the-wire roughly by the ratio of changed to
-    /// total state — on the 64-slot counter benchmark well over 50 %.
+    /// retransmissions. Acceptors reply in kind: `ACK`s (and vote `NACK`s) are
+    /// delta-encoded against the payload of the request they answer, so quiet reads
+    /// ship near-empty replies. Cuts bytes-on-the-wire roughly by the ratio of
+    /// changed to total state — on the 64-slot counter benchmark well over 50 %.
     DeltaWhenPossible,
 }
 

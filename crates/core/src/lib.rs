@@ -32,6 +32,11 @@
 //!   proposer tracks, per peer, the largest state the peer is known to contain
 //!   (from `MERGED`/`ACK`/`NACK` replies) and diffs against it; first contact,
 //!   retries, and retransmissions fall back to full states.
+//! * [`ShardedReplica`] — the sharded keyspace engine: `S` independent `Replica`
+//!   instances over a `crdt::LatticeMap`, one round counter and one quorum per
+//!   shard, with deterministic key routing (`quorum::Partitioner`) and
+//!   [`ShardEnvelope`]/[`ShardMessage`] multiplexing so non-conflicting commands
+//!   on different key ranges agree in parallel.
 //! * [`ProtocolConfig`] — batching, GLA-stability, payload mode, retry and
 //!   retransmission knobs.
 //! * [`Metrics`] — round-trip histograms, learning-path counters (Figure 3), and
@@ -50,6 +55,7 @@ mod metrics;
 mod msg;
 mod replica;
 mod round;
+mod shard;
 
 pub use acceptor::{AcceptOutcome, Acceptor};
 pub use config::{PayloadMode, ProtocolConfig};
@@ -58,5 +64,7 @@ pub use msg::{
     ClientId, ClientResponse, Command, CommandId, Envelope, Message, Payload, RequestId,
     ResponseBody,
 };
+pub use quorum::ShardId;
 pub use replica::Replica;
 pub use round::{PrepareRound, Round, RoundId};
+pub use shard::{ShardEnvelope, ShardMessage, ShardedReplica};

@@ -78,9 +78,15 @@ impl<C: DeltaCrdt> Payload<C> {
 ///
 /// State-bearing messages carry a [`Payload`] — either the full state (as in the
 /// paper) or a delta (Almeida et al.), depending on [`crate::PayloadMode`] and on
-/// what the proposer knows about the receiver. Replies (`ACK`, `NACK`) always carry
-/// the acceptor's full state: they are what teaches the proposer a peer's state in
-/// the first place.
+/// what the proposer knows about the receiver. Replies (`ACK`, `NACK`) carry a
+/// [`Payload`] too: in delta mode the acceptor diffs its post-join state against a
+/// baseline both sides hold **exactly** — the content of the very request being
+/// answered, joined with the acceptor-state snapshot whose `reveal` sequence number
+/// the request echoed back (`basis`). Exactness matters: the proposer's
+/// consistent-quorum check compares acceptor states for equality, so reply deltas
+/// must reconstruct to the acceptor's precise state, not a lower or upper bound.
+/// Replies without a usable baseline, and all replies in the paper-faithful full
+/// mode, ship the acceptor's full state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(bound(
     serialize = "C: Serialize, C::Delta: Serialize",
@@ -108,6 +114,10 @@ pub enum Message<C: Crdt + DeltaCrdt> {
         round: PrepareRound,
         /// Optional payload to speed up convergence (omitted when it equals `s0`).
         payload: Option<Payload<C>>,
+        /// Reveal sequence number of the receiver's newest state snapshot this
+        /// proposer holds (delta-mode reply handshake, see [`Message::PrepareAck`]);
+        /// `0` when none is held or delta payloads are disabled.
+        basis: u64,
     },
     /// Acceptor acknowledgement of a prepare (paper line 42, `ACK`).
     PrepareAck {
@@ -115,8 +125,16 @@ pub enum Message<C: Crdt + DeltaCrdt> {
         request: RequestId,
         /// The acceptor's round after processing the prepare.
         round: Round,
-        /// The acceptor's payload state after processing the prepare.
-        state: C,
+        /// The acceptor's payload state after processing the prepare — full, or (in
+        /// delta mode) a delta against `content(request payload) ⊔ snapshot(basis)`,
+        /// both of which the proposer holds exactly.
+        state: Payload<C>,
+        /// Sequence number under which the acceptor remembers the revealed state, so
+        /// the proposer can echo it as the `basis` of future requests (0 = none).
+        reveal: u64,
+        /// The reveal sequence number whose snapshot the delta was diffed against
+        /// (0 = the request's own payload content only).
+        basis: u64,
     },
     /// Second query phase: propose a state to learn (paper line 17).
     Vote {
@@ -126,6 +144,8 @@ pub enum Message<C: Crdt + DeltaCrdt> {
         round: Round,
         /// The proposed payload state (LUB of all first-phase payloads).
         payload: Payload<C>,
+        /// Reveal sequence echo, as in [`Message::Prepare`] (0 = none).
+        basis: u64,
     },
     /// Acceptor acknowledgement of a vote (paper line 47, `VOTED`).
     ///
@@ -143,8 +163,12 @@ pub enum Message<C: Crdt + DeltaCrdt> {
         request: RequestId,
         /// The acceptor's current round.
         round: Round,
-        /// The acceptor's current payload state.
-        state: C,
+        /// The acceptor's current payload state — full, or (for vote rejections in
+        /// delta mode) a delta against the `VOTE`'s own payload and basis snapshot.
+        state: Payload<C>,
+        /// The reveal sequence number whose snapshot the delta was diffed against
+        /// (0 = the request's own payload content only).
+        basis: u64,
     },
 }
 
@@ -176,12 +200,13 @@ impl<C: Crdt + DeltaCrdt> Message<C> {
         }
     }
 
-    /// The payload carried by a state-bearing request message, if any.
+    /// The payload carried by a state-bearing message (request or reply), if any.
     pub fn payload(&self) -> Option<&Payload<C>> {
         match self {
             Message::Merge { payload, .. } | Message::Vote { payload, .. } => Some(payload),
             Message::Prepare { payload, .. } => payload.as_ref(),
-            _ => None,
+            Message::PrepareAck { state, .. } | Message::Nack { state, .. } => Some(state),
+            Message::MergeAck { .. } | Message::VoteAck { .. } => None,
         }
     }
 }
@@ -259,11 +284,23 @@ mod tests {
                 request,
                 round: PrepareRound::Fixed(Round::ZERO),
                 payload: Some(Payload::Full(state.clone())),
+                basis: 0,
             },
-            Message::PrepareAck { request, round: Round::ZERO, state: state.clone() },
-            Message::Vote { request, round: Round::ZERO, payload: Payload::Full(state.clone()) },
+            Message::PrepareAck {
+                request,
+                round: Round::ZERO,
+                state: Payload::Full(state.clone()),
+                reveal: 0,
+                basis: 0,
+            },
+            Message::Vote {
+                request,
+                round: Round::ZERO,
+                payload: Payload::Full(state.clone()),
+                basis: 0,
+            },
             Message::VoteAck { request },
-            Message::Nack { request, round: Round::ZERO, state },
+            Message::Nack { request, round: Round::ZERO, state: Payload::Full(state), basis: 0 },
         ];
         let kinds: Vec<&str> = messages.iter().map(Message::kind).collect();
         assert_eq!(kinds, ["MERGE", "MERGED", "PREPARE", "ACK", "VOTE", "VOTED", "NACK"]);
@@ -277,7 +314,9 @@ mod tests {
         let message: Message<GCounter> = Message::PrepareAck {
             request: RequestId(3),
             round: Round::new(2, crate::round::RoundId::proposer(1, ReplicaId::new(0))),
-            state,
+            state: Payload::Full(state),
+            reveal: 7,
+            basis: 3,
         };
         let envelope = Envelope { from: ReplicaId::new(0), to: ReplicaId::new(2), message };
         let bytes = wire::to_vec(&envelope).unwrap();

@@ -9,7 +9,7 @@
 //! The same state machine is driven by the deterministic simulator, the tokio TCP
 //! runtime, and the unit tests.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crdt::{Crdt, DeltaCrdt, ReplicaId};
 use quorum::{Membership, QuorumSystem};
@@ -63,10 +63,40 @@ enum InFlight<C: Crdt> {
         /// LUB of every payload state received for this query so far; used as the
         /// payload of retry prepares (§3.2, "Retrying Requests").
         gathered: C,
+        /// Basis snapshots `(peer, reveal seq)` echoed by this request's messages;
+        /// each holds a reference that pins the snapshot in [`PeerBasis`] until the
+        /// request ends (delta mode only).
+        echoes: Vec<(ReplicaId, u64)>,
         round_trips: u32,
         retries: u32,
         last_sent_ms: u64,
     },
+}
+
+/// Seq-pinned exact snapshots of one peer's acceptor state, learned from that peer's
+/// reconstructed `ACK` replies (proposer side of the reply-delta handshake).
+///
+/// The newest snapshot's sequence number is echoed as the `basis` of outgoing
+/// `PREPARE`/`VOTE` messages; the peer may then diff its reply against the snapshot.
+/// Snapshots stay pinned while any in-flight request echoes them, so a delta reply
+/// for a live request can always be reconstructed — replies for dead requests are
+/// stale and dropped.
+#[derive(Debug, Clone)]
+struct PeerBasis<C> {
+    latest: u64,
+    states: BTreeMap<u64, BasisSlot<C>>,
+}
+
+#[derive(Debug, Clone)]
+struct BasisSlot<C> {
+    state: C,
+    refs: u32,
+}
+
+impl<C> PeerBasis<C> {
+    fn new() -> Self {
+        PeerBasis { latest: 0, states: BTreeMap::new() }
+    }
 }
 
 /// One replica of the CRDT Paxos protocol (proposer + acceptor).
@@ -110,6 +140,9 @@ enum InFlight<C: Crdt> {
 pub struct Replica<C: Crdt + DeltaCrdt> {
     id: ReplicaId,
     membership: Membership<ReplicaId>,
+    /// All members except `id`, cached so the broadcast and retransmission fan-out
+    /// paths do not re-collect a fresh `Vec` per message (hot-path allocation).
+    others: Vec<ReplicaId>,
     quorum_size: usize,
     acceptor: Acceptor<C>,
     config: ProtocolConfig,
@@ -132,6 +165,21 @@ pub struct Replica<C: Crdt + DeltaCrdt> {
     /// finishes at quorum, not at full coverage). Kept — bounded — so late `MERGED`
     /// replies still teach us the slow peer's state. Delta mode only.
     recent_merges: BTreeMap<RequestId, (C, BTreeSet<ReplicaId>)>,
+    /// Acceptor side of the reply-delta handshake: a bounded ring of payload-state
+    /// snapshots this replica revealed in `ACK`s, keyed by reveal sequence number.
+    /// A request echoing one of these lets the reply ship a delta instead of the
+    /// full state. Delta mode only.
+    reveals: VecDeque<(u64, C)>,
+    next_reveal: u64,
+    /// Proposer side of the reply-delta handshake: per peer, exact snapshots of the
+    /// peer's acceptor state (see [`PeerBasis`]). Delta mode only; pruned on
+    /// membership change alongside `peer_known`.
+    basis: BTreeMap<ReplicaId, PeerBasis<C>>,
+    /// Prepare payloads of recently completed query instances (a query finishes at
+    /// quorum, so the slowest acceptors' `ACK`s arrive late). Kept — bounded — so
+    /// late delta-encoded ACKs remain reconstructible and still teach us the slow
+    /// peer's state. Delta mode only.
+    recent_prepares: BTreeMap<RequestId, C>,
     update_batch: Vec<(UpdateWaiter, C::Update)>,
     query_batch: Vec<QueryWaiter<C>>,
     next_flush_ms: u64,
@@ -160,9 +208,11 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
         } else {
             0
         };
+        let others: Vec<ReplicaId> = membership.others(id).collect();
         Replica {
             id,
             membership,
+            others,
             quorum_size,
             acceptor: Acceptor::new(id, initial),
             config,
@@ -177,6 +227,10 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
             largest_learned: None,
             peer_known: BTreeMap::new(),
             recent_merges: BTreeMap::new(),
+            reveals: VecDeque::new(),
+            next_reveal: 1,
+            basis: BTreeMap::new(),
+            recent_prepares: BTreeMap::new(),
             update_batch: Vec::new(),
             query_batch: Vec::new(),
             next_flush_ms: batch_interval + flush_offset,
@@ -191,6 +245,86 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
     /// The replica group.
     pub fn membership(&self) -> &Membership<ReplicaId> {
         &self.membership
+    }
+
+    /// Replaces the replica group (administrative reconfiguration).
+    ///
+    /// The paper assumes static membership; this hook exists so long-lived processes
+    /// can decommission peers without leaking per-peer state: the delta-payload
+    /// tracking maps ([`Replica::known_peer_state`]'s `peer_known` and the
+    /// recent-merge backlog) pin a full payload-state clone per tracked peer, so
+    /// departed peers are garbage-collected here. Quorum sizes are re-derived and
+    /// in-flight instances whose acknowledgement sets already satisfy the new
+    /// (possibly smaller) quorum complete immediately.
+    ///
+    /// Callers are responsible for reconfiguring **all** replicas consistently (one
+    /// membership epoch at a time); diverging memberships void the quorum
+    /// intersection property the protocol's safety rests on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` does not contain this replica's id.
+    pub fn update_membership(&mut self, members: Vec<ReplicaId>) {
+        let membership = Membership::new(members);
+        assert!(
+            membership.contains(&self.id),
+            "replica {} must be part of the new membership",
+            self.id
+        );
+        self.others = membership.others(self.id).collect();
+        self.quorum_size = membership.majority().min_quorum_size();
+        // GC the delta-tracking state of departed peers: their full state clones in
+        // `peer_known` and the basis-snapshot map, and their slots in recent-merge
+        // missing sets (a departed peer will never send the late MERGED the entry
+        // is waiting for).
+        self.peer_known.retain(|peer, _| membership.contains(peer));
+        self.basis.retain(|peer, _| membership.contains(peer));
+        self.recent_merges.retain(|_, (_, missing)| {
+            missing.retain(|peer| membership.contains(peer));
+            !missing.is_empty()
+        });
+        // Acknowledgements from departed peers must not count toward the new
+        // (possibly smaller) quorums: an instance "stored at a quorum" must mean a
+        // quorum of the *current* group, or quorum intersection — and with it
+        // update visibility — is void. Retransmission re-contacts current members.
+        for entry in self.requests.values_mut() {
+            match entry {
+                InFlight::Update { acks, .. } => acks.retain(|peer| membership.contains(peer)),
+                InFlight::Query { phase, .. } => match phase {
+                    QueryPhase::Prepare { acks, .. } => {
+                        acks.retain(|peer, _| membership.contains(peer));
+                    }
+                    QueryPhase::Vote { acks, .. } => {
+                        acks.retain(|peer| membership.contains(peer));
+                    }
+                },
+            }
+        }
+        self.membership = membership;
+        self.recheck_quorums();
+    }
+
+    /// Re-evaluates every in-flight instance against the current quorum size (used
+    /// after a membership change shrank the group).
+    fn recheck_quorums(&mut self) {
+        let requests: Vec<RequestId> = self.requests.keys().copied().collect();
+        for request in requests {
+            match self.requests.get(&request) {
+                Some(InFlight::Update { acks, .. }) if acks.len() >= self.quorum_size => {
+                    self.complete_update(request);
+                }
+                Some(InFlight::Query { phase: QueryPhase::Prepare { .. }, .. }) => {
+                    self.maybe_finish_prepare(request);
+                }
+                Some(InFlight::Query {
+                    phase: QueryPhase::Vote { acks, proposed, .. }, ..
+                }) if acks.len() >= self.quorum_size => {
+                    let proposed = proposed.clone();
+                    self.finish_query(request, proposed, true);
+                }
+                _ => {}
+            }
+        }
     }
 
     /// The local acceptor's payload state (useful for tests and observability; reads
@@ -261,39 +395,67 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
     }
 
     /// Handles a protocol message from another replica.
+    ///
+    /// Messages from processes outside the current membership are dropped: after a
+    /// reconfiguration, a departed peer's late acknowledgements must not count
+    /// toward quorums of the new group.
     pub fn handle_message(&mut self, from: ReplicaId, message: Message<C>) {
+        if !self.membership.contains(&from) {
+            return;
+        }
         match message {
             Message::Merge { request, payload } => {
                 self.acceptor.handle_merge(&payload);
                 self.send(from, Message::MergeAck { request });
             }
             Message::MergeAck { request } => self.handle_merge_ack(from, request),
-            Message::Prepare { request, round, payload } => {
+            Message::Prepare { request, round, payload, basis } => {
                 let outcome = self.acceptor.handle_prepare(round, payload.as_ref());
                 let reply = match outcome {
                     AcceptOutcome::Ack { round, state } => {
-                        Message::PrepareAck { request, round, state }
+                        let (state, reveal, used) =
+                            self.build_reply(state, payload.as_ref(), basis, true);
+                        Message::PrepareAck { request, round, state, reveal, basis: used }
                     }
-                    AcceptOutcome::Nack { round, state } => Message::Nack { request, round, state },
+                    // Prepare rejections reply with the full state: by the time the
+                    // NACK arrives the proposer may have moved to the vote phase,
+                    // where the prepare payload is no longer a reconstruction
+                    // baseline it holds.
+                    AcceptOutcome::Nack { round, state } => {
+                        Message::Nack { request, round, state: Payload::Full(state), basis: 0 }
+                    }
                 };
                 self.send(from, reply);
             }
-            Message::PrepareAck { request, round, state } => {
-                // The ACK carries the acceptor's full state: record it as the peer's
-                // known lower bound even when the request is no longer in flight.
+            Message::PrepareAck { request, round, state, reveal, basis } => {
+                // Resolve the reply payload to the acceptor's exact state. Full
+                // replies teach the proposer the peer's lower bound even when the
+                // request is no longer in flight; delta replies need the in-flight
+                // request's baselines, so stale ones are dropped.
+                let Some(state) = self.resolve_prepare_reply(from, request, state, reveal, basis)
+                else {
+                    return;
+                };
                 self.note_peer_state(from, &state);
                 self.handle_prepare_ack(from, request, round, state);
             }
-            Message::Vote { request, round, payload } => {
+            Message::Vote { request, round, payload, basis } => {
                 let outcome = self.acceptor.handle_vote(round, &payload);
                 let reply = match outcome {
                     AcceptOutcome::Ack { .. } => Message::VoteAck { request },
-                    AcceptOutcome::Nack { round, state } => Message::Nack { request, round, state },
+                    AcceptOutcome::Nack { round, state } => {
+                        let (state, _, used) =
+                            self.build_reply(state, Some(&payload), basis, false);
+                        Message::Nack { request, round, state, basis: used }
+                    }
                 };
                 self.send(from, reply);
             }
             Message::VoteAck { request } => self.handle_vote_ack(from, request),
-            Message::Nack { request, round, state } => {
+            Message::Nack { request, round, state, basis } => {
+                let Some(state) = self.resolve_nack_reply(from, request, state, basis) else {
+                    return;
+                };
                 self.note_peer_state(from, &state);
                 self.handle_nack(request, round, state);
             }
@@ -330,8 +492,7 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
     /// Sends the same message to every peer; the last envelope takes ownership of
     /// the message instead of cloning it (one payload clone saved per broadcast).
     fn broadcast(&mut self, message: Message<C>) {
-        let peers: Vec<ReplicaId> = self.membership.others(self.id).collect();
-        let Some((&last, rest)) = peers.split_last() else { return };
+        let Some((&last, rest)) = self.others.split_last() else { return };
         for &peer in rest {
             self.outbox.push(Envelope { from: self.id, to: peer, message: message.clone() });
         }
@@ -374,14 +535,266 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
         self.config.payload_mode == PayloadMode::DeltaWhenPossible
     }
 
+    /// How many revealed-state snapshots the acceptor side remembers for the
+    /// reply-delta handshake.
+    const REVEAL_RING_CAP: usize = 16;
+
+    /// Builds the state payload of an `ACK` (or vote `NACK`) reply, plus the reveal
+    /// and used-basis sequence numbers to ship with it.
+    ///
+    /// The delta baseline is the *exact* state the proposer provably holds for this
+    /// request: the content of the request's own payload (the proposer stored the
+    /// full state it shipped as `sent_state` / `proposed`), joined with the revealed
+    /// snapshot whose sequence number the request echoed (the proposer pins echoed
+    /// snapshots for as long as the request is in flight). Exactness — not merely a
+    /// lower bound — is required because the proposer's consistent-quorum check
+    /// compares acceptor states for equality; baselines tracked cumulatively across
+    /// requests would drift under message loss and reordering and are deliberately
+    /// not used. `reveal` is `true` for `ACK`s, which advertise the replied state as
+    /// a future baseline; `NACK`s carry no reveal slot.
+    fn build_reply(
+        &mut self,
+        state: C,
+        request_payload: Option<&Payload<C>>,
+        echoed: u64,
+        reveal: bool,
+    ) -> (Payload<C>, u64, u64) {
+        if !self.delta_payloads_enabled() {
+            return (Payload::Full(state), 0, 0);
+        }
+        let snapshot = if echoed != 0 {
+            self.reveals.iter().find(|(seq, _)| *seq == echoed).map(|(_, s)| s)
+        } else {
+            None
+        };
+        let used = if snapshot.is_some() { echoed } else { 0 };
+        let mut baseline: Option<C> = snapshot.cloned();
+        match request_payload {
+            Some(Payload::Full(content)) => match &mut baseline {
+                Some(base) => base.join(content),
+                None => baseline = Some(content.clone()),
+            },
+            Some(Payload::Delta(delta)) => match &mut baseline {
+                Some(base) => base.apply_delta(delta),
+                None => baseline = Some(C::from_delta(delta)),
+            },
+            None => {}
+        }
+        let reveal_seq = if reveal {
+            let seq = self.next_reveal;
+            self.next_reveal += 1;
+            if self.reveals.len() >= Self::REVEAL_RING_CAP {
+                self.reveals.pop_front();
+            }
+            self.reveals.push_back((seq, state.clone()));
+            seq
+        } else {
+            0
+        };
+        let payload = match baseline {
+            Some(base) => Payload::Delta(state.delta_since(&base)),
+            None => Payload::Full(state),
+        };
+        (payload, reveal_seq, used)
+    }
+
+    /// Resolves an `ACK`'s state payload to the acceptor's exact state: full replies
+    /// resolve directly, delta replies join on top of the prepare payload stored
+    /// with the in-flight request and the pinned basis snapshot the reply names. A
+    /// delta reply whose baselines are gone (the request completed or was retried
+    /// under a fresh id) is stale and unreconstructible; `None` tells the caller to
+    /// drop it. Reconstructed (and full) replies install the revealed state as the
+    /// peer's newest basis snapshot.
+    fn resolve_prepare_reply(
+        &mut self,
+        from: ReplicaId,
+        request: RequestId,
+        state: Payload<C>,
+        reveal: u64,
+        basis: u64,
+    ) -> Option<C> {
+        let resolved = match state {
+            Payload::Full(state) => Some(state),
+            Payload::Delta(delta) => {
+                let sent = match self.requests.get(&request) {
+                    Some(InFlight::Query {
+                        phase: QueryPhase::Prepare { sent_state, .. }, ..
+                    }) => sent_state.clone(),
+                    Some(_) => return None,
+                    // The request already completed: a late ACK is still
+                    // reconstructible against the remembered prepare payload.
+                    None => Some(self.recent_prepares.get(&request)?.clone()),
+                };
+                let snapshot = if basis != 0 {
+                    match self.basis_snapshot(from, basis) {
+                        Some(snapshot) => Some(snapshot.clone()),
+                        None => return None,
+                    }
+                } else {
+                    None
+                };
+                let mut base = match (sent, snapshot) {
+                    (Some(mut sent), Some(snapshot)) => {
+                        sent.join(&snapshot);
+                        sent
+                    }
+                    (Some(sent), None) => sent,
+                    (None, Some(snapshot)) => snapshot,
+                    // The acceptor only delta-encodes against a baseline; a delta
+                    // reply to a payload-less, basis-less request is malformed.
+                    (None, None) => return None,
+                };
+                base.apply_delta(&delta);
+                Some(base)
+            }
+        };
+        if reveal != 0 {
+            if let Some(state) = &resolved {
+                self.install_basis(from, reveal, state.clone());
+            }
+        }
+        resolved
+    }
+
+    /// [`Replica::resolve_prepare_reply`] for `NACK`s: delta-encoded NACKs only
+    /// answer votes, so the baseline is the in-flight proposal (plus the named basis
+    /// snapshot).
+    fn resolve_nack_reply(
+        &mut self,
+        from: ReplicaId,
+        request: RequestId,
+        state: Payload<C>,
+        basis: u64,
+    ) -> Option<C> {
+        match state {
+            Payload::Full(state) => Some(state),
+            Payload::Delta(delta) => {
+                let mut base = match self.requests.get(&request) {
+                    Some(InFlight::Query { phase: QueryPhase::Vote { proposed, .. }, .. }) => {
+                        proposed.clone()
+                    }
+                    _ => return None,
+                };
+                if basis != 0 {
+                    match self.basis_snapshot(from, basis) {
+                        Some(snapshot) => base.join(snapshot),
+                        None => return None,
+                    }
+                }
+                base.apply_delta(&delta);
+                Some(base)
+            }
+        }
+    }
+
+    // ----- basis snapshot bookkeeping (proposer side of the reply handshake) -----
+
+    /// The pinned snapshot of `peer`'s state revealed under `seq`, if still held.
+    fn basis_snapshot(&self, peer: ReplicaId, seq: u64) -> Option<&C> {
+        self.basis.get(&peer)?.states.get(&seq).map(|slot| &slot.state)
+    }
+
+    /// Installs `state` as `peer`'s newest revealed snapshot (ignoring stale
+    /// reveals) and evicts the previous newest if nothing references it anymore.
+    fn install_basis(&mut self, peer: ReplicaId, seq: u64, state: C) {
+        let entry = self.basis.entry(peer).or_insert_with(PeerBasis::new);
+        if seq <= entry.latest {
+            return;
+        }
+        let previous = entry.latest;
+        entry.latest = seq;
+        entry.states.insert(seq, BasisSlot { state, refs: 0 });
+        if previous != 0 {
+            if let Some(slot) = entry.states.get(&previous) {
+                if slot.refs == 0 {
+                    entry.states.remove(&previous);
+                }
+            }
+        }
+    }
+
+    /// Pins and returns `peer`'s newest snapshot seq for echoing in an outgoing
+    /// request (0 when none is held).
+    fn echo_basis(&mut self, peer: ReplicaId) -> u64 {
+        let Some(entry) = self.basis.get_mut(&peer) else { return 0 };
+        if entry.latest == 0 {
+            return 0;
+        }
+        match entry.states.get_mut(&entry.latest) {
+            Some(slot) => {
+                slot.refs += 1;
+                entry.latest
+            }
+            None => 0,
+        }
+    }
+
+    /// Releases one pin on `peer`'s snapshot `seq`, dropping it when unreferenced
+    /// and superseded.
+    fn deref_basis(&mut self, peer: ReplicaId, seq: u64) {
+        let Some(entry) = self.basis.get_mut(&peer) else { return };
+        let remove = match entry.states.get_mut(&seq) {
+            Some(slot) => {
+                slot.refs = slot.refs.saturating_sub(1);
+                slot.refs == 0 && seq != entry.latest
+            }
+            None => false,
+        };
+        if remove {
+            entry.states.remove(&seq);
+        }
+    }
+
+    /// Records `echoes` on the in-flight request so its pins are released when the
+    /// request ends; releases them immediately if the request is already gone.
+    fn attach_echoes(&mut self, request: RequestId, new_echoes: Vec<(ReplicaId, u64)>) {
+        if new_echoes.is_empty() {
+            return;
+        }
+        match self.requests.get_mut(&request) {
+            Some(InFlight::Query { echoes, .. }) => echoes.extend(new_echoes),
+            _ => {
+                for (peer, seq) in new_echoes {
+                    self.deref_basis(peer, seq);
+                }
+            }
+        }
+    }
+
+    /// How many completed prepare payloads are remembered for the sake of late
+    /// delta-encoded `ACK`s (delta-payload tracking only).
+    const RECENT_PREPARE_CAP: usize = 16;
+
+    /// Removes an in-flight request, releasing the basis pins it held and (in delta
+    /// mode) remembering its prepare payload for late `ACK` reconstruction.
+    fn remove_request(&mut self, request: RequestId) -> Option<InFlight<C>> {
+        let mut entry = self.requests.remove(&request)?;
+        if let InFlight::Query { echoes, phase, .. } = &mut entry {
+            for &(peer, seq) in echoes.iter() {
+                self.deref_basis(peer, seq);
+            }
+            if self.delta_payloads_enabled() {
+                if let QueryPhase::Prepare { sent_state, .. } = phase {
+                    if let Some(sent) = sent_state.take() {
+                        while self.recent_prepares.len() >= Self::RECENT_PREPARE_CAP {
+                            self.recent_prepares.pop_first();
+                        }
+                        self.recent_prepares.insert(request, sent);
+                    }
+                }
+            }
+        }
+        Some(entry)
+    }
+
     /// Broadcasts a `MERGE` for `state`, per-peer delta-encoded when possible.
     ///
     /// Takes the state by value so the paper-faithful full mode moves it straight
     /// into the (last) envelope instead of cloning.
     fn broadcast_merge(&mut self, request: RequestId, state: C) {
         if self.delta_payloads_enabled() {
-            let peers: Vec<ReplicaId> = self.membership.others(self.id).collect();
-            for peer in peers {
+            for index in 0..self.others.len() {
+                let peer = self.others[index];
                 let payload = self.payload_for(peer, &state);
                 self.send(peer, Message::Merge { request, payload });
             }
@@ -390,8 +803,9 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
         }
     }
 
-    /// Broadcasts a `PREPARE`, per-peer delta-encoded when possible. Retries pass
-    /// `allow_delta = false` and fall back to full payloads (NACK recovery).
+    /// Broadcasts a `PREPARE`, per-peer delta-encoded when possible (with a basis
+    /// echo so the `ACK` can be a delta too). Retries pass `allow_delta = false`
+    /// and fall back to full payloads (NACK recovery).
     fn broadcast_prepare(
         &mut self,
         request: RequestId,
@@ -399,21 +813,24 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
         state: Option<C>,
         allow_delta: bool,
     ) {
-        let Some(state) = state else {
-            self.broadcast(Message::Prepare { request, round, payload: None });
-            return;
-        };
         if allow_delta && self.delta_payloads_enabled() {
-            let peers: Vec<ReplicaId> = self.membership.others(self.id).collect();
-            for peer in peers {
-                let payload = Some(self.payload_for(peer, &state));
-                self.send(peer, Message::Prepare { request, round, payload });
+            let mut echoes: Vec<(ReplicaId, u64)> = Vec::new();
+            for index in 0..self.others.len() {
+                let peer = self.others[index];
+                let payload = state.as_ref().map(|state| self.payload_for(peer, state));
+                let basis = self.echo_basis(peer);
+                if basis != 0 {
+                    echoes.push((peer, basis));
+                }
+                self.send(peer, Message::Prepare { request, round, payload, basis });
             }
+            self.attach_echoes(request, echoes);
         } else {
             self.broadcast(Message::Prepare {
                 request,
                 round,
-                payload: Some(Payload::Full(state)),
+                payload: state.map(Payload::Full),
+                basis: 0,
             });
         }
     }
@@ -421,13 +838,24 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
     /// Broadcasts a `VOTE` for `state`, per-peer delta-encoded when possible.
     fn broadcast_vote(&mut self, request: RequestId, round: Round, state: C) {
         if self.delta_payloads_enabled() {
-            let peers: Vec<ReplicaId> = self.membership.others(self.id).collect();
-            for peer in peers {
+            let mut echoes: Vec<(ReplicaId, u64)> = Vec::new();
+            for index in 0..self.others.len() {
+                let peer = self.others[index];
                 let payload = self.payload_for(peer, &state);
-                self.send(peer, Message::Vote { request, round, payload });
+                let basis = self.echo_basis(peer);
+                if basis != 0 {
+                    echoes.push((peer, basis));
+                }
+                self.send(peer, Message::Vote { request, round, payload, basis });
             }
+            self.attach_echoes(request, echoes);
         } else {
-            self.broadcast(Message::Vote { request, round, payload: Payload::Full(state) });
+            self.broadcast(Message::Vote {
+                request,
+                round,
+                payload: Payload::Full(state),
+                basis: 0,
+            });
         }
     }
 
@@ -496,6 +924,7 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
                 acks: BTreeMap::new(),
             },
             gathered,
+            echoes: Vec::new(),
             round_trips: 0,
             retries: 0,
             last_sent_ms: self.now_ms,
@@ -582,22 +1011,29 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
             }
         };
         if finished {
-            if let Some(InFlight::Update { waiters, round_trips, merged_state, acks, .. }) =
-                self.requests.remove(&request)
-            {
-                if track {
-                    let missing: BTreeSet<ReplicaId> =
-                        self.membership.others(self.id).filter(|p| !acks.contains(p)).collect();
-                    if !missing.is_empty() {
-                        while self.recent_merges.len() >= Self::RECENT_MERGE_CAP {
-                            self.recent_merges.pop_first();
-                        }
-                        self.recent_merges.insert(request, (merged_state, missing));
-                    }
+            self.complete_update(request);
+        }
+    }
+
+    /// Removes a quorum-complete update instance, remembers it for late `MERGED`
+    /// replies (delta mode), and responds to its waiters.
+    fn complete_update(&mut self, request: RequestId) {
+        let Some(InFlight::Update { waiters, round_trips, merged_state, acks, .. }) =
+            self.remove_request(request)
+        else {
+            return;
+        };
+        if self.config.payload_mode == PayloadMode::DeltaWhenPossible {
+            let missing: BTreeSet<ReplicaId> =
+                self.others.iter().copied().filter(|p| !acks.contains(p)).collect();
+            if !missing.is_empty() {
+                while self.recent_merges.len() >= Self::RECENT_MERGE_CAP {
+                    self.recent_merges.pop_first();
                 }
-                self.finish_update(waiters, round_trips);
+                self.recent_merges.insert(request, (merged_state, missing));
             }
         }
+        self.finish_update(waiters, round_trips);
     }
 
     fn finish_update(&mut self, waiters: Vec<UpdateWaiter>, round_trips: u32) {
@@ -744,7 +1180,7 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
     /// Restarts the query protocol for `request` under a fresh request id so replies
     /// to the abandoned attempt are ignored.
     fn retry_query(&mut self, request: RequestId, round: PrepareRound) {
-        let Some(entry) = self.requests.remove(&request) else { return };
+        let Some(entry) = self.remove_request(request) else { return };
         let InFlight::Query { waiters, gathered, round_trips, retries, .. } = entry else {
             return;
         };
@@ -762,6 +1198,7 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
                 waiters,
                 phase: QueryPhase::Prepare { round, sent_state: None, acks: BTreeMap::new() },
                 gathered,
+                echoes: Vec::new(),
                 round_trips,
                 retries: retries + 1,
                 last_sent_ms: self.now_ms,
@@ -776,7 +1213,7 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
     /// Completes a query: applies GLA-Stability if configured, evaluates every
     /// waiter's query function on the learned state, and records metrics.
     fn finish_query(&mut self, request: RequestId, learned: C, by_vote: bool) {
-        let Some(InFlight::Query { waiters, round_trips, .. }) = self.requests.remove(&request)
+        let Some(InFlight::Query { waiters, round_trips, .. }) = self.remove_request(request)
         else {
             return;
         };
@@ -829,7 +1266,7 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
         let deadline = self.now_ms.saturating_sub(self.config.retransmit_after_ms);
         let mut to_send: Vec<Envelope<C>> = Vec::new();
         let my_id = self.id;
-        let peers: Vec<ReplicaId> = self.membership.others(my_id).collect();
+        let peers = &self.others;
         for (&request, entry) in self.requests.iter_mut() {
             match entry {
                 InFlight::Update { merged_state, acks, last_sent_ms, .. } => {
@@ -863,6 +1300,7 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
                                         request,
                                         round: *round,
                                         payload: sent_state.clone().map(Payload::Full),
+                                        basis: 0,
                                     },
                                 });
                             }
@@ -876,6 +1314,7 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
                                         request,
                                         round: *round,
                                         payload: Payload::Full(proposed.clone()),
+                                        basis: 0,
                                     },
                                 });
                             }
@@ -1258,6 +1697,179 @@ mod tests {
         }
         run_to_quiescence(&mut replicas);
         assert!(matches!(drain_responses(&mut replicas[0])[0].body, ResponseBody::UpdateDone));
+    }
+
+    #[test]
+    fn full_mode_replies_ship_full_states() {
+        // Paper-faithful mode: ACK replies carry the acceptor's full state.
+        let mut replicas = cluster(3, ProtocolConfig::default());
+        replicas[0].submit_update(ClientId(0), CounterUpdate::Increment(1));
+        run_to_quiescence(&mut replicas);
+        replicas[0].submit_query(ClientId(0), CounterQuery::Value);
+        let prepares = replicas[0].take_outbox();
+        let mut acks = Vec::new();
+        for env in prepares {
+            let index = replicas.iter().position(|r| r.id() == env.to).unwrap();
+            replicas[index].handle_message(env.from, env.message);
+            acks.extend(replicas[index].take_outbox());
+        }
+        assert!(!acks.is_empty());
+        for env in &acks {
+            match &env.message {
+                Message::PrepareAck { state: Payload::Full(_), .. } => {}
+                other => panic!("expected full ACK, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delta_mode_ack_replies_are_delta_encoded() {
+        // The first read's ACKs reveal each acceptor's state and establish the basis
+        // snapshots; from the second read on, a quiet read's ACK ships an *empty*
+        // delta (the acceptor state equals the echoed snapshot joined with the
+        // prepare's content) — and reads still complete with the correct value.
+        let config = ProtocolConfig::default().with_delta_payloads();
+        let mut replicas = cluster(3, config);
+        replicas[0].submit_update(ClientId(0), CounterUpdate::Increment(7));
+        run_to_quiescence(&mut replicas);
+        replicas[0].submit_query(ClientId(0), CounterQuery::Value);
+        run_to_quiescence(&mut replicas);
+        drain_responses(&mut replicas[0]);
+
+        replicas[0].submit_query(ClientId(0), CounterQuery::Value);
+        let prepares = replicas[0].take_outbox();
+        assert!(prepares.iter().all(|env| matches!(
+            &env.message,
+            Message::Prepare { basis, .. } if *basis != 0
+        )));
+        let mut acks = Vec::new();
+        for env in prepares {
+            let index = replicas.iter().position(|r| r.id() == env.to).unwrap();
+            replicas[index].handle_message(env.from, env.message);
+            acks.extend(replicas[index].take_outbox());
+        }
+        assert!(!acks.is_empty());
+        for env in &acks {
+            match &env.message {
+                Message::PrepareAck { state: Payload::Delta(delta), .. } => {
+                    assert_eq!(delta.contributors(), 0, "quiet-read ACK delta is empty");
+                }
+                other => panic!("expected delta ACK, got {other:?}"),
+            }
+        }
+        for env in acks {
+            let index = replicas.iter().position(|r| r.id() == env.to).unwrap();
+            replicas[index].handle_message(env.from, env.message);
+        }
+        run_to_quiescence(&mut replicas);
+        let responses = drain_responses(&mut replicas[0]);
+        assert_eq!(responses[0].body, ResponseBody::QueryDone(7));
+        assert_eq!(responses[0].round_trips, 1);
+    }
+
+    #[test]
+    fn membership_change_garbage_collects_peer_state_tracking() {
+        let config = ProtocolConfig::default().with_delta_payloads();
+        let mut replicas = cluster(3, config);
+        replicas[0].submit_update(ClientId(0), CounterUpdate::Increment(1));
+        run_to_quiescence(&mut replicas);
+        assert!(replicas[0].known_peer_state(ReplicaId::new(1)).is_some());
+        assert!(replicas[0].known_peer_state(ReplicaId::new(2)).is_some());
+
+        // Replica 2 is decommissioned: its tracked state clone must be dropped.
+        replicas[0].update_membership(vec![ReplicaId::new(0), ReplicaId::new(1)]);
+        assert!(replicas[0].known_peer_state(ReplicaId::new(1)).is_some());
+        assert!(replicas[0].known_peer_state(ReplicaId::new(2)).is_none());
+        assert_eq!(replicas[0].membership().len(), 2);
+    }
+
+    #[test]
+    fn membership_shrink_completes_pending_instances() {
+        // An update waiting for a 3-of-5 quorum completes when the group shrinks to
+        // a size its current acknowledgements already cover.
+        let mut replicas = cluster(5, ProtocolConfig::default());
+        replicas[0].submit_update(ClientId(0), CounterUpdate::Increment(1));
+        let merges = replicas[0].take_outbox();
+        // Deliver the merge to replica 1 only and return its ack.
+        for env in merges {
+            if env.to == ReplicaId::new(1) {
+                replicas[1].handle_message(env.from, env.message);
+            }
+        }
+        let acks = replicas[1].take_outbox();
+        for env in acks {
+            replicas[0].handle_message(env.from, env.message);
+        }
+        // 2 of 5 acks: not yet a quorum, no response.
+        assert!(drain_responses(&mut replicas[0]).is_empty());
+        assert_eq!(replicas[0].in_flight(), 1);
+
+        // Shrink to {0, 1, 2}: the 2 acks now form a majority.
+        let members = vec![ReplicaId::new(0), ReplicaId::new(1), ReplicaId::new(2)];
+        replicas[0].update_membership(members);
+        let responses = drain_responses(&mut replicas[0]);
+        assert_eq!(responses.len(), 1);
+        assert!(matches!(responses[0].body, ResponseBody::UpdateDone));
+        assert_eq!(replicas[0].in_flight(), 0);
+    }
+
+    #[test]
+    fn membership_shrink_discards_acks_of_departed_peers() {
+        // An update acked only by {0, 4} in a 5-group must NOT complete when the
+        // group shrinks to {0, 1, 2} with quorum 2: replica 4's ack is void (of
+        // the new members, only replica 0 stores the state — a read served by
+        // {1, 2} would miss the "completed" update). Late acks from departed
+        // peers must not resurrect it either.
+        let mut replicas = cluster(5, ProtocolConfig::default());
+        replicas[0].submit_update(ClientId(0), CounterUpdate::Increment(1));
+        let merges = replicas[0].take_outbox();
+        for env in merges {
+            if env.to == ReplicaId::new(4) {
+                replicas[4].handle_message(env.from, env.message);
+            }
+        }
+        let acks = replicas[4].take_outbox();
+        let late_ack = acks[0].clone();
+        for env in acks {
+            replicas[0].handle_message(env.from, env.message);
+        }
+        assert!(drain_responses(&mut replicas[0]).is_empty(), "2 of 5 is not a quorum");
+
+        let members = vec![ReplicaId::new(0), ReplicaId::new(1), ReplicaId::new(2)];
+        replicas[0].update_membership(members);
+        assert!(
+            drain_responses(&mut replicas[0]).is_empty(),
+            "the departed peer's ack must not count toward the new quorum"
+        );
+        assert_eq!(replicas[0].in_flight(), 1);
+
+        // A replayed ack from the departed peer is dropped entirely.
+        replicas[0].handle_message(late_ack.from, late_ack.message);
+        assert!(drain_responses(&mut replicas[0]).is_empty());
+
+        // The update completes once a *current* member acknowledges (retransmit).
+        replicas[0].tick(200);
+        let resent = replicas[0].take_outbox();
+        for env in resent {
+            if env.to == ReplicaId::new(1) {
+                replicas[1].handle_message(env.from, env.message);
+            }
+        }
+        for env in replicas[1].take_outbox() {
+            if env.to == ReplicaId::new(0) {
+                replicas[0].handle_message(env.from, env.message);
+            }
+        }
+        let responses = drain_responses(&mut replicas[0]);
+        assert_eq!(responses.len(), 1, "a current-member quorum completes the update");
+        assert!(matches!(responses[0].body, ResponseBody::UpdateDone));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be part of the new membership")]
+    fn membership_change_must_keep_self() {
+        let mut replicas = cluster(3, ProtocolConfig::default());
+        replicas[0].update_membership(vec![ReplicaId::new(1), ReplicaId::new(2)]);
     }
 
     #[test]

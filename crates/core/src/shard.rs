@@ -1,0 +1,639 @@
+//! Sharded keyspace: one independent protocol instance per key range.
+//!
+//! The paper's fine-granularity argument (§1) is that linearizable CRDT access is
+//! most useful *per key*, not per database: commands on different keys do not
+//! conflict, so serializing a whole keyspace through a single round counter (one
+//! [`Replica<LatticeMap>`] replicating the entire map) wastes the protocol's
+//! leaderless parallelism. Generalized lattice agreement (Faleiro et al., PODC'12)
+//! makes the finer granularity safe: per-key linearizability needs no ordering
+//! *across* keys, so disjoint key ranges may run entirely independent protocol
+//! instances.
+//!
+//! [`ShardedReplica`] is that engine. It owns `S` independent
+//! [`Replica<LatticeMap<K, V>>`] instances — each with its own acceptor state,
+//! round counter, in-flight quorums, and batching timers — and routes every
+//! submitted key through a deterministic [`Partitioner`]. Outgoing traffic is
+//! multiplexed behind [`ShardEnvelope`]/[`ShardMessage`] (the inner protocol
+//! message tagged with its [`ShardId`]), so a single transport connection per peer
+//! carries all shards while quorums on different shards advance concurrently: an
+//! update on shard 0 never waits behind a contended read quorum on shard 3.
+//!
+//! Keyspace-wide queries ([`MapQuery::Len`], [`MapQuery::Keys`]) fan out to every
+//! shard and aggregate the per-shard answers; each per-shard answer is
+//! individually linearizable, the aggregate is not a keyspace snapshot (exactly
+//! the trade the paper's per-key granularity makes).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::Hash;
+
+use crdt::{Crdt, DeltaCrdt, Lattice, LatticeMap, MapOutput, MapQuery, MapUpdate, ReplicaId};
+use quorum::{HashPartitioner, Membership, Partitioner, ShardId};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ProtocolConfig;
+use crate::metrics::{Metrics, WireMetrics};
+use crate::msg::{ClientId, ClientResponse, Command, CommandId, Envelope, Message, ResponseBody};
+use crate::replica::Replica;
+
+/// A protocol message tagged with the shard (protocol instance) it belongs to.
+///
+/// This is what peers exchange in a sharded deployment: the `wire` codec encodes
+/// the tag as a single varint in front of the inner message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(bound(
+    serialize = "C: Serialize, C::Delta: Serialize",
+    deserialize = "C: Deserialize<'de>, C::Delta: Deserialize<'de>"
+))]
+pub struct ShardMessage<C: Crdt + DeltaCrdt> {
+    /// The protocol instance this message belongs to.
+    pub shard: ShardId,
+    /// The inner protocol message.
+    pub message: Message<C>,
+}
+
+/// An addressed [`ShardMessage`]: the sharded counterpart of [`Envelope`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(bound(
+    serialize = "C: Serialize, C::Delta: Serialize",
+    deserialize = "C: Deserialize<'de>, C::Delta: Deserialize<'de>"
+))]
+pub struct ShardEnvelope<C: Crdt + DeltaCrdt> {
+    /// The protocol instance the inner envelope belongs to.
+    pub shard: ShardId,
+    /// The addressed inner message.
+    pub inner: Envelope<C>,
+}
+
+impl<C: Crdt + DeltaCrdt> ShardEnvelope<C> {
+    /// Splits the envelope into its destination and the transferable message.
+    pub fn into_parts(self) -> (ReplicaId, ShardMessage<C>) {
+        (self.inner.to, ShardMessage { shard: self.shard, message: self.inner.message })
+    }
+}
+
+/// What a completed inner command maps back to at the sharded engine.
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    /// A single-shard command; answer with the outer command id.
+    Single { command: CommandId },
+    /// One leg of a keyspace-wide fan-out query.
+    Fanout { command: CommandId },
+}
+
+/// Partial aggregate of a keyspace-wide query.
+#[derive(Debug)]
+enum FanoutAcc<K> {
+    Len(u64),
+    Keys(Vec<K>),
+}
+
+/// An in-flight keyspace-wide query, waiting for every shard's answer.
+#[derive(Debug)]
+struct Fanout<K> {
+    client: ClientId,
+    remaining: usize,
+    /// Worst round-trip count over the per-shard legs (the legs run in parallel,
+    /// so the slowest leg is the fan-out's latency).
+    round_trips: u32,
+    failed: bool,
+    acc: FanoutAcc<K>,
+}
+
+/// A replicated keyspace partitioned over independent protocol instances.
+///
+/// One `ShardedReplica` is one *process* of the cluster: it holds this replica's
+/// acceptor+proposer pair for **every** shard and routes between them. Drive it
+/// exactly like a [`Replica`] — [`ShardedReplica::submit`],
+/// [`ShardedReplica::handle_message`], [`ShardedReplica::tick`], then drain
+/// [`ShardedReplica::take_outbox`] / [`ShardedReplica::take_responses`].
+///
+/// # Example
+///
+/// ```
+/// use crdt::{CounterUpdate, GCounter, ReplicaId};
+/// use crdt_paxos_core::{ClientId, ProtocolConfig, ResponseBody, ShardedReplica};
+///
+/// let ids: Vec<ReplicaId> = (0..3).map(ReplicaId::new).collect();
+/// let mut nodes: Vec<ShardedReplica<String, GCounter>> = ids
+///     .iter()
+///     .map(|&id| ShardedReplica::new(id, ids.clone(), 4, ProtocolConfig::default()))
+///     .collect();
+///
+/// // Updates on different keys run on independent protocol instances.
+/// nodes[0].submit_update(ClientId(0), "clicks".to_string(), CounterUpdate::Increment(2));
+/// nodes[1].submit_update(ClientId(1), "views".to_string(), CounterUpdate::Increment(5));
+///
+/// // Deliver all produced messages until quiescence.
+/// loop {
+///     let mut envelopes = Vec::new();
+///     for node in &mut nodes {
+///         envelopes.extend(node.take_outbox());
+///     }
+///     if envelopes.is_empty() {
+///         break;
+///     }
+///     for envelope in envelopes {
+///         let from = envelope.inner.from;
+///         let (to, message) = envelope.into_parts();
+///         nodes[to.as_u64() as usize].handle_message(from, message);
+///     }
+/// }
+/// let responses = nodes[0].take_responses();
+/// assert!(matches!(responses[0].body, ResponseBody::UpdateDone));
+/// ```
+#[derive(Debug)]
+pub struct ShardedReplica<K, V, P = HashPartitioner>
+where
+    K: Ord + Clone + fmt::Debug + Send + 'static,
+    V: Crdt + DeltaCrdt,
+    P: Partitioner<K>,
+{
+    id: ReplicaId,
+    partitioner: P,
+    shards: Vec<Replica<LatticeMap<K, V>>>,
+    next_command: u64,
+    pending: BTreeMap<(ShardId, CommandId), Pending>,
+    fanouts: BTreeMap<CommandId, Fanout<K>>,
+    responses: Vec<ClientResponse<LatticeMap<K, V>>>,
+}
+
+impl<K, V> ShardedReplica<K, V, HashPartitioner>
+where
+    K: Ord + Clone + Hash + fmt::Debug + Send + 'static,
+    V: Crdt + DeltaCrdt,
+{
+    /// Creates a sharded replica with `shards` hash-partitioned protocol instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `members` does not contain `id`.
+    pub fn new(
+        id: ReplicaId,
+        members: Vec<ReplicaId>,
+        shards: u32,
+        config: ProtocolConfig,
+    ) -> Self {
+        Self::with_partitioner(id, members, HashPartitioner::new(shards), config)
+    }
+}
+
+impl<K, V, P> ShardedReplica<K, V, P>
+where
+    K: Ord + Clone + fmt::Debug + Send + 'static,
+    V: Crdt + DeltaCrdt,
+    P: Partitioner<K>,
+{
+    /// Creates a sharded replica routing through the given partitioner.
+    ///
+    /// Every replica of the cluster must be constructed with an identical
+    /// partitioner: routing a key to different shards on different replicas would
+    /// split the key's history over unrelated protocol instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partitioner has zero shards or `members` does not contain `id`.
+    pub fn with_partitioner(
+        id: ReplicaId,
+        members: Vec<ReplicaId>,
+        partitioner: P,
+        config: ProtocolConfig,
+    ) -> Self {
+        let shard_count = partitioner.shards();
+        assert!(shard_count > 0, "a sharded replica needs at least one shard");
+        let shards = (0..shard_count)
+            .map(|_| Replica::new(id, members.clone(), LatticeMap::default(), config.clone()))
+            .collect();
+        ShardedReplica {
+            id,
+            partitioner,
+            shards,
+            next_command: 0,
+            pending: BTreeMap::new(),
+            fanouts: BTreeMap::new(),
+            responses: Vec::new(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Number of shards (independent protocol instances).
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// The partitioner routing keys to shards.
+    pub fn partitioner(&self) -> &P {
+        &self.partitioner
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: &K) -> ShardId {
+        self.partitioner.shard_of(key)
+    }
+
+    /// The replica group (identical across shards).
+    pub fn membership(&self) -> &Membership<ReplicaId> {
+        self.shards[0].membership()
+    }
+
+    /// Read access to one shard's protocol instance (tests, observability).
+    pub fn shard(&self, shard: ShardId) -> &Replica<LatticeMap<K, V>> {
+        &self.shards[shard.as_usize()]
+    }
+
+    /// Iterates over all shard instances in shard order.
+    pub fn shards(&self) -> impl Iterator<Item = &Replica<LatticeMap<K, V>>> {
+        self.shards.iter()
+    }
+
+    /// Total number of protocol instances currently in flight, over all shards.
+    pub fn in_flight(&self) -> usize {
+        self.shards.iter().map(Replica::in_flight).sum()
+    }
+
+    /// Proposer metrics aggregated over all shards.
+    pub fn metrics(&self) -> Metrics {
+        let mut total = Metrics::new();
+        for shard in &self.shards {
+            total.merge(shard.metrics());
+        }
+        total
+    }
+
+    /// Encoded bytes-on-the-wire per shard (only filled when the driver records
+    /// sizes via [`ShardedReplica::record_wire_bytes`]).
+    pub fn wire_metrics_by_shard(&self) -> Vec<(ShardId, WireMetrics)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| (ShardId(index as u32), shard.metrics().wire.clone()))
+            .collect()
+    }
+
+    /// Records the encoded size of one outgoing message on its shard's metrics.
+    pub fn record_wire_bytes(&mut self, shard: ShardId, kind: &str, bytes: u64) {
+        self.shards[shard.as_usize()].record_wire_bytes(kind, bytes);
+    }
+
+    /// The whole keyspace as one map: the join of every shard's local acceptor
+    /// state (observability and tests; linearizable reads go through
+    /// [`ShardedReplica::submit`]).
+    pub fn merged_state(&self) -> LatticeMap<K, V> {
+        let mut merged = LatticeMap::default();
+        for shard in &self.shards {
+            merged.join(shard.local_state());
+        }
+        merged
+    }
+
+    /// Submits a client command, routing it to the owning shard (or fanning it out
+    /// to all shards for keyspace-wide queries). Returns the id used to correlate
+    /// the response.
+    pub fn submit(&mut self, client: ClientId, command: Command<LatticeMap<K, V>>) -> CommandId {
+        let outer = CommandId(self.next_command);
+        self.next_command += 1;
+        match command {
+            Command::Update(MapUpdate::Apply { key, update }) => {
+                let shard = self.partitioner.shard_of(&key);
+                let command = Command::Update(MapUpdate::Apply { key, update });
+                let inner = self.shards[shard.as_usize()].submit(client, command);
+                self.pending.insert((shard, inner), Pending::Single { command: outer });
+            }
+            Command::Query(MapQuery::Get { key, query }) => {
+                let shard = self.partitioner.shard_of(&key);
+                let command = Command::Query(MapQuery::Get { key, query });
+                let inner = self.shards[shard.as_usize()].submit(client, command);
+                self.pending.insert((shard, inner), Pending::Single { command: outer });
+            }
+            Command::Query(query) => {
+                // Keyspace-wide query: every shard answers for its key range.
+                let acc = match query {
+                    MapQuery::Len => FanoutAcc::Len(0),
+                    MapQuery::Keys => FanoutAcc::Keys(Vec::new()),
+                    MapQuery::Get { .. } => unreachable!("routed above"),
+                };
+                self.fanouts.insert(
+                    outer,
+                    Fanout {
+                        client,
+                        remaining: self.shards.len(),
+                        round_trips: 0,
+                        failed: false,
+                        acc,
+                    },
+                );
+                for index in 0..self.shards.len() {
+                    let inner = self.shards[index].submit(client, Command::Query(query.clone()));
+                    let shard = ShardId(index as u32);
+                    self.pending.insert((shard, inner), Pending::Fanout { command: outer });
+                }
+            }
+        }
+        outer
+    }
+
+    /// Convenience wrapper: apply a nested update to `key`.
+    pub fn submit_update(&mut self, client: ClientId, key: K, update: V::Update) -> CommandId {
+        self.submit(client, Command::Update(MapUpdate::Apply { key, update }))
+    }
+
+    /// Convenience wrapper: run a nested query against `key`.
+    pub fn submit_query(&mut self, client: ClientId, key: K, query: V::Query) -> CommandId {
+        self.submit(client, Command::Query(MapQuery::Get { key, query }))
+    }
+
+    /// Handles a shard-tagged protocol message from another replica.
+    ///
+    /// Messages for unknown shards (a peer with a diverging shard count — a
+    /// misconfiguration) are dropped rather than corrupting another instance.
+    pub fn handle_message(&mut self, from: ReplicaId, message: ShardMessage<LatticeMap<K, V>>) {
+        let Some(shard) = self.shards.get_mut(message.shard.as_usize()) else { return };
+        shard.handle_message(from, message.message);
+    }
+
+    /// Advances every shard's notion of time (batch flushes, retransmissions).
+    pub fn tick(&mut self, now_ms: u64) {
+        for shard in &mut self.shards {
+            shard.tick(now_ms);
+        }
+    }
+
+    /// Replaces the replica group on every shard (see
+    /// [`Replica::update_membership`]).
+    pub fn update_membership(&mut self, members: Vec<ReplicaId>) {
+        for shard in &mut self.shards {
+            shard.update_membership(members.clone());
+        }
+    }
+
+    /// Drains the shard-tagged messages produced since the last call.
+    pub fn take_outbox(&mut self) -> Vec<ShardEnvelope<LatticeMap<K, V>>> {
+        let mut out = Vec::new();
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            let shard_id = ShardId(index as u32);
+            out.extend(
+                shard
+                    .take_outbox()
+                    .into_iter()
+                    .map(|inner| ShardEnvelope { shard: shard_id, inner }),
+            );
+        }
+        out
+    }
+
+    /// Drains the client responses produced since the last call, with fan-out
+    /// queries aggregated across shards.
+    pub fn take_responses(&mut self) -> Vec<ClientResponse<LatticeMap<K, V>>> {
+        for index in 0..self.shards.len() {
+            let shard = ShardId(index as u32);
+            for response in self.shards[index].take_responses() {
+                let Some(pending) = self.pending.remove(&(shard, response.command)) else {
+                    continue;
+                };
+                match pending {
+                    Pending::Single { command } => self.responses.push(ClientResponse {
+                        client: response.client,
+                        command,
+                        body: response.body,
+                        round_trips: response.round_trips,
+                    }),
+                    Pending::Fanout { command } => self.absorb_fanout_leg(command, response),
+                }
+            }
+        }
+        std::mem::take(&mut self.responses)
+    }
+
+    /// Folds one shard's answer into its fan-out aggregate, emitting the combined
+    /// response once every shard has answered.
+    fn absorb_fanout_leg(
+        &mut self,
+        command: CommandId,
+        response: ClientResponse<LatticeMap<K, V>>,
+    ) {
+        let Some(fanout) = self.fanouts.get_mut(&command) else { return };
+        fanout.remaining = fanout.remaining.saturating_sub(1);
+        fanout.round_trips = fanout.round_trips.max(response.round_trips);
+        match response.body {
+            ResponseBody::QueryDone(MapOutput::Len(count)) => {
+                if let FanoutAcc::Len(total) = &mut fanout.acc {
+                    *total += count;
+                } else {
+                    fanout.failed = true;
+                }
+            }
+            ResponseBody::QueryDone(MapOutput::Keys(mut keys)) => {
+                if let FanoutAcc::Keys(all) = &mut fanout.acc {
+                    all.append(&mut keys);
+                } else {
+                    fanout.failed = true;
+                }
+            }
+            _ => fanout.failed = true,
+        }
+        if fanout.remaining == 0 {
+            let fanout = self.fanouts.remove(&command).expect("fan-out present");
+            let body = if fanout.failed {
+                ResponseBody::QueryFailed
+            } else {
+                match fanout.acc {
+                    FanoutAcc::Len(total) => ResponseBody::QueryDone(MapOutput::Len(total)),
+                    FanoutAcc::Keys(mut keys) => {
+                        // Shards own disjoint key ranges; one sort restores the
+                        // keyspace-wide order `MapQuery::Keys` promises.
+                        keys.sort();
+                        ResponseBody::QueryDone(MapOutput::Keys(keys))
+                    }
+                }
+            };
+            self.responses.push(ClientResponse {
+                client: fanout.client,
+                command,
+                body,
+                round_trips: fanout.round_trips,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt::{CounterQuery, CounterUpdate, GCounter};
+
+    type Node = ShardedReplica<String, GCounter>;
+
+    fn ids(n: u64) -> Vec<ReplicaId> {
+        (0..n).map(ReplicaId::new).collect()
+    }
+
+    fn cluster(replicas: u64, shards: u32, config: ProtocolConfig) -> Vec<Node> {
+        ids(replicas)
+            .iter()
+            .map(|&id| ShardedReplica::new(id, ids(replicas), shards, config.clone()))
+            .collect()
+    }
+
+    fn run_to_quiescence(nodes: &mut [Node]) {
+        loop {
+            let mut envelopes = Vec::new();
+            for node in nodes.iter_mut() {
+                for envelope in node.take_outbox() {
+                    envelopes.push((envelope.inner.from, envelope.into_parts()));
+                }
+            }
+            if envelopes.is_empty() {
+                break;
+            }
+            for (from, (to, message)) in envelopes {
+                let index = nodes.iter().position(|n| n.id() == to).expect("known replica");
+                nodes[index].handle_message(from, message);
+            }
+        }
+    }
+
+    #[test]
+    fn updates_and_reads_route_through_the_owning_shard() {
+        let mut nodes = cluster(3, 4, ProtocolConfig::default());
+        nodes[0].submit_update(ClientId(0), "alpha".into(), CounterUpdate::Increment(2));
+        nodes[1].submit_update(ClientId(1), "beta".into(), CounterUpdate::Increment(5));
+        run_to_quiescence(&mut nodes);
+        assert_eq!(nodes[0].take_responses().len(), 1);
+        assert_eq!(nodes[1].take_responses().len(), 1);
+
+        // Reads at a third replica observe both committed updates.
+        nodes[2].submit_query(ClientId(2), "alpha".into(), CounterQuery::Value);
+        nodes[2].submit_query(ClientId(2), "beta".into(), CounterQuery::Value);
+        run_to_quiescence(&mut nodes);
+        let responses = nodes[2].take_responses();
+        let values: Vec<_> = responses
+            .iter()
+            .map(|r| match &r.body {
+                ResponseBody::QueryDone(MapOutput::Value(Some(v))) => *v,
+                other => panic!("unexpected response {other:?}"),
+            })
+            .collect();
+        assert_eq!(values, vec![2, 5]);
+
+        // The keys live on the shards the partitioner says they do.
+        let alpha_shard = nodes[0].shard_of(&"alpha".to_string());
+        assert!(nodes[0].shard(alpha_shard).local_state().get(&"alpha".to_string()).is_some());
+    }
+
+    #[test]
+    fn shards_advance_independent_round_counters() {
+        let mut nodes = cluster(3, 2, ProtocolConfig::default());
+        // Find two keys on different shards.
+        let (mut key_a, mut key_b) = (None, None);
+        for i in 0..64u32 {
+            let key = format!("k{i}");
+            match nodes[0].shard_of(&key).as_u32() {
+                0 if key_a.is_none() => key_a = Some(key),
+                1 if key_b.is_none() => key_b = Some(key),
+                _ => {}
+            }
+        }
+        let (key_a, key_b) = (key_a.unwrap(), key_b.unwrap());
+
+        // A read on shard A proceeds even while shard B has an update stuck
+        // in flight (its merges are never delivered).
+        nodes[0].submit_update(ClientId(0), key_b.clone(), CounterUpdate::Increment(1));
+        let stuck: Vec<_> = nodes[0].take_outbox();
+        assert!(!stuck.is_empty(), "shard B has undelivered merges");
+
+        nodes[1].submit_query(ClientId(1), key_a.clone(), CounterQuery::Value);
+        run_to_quiescence(&mut nodes);
+        let responses = nodes[1].take_responses();
+        assert_eq!(responses.len(), 1, "shard A's quorum is not blocked by shard B");
+        assert_eq!(responses[0].round_trips, 1, "uncontended shard reads stay one round trip");
+        assert!(nodes[0].take_responses().is_empty(), "shard B's update is still pending");
+        assert_eq!(nodes[0].in_flight(), 1);
+    }
+
+    #[test]
+    fn keyspace_wide_queries_aggregate_over_all_shards() {
+        let mut nodes = cluster(3, 4, ProtocolConfig::default());
+        for (i, key) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+            nodes[i % 3].submit_update(ClientId(9), (*key).into(), CounterUpdate::Increment(1));
+            run_to_quiescence(&mut nodes);
+            nodes[i % 3].take_responses();
+        }
+
+        nodes[0].submit(ClientId(9), Command::Query(MapQuery::Len));
+        nodes[0].submit(ClientId(9), Command::Query(MapQuery::Keys));
+        run_to_quiescence(&mut nodes);
+        let responses = nodes[0].take_responses();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].body, ResponseBody::QueryDone(MapOutput::Len(5)));
+        match &responses[1].body {
+            ResponseBody::QueryDone(MapOutput::Keys(keys)) => {
+                let expected: Vec<String> =
+                    ["a", "b", "c", "d", "e"].iter().map(|k| k.to_string()).collect();
+                assert_eq!(keys, &expected, "fan-out keys come back in keyspace order");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merged_state_joins_all_shards() {
+        let mut nodes = cluster(3, 4, ProtocolConfig::default());
+        nodes[0].submit_update(ClientId(0), "x".into(), CounterUpdate::Increment(3));
+        nodes[0].submit_update(ClientId(0), "y".into(), CounterUpdate::Increment(4));
+        run_to_quiescence(&mut nodes);
+        let merged = nodes[2].merged_state();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.get(&"x".to_string()).unwrap().value(), 3);
+        assert_eq!(merged.get(&"y".to_string()).unwrap().value(), 4);
+    }
+
+    #[test]
+    fn messages_for_unknown_shards_are_dropped() {
+        let mut nodes = cluster(3, 2, ProtocolConfig::default());
+        let bogus: ShardMessage<LatticeMap<String, GCounter>> = ShardMessage {
+            shard: ShardId(9),
+            message: Message::MergeAck { request: crate::msg::RequestId(0) },
+        };
+        nodes[0].handle_message(ReplicaId::new(1), bogus);
+        assert!(nodes[0].take_outbox().is_empty(), "bogus shard ids produce no traffic");
+    }
+
+    #[test]
+    fn shard_envelopes_survive_the_wire_format() {
+        let mut nodes = cluster(3, 2, ProtocolConfig::default());
+        nodes[0].submit_update(ClientId(0), "k".into(), CounterUpdate::Increment(1));
+        let envelopes = nodes[0].take_outbox();
+        assert!(!envelopes.is_empty());
+        for envelope in envelopes {
+            let bytes = wire::to_vec(&envelope).unwrap();
+            let decoded: ShardEnvelope<LatticeMap<String, GCounter>> =
+                wire::from_slice(&bytes).unwrap();
+            assert_eq!(decoded, envelope);
+            // The shard tag costs a single byte on the wire for small shard ids.
+            let inner_bytes = wire::to_vec(&envelope.inner).unwrap();
+            assert!(bytes.len() <= inner_bytes.len() + 2);
+        }
+    }
+
+    #[test]
+    fn metrics_aggregate_over_shards() {
+        let mut nodes = cluster(3, 4, ProtocolConfig::default());
+        for key in ["a", "b", "c"] {
+            nodes[0].submit_update(ClientId(0), key.into(), CounterUpdate::Increment(1));
+        }
+        run_to_quiescence(&mut nodes);
+        nodes[0].take_responses();
+        assert_eq!(nodes[0].metrics().updates_completed, 3);
+        assert_eq!(nodes[0].shard_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = Node::new(ReplicaId::new(0), ids(3), 0, ProtocolConfig::default());
+    }
+}

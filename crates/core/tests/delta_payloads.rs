@@ -84,6 +84,57 @@ fn single_delta_merge_is_an_order_of_magnitude_smaller_than_full() {
     assert!(delta_bytes * 10 <= full_bytes, "full = {full_bytes} B, delta = {delta_bytes} B");
 }
 
+/// Runs `queries` quiet reads at replica 0 (after one warm-up update + read that
+/// establishes peer knowledge and basis snapshots), returning the total encoded
+/// bytes of every ACK reply on the wire.
+fn ack_bytes_for(config: ProtocolConfig, queries: u64) -> u64 {
+    let mut replicas = cluster(config);
+    let mut ack_bytes = 0u64;
+    let mut measuring = false;
+    for step in 0..queries + 2 {
+        if step == 0 {
+            replicas[0].submit_update(ClientId(0), CounterUpdate::Increment(1));
+        } else {
+            replicas[0].submit_query(ClientId(0), crdt::CounterQuery::Value);
+        }
+        loop {
+            let mut envelopes: Vec<Envelope<GCounter>> = Vec::new();
+            for replica in replicas.iter_mut() {
+                envelopes.extend(replica.take_outbox());
+            }
+            if envelopes.is_empty() {
+                break;
+            }
+            for env in envelopes {
+                if measuring && matches!(env.message, Message::PrepareAck { .. }) {
+                    ack_bytes += wire::to_vec(&env.message).unwrap().len() as u64;
+                }
+                let index = env.to.as_u64() as usize;
+                replicas[index].handle_message(env.from, env.message);
+            }
+        }
+        replicas[0].take_responses();
+        // The warm-up update + first read prime `peer_known` and the reveal/basis
+        // handshake; measure from the second read on (the steady state).
+        measuring = step >= 1;
+    }
+    ack_bytes
+}
+
+#[test]
+fn delta_mode_halves_ack_bytes_on_the_64_slot_counter() {
+    // The ROADMAP follow-up this covers: after delta-encoding MERGE/PREPARE/VOTE,
+    // ACK/NACK replies dominated bytes-on-the-wire. With the reply handshake, a
+    // quiet read's ACK is an empty delta instead of the full 64-slot state.
+    let queries = 10;
+    let full = ack_bytes_for(ProtocolConfig::default(), queries);
+    let delta = ack_bytes_for(ProtocolConfig::default().with_delta_payloads(), queries);
+    assert!(
+        (delta as f64) <= 0.5 * full as f64,
+        "expected ≥ 50 % ACK byte reduction, got full = {full} B, delta = {delta} B"
+    );
+}
+
 #[test]
 fn delta_and_full_mode_acceptors_converge_to_identical_states() {
     let updates = 7;

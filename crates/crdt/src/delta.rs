@@ -56,6 +56,20 @@ pub trait DeltaCrdt: Lattice {
     /// Computes the delta covering everything in `self` that is not already
     /// reflected in `known` (a state the receiver is known to contain).
     fn delta_since(&self, known: &Self) -> Self::Delta;
+
+    /// Lifts a delta into a full state: the bottom state with the delta applied.
+    ///
+    /// This is the *content* of a delta as a lattice element. The protocol uses it
+    /// when an acceptor needs a state-typed lower bound of what a delta-carrying
+    /// message delivered (e.g. to diff its reply against it).
+    fn from_delta(delta: &Self::Delta) -> Self
+    where
+        Self: Default,
+    {
+        let mut state = Self::default();
+        state.apply_delta(delta);
+        state
+    }
 }
 
 /// Delta group: accumulates several deltas into one by joining them.

@@ -13,7 +13,9 @@
 //! * [`WeightedMajority`] — votes with weights, a quorum is any set holding a strict
 //!   majority of the total weight.
 //!
-//! The [`Membership`] type describes the replica group itself.
+//! The [`Membership`] type describes the replica group itself, and the [`shard`]
+//! module partitions a keyspace across independent protocol instances (one quorum
+//! per shard) via the [`Partitioner`] trait.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,11 +23,13 @@
 mod grid;
 mod majority;
 mod membership;
+pub mod shard;
 mod weighted;
 
 pub use grid::GridQuorum;
 pub use majority::MajorityQuorum;
 pub use membership::Membership;
+pub use shard::{HashPartitioner, Partitioner, RangePartitioner, ShardId};
 pub use weighted::WeightedMajority;
 
 use std::collections::BTreeSet;

@@ -1,0 +1,68 @@
+//! Sharded protocol traffic over the transport layer.
+//!
+//! The transports are message-agnostic (anything serde-serializable), so the
+//! sharded engine's [`ShardMessage`] — the shard tag in front of the inner
+//! protocol message — needs no transport changes at all. This test proves it end
+//! to end: a three-replica sharded cluster completes updates and linearizable
+//! reads with every message crossing [`MemoryNetwork`] endpoints through the wire
+//! codec, exactly as the TCP mesh would carry them.
+
+use crdt::{CounterQuery, CounterUpdate, GCounter, LatticeMap, MapOutput, ReplicaId};
+use crdt_paxos_core::{ClientId, ProtocolConfig, ResponseBody, ShardMessage, ShardedReplica};
+use transport::memory::MemoryNetwork;
+use transport::Transport;
+
+type Node = ShardedReplica<String, GCounter>;
+type Message = ShardMessage<LatticeMap<String, GCounter>>;
+
+fn pump(nodes: &mut [Node], endpoints: &[transport::memory::MemoryEndpoint]) {
+    loop {
+        let mut sent = false;
+        for (index, node) in nodes.iter_mut().enumerate() {
+            for envelope in node.take_outbox() {
+                let (to, message) = envelope.into_parts();
+                endpoints[index].send(to.as_u64(), &message).expect("send");
+                sent = true;
+            }
+        }
+        let mut received = false;
+        for (index, endpoint) in endpoints.iter().enumerate() {
+            while let Some((from, message)) = endpoint.try_recv::<Message>().expect("recv") {
+                nodes[index].handle_message(ReplicaId::new(from), message);
+                received = true;
+            }
+        }
+        if !sent && !received {
+            break;
+        }
+    }
+}
+
+#[test]
+fn sharded_cluster_runs_over_the_memory_transport() {
+    let peers: Vec<u64> = (0..3).collect();
+    let network = MemoryNetwork::new(&peers);
+    let endpoints: Vec<_> =
+        peers.iter().map(|&peer| network.endpoint(peer).expect("endpoint")).collect();
+    let ids: Vec<ReplicaId> = peers.iter().map(|&peer| ReplicaId::new(peer)).collect();
+    let mut nodes: Vec<Node> = ids
+        .iter()
+        .map(|&id| ShardedReplica::new(id, ids.clone(), 4, ProtocolConfig::default()))
+        .collect();
+
+    nodes[0].submit_update(ClientId(0), "clicks".into(), CounterUpdate::Increment(3));
+    nodes[1].submit_update(ClientId(1), "views".into(), CounterUpdate::Increment(8));
+    pump(&mut nodes, &endpoints);
+    assert_eq!(nodes[0].take_responses().len(), 1);
+    assert_eq!(nodes[1].take_responses().len(), 1);
+
+    nodes[2].submit_query(ClientId(2), "clicks".into(), CounterQuery::Value);
+    pump(&mut nodes, &endpoints);
+    let responses = nodes[2].take_responses();
+    assert_eq!(responses.len(), 1);
+    assert_eq!(
+        responses[0].body,
+        ResponseBody::QueryDone(MapOutput::Value(Some(3))),
+        "linearizable sharded read over the transport"
+    );
+}

@@ -8,9 +8,9 @@
 //! | module | contents |
 //! |--------|----------|
 //! | [`crdt`] | join semilattices and state-based CRDTs (G-Counter, PN-Counter, sets, registers, maps, vector clocks) with delta-state support (`DeltaCrdt`) |
-//! | [`quorum`] | quorum systems (majority, grid, weighted) and membership |
+//! | [`quorum`] | quorum systems (majority, grid, weighted), membership, and keyspace partitioners ([`quorum::Partitioner`]) |
 //! | [`wire`] | compact binary serde codec and message framing |
-//! | [`protocol`] | the CRDT Paxos protocol core: [`protocol::Replica`], messages, configuration, metrics; state-bearing messages carry a [`protocol::Payload`] — the full CRDT state or, with [`protocol::PayloadMode::DeltaWhenPossible`], a per-peer delta that cuts large payloads down to what the receiver is missing |
+//! | [`protocol`] | the CRDT Paxos protocol core: [`protocol::Replica`], messages, configuration, metrics; state-bearing messages carry a [`protocol::Payload`] — the full CRDT state or, with [`protocol::PayloadMode::DeltaWhenPossible`], a per-peer delta that cuts large payloads down to what the receiver is missing (replies are delta-encoded too, against the request's own payload and basis snapshot); [`protocol::ShardedReplica`] partitions a `LatticeMap` keyspace over independent protocol instances — one round counter and one quorum per shard |
 //! | [`baselines`] | Multi-Paxos (read leases) and Raft baselines |
 //! | [`transport`] | in-memory and tokio TCP transports |
 //! | [`cluster`] | deterministic simulator, workloads, statistics, linearizability checker |
@@ -47,10 +47,28 @@
 //! assert_eq!(cluster.query(2, CounterQuery::Value), ResponseBody::QueryDone(3));
 //! ```
 //!
-//! See `examples/` for runnable programs (quickstart, replicated shopping carts,
-//! fail-over, TCP deployment, round-trip histograms) and the `bench` crate for the
-//! harnesses that regenerate every figure of the paper's evaluation (including the
-//! `fig5_wire_bytes` full-vs-delta byte comparison).
+//! For a whole **keyspace** instead of a single object, shard it: every key lives
+//! on one of `S` independent protocol instances (the paper's fine-granularity
+//! argument), so commands on different key ranges commit in parallel:
+//!
+//! ```
+//! use crdt_paxos::crdt::{CounterQuery, CounterUpdate, GCounter};
+//! use crdt_paxos::local::LocalShardedCluster;
+//! use crdt_paxos::protocol::ProtocolConfig;
+//!
+//! // 3 replicas, 4 shards, a linearizable G-Counter under every key.
+//! let mut kv = LocalShardedCluster::<String, GCounter>::new(3, 4, ProtocolConfig::default());
+//! kv.update(0, "clicks".into(), CounterUpdate::Increment(3));
+//! kv.update(1, "views".into(), CounterUpdate::Increment(8));
+//! assert_eq!(kv.query(2, "clicks".into(), CounterQuery::Value), Some(3));
+//! assert_eq!(kv.key_count(0), 2);
+//! ```
+//!
+//! See `examples/` for runnable programs (quickstart, sharded replicated shopping
+//! carts, fail-over, TCP deployment, round-trip histograms) and the `bench` crate
+//! for the harnesses that regenerate every figure of the paper's evaluation
+//! (including the `fig5_wire_bytes` full-vs-delta byte comparison and the
+//! `fig6_sharding` throughput-vs-shards report).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

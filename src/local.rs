@@ -1,13 +1,24 @@
-//! A convenience in-process cluster for examples, tests, and embedding.
+//! Convenience in-process clusters for examples, tests, and embedding.
 //!
 //! [`LocalCluster`] wires `n` CRDT Paxos replicas together with an in-memory "perfect"
 //! network (instant, reliable delivery) and offers a synchronous API: submit a command
 //! to a replica and get the response back once the protocol has quiesced. This is the
 //! easiest way to embed a linearizable CRDT in a single process, and the entry point
 //! used by the quickstart example.
+//!
+//! [`LocalShardedCluster`] is the keyspace variant: a replicated `LatticeMap<K, V>`
+//! partitioned over independent protocol instances (one round counter and one
+//! quorum per shard, hash-routed keys), with a synchronous per-key API. It is the
+//! in-process face of `protocol::ShardedReplica` and the entry point used by the
+//! replicated key-value example.
 
-use crdt::{Crdt, DeltaCrdt, ReplicaId};
-use crdt_paxos_core::{ClientId, Command, ProtocolConfig, Replica, ResponseBody};
+use std::fmt;
+use std::hash::Hash;
+
+use crdt::{Crdt, DeltaCrdt, LatticeMap, MapOutput, MapQuery, ReplicaId};
+use crdt_paxos_core::{
+    ClientId, Command, CommandId, ProtocolConfig, Replica, ResponseBody, ShardId, ShardedReplica,
+};
 
 /// An in-process cluster of CRDT Paxos replicas with synchronous message delivery.
 #[derive(Debug)]
@@ -98,6 +109,174 @@ impl<C: Crdt + DeltaCrdt> LocalCluster<C> {
     }
 }
 
+/// An in-process **sharded** key-value cluster: a replicated `LatticeMap<K, V>`
+/// partitioned across independent protocol instances with synchronous delivery.
+///
+/// Every key holds a CRDT of type `V`; updates and linearizable reads are routed to
+/// the shard owning the key, so commands on different key ranges never contend on a
+/// round counter.
+///
+/// # Example
+///
+/// ```
+/// use crdt_paxos::crdt::{CounterQuery, CounterUpdate, GCounter};
+/// use crdt_paxos::local::LocalShardedCluster;
+/// use crdt_paxos::protocol::ProtocolConfig;
+///
+/// // 3 replicas, 4 shards, one G-Counter per key.
+/// let mut cluster =
+///     LocalShardedCluster::<String, GCounter>::new(3, 4, ProtocolConfig::default());
+/// cluster.update(0, "clicks".into(), CounterUpdate::Increment(3));
+/// let value = cluster.query(2, "clicks".into(), CounterQuery::Value);
+/// assert_eq!(value, Some(3));
+/// ```
+#[derive(Debug)]
+pub struct LocalShardedCluster<K, V>
+where
+    K: Ord + Clone + Hash + fmt::Debug + Send + 'static,
+    V: Crdt + DeltaCrdt,
+{
+    replicas: Vec<ShardedReplica<K, V>>,
+    now_ms: u64,
+}
+
+impl<K, V> LocalShardedCluster<K, V>
+where
+    K: Ord + Clone + Hash + fmt::Debug + Send + 'static,
+    V: Crdt + DeltaCrdt,
+{
+    /// Creates a cluster of `n` replicas, each partitioning the keyspace over
+    /// `shards` protocol instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `shards` is zero.
+    pub fn new(n: u64, shards: u32, config: ProtocolConfig) -> Self {
+        assert!(n > 0, "a cluster needs at least one replica");
+        let ids: Vec<ReplicaId> = (0..n).map(ReplicaId::new).collect();
+        let replicas = ids
+            .iter()
+            .map(|&id| ShardedReplica::new(id, ids.clone(), shards, config.clone()))
+            .collect();
+        LocalShardedCluster { replicas, now_ms: 0 }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Returns `true` if the cluster has no replicas (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Number of shards per replica.
+    pub fn shard_count(&self) -> u32 {
+        self.replicas[0].shard_count()
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: &K) -> ShardId {
+        self.replicas[0].shard_of(key)
+    }
+
+    /// Read-only access to one replica (per-shard metrics, merged state).
+    pub fn replica(&self, index: usize) -> &ShardedReplica<K, V> {
+        &self.replicas[index]
+    }
+
+    /// Applies a linearizable update to `key` at the given replica and waits for
+    /// the owning shard's quorum.
+    pub fn update(&mut self, replica: usize, key: K, update: V::Update) {
+        let command_id = self.replicas[replica].submit_update(ClientId(0), key, update);
+        let body = self.wait_for(replica, command_id);
+        debug_assert!(matches!(body, ResponseBody::UpdateDone), "updates cannot fail");
+    }
+
+    /// Runs a linearizable read of `key` at the given replica; `None` if the key
+    /// has never been written.
+    pub fn query(&mut self, replica: usize, key: K, query: V::Query) -> Option<V::Output> {
+        let command_id = self.replicas[replica].submit_query(ClientId(0), key, query);
+        match self.wait_for(replica, command_id) {
+            ResponseBody::QueryDone(MapOutput::Value(value)) => value,
+            other => panic!("unexpected sharded query response: {other:?}"),
+        }
+    }
+
+    /// Number of keys in the whole keyspace (a fan-out over every shard; each
+    /// shard's answer is linearizable, the sum is not a keyspace snapshot).
+    pub fn key_count(&mut self, replica: usize) -> u64 {
+        let command_id = self.replicas[replica].submit(ClientId(0), Command::Query(MapQuery::Len));
+        match self.wait_for(replica, command_id) {
+            ResponseBody::QueryDone(MapOutput::Len(count)) => count,
+            other => panic!("unexpected sharded len response: {other:?}"),
+        }
+    }
+
+    /// All keys in the keyspace, in order (fan-out, like
+    /// [`LocalShardedCluster::key_count`]).
+    pub fn keys(&mut self, replica: usize) -> Vec<K> {
+        let command_id = self.replicas[replica].submit(ClientId(0), Command::Query(MapQuery::Keys));
+        match self.wait_for(replica, command_id) {
+            ResponseBody::QueryDone(MapOutput::Keys(keys)) => keys,
+            other => panic!("unexpected sharded keys response: {other:?}"),
+        }
+    }
+
+    /// Submits any `LatticeMap` command at the given replica and runs the protocol
+    /// to completion.
+    pub fn submit(
+        &mut self,
+        replica: usize,
+        command: Command<LatticeMap<K, V>>,
+    ) -> ResponseBody<LatticeMap<K, V>> {
+        let command_id = self.replicas[replica].submit(ClientId(0), command);
+        self.wait_for(replica, command_id)
+    }
+
+    fn wait_for(
+        &mut self,
+        replica: usize,
+        command_id: CommandId,
+    ) -> ResponseBody<LatticeMap<K, V>> {
+        loop {
+            self.pump();
+            let response = self.replicas[replica]
+                .take_responses()
+                .into_iter()
+                .find(|response| response.command == command_id);
+            if let Some(response) = response {
+                return response.body;
+            }
+            // Batching configurations need time to pass before a batch is flushed.
+            self.now_ms += 1;
+            let now = self.now_ms;
+            for replica in &mut self.replicas {
+                replica.tick(now);
+            }
+        }
+    }
+
+    /// Delivers every in-flight shard envelope until the cluster is quiescent.
+    fn pump(&mut self) {
+        loop {
+            let mut envelopes = Vec::new();
+            for replica in &mut self.replicas {
+                envelopes.extend(replica.take_outbox());
+            }
+            if envelopes.is_empty() {
+                return;
+            }
+            for envelope in envelopes {
+                let from = envelope.inner.from;
+                let (to, message) = envelope.into_parts();
+                self.replicas[to.as_u64() as usize].handle_message(from, message);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +298,47 @@ mod tests {
         let mut cluster = LocalCluster::<GCounter>::new(3, ProtocolConfig::batched());
         cluster.update(0, CounterUpdate::Increment(1));
         assert_eq!(cluster.query(1, CounterQuery::Value), ResponseBody::QueryDone(1));
+    }
+
+    #[test]
+    fn sharded_cluster_round_trips_across_replicas() {
+        let mut cluster =
+            LocalShardedCluster::<String, GCounter>::new(3, 4, ProtocolConfig::default());
+        assert_eq!(cluster.len(), 3);
+        assert_eq!(cluster.shard_count(), 4);
+        cluster.update(0, "a".into(), CounterUpdate::Increment(2));
+        cluster.update(1, "b".into(), CounterUpdate::Increment(3));
+        assert_eq!(cluster.query(2, "a".into(), CounterQuery::Value), Some(2));
+        assert_eq!(cluster.query(0, "b".into(), CounterQuery::Value), Some(3));
+        assert_eq!(cluster.query(1, "missing".into(), CounterQuery::Value), None);
+        assert_eq!(cluster.key_count(2), 2);
+        assert_eq!(cluster.keys(0), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn sharded_cluster_works_with_batching_and_delta_payloads() {
+        let config = ProtocolConfig::batched().with_delta_payloads();
+        let mut cluster = LocalShardedCluster::<String, GCounter>::new(3, 2, config);
+        cluster.update(0, "k".into(), CounterUpdate::Increment(1));
+        cluster.update(2, "k".into(), CounterUpdate::Increment(4));
+        assert_eq!(cluster.query(1, "k".into(), CounterQuery::Value), Some(5));
+    }
+
+    #[test]
+    fn sharded_cluster_of_sets_routes_per_user() {
+        let mut cluster =
+            LocalShardedCluster::<String, ORSet<String>>::new(3, 4, ProtocolConfig::default());
+        cluster.update(0, "alice".into(), ORSetUpdate::Insert("milk".into()));
+        cluster.update(1, "alice".into(), ORSetUpdate::Remove("milk".into()));
+        cluster.update(2, "bob".into(), ORSetUpdate::Insert("beer".into()));
+        match cluster.query(0, "alice".into(), SetQuery::Elements) {
+            Some(SetOutput::Elements(elements)) => assert!(elements.is_empty()),
+            other => panic!("unexpected result {other:?}"),
+        }
+        match cluster.query(1, "bob".into(), SetQuery::Contains("beer".into())) {
+            Some(SetOutput::Contains(present)) => assert!(present),
+            other => panic!("unexpected result {other:?}"),
+        }
     }
 
     #[test]

@@ -38,4 +38,37 @@ fn wire_codec_size_report_runs() {
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("MERGE payload size"), "unexpected report output:\n{stdout}");
+    assert!(stdout.contains("quiet-read ACK size"), "missing the reply-delta table:\n{stdout}");
+}
+
+#[test]
+fn sharding_throughput_report_meets_acceptance() {
+    // The deterministic throughput-vs-shards report, in `--check` mode: the binary
+    // exits non-zero unless 8 shards commit at least 3x the single-instance ops.
+    // Built and run in release because the 128-client saturation workload takes
+    // minutes unoptimized (tier-1 builds release first, so the artifacts are warm).
+    let output = Command::new(env!("CARGO"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args([
+            "run",
+            "--quiet",
+            "--release",
+            "-p",
+            "bench",
+            "--bin",
+            "fig6_sharding",
+            "--",
+            "--quick",
+            "--check",
+        ])
+        .output()
+        .expect("failed to launch the sharding report");
+    assert!(
+        output.status.success(),
+        "fig6_sharding --quick --check failed:\n{}\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("throughput vs shards"), "unexpected report output:\n{stdout}");
 }
