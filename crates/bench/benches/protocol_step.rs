@@ -1,9 +1,17 @@
 //! Micro-benchmarks of the protocol state machines: how fast can a replica process
 //! an update or a query round when messages are delivered instantly (no network)?
+//!
+//! The `kv_*_round_16_keys` cases replicate a `LatticeMap<u64, GCounter>` with 16
+//! populated keys — the per-shard state shape of the sharded keyspace workloads —
+//! and are what `cluster::CALIBRATED_SERVICE_TIME_US` (the simulator's CPU model)
+//! is derived from: one round is one submit plus four remote message handlings, so
+//! per-message cost ≈ round time / 4.
 
-use crdt::{CounterQuery, CounterUpdate, GCounter, ReplicaId};
+use crdt::{CounterQuery, CounterUpdate, GCounter, LatticeMap, MapQuery, MapUpdate, ReplicaId};
 use crdt_paxos_core::{ClientId, Command, ProtocolConfig, Replica};
 use criterion::{criterion_group, criterion_main, Criterion};
+
+type KvMap = LatticeMap<u64, GCounter>;
 
 fn cluster(n: u64) -> Vec<Replica<GCounter>> {
     let ids: Vec<ReplicaId> = (0..n).map(ReplicaId::new).collect();
@@ -13,6 +21,41 @@ fn cluster(n: u64) -> Vec<Replica<GCounter>> {
 }
 
 fn run_to_quiescence(replicas: &mut [Replica<GCounter>]) {
+    loop {
+        let mut envelopes = Vec::new();
+        for replica in replicas.iter_mut() {
+            envelopes.extend(replica.take_outbox());
+        }
+        if envelopes.is_empty() {
+            break;
+        }
+        for env in envelopes {
+            let index = env.to.as_u64() as usize;
+            replicas[index].handle_message(env.from, env.message);
+        }
+    }
+}
+
+/// A keyspace cluster with `keys` pre-populated entries per replica state — the
+/// per-shard state shape of the uniform sharded workloads (64 keys / 4-8 shards).
+fn kv_cluster(n: u64, keys: u64) -> Vec<Replica<KvMap>> {
+    let ids: Vec<ReplicaId> = (0..n).map(ReplicaId::new).collect();
+    let mut replicas: Vec<Replica<KvMap>> = ids
+        .iter()
+        .map(|&id| Replica::new(id, ids.clone(), KvMap::default(), ProtocolConfig::default()))
+        .collect();
+    for key in 0..keys {
+        replicas[0].submit(
+            ClientId(0),
+            Command::Update(MapUpdate::Apply { key, update: CounterUpdate::Increment(1) }),
+        );
+        kv_run_to_quiescence(&mut replicas);
+        replicas[0].take_responses();
+    }
+    replicas
+}
+
+fn kv_run_to_quiescence(replicas: &mut [Replica<KvMap>]) {
     loop {
         let mut envelopes = Vec::new();
         for replica in replicas.iter_mut() {
@@ -53,6 +96,37 @@ fn bench_protocol(c: &mut Criterion) {
             client += 1;
             replicas[1].submit(ClientId(client), Command::Query(CounterQuery::Value));
             run_to_quiescence(&mut replicas);
+            replicas[1].take_responses().len()
+        });
+    });
+
+    group.bench_function("kv_update_round_16_keys", |b| {
+        let mut replicas = kv_cluster(3, 16);
+        let mut client = 0u64;
+        b.iter(|| {
+            client += 1;
+            replicas[0].submit(
+                ClientId(client),
+                Command::Update(MapUpdate::Apply {
+                    key: client % 16,
+                    update: CounterUpdate::Increment(1),
+                }),
+            );
+            kv_run_to_quiescence(&mut replicas);
+            replicas[0].take_responses().len()
+        });
+    });
+
+    group.bench_function("kv_query_round_16_keys", |b| {
+        let mut replicas = kv_cluster(3, 16);
+        let mut client = 0u64;
+        b.iter(|| {
+            client += 1;
+            replicas[1].submit(
+                ClientId(client),
+                Command::Query(MapQuery::Get { key: client % 16, query: CounterQuery::Value }),
+            );
+            kv_run_to_quiescence(&mut replicas);
             replicas[1].take_responses().len()
         });
     });

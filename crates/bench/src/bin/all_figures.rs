@@ -4,7 +4,15 @@ use std::process::Command;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    for figure in ["fig1_throughput", "fig2_latency", "fig3_roundtrips", "fig4_failover"] {
+    for figure in [
+        "fig1_throughput",
+        "fig2_latency",
+        "fig3_roundtrips",
+        "fig4_failover",
+        "fig5_wire_bytes",
+        "fig6_sharding",
+        "fig7_rebalance",
+    ] {
         println!("\n===================== {figure} =====================\n");
         let mut command =
             Command::new(std::env::current_exe().unwrap().parent().unwrap().join(figure));

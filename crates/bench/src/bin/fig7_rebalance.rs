@@ -1,0 +1,150 @@
+//! Figure 7 (extension beyond the paper): throughput through a live 4→8 shard
+//! split under saturating uniform load.
+//!
+//! The log-less protocol makes dynamic resharding a lattice join: a shard's whole
+//! replicated value moves with one `absorb` at the destination, agreed through the
+//! ordinary protocol on a control shard and fenced by partitioning epochs (see
+//! `core::rebalance`). This report measures what that costs and buys at runtime:
+//! a 4-shard keyspace runs the canonical saturating workload (128 closed-loop
+//! clients, 64 uniform keys, 90 % reads, calibrated per-message CPU cost, one
+//! core per shard), a rebalance to 8 shards triggers at one third of the run, and
+//! the per-interval committed-ops series shows
+//!
+//! * the **pre-split** steady state (4 saturated lanes),
+//! * the **dip** while in-flight commands are cut over, re-homed, and the handoff
+//!   resyncs replicate the moved ranges, and
+//! * the **post-split** steady state (8 lanes) with its **time to converge**.
+//!
+//! Flags: `--quick` shortens the run (used by the smoke test and CI); `--check`
+//! exits non-zero unless post-split throughput is at least 2x pre-split, the dip
+//! never collapses below 10 % of the pre-split rate, convergence takes at most
+//! 1500 ms, and no client response is lost or duplicated.
+
+use cluster::{rebalance_workload, run_sharded_kv, IntervalStats};
+use crdt_paxos_core::ProtocolConfig;
+
+/// Median committed ops of a set of intervals, scaled to ops/s.
+fn median_ops_per_sec(intervals: &[&IntervalStats], interval_ms: u64) -> f64 {
+    if intervals.is_empty() {
+        return 0.0;
+    }
+    let mut ops: Vec<u64> = intervals.iter().map(|interval| interval.operations).collect();
+    ops.sort_unstable();
+    ops[ops.len() / 2] as f64 * 1_000.0 / interval_ms as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let check = std::env::args().any(|arg| arg == "--check");
+    let config = rebalance_workload(quick, 8);
+    let split_at_ms = config.rebalances[0].at_ms;
+    let interval_ms = config.interval_ms;
+
+    println!(
+        "== 4 -> 8 shard split at t={split_at_ms} ms: {} clients, {} keys, {:.0}% reads, {} ms ==",
+        config.clients,
+        config.keyspace,
+        config.read_fraction * 100.0,
+        config.duration_ms
+    );
+
+    let result = run_sharded_kv(&config, ProtocolConfig::default(), 4);
+
+    let pre: Vec<&IntervalStats> = result
+        .intervals
+        .iter()
+        .filter(|interval| {
+            interval.start_ms >= config.warmup_ms && interval.start_ms + interval_ms <= split_at_ms
+        })
+        .collect();
+    let post_window_start = config.duration_ms - (config.duration_ms - split_at_ms) / 2;
+    let post: Vec<&IntervalStats> =
+        result.intervals.iter().filter(|interval| interval.start_ms >= post_window_start).collect();
+    let pre_tput = median_ops_per_sec(&pre, interval_ms);
+    let post_tput = median_ops_per_sec(&post, interval_ms);
+
+    // The dip: the worst interval in the first 500 ms after the trigger, while
+    // plan agreement, cutover, and the handoff resyncs run.
+    let dip_ops = result
+        .intervals
+        .iter()
+        .filter(|interval| {
+            interval.start_ms >= split_at_ms && interval.start_ms < split_at_ms + 500
+        })
+        .map(|interval| interval.operations)
+        .min()
+        .unwrap_or(0);
+    let dip_tput = dip_ops as f64 * 1_000.0 / interval_ms as f64;
+
+    // Convergence: the first post-trigger interval that reaches 90 % of the
+    // post-split steady state and sustains it for the two following intervals
+    // (a sustained-recovery window, so one noisy interval long after the
+    // handoff does not masquerade as late convergence).
+    let converged_threshold = 0.9 * post_tput * interval_ms as f64 / 1_000.0;
+    let mut converged_at_ms = None;
+    let complete: Vec<&IntervalStats> = result
+        .intervals
+        .iter()
+        .filter(|interval| interval.start_ms + interval_ms <= config.duration_ms)
+        .collect();
+    for window in complete.windows(3) {
+        if window[0].start_ms < split_at_ms {
+            continue;
+        }
+        if window.iter().all(|interval| interval.operations as f64 >= converged_threshold) {
+            converged_at_ms = Some(window[0].start_ms);
+            break;
+        }
+    }
+    let time_to_converge_ms = converged_at_ms.map(|at| at.saturating_sub(split_at_ms));
+
+    println!("{:>26} {:>12}", "metric", "value");
+    println!("{:>26} {:>12.0}", "pre-split ops/s (median)", pre_tput);
+    println!("{:>26} {:>12.0}", "dip ops/s (min, 500ms)", dip_tput);
+    println!("{:>26} {:>12.0}", "post-split ops/s (median)", post_tput);
+    println!(
+        "{:>26} {:>12}",
+        "time to converge (ms)",
+        time_to_converge_ms.map_or("never".to_string(), |ms| ms.to_string())
+    );
+    println!("{:>26} {:>12.2}x", "post/pre speedup", post_tput / pre_tput.max(1.0));
+    println!("{:>26} {:>12.2}x", "dip/pre ratio", dip_tput / pre_tput.max(1.0));
+    println!("{:>26} {:>12}", "orphan replies", result.orphan_replies);
+    println!("{:>26} {:>12}", "stalled clients", result.stalled_clients);
+    println!("{:>26} {:>12}", "client retries", result.retries);
+
+    if check {
+        let mut failures = Vec::new();
+        if post_tput < 2.0 * pre_tput {
+            failures.push(format!(
+                "post-split throughput {post_tput:.0} ops/s is below 2x pre-split ({pre_tput:.0})"
+            ));
+        }
+        if dip_tput < 0.1 * pre_tput {
+            failures.push(format!(
+                "handoff dip {dip_tput:.0} ops/s collapses below 10% of pre-split ({pre_tput:.0})"
+            ));
+        }
+        match time_to_converge_ms {
+            Some(ms) if ms <= 1_500 => {}
+            Some(ms) => failures.push(format!("convergence took {ms} ms (> 1500 ms)")),
+            None => failures.push("throughput never converged after the split".to_string()),
+        }
+        if result.orphan_replies != 0 {
+            failures.push(format!("{} duplicated client responses", result.orphan_replies));
+        }
+        if result.stalled_clients != 0 {
+            failures.push(format!(
+                "{} clients never got a response back (lost replies)",
+                result.stalled_clients
+            ));
+        }
+        if !failures.is_empty() {
+            for failure in &failures {
+                eprintln!("ACCEPTANCE FAILED: {failure}");
+            }
+            std::process::exit(1);
+        }
+        println!("acceptance: post >= 2x pre, bounded dip, convergence <= 1500 ms — OK");
+    }
+}

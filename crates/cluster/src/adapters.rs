@@ -281,8 +281,15 @@ impl SimNode for ShardedKvNode {
 
     fn lane_of(&self, message: &Self::Message) -> u64 {
         // One processing lane (core) per shard: the sharded engine's messages are
-        // handled in parallel across shards under the simulator's CPU model.
-        u64::from(message.shard.as_u32())
+        // handled in parallel across shards under the simulator's CPU model. The
+        // (rare, tiny) control and rebalance traffic gets its own lane so plan
+        // agreement never queues behind a saturated data shard.
+        match message {
+            ShardMessage::Protocol { shard, .. } => u64::from(shard.as_u32()),
+            ShardMessage::Control { .. }
+            | ShardMessage::Rebalance { .. }
+            | ShardMessage::PlanRequest => u64::MAX,
+        }
     }
 
     fn submit(&mut self, client: u64, op: SimOp) {
@@ -297,22 +304,34 @@ impl SimNode for ShardedKvNode {
         self.inner.tick(now_ms);
     }
 
+    fn trigger_rebalance(&mut self, target_shards: u32) {
+        self.inner.begin_rebalance(target_shards);
+    }
+
     fn drain_messages(&mut self) -> Vec<(u64, Self::Message)> {
         let envelopes = self.inner.take_outbox();
         if self.measure_wire {
             for envelope in &envelopes {
-                // A `ShardMessage` encodes as the shard tag followed by the inner
-                // message; summing the two parts avoids cloning the payload.
-                let tag = wire::to_vec(&envelope.shard).expect("shard ids encode");
-                let body = wire::to_vec(&envelope.inner.message).expect("protocol messages encode");
-                let kind = match envelope.inner.message.payload() {
-                    Some(payload) => {
-                        format!("{}:{}", envelope.inner.message.kind(), payload.kind())
+                let bytes = wire::to_vec(&envelope.message).expect("shard messages encode");
+                match &envelope.message {
+                    ShardMessage::Protocol { shard, message, .. } => {
+                        let kind = match message.payload() {
+                            Some(payload) => format!("{}:{}", message.kind(), payload.kind()),
+                            None => message.kind().to_string(),
+                        };
+                        self.inner.record_wire_bytes(*shard, &kind, bytes.len() as u64);
                     }
-                    None => envelope.inner.message.kind().to_string(),
-                };
-                let bytes = (tag.len() + body.len()) as u64;
-                self.inner.record_wire_bytes(envelope.shard, &kind, bytes);
+                    ShardMessage::Control { message } => {
+                        let kind = format!("CTRL:{}", message.kind());
+                        self.inner.record_control_wire_bytes(&kind, bytes.len() as u64);
+                    }
+                    ShardMessage::Rebalance { .. } => {
+                        self.inner.record_control_wire_bytes("REBALANCE", bytes.len() as u64);
+                    }
+                    ShardMessage::PlanRequest => {
+                        self.inner.record_control_wire_bytes("PLANREQ", bytes.len() as u64);
+                    }
+                }
             }
         }
         envelopes
@@ -339,7 +358,10 @@ impl SimNode for ShardedKvNode {
     fn wire_metrics(&self) -> Option<WireMetrics> {
         if self.measure_wire {
             let by_shard = self.inner.wire_metrics_by_shard();
-            Some(crate::stats::merge_wire(by_shard.iter().map(|(_, wire)| wire)))
+            let control = self.inner.control_wire_metrics();
+            Some(crate::stats::merge_wire(
+                by_shard.iter().map(|(_, wire)| wire).chain(std::iter::once(&control)),
+            ))
         } else {
             None
         }

@@ -39,7 +39,8 @@ pub use linearizability::{
     check_counter_history, check_keyed_history, HistoryOp, OpKind, Violation,
 };
 pub use sim::{
-    run_simulation, CrashEvent, SimConfig, SimNode, SimOp, SimOutcome, SimReply, SimResult,
+    run_simulation, CrashEvent, RebalanceEvent, SimConfig, SimNode, SimOp, SimOutcome, SimReply,
+    SimResult, CALIBRATED_SERVICE_TIME_US,
 };
 pub use stats::{merge_wire, wire_reduction, IntervalStats, LatencyStats};
 pub use workload::{ClientWorkload, WorkloadMix};
@@ -119,9 +120,29 @@ pub fn sharding_workload(quick: bool) -> SimConfig {
         warmup_ms: if quick { 250 } else { 500 },
         read_fraction: 0.9,
         keyspace: 64,
-        service_time_us: 4,
+        service_time_us: CALIBRATED_SERVICE_TIME_US,
         seed: 0x5A4D,
         ..SimConfig::default()
+    }
+}
+
+/// The canonical dynamic-resharding workload of the rebalance figure
+/// (`fig7_rebalance`): the saturating uniform keyspace of [`sharding_workload`]
+/// starting on `initial_shards`, with one mid-run [`RebalanceEvent`] resizing the
+/// keyspace to `target_shards` while the closed-loop clients keep running. The
+/// trigger fires at one third of the run, leaving a steady pre-split window to
+/// measure the baseline against and a post-split window to measure convergence in.
+pub fn rebalance_workload(quick: bool, target_shards: u32) -> SimConfig {
+    let duration_ms = if quick { 3_000 } else { 6_000 };
+    SimConfig {
+        // Twice the clients of the sharding figure: 4 shards must be saturated
+        // deep into contention collapse (every update invalidates the in-flight
+        // read quorums of its whole shard), so the split has headroom to show.
+        clients: 256,
+        duration_ms,
+        interval_ms: 100,
+        rebalances: vec![RebalanceEvent { replica: 0, at_ms: duration_ms / 3, target_shards }],
+        ..sharding_workload(quick)
     }
 }
 

@@ -21,6 +21,25 @@ use crate::linearizability::{check_counter_history, HistoryOp, OpKind, Violation
 use crate::stats::{IntervalSeries, IntervalStats, LatencyStats};
 use crate::workload::{ClientWorkload, WorkloadMix};
 
+/// Per-message CPU cost (µs) of the keyspace protocols, calibrated against the
+/// `protocol_step` micro-benchmarks so the simulator's throughput figures are
+/// quantitative rather than merely relative.
+///
+/// Derivation (release profile, medians from `BENCH_pr5.json` on the reference
+/// machine): one `protocol/kv_query_round_16_keys` iteration — a full linearizable
+/// read of a 16-key `LatticeMap<u64, GCounter>` shard state, the per-shard state
+/// shape of the 64-key/4-shard uniform workload — is one submit plus four remote
+/// message handlings (2 `PREPARE` + 2 `ACK`) and measures ≈ 15.5 µs, so
+/// ≈ 3.9 µs per message; one `kv_update_round_16_keys` iteration (2 `MERGE` +
+/// 2 `MERGED`) measures ≈ 5.9 µs, so ≈ 1.5 µs per message. Weighted by the
+/// canonical 90 %-read mix: `0.9 × 3.9 + 0.1 × 1.5 ≈ 3.6 µs`, rounded up to the
+/// simulator's whole-microsecond resolution (the round-up also absorbs the
+/// outbox-drain and dispatch costs a real event loop pays but the micro-benchmark
+/// under-counts). The figure bins derive throughput from this constant, so
+/// re-calibrating after a protocol optimization is: re-run `protocol_step`,
+/// update `BENCH_pr*.json`, adjust this constant if the medians moved.
+pub const CALIBRATED_SERVICE_TIME_US: u64 = 4;
+
 /// A client operation as seen by the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimOp {
@@ -126,6 +145,13 @@ pub trait SimNode {
     fn wire_metrics(&self) -> Option<WireMetrics> {
         None
     }
+
+    /// Initiates a rebalance of the keyspace to `target_shards` shards at this
+    /// node (see [`RebalanceEvent`]).
+    ///
+    /// The default is a no-op: single-instance protocols and the baselines have
+    /// no resharding to perform.
+    fn trigger_rebalance(&mut self, _target_shards: u32) {}
 }
 
 /// A crash (and optional recovery) of one replica at a fixed point in time.
@@ -137,6 +163,24 @@ pub struct CrashEvent {
     pub at_ms: u64,
     /// Optional recovery time in milliseconds (crash-recovery model).
     pub recover_at_ms: Option<u64>,
+}
+
+/// A dynamic-resharding trigger: at `at_ms`, `replica` initiates a rebalance of
+/// the keyspace to `target_shards` shards while the workload keeps running.
+///
+/// `resize(n)` is expressed directly; *splitting* a hot shard under hash
+/// partitioning means doubling the modulus (every shard's range halves, including
+/// the hot one), so a split of an `S`-shard keyspace is `target_shards = 2 * S`.
+/// Protocols that do not support resharding ignore the trigger
+/// ([`SimNode::trigger_rebalance`] defaults to a no-op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceEvent {
+    /// The replica that acts as the rebalance coordinator.
+    pub replica: u64,
+    /// Trigger time in milliseconds.
+    pub at_ms: u64,
+    /// The shard count to rebalance to.
+    pub target_shards: u32,
 }
 
 /// Simulation parameters.
@@ -166,7 +210,9 @@ pub struct SimConfig {
     /// When set, each replica handles messages **serially per processing lane**
     /// ([`SimNode::lane_of`]): a single protocol instance is one saturable event
     /// loop, a sharded engine gets one lane per shard — the one-core-per-shard
-    /// deployment the throughput-vs-shards figure measures.
+    /// deployment the throughput-vs-shards figure measures. Use
+    /// [`CALIBRATED_SERVICE_TIME_US`] (derived from the `protocol_step`
+    /// micro-benchmarks) for quantitative figures.
     pub service_time_us: u64,
     /// Backoff before a client retries after a [`SimOutcome::Retry`], in microseconds.
     pub retry_backoff_us: u64,
@@ -181,6 +227,9 @@ pub struct SimConfig {
     pub keyspace: u64,
     /// Optional crash injection.
     pub crash: Option<CrashEvent>,
+    /// Dynamic-resharding triggers, fired in time order while traffic continues
+    /// (ignored by protocols without resharding support).
+    pub rebalances: Vec<RebalanceEvent>,
     /// Record a full operation history for linearizability checking (bounded; meant
     /// for tests, not for the large throughput runs).
     pub collect_history: bool,
@@ -208,6 +257,7 @@ impl Default for SimConfig {
             seed: 0xC0FFEE,
             keyspace: 1,
             crash: None,
+            rebalances: Vec::new(),
             collect_history: false,
             measure_wire_bytes: false,
         }
@@ -225,6 +275,17 @@ pub struct SimResult {
     pub completed_updates: u64,
     /// Number of [`SimOutcome::Retry`] replies observed.
     pub retries: u64,
+    /// Replies for which the client had no outstanding operation — a duplicated
+    /// (or conjured) client response. Always 0 for a correct protocol; the
+    /// rebalancing tests assert it stays 0 across shard handoffs.
+    pub orphan_replies: u64,
+    /// Closed-loop clients whose outstanding operation was issued more than half
+    /// a second of virtual time before the run ended — a *lost* client response
+    /// (retransmissions complete any live operation well within that bound on a
+    /// connected cluster). Always 0 for a correct protocol on a loss-free,
+    /// crash-free run; the rebalance acceptance asserts it stays 0 across shard
+    /// handoffs.
+    pub stalled_clients: u64,
     /// Total throughput in operations per second (after warm-up).
     pub throughput_ops_per_sec: f64,
     /// Read latency distribution (µs).
@@ -285,6 +346,7 @@ enum Event<M> {
     ClientArrive { client: u64, replica: u64, op: SimOp },
     Crash { replica: u64 },
     Recover { replica: u64 },
+    Rebalance { replica: u64, target_shards: u32 },
 }
 
 struct QueueItem<M> {
@@ -379,6 +441,14 @@ where
             );
         }
     }
+    for rebalance in &config.rebalances {
+        push(
+            &mut heap,
+            &mut seq,
+            rebalance.at_ms * 1_000,
+            Event::Rebalance { replica: rebalance.replica, target_shards: rebalance.target_shards },
+        );
+    }
 
     // Result accumulators.
     let mut read_latency = LatencyStats::new();
@@ -388,6 +458,7 @@ where
     let mut completed_reads = 0u64;
     let mut completed_updates = 0u64;
     let mut retries = 0u64;
+    let mut orphan_replies = 0u64;
     let mut history: Vec<HistoryOp> = Vec::new();
     let mut keyed_history: Vec<(u64, HistoryOp)> = Vec::new();
     const HISTORY_CAP: usize = 250_000;
@@ -420,6 +491,11 @@ where
             }
             Event::Recover { replica } => {
                 alive[replica as usize] = true;
+            }
+            Event::Rebalance { replica, target_shards } => {
+                if alive[replica as usize] {
+                    nodes[replica as usize].trigger_rebalance(target_shards);
+                }
             }
             Event::ClientIssue { client } => {
                 let state = &mut clients[client as usize];
@@ -525,7 +601,10 @@ where
             for reply in nodes[index].drain_replies() {
                 let client = reply.client;
                 let state = &mut clients[client as usize];
-                let Some(outstanding) = state.outstanding.take() else { continue };
+                let Some(outstanding) = state.outstanding.take() else {
+                    orphan_replies += 1;
+                    continue;
+                };
                 match reply.outcome {
                     SimOutcome::Retry => {
                         retries += 1;
@@ -586,6 +665,17 @@ where
         }
     }
 
+    // A response lost by the protocol permanently stalls its closed-loop client;
+    // operations issued comfortably before the end of the run (past any
+    // retransmission horizon) that are still outstanding are exactly those.
+    const STALL_GRACE_US: u64 = 500_000;
+    let stalled_clients = clients
+        .iter()
+        .filter(|state| {
+            state.outstanding.as_ref().is_some_and(|op| op.issued_us + STALL_GRACE_US < duration_us)
+        })
+        .count() as u64;
+
     // Operations still in flight when the run ends may already have taken effect at
     // the replicas without their response being observed. Record pending increments
     // as incomplete operations (response time = ∞) so the linearizability checker
@@ -630,6 +720,8 @@ where
         completed_reads,
         completed_updates,
         retries,
+        orphan_replies,
+        stalled_clients,
         throughput_ops_per_sec: total_ops as f64 * 1_000.0 / measured_ms as f64,
         read_latency,
         update_latency,

@@ -83,6 +83,18 @@ impl<C: Crdt + DeltaCrdt> Acceptor<C> {
         self.round = self.round.with_write_marker();
     }
 
+    /// Joins `state` directly into the payload and installs the write marker,
+    /// exactly as a `MERGE` carrying that state would.
+    ///
+    /// This is the lattice-join half of a state handoff: during resharding the
+    /// sharded engine grafts a moved key range into the destination instance by
+    /// absorbing the source's sub-state. The write marker invalidates in-flight
+    /// proposals prepared against the pre-handoff state, like any other merge.
+    pub fn absorb(&mut self, state: &C) {
+        self.state.join(state);
+        self.round = self.round.with_write_marker();
+    }
+
     /// Handles a `PREPARE` message (paper lines 36–42).
     ///
     /// The optional payload is joined into the local state first. An incremental

@@ -32,11 +32,19 @@
 //!   proposer tracks, per peer, the largest state the peer is known to contain
 //!   (from `MERGED`/`ACK`/`NACK` replies) and diffs against it; first contact,
 //!   retries, and retransmissions fall back to full states.
-//! * [`ShardedReplica`] — the sharded keyspace engine: `S` independent `Replica`
+//! * [`ShardedReplica`] — the sharded keyspace engine: independent `Replica`
 //!   instances over a `crdt::LatticeMap`, one round counter and one quorum per
 //!   shard, with deterministic key routing (`quorum::Partitioner`) and
 //!   [`ShardEnvelope`]/[`ShardMessage`] multiplexing so non-conflicting commands
 //!   on different key ranges agree in parallel.
+//! * [`rebalance`](crate::RebalancePlan) — dynamic resharding: the partitioner is
+//!   epoch-stamped (`quorum::EpochPartitioner`) and a [`RebalancePlan`] — agreed
+//!   through the ordinary protocol on a dedicated control shard — resizes the
+//!   keyspace at runtime. The log-less design makes the state handoff a pure
+//!   lattice join ([`Replica::absorb_state`]); an epoch fence bounces stale
+//!   traffic with the plan, in-flight commands re-home exactly once
+//!   ([`Replica::submit_resync`], [`Replica::cancel_in_flight`]), and per-key
+//!   linearizability holds across the transition by quorum intersection.
 //! * [`ProtocolConfig`] — batching, GLA-stability, payload mode, retry and
 //!   retransmission knobs.
 //! * [`Metrics`] — round-trip histograms, learning-path counters (Figure 3), and
@@ -53,6 +61,7 @@ mod acceptor;
 mod config;
 mod metrics;
 mod msg;
+mod rebalance;
 mod replica;
 mod round;
 mod shard;
@@ -65,6 +74,7 @@ pub use msg::{
     ResponseBody,
 };
 pub use quorum::ShardId;
-pub use replica::Replica;
+pub use rebalance::{winning_shards, ControlState, PlanPartitioner, RebalancePlan, RebalanceStats};
+pub use replica::{CancelledWork, Replica};
 pub use round::{PrepareRound, Round, RoundId};
 pub use shard::{ShardEnvelope, ShardMessage, ShardedReplica};

@@ -38,13 +38,76 @@ struct QueryWaiter<C: Crdt> {
     query: C::Query,
 }
 
+/// A small set of replica ids backed by a `Vec`.
+///
+/// Quorum acknowledgement sets never exceed the group size (single digits in every
+/// deployment this repo models), where a linear scan beats a B-tree's per-node
+/// allocations — and unlike a B-tree, a `Vec` keeps its buffer across `clear()`, so
+/// the replica recycles these through a pool instead of allocating one per protocol
+/// instance (see `Replica::alloc_ack_set`).
+#[derive(Debug, Clone, Default)]
+struct AckSet(Vec<ReplicaId>);
+
+impl AckSet {
+    /// Adds `id` if absent.
+    fn insert(&mut self, id: ReplicaId) {
+        if !self.contains(&id) {
+            self.0.push(id);
+        }
+    }
+
+    fn contains(&self, id: &ReplicaId) -> bool {
+        self.0.contains(id)
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn retain<F: FnMut(&ReplicaId) -> bool>(&mut self, keep: F) {
+        self.0.retain(keep);
+    }
+}
+
+/// The first-phase acknowledgement map `(peer, round, state)`, `Vec`-backed and
+/// pooled for the same reason as [`AckSet`].
+#[derive(Debug, Clone, Default)]
+struct PrepareAcks<C>(Vec<(ReplicaId, Round, C)>);
+
+impl<C> PrepareAcks<C> {
+    /// Inserts or replaces the entry for `peer` (a retransmitted `ACK` supersedes
+    /// the earlier one, matching map semantics).
+    fn insert(&mut self, peer: ReplicaId, round: Round, state: C) {
+        match self.0.iter_mut().find(|(id, _, _)| *id == peer) {
+            Some(entry) => *entry = (peer, round, state),
+            None => self.0.push((peer, round, state)),
+        }
+    }
+
+    fn contains(&self, peer: &ReplicaId) -> bool {
+        self.0.iter().any(|(id, _, _)| id == peer)
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &(ReplicaId, Round, C)> {
+        self.0.iter()
+    }
+
+    fn retain<F: FnMut(&ReplicaId) -> bool>(&mut self, mut keep: F) {
+        self.0.retain(|(id, _, _)| keep(id));
+    }
+}
+
 /// Phase of an in-flight query protocol instance.
 #[derive(Debug, Clone)]
 enum QueryPhase<C: Crdt> {
     /// First phase: waiting for `ACK`s from a quorum.
-    Prepare { round: PrepareRound, sent_state: Option<C>, acks: BTreeMap<ReplicaId, (Round, C)> },
+    Prepare { round: PrepareRound, sent_state: Option<C>, acks: PrepareAcks<C> },
     /// Second phase: waiting for `VOTED`s from a quorum.
-    Vote { round: Round, proposed: C, acks: BTreeSet<ReplicaId> },
+    Vote { round: Round, proposed: C, acks: AckSet },
 }
 
 /// An in-flight protocol instance at the proposer.
@@ -53,7 +116,7 @@ enum InFlight<C: Crdt> {
     Update {
         waiters: Vec<UpdateWaiter>,
         merged_state: C,
-        acks: BTreeSet<ReplicaId>,
+        acks: AckSet,
         round_trips: u32,
         last_sent_ms: u64,
     },
@@ -183,6 +246,52 @@ pub struct Replica<C: Crdt + DeltaCrdt> {
     update_batch: Vec<(UpdateWaiter, C::Update)>,
     query_batch: Vec<QueryWaiter<C>>,
     next_flush_ms: u64,
+    /// Recycled acknowledgement-set buffers ([`AckSet`]) — protocol instances are
+    /// created and retired at workload rate, so their small `Vec`s are pooled
+    /// instead of allocated per instance.
+    ack_pool: Vec<Vec<ReplicaId>>,
+    /// Recycled first-phase acknowledgement buffers ([`PrepareAcks`]).
+    prepare_pool: Vec<Vec<(ReplicaId, Round, C)>>,
+}
+
+/// Client commands reclaimed from a replica by [`Replica::cancel_in_flight`].
+///
+/// The split matters for exactly-once semantics when the caller re-homes the work
+/// onto another protocol instance (dynamic resharding's cutover):
+///
+/// * applied updates must **not** be re-submitted — their update functions already
+///   grew the local acceptor state (and were consumed doing so), so re-homing them
+///   means replicating that state via [`Replica::submit_resync`] on the new owner;
+/// * unapplied updates and queries carry no local effect yet; their command
+///   payloads are handed back so the caller can re-submit them verbatim.
+#[derive(Debug)]
+pub struct CancelledWork<C: Crdt> {
+    /// Update commands whose update functions were already applied to the local
+    /// acceptor state (their instance was in flight).
+    pub applied_updates: Vec<(ClientId, CommandId)>,
+    /// Update commands still sitting in an unflushed batch, applied nowhere.
+    pub unapplied_updates: Vec<(ClientId, CommandId, C::Update)>,
+    /// Query commands, in flight or batched.
+    pub queries: Vec<(ClientId, CommandId, C::Query)>,
+}
+
+impl<C: Crdt> Default for CancelledWork<C> {
+    fn default() -> Self {
+        CancelledWork {
+            applied_updates: Vec::new(),
+            unapplied_updates: Vec::new(),
+            queries: Vec::new(),
+        }
+    }
+}
+
+impl<C: Crdt> CancelledWork<C> {
+    /// Returns `true` if nothing was in flight or batched.
+    pub fn is_empty(&self) -> bool {
+        self.applied_updates.is_empty()
+            && self.unapplied_updates.is_empty()
+            && self.queries.is_empty()
+    }
 }
 
 impl<C: Crdt + DeltaCrdt> Replica<C> {
@@ -234,6 +343,8 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
             update_batch: Vec::new(),
             query_batch: Vec::new(),
             next_flush_ms: batch_interval + flush_offset,
+            ack_pool: Vec::new(),
+            prepare_pool: Vec::new(),
         }
     }
 
@@ -292,7 +403,7 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
                 InFlight::Update { acks, .. } => acks.retain(|peer| membership.contains(peer)),
                 InFlight::Query { phase, .. } => match phase {
                     QueryPhase::Prepare { acks, .. } => {
-                        acks.retain(|peer, _| membership.contains(peer));
+                        acks.retain(|peer| membership.contains(peer));
                     }
                     QueryPhase::Vote { acks, .. } => {
                         acks.retain(|peer| membership.contains(peer));
@@ -476,6 +587,87 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
     /// Drains the messages produced since the last call.
     pub fn take_outbox(&mut self) -> Vec<Envelope<C>> {
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Drains the messages produced since the last call into `sink`, preserving
+    /// both buffers' capacity.
+    ///
+    /// Unlike [`Replica::take_outbox`] — which surrenders the outbox buffer to the
+    /// caller and re-grows a fresh one on the next send — this keeps the internal
+    /// buffer's allocation alive and appends into a caller-owned buffer, so a
+    /// driver polling the replica in a loop performs no per-cycle envelope
+    /// allocations once both buffers reach their high-water mark.
+    pub fn drain_outbox_into(&mut self, sink: &mut Vec<Envelope<C>>) {
+        sink.append(&mut self.outbox);
+    }
+
+    /// Joins `state` directly into the local acceptor's payload, as a `MERGE`
+    /// carrying it would (see [`Acceptor::absorb`]).
+    ///
+    /// This is the lattice-join state handoff of dynamic resharding: the sharded
+    /// engine grafts a moved key range into the destination instance's acceptor
+    /// before any post-rebalance traffic reaches it. Quorum intersection then
+    /// guarantees new-epoch reads observe every old-epoch committed update: a
+    /// committed update was joined by a quorum of source acceptors, each of which
+    /// absorbs its own copy into the destination before serving the new epoch.
+    pub fn absorb_state(&mut self, state: &C) {
+        self.acceptor.absorb(state);
+    }
+
+    /// Starts one update instance that replicates the acceptor's **current** state
+    /// to a quorum without applying any new update function, answering
+    /// `UpdateDone` to each given client once the state is stored. Returns one
+    /// command id per client, in order.
+    ///
+    /// This is the durability half of a state handoff: update commands cut over
+    /// mid-flight by a rebalance already grew the local state (re-submitting their
+    /// update functions would double-apply), so they complete exactly once by
+    /// replicating that state as-is on the key's new owner instance. An empty
+    /// client list is allowed — the resulting waiterless instance is used to push
+    /// freshly handed-off ranges to a quorum ahead of client traffic.
+    pub fn submit_resync(&mut self, clients: &[ClientId]) -> Vec<CommandId> {
+        let mut waiters = Vec::with_capacity(clients.len());
+        let mut ids = Vec::with_capacity(clients.len());
+        for &client in clients {
+            let command = CommandId(self.next_command);
+            self.next_command += 1;
+            ids.push(command);
+            waiters.push(UpdateWaiter { client, command });
+        }
+        let merged_state = self.acceptor.state().clone();
+        self.launch_update(waiters, merged_state);
+        ids
+    }
+
+    /// Cancels every in-flight protocol instance and unflushed batch, returning
+    /// the client commands that were riding on them (see [`CancelledWork`] for the
+    /// exactly-once re-homing contract).
+    ///
+    /// Replies to the cancelled instances arriving later are dropped by their
+    /// stale request ids. The acceptor state is untouched: cancellation abandons
+    /// coordination, not data.
+    pub fn cancel_in_flight(&mut self) -> CancelledWork<C> {
+        let mut work = CancelledWork::default();
+        let ids: Vec<RequestId> = self.requests.keys().copied().collect();
+        for request in ids {
+            match self.remove_request(request) {
+                Some(InFlight::Update { waiters, .. }) => {
+                    work.applied_updates.extend(waiters.into_iter().map(|w| (w.client, w.command)))
+                }
+                Some(InFlight::Query { waiters, .. }) => {
+                    work.queries
+                        .extend(waiters.into_iter().map(|w| (w.client, w.command, w.query)));
+                }
+                None => {}
+            }
+        }
+        for (waiter, update) in self.update_batch.drain(..) {
+            work.unapplied_updates.push((waiter.client, waiter.command, update));
+        }
+        for waiter in self.query_batch.drain(..) {
+            work.queries.push((waiter.client, waiter.command, waiter.query));
+        }
+        work
     }
 
     /// Drains the client responses produced since the last call.
@@ -769,18 +961,25 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
     /// mode) remembering its prepare payload for late `ACK` reconstruction.
     fn remove_request(&mut self, request: RequestId) -> Option<InFlight<C>> {
         let mut entry = self.requests.remove(&request)?;
-        if let InFlight::Query { echoes, phase, .. } = &mut entry {
-            for &(peer, seq) in echoes.iter() {
-                self.deref_basis(peer, seq);
-            }
-            if self.delta_payloads_enabled() {
-                if let QueryPhase::Prepare { sent_state, .. } = phase {
-                    if let Some(sent) = sent_state.take() {
-                        while self.recent_prepares.len() >= Self::RECENT_PREPARE_CAP {
-                            self.recent_prepares.pop_first();
+        match &mut entry {
+            InFlight::Update { acks, .. } => self.recycle_ack_set(acks),
+            InFlight::Query { echoes, phase, .. } => {
+                for &(peer, seq) in echoes.iter() {
+                    self.deref_basis(peer, seq);
+                }
+                if self.delta_payloads_enabled() {
+                    if let QueryPhase::Prepare { sent_state, .. } = phase {
+                        if let Some(sent) = sent_state.take() {
+                            while self.recent_prepares.len() >= Self::RECENT_PREPARE_CAP {
+                                self.recent_prepares.pop_first();
+                            }
+                            self.recent_prepares.insert(request, sent);
                         }
-                        self.recent_prepares.insert(request, sent);
                     }
+                }
+                match phase {
+                    QueryPhase::Prepare { acks, .. } => self.recycle_prepare_acks(acks),
+                    QueryPhase::Vote { acks, .. } => self.recycle_ack_set(acks),
                 }
             }
         }
@@ -859,6 +1058,33 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
         }
     }
 
+    /// Upper bound on pooled acknowledgement buffers of either kind.
+    const ACK_POOL_CAP: usize = 64;
+
+    fn alloc_ack_set(&mut self) -> AckSet {
+        AckSet(self.ack_pool.pop().unwrap_or_default())
+    }
+
+    fn recycle_ack_set(&mut self, set: &mut AckSet) {
+        if self.ack_pool.len() < Self::ACK_POOL_CAP {
+            let mut buffer = std::mem::take(&mut set.0);
+            buffer.clear();
+            self.ack_pool.push(buffer);
+        }
+    }
+
+    fn alloc_prepare_acks(&mut self) -> PrepareAcks<C> {
+        PrepareAcks(self.prepare_pool.pop().unwrap_or_default())
+    }
+
+    fn recycle_prepare_acks(&mut self, acks: &mut PrepareAcks<C>) {
+        if self.prepare_pool.len() < Self::ACK_POOL_CAP {
+            let mut buffer = std::mem::take(&mut acks.0);
+            buffer.clear();
+            self.prepare_pool.push(buffer);
+        }
+    }
+
     fn alloc_request(&mut self) -> RequestId {
         let id = RequestId(self.next_request);
         self.next_request += 1;
@@ -885,16 +1111,24 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
     /// pairs (a single pair without batching, a whole batch otherwise).
     fn start_update(&mut self, batch: Vec<(UpdateWaiter, C::Update)>) {
         debug_assert!(!batch.is_empty());
-        let request = self.alloc_request();
         let mut waiters = Vec::with_capacity(batch.len());
         let mut merged_state = self.acceptor.state().clone();
         for (waiter, update) in batch {
             merged_state = self.acceptor.apply_update(&update);
             waiters.push(waiter);
         }
-        let mut acks = BTreeSet::new();
+        self.launch_update(waiters, merged_state);
+    }
+
+    /// Starts the quorum half of an update instance: `merged_state` is the local
+    /// acceptor state to replicate, with all update functions (if any) already
+    /// applied. Shared by [`Replica::start_update`] and [`Replica::submit_resync`].
+    fn launch_update(&mut self, waiters: Vec<UpdateWaiter>, merged_state: C) {
+        let request = self.alloc_request();
+        let mut acks = self.alloc_ack_set();
         acks.insert(self.id);
         if acks.len() >= self.quorum_size {
+            self.recycle_ack_set(&mut acks);
             self.finish_update(waiters, 1);
             return;
         }
@@ -921,7 +1155,7 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
             phase: QueryPhase::Prepare {
                 round: PrepareRound::Incremental { id: RoundId::Bottom },
                 sent_state: None,
-                acks: BTreeMap::new(),
+                acks: PrepareAcks::default(),
             },
             gathered,
             echoes: Vec::new(),
@@ -953,18 +1187,19 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
             (payload, local_outcome)
         };
 
+        let mut acks = self.alloc_prepare_acks();
         let Some(InFlight::Query { phase, gathered, round_trips, last_sent_ms, .. }) =
             self.requests.get_mut(&request)
         else {
+            self.recycle_prepare_acks(&mut acks);
             return;
         };
         *round_trips += 1;
         *last_sent_ms = self.now_ms;
-        let mut acks = BTreeMap::new();
         match local_outcome {
             AcceptOutcome::Ack { round: acked_round, state } => {
                 gathered.join(&state);
-                acks.insert(self.id, (acked_round, state));
+                acks.insert(self.id, acked_round, state);
             }
             AcceptOutcome::Nack { round: _, state } => {
                 // Only possible for a fixed prepare that lost locally; keep going, the
@@ -1018,14 +1253,25 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
     /// Removes a quorum-complete update instance, remembers it for late `MERGED`
     /// replies (delta mode), and responds to its waiters.
     fn complete_update(&mut self, request: RequestId) {
-        let Some(InFlight::Update { waiters, round_trips, merged_state, acks, .. }) =
+        // Which peers still owe a MERGED, computed before the instance (and its
+        // pooled acknowledgement buffer) is retired.
+        let missing: Option<BTreeSet<ReplicaId>> =
+            if self.config.payload_mode == PayloadMode::DeltaWhenPossible {
+                match self.requests.get(&request) {
+                    Some(InFlight::Update { acks, .. }) => {
+                        Some(self.others.iter().copied().filter(|p| !acks.contains(p)).collect())
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            };
+        let Some(InFlight::Update { waiters, round_trips, merged_state, .. }) =
             self.remove_request(request)
         else {
             return;
         };
-        if self.config.payload_mode == PayloadMode::DeltaWhenPossible {
-            let missing: BTreeSet<ReplicaId> =
-                self.others.iter().copied().filter(|p| !acks.contains(p)).collect();
+        if let Some(missing) = missing {
             if !missing.is_empty() {
                 while self.recent_merges.len() >= Self::RECENT_MERGE_CAP {
                     self.recent_merges.pop_first();
@@ -1047,7 +1293,7 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
         match self.requests.get_mut(&request) {
             Some(InFlight::Query { phase: QueryPhase::Prepare { acks, .. }, gathered, .. }) => {
                 gathered.join(&state);
-                acks.insert(from, (round, state));
+                acks.insert(from, round, state);
             }
             _ => return,
         }
@@ -1075,18 +1321,18 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
             }
             // s' ← ⊔ S˘ (line 12)
             let mut lub: Option<C> = None;
-            for (_, state) in acks.values() {
+            for (_, _, state) in acks.iter() {
                 match &mut lub {
                     Some(acc) => acc.join(state),
                     None => lub = Some(state.clone()),
                 }
             }
             let lub = lub.expect("quorum is non-empty");
-            if acks.values().all(|(_, state)| state.equivalent(&lub)) {
+            if acks.iter().all(|(_, _, state)| state.equivalent(&lub)) {
                 // Case (a): learned unanimously by consistent states (lines 13–15).
                 Decision::ConsistentQuorum(lub)
             } else {
-                let mut rounds = acks.values().map(|(round, _)| *round);
+                let mut rounds = acks.iter().map(|(_, round, _)| *round);
                 let first = rounds.next().expect("quorum is non-empty");
                 if rounds.all(|r| r == first) {
                     // Case (b): consistent rounds, propose to learn the LUB (lines 16–17).
@@ -1094,7 +1340,7 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
                 } else {
                     // Case (c): inconsistent rounds, retry with a greater round (lines 18–21).
                     let max_number =
-                        acks.values().map(|(round, _)| round.number).max().expect("non-empty");
+                        acks.iter().map(|(_, round, _)| round.number).max().expect("non-empty");
                     Decision::Retry(max_number)
                 }
             }
@@ -1115,17 +1361,24 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
     fn enter_vote_phase(&mut self, request: RequestId, round: Round, proposed: C) {
         // The local acceptor votes first.
         let local = self.acceptor.vote_local(round, &proposed);
-        let Some(InFlight::Query { phase, round_trips, .. }) = self.requests.get_mut(&request)
-        else {
-            return;
-        };
-        *round_trips += 1;
-        let mut acks = BTreeSet::new();
+        let mut acks = self.alloc_ack_set();
         if matches!(local, AcceptOutcome::Ack { .. }) {
             acks.insert(self.id);
         }
         let done = acks.len() >= self.quorum_size;
-        *phase = QueryPhase::Vote { round, proposed: proposed.clone(), acks };
+        let previous = {
+            let Some(InFlight::Query { phase, round_trips, .. }) = self.requests.get_mut(&request)
+            else {
+                self.recycle_ack_set(&mut acks);
+                return;
+            };
+            *round_trips += 1;
+            std::mem::replace(phase, QueryPhase::Vote { round, proposed: proposed.clone(), acks })
+        };
+        // The first-phase acknowledgement buffer is done; recycle it.
+        if let QueryPhase::Prepare { mut acks, .. } = previous {
+            self.recycle_prepare_acks(&mut acks);
+        }
         if done {
             self.broadcast_vote(request, round, proposed.clone());
             self.finish_query(request, proposed, true);
@@ -1196,7 +1449,11 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
             new_request,
             InFlight::Query {
                 waiters,
-                phase: QueryPhase::Prepare { round, sent_state: None, acks: BTreeMap::new() },
+                phase: QueryPhase::Prepare {
+                    round,
+                    sent_state: None,
+                    acks: PrepareAcks::default(),
+                },
                 gathered,
                 echoes: Vec::new(),
                 round_trips,
@@ -1292,7 +1549,7 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
                     *last_sent_ms = self.now_ms;
                     match phase {
                         QueryPhase::Prepare { round, sent_state, acks } => {
-                            for &peer in peers.iter().filter(|p| !acks.contains_key(p)) {
+                            for &peer in peers.iter().filter(|p| !acks.contains(p)) {
                                 to_send.push(Envelope {
                                     from: my_id,
                                     to: peer,

@@ -1,4 +1,5 @@
-//! Sharded keyspace: one independent protocol instance per key range.
+//! Sharded keyspace: one independent protocol instance per key range, with
+//! epoch-stamped dynamic resharding.
 //!
 //! The paper's fine-granularity argument (§1) is that linearizable CRDT access is
 //! most useful *per key*, not per database: commands on different keys do not
@@ -9,47 +10,122 @@
 //! *across* keys, so disjoint key ranges may run entirely independent protocol
 //! instances.
 //!
-//! [`ShardedReplica`] is that engine. It owns `S` independent
+//! [`ShardedReplica`] is that engine. It owns independent
 //! [`Replica<LatticeMap<K, V>>`] instances — each with its own acceptor state,
 //! round counter, in-flight quorums, and batching timers — and routes every
 //! submitted key through a deterministic [`Partitioner`]. Outgoing traffic is
 //! multiplexed behind [`ShardEnvelope`]/[`ShardMessage`] (the inner protocol
-//! message tagged with its [`ShardId`]), so a single transport connection per peer
-//! carries all shards while quorums on different shards advance concurrently: an
-//! update on shard 0 never waits behind a contended read quorum on shard 3.
+//! message tagged with its [`ShardId`] and the sender's partitioning **epoch**), so
+//! a single transport connection per peer carries all shards while quorums on
+//! different shards advance concurrently: an update on shard 0 never waits behind a
+//! contended read quorum on shard 3.
+//!
+//! # Dynamic resharding
+//!
+//! The key→shard assignment is no longer fixed at construction: the partitioner is
+//! wrapped in an [`EpochPartitioner`] and a committed [`RebalancePlan`] moves the
+//! keyspace to a new assignment while traffic continues (see [`crate::rebalance`]
+//! for the full protocol). The log-less design makes the handoff a pure lattice
+//! join — a moved key range is grafted into its destination instance's acceptor by
+//! [`Replica::absorb_state`], with no log truncation, snapshotting, or replay:
+//!
+//! * a plan is agreed through the existing protocol on a dedicated **control
+//!   shard** ([`ShardMessage::Control`] traffic) and then gossiped as
+//!   [`ShardMessage::Rebalance`];
+//! * installing a plan copies moving sub-states into their destinations, cancels
+//!   in-flight commands and re-homes them on their new owner (applied updates via
+//!   [`Replica::submit_resync`], everything else by resubmission), and submits a
+//!   resync per destination so handed-off ranges become quorum-durable;
+//! * from then on the **epoch fence** keeps routing unambiguous: protocol messages
+//!   stamped with an older epoch are answered with the plan instead of being
+//!   processed, and messages from newer epochs are deferred until the plan arrives.
+//!
+//! Per-key linearizability holds across the transition by quorum intersection: an
+//! update committed at the old epoch was joined by a quorum of source-shard
+//! acceptors before each of them fenced, so the same quorum's handoff copies carry
+//! it into the destination shard, where every new-epoch read quorum intersects it.
 //!
 //! Keyspace-wide queries ([`MapQuery::Len`], [`MapQuery::Keys`]) fan out to every
-//! shard and aggregate the per-shard answers; each per-shard answer is
-//! individually linearizable, the aggregate is not a keyspace snapshot (exactly
-//! the trade the paper's per-key granularity makes).
+//! shard and aggregate the per-shard answers, counting every key exactly once (a
+//! shard's answer is filtered to the keys it currently owns, because handed-off
+//! ranges deliberately leave stale lower-bound copies behind at the source); each
+//! per-shard answer is individually linearizable, the aggregate is not a keyspace
+//! snapshot (exactly the trade the paper's per-key granularity makes).
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::Hash;
 
-use crdt::{Crdt, DeltaCrdt, Lattice, LatticeMap, MapOutput, MapQuery, MapUpdate, ReplicaId};
-use quorum::{HashPartitioner, Membership, Partitioner, ShardId};
+use crdt::{
+    Crdt, DeltaCrdt, GSetUpdate, Lattice, LatticeMap, MapOutput, MapQuery, MapUpdate, ReplicaId,
+    SetOutput, SetQuery,
+};
+use quorum::{EpochPartitioner, HashPartitioner, Membership, Partitioner, ShardId};
 use serde::{Deserialize, Serialize};
 
 use crate::config::ProtocolConfig;
 use crate::metrics::{Metrics, WireMetrics};
 use crate::msg::{ClientId, ClientResponse, Command, CommandId, Envelope, Message, ResponseBody};
+use crate::rebalance::{
+    winning_shards, ControlState, PlanPartitioner, RebalancePlan, RebalanceStats,
+};
 use crate::replica::Replica;
 
-/// A protocol message tagged with the shard (protocol instance) it belongs to.
-///
-/// This is what peers exchange in a sharded deployment: the `wire` codec encodes
-/// the tag as a single varint in front of the inner message.
+/// What peers exchange in a sharded deployment: ordinary protocol traffic tagged
+/// with its shard and partitioning epoch, control-shard traffic, or a rebalance
+/// plan. The `wire` codec encodes the variant tag and the small integer fields as
+/// single-byte varints in front of the inner message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(bound(
     serialize = "C: Serialize, C::Delta: Serialize",
     deserialize = "C: Deserialize<'de>, C::Delta: Deserialize<'de>"
 ))]
-pub struct ShardMessage<C: Crdt + DeltaCrdt> {
-    /// The protocol instance this message belongs to.
-    pub shard: ShardId,
-    /// The inner protocol message.
-    pub message: Message<C>,
+pub enum ShardMessage<C: Crdt + DeltaCrdt> {
+    /// Protocol traffic of one data shard, stamped with the sender's epoch.
+    ///
+    /// The `(epoch, shards)` stamp names the sender's exact assignment and is what
+    /// makes routing unambiguous during a rebalance: a receiver on a newer stamp
+    /// answers with [`ShardMessage::Rebalance`] instead of processing the message
+    /// (its data may belong to a moved key range), and a receiver on an older
+    /// stamp defers the message until it has installed the plan itself. The stamp
+    /// carries the shard count and not just the epoch because racing coordinators
+    /// may transiently install *different* assignments under the same epoch
+    /// (resolved by the larger-shard-count plan superseding, mirroring
+    /// [`winning_shards`]); comparing full stamps keeps the fence airtight during
+    /// that window — mixed-assignment quorums can never form.
+    Protocol {
+        /// The sender's partitioning epoch.
+        epoch: u64,
+        /// The shard count of the sender's assignment at that epoch.
+        shards: u32,
+        /// The protocol instance this message belongs to.
+        shard: ShardId,
+        /// The inner protocol message.
+        message: Message<C>,
+    },
+    /// Traffic of the control shard, the protocol instance on which rebalance
+    /// plans are agreed (see [`ControlState`]). Never epoch-fenced: the control
+    /// shard is the meta layer the epochs come from.
+    Control {
+        /// The inner control-shard protocol message.
+        message: Message<ControlState>,
+    },
+    /// A committed rebalance plan: gossiped once per installed epoch, and sent as
+    /// the reply to old-epoch [`ShardMessage::Protocol`] traffic (the epoch
+    /// bounce) and to [`ShardMessage::PlanRequest`]s. Installation is idempotent,
+    /// so duplicates are harmless.
+    Rebalance {
+        /// The plan to install.
+        plan: RebalancePlan,
+    },
+    /// "Send me your current rebalance plan."
+    ///
+    /// Emitted when future-stamp traffic is deferred: the sender of that traffic
+    /// provably holds a plan this replica has not installed, and the one-shot
+    /// gossip that should have delivered it may have been lost. Without this,
+    /// a replica with no old-stamp traffic of its own (nothing to get bounced
+    /// on) could stay behind indefinitely while its deferral buffer overflows.
+    PlanRequest,
 }
 
 /// An addressed [`ShardMessage`]: the sharded counterpart of [`Envelope`].
@@ -59,24 +135,41 @@ pub struct ShardMessage<C: Crdt + DeltaCrdt> {
     deserialize = "C: Deserialize<'de>, C::Delta: Deserialize<'de>"
 ))]
 pub struct ShardEnvelope<C: Crdt + DeltaCrdt> {
-    /// The protocol instance the inner envelope belongs to.
-    pub shard: ShardId,
-    /// The addressed inner message.
-    pub inner: Envelope<C>,
+    /// Sending replica.
+    pub from: ReplicaId,
+    /// Receiving replica.
+    pub to: ReplicaId,
+    /// The shard-multiplexed message.
+    pub message: ShardMessage<C>,
 }
 
 impl<C: Crdt + DeltaCrdt> ShardEnvelope<C> {
     /// Splits the envelope into its destination and the transferable message.
     pub fn into_parts(self) -> (ReplicaId, ShardMessage<C>) {
-        (self.inner.to, ShardMessage { shard: self.shard, message: self.inner.message })
+        (self.to, self.message)
     }
 }
 
+/// One partitioning assignment's identity: `(epoch, shard count)`, ordered
+/// lexicographically. Within an epoch the larger shard count supersedes, the same
+/// growth bias as [`winning_shards`].
+type Stamp = (u64, u32);
+
+/// A protocol message held back because it is stamped with a future assignment:
+/// `(sender, stamp, shard, message)`.
+type Deferred<K, V> = (ReplicaId, Stamp, ShardId, Message<LatticeMap<K, V>>);
+
+/// A client command being re-homed during a plan install:
+/// `(client, outer command id, re-submittable command)`.
+type Rehomed<K, V> = (ClientId, CommandId, Command<LatticeMap<K, V>>);
+
 /// What a completed inner command maps back to at the sharded engine.
-#[derive(Debug, Clone, Copy)]
-enum Pending {
-    /// A single-shard command; answer with the outer command id.
-    Single { command: CommandId },
+#[derive(Debug, Clone)]
+enum Pending<K> {
+    /// A single-shard command; answer with the outer command id. The key is kept
+    /// so a rebalance can re-home the work onto the key's new owner shard (the
+    /// command payload itself is reclaimed from the instance at cancel time).
+    Single { command: CommandId, key: K },
     /// One leg of a keyspace-wide fan-out query.
     Fanout { command: CommandId },
 }
@@ -100,13 +193,25 @@ struct Fanout<K> {
     acc: FanoutAcc<K>,
 }
 
-/// A replicated keyspace partitioned over independent protocol instances.
+/// Coordinator-side choreography of an initiated rebalance: commit the proposal on
+/// the control shard, then read back the agreed winner, then install and gossip.
+#[derive(Debug, Clone, Copy)]
+enum ControlPhase {
+    /// Waiting for the shard-count proposal to commit.
+    Committing { command: CommandId, epoch: u64 },
+    /// Waiting for the linearizable read of the agreed proposals.
+    Reading { command: CommandId, epoch: u64 },
+}
+
+/// A replicated keyspace partitioned over independent protocol instances, with
+/// epoch-stamped dynamic resharding.
 ///
 /// One `ShardedReplica` is one *process* of the cluster: it holds this replica's
-/// acceptor+proposer pair for **every** shard and routes between them. Drive it
-/// exactly like a [`Replica`] — [`ShardedReplica::submit`],
+/// acceptor+proposer pair for **every** shard (plus the control shard) and routes
+/// between them. Drive it exactly like a [`Replica`] — [`ShardedReplica::submit`],
 /// [`ShardedReplica::handle_message`], [`ShardedReplica::tick`], then drain
-/// [`ShardedReplica::take_outbox`] / [`ShardedReplica::take_responses`].
+/// [`ShardedReplica::take_outbox`] / [`ShardedReplica::take_responses`]. Trigger a
+/// live resharding with [`ShardedReplica::begin_rebalance`].
 ///
 /// # Example
 ///
@@ -134,7 +239,7 @@ struct Fanout<K> {
 ///         break;
 ///     }
 ///     for envelope in envelopes {
-///         let from = envelope.inner.from;
+///         let from = envelope.from;
 ///         let (to, message) = envelope.into_parts();
 ///         nodes[to.as_u64() as usize].handle_message(from, message);
 ///     }
@@ -150,12 +255,34 @@ where
     P: Partitioner<K>,
 {
     id: ReplicaId,
-    partitioner: P,
+    members: Vec<ReplicaId>,
+    config: ProtocolConfig,
+    partitioner: EpochPartitioner<P>,
+    /// The last installed plan (`None` until the first rebalance); echoed to
+    /// stragglers by the epoch fence.
+    plan: Option<RebalancePlan>,
+    /// Protocol instances, indexed by shard id. May exceed the active count after
+    /// a shrinking rebalance: retired instances keep their (stale, lower-bound)
+    /// states and are reactivated in place by a later growth.
     shards: Vec<Replica<LatticeMap<K, V>>>,
+    /// The control shard: plans are agreed here through the ordinary protocol.
+    control: Replica<ControlState>,
+    control_phase: Option<ControlPhase>,
+    /// A rebalance target requested while another initiated here was still in
+    /// flight; started as soon as the current choreography resolves (latest
+    /// request wins).
+    queued_target: Option<u32>,
     next_command: u64,
-    pending: BTreeMap<(ShardId, CommandId), Pending>,
+    pending: BTreeMap<(ShardId, CommandId), Pending<K>>,
     fanouts: BTreeMap<CommandId, Fanout<K>>,
     responses: Vec<ClientResponse<LatticeMap<K, V>>>,
+    /// Protocol messages from future epochs, buffered until their plan installs.
+    deferred: Vec<Deferred<K, V>>,
+    /// Bounce replies and plan gossip produced outside the per-instance outboxes.
+    extra: Vec<ShardEnvelope<LatticeMap<K, V>>>,
+    /// Reused drain buffer for the per-instance outboxes (no per-cycle allocs).
+    outbox_scratch: Vec<Envelope<LatticeMap<K, V>>>,
+    stats: RebalanceStats,
 }
 
 impl<K, V> ShardedReplica<K, V, HashPartitioner>
@@ -163,7 +290,8 @@ where
     K: Ord + Clone + Hash + fmt::Debug + Send + 'static,
     V: Crdt + DeltaCrdt,
 {
-    /// Creates a sharded replica with `shards` hash-partitioned protocol instances.
+    /// Creates a sharded replica with `shards` hash-partitioned protocol instances
+    /// at epoch 0.
     ///
     /// # Panics
     ///
@@ -182,9 +310,13 @@ impl<K, V, P> ShardedReplica<K, V, P>
 where
     K: Ord + Clone + fmt::Debug + Send + 'static,
     V: Crdt + DeltaCrdt,
-    P: Partitioner<K>,
+    P: Partitioner<K> + PlanPartitioner,
 {
-    /// Creates a sharded replica routing through the given partitioner.
+    /// How many future-epoch messages are buffered while a plan is in flight;
+    /// overflow is dropped (the sender's retransmission recovers it).
+    const DEFERRED_CAP: usize = 4096;
+
+    /// Creates a sharded replica routing through the given partitioner (epoch 0).
     ///
     /// Every replica of the cluster must be constructed with an identical
     /// partitioner: routing a key to different shards on different replicas would
@@ -199,19 +331,33 @@ where
         partitioner: P,
         config: ProtocolConfig,
     ) -> Self {
-        let shard_count = partitioner.shards();
+        let shard_count = <P as Partitioner<K>>::shards(&partitioner);
         assert!(shard_count > 0, "a sharded replica needs at least one shard");
         let shards = (0..shard_count)
             .map(|_| Replica::new(id, members.clone(), LatticeMap::default(), config.clone()))
             .collect();
+        // The control shard never batches: plan agreement is rare, tiny, and
+        // latency-sensitive (the whole cluster fences on its outcome).
+        let control_config = ProtocolConfig { batching: false, ..config.clone() };
+        let control = Replica::new(id, members.clone(), ControlState::default(), control_config);
         ShardedReplica {
             id,
-            partitioner,
+            members,
+            config,
+            partitioner: EpochPartitioner::new(partitioner),
+            plan: None,
             shards,
+            control,
+            control_phase: None,
+            queued_target: None,
             next_command: 0,
             pending: BTreeMap::new(),
             fanouts: BTreeMap::new(),
             responses: Vec::new(),
+            deferred: Vec::new(),
+            extra: Vec::new(),
+            outbox_scratch: Vec::new(),
+            stats: RebalanceStats::default(),
         }
     }
 
@@ -220,17 +366,46 @@ where
         self.id
     }
 
-    /// Number of shards (independent protocol instances).
+    /// Number of **active** shards (independent protocol instances the current
+    /// partitioning routes onto). See [`ShardedReplica::instance_count`] for the
+    /// total including retired instances.
     pub fn shard_count(&self) -> u32 {
+        <EpochPartitioner<P> as Partitioner<K>>::shards(&self.partitioner)
+    }
+
+    /// Total number of protocol instances held, including instances retired by a
+    /// shrinking rebalance (kept as reactivatable lower bounds).
+    pub fn instance_count(&self) -> u32 {
         self.shards.len() as u32
     }
 
-    /// The partitioner routing keys to shards.
-    pub fn partitioner(&self) -> &P {
+    /// The current partitioning epoch (0 until the first rebalance completes).
+    pub fn epoch(&self) -> u64 {
+        self.partitioner.epoch()
+    }
+
+    /// The last installed rebalance plan, if any.
+    pub fn current_plan(&self) -> Option<RebalancePlan> {
+        self.plan
+    }
+
+    /// Counters describing this replica's view of past and ongoing rebalances.
+    pub fn rebalance_stats(&self) -> RebalanceStats {
+        self.stats
+    }
+
+    /// Returns `true` while this replica is coordinating a rebalance it initiated
+    /// (committing or reading back the plan on the control shard).
+    pub fn rebalance_in_progress(&self) -> bool {
+        self.control_phase.is_some()
+    }
+
+    /// The epoch-stamped partitioner routing keys to shards.
+    pub fn partitioner(&self) -> &EpochPartitioner<P> {
         &self.partitioner
     }
 
-    /// The shard owning `key`.
+    /// The shard owning `key` under the current epoch.
     pub fn shard_of(&self, key: &K) -> ShardId {
         self.partitioner.shard_of(key)
     }
@@ -245,17 +420,18 @@ where
         &self.shards[shard.as_usize()]
     }
 
-    /// Iterates over all shard instances in shard order.
+    /// Iterates over all shard instances in shard order (including retired ones).
     pub fn shards(&self) -> impl Iterator<Item = &Replica<LatticeMap<K, V>>> {
         self.shards.iter()
     }
 
-    /// Total number of protocol instances currently in flight, over all shards.
+    /// Total number of protocol instances currently in flight over all data
+    /// shards (the control shard is excluded).
     pub fn in_flight(&self) -> usize {
         self.shards.iter().map(Replica::in_flight).sum()
     }
 
-    /// Proposer metrics aggregated over all shards.
+    /// Proposer metrics aggregated over all data shards.
     pub fn metrics(&self) -> Metrics {
         let mut total = Metrics::new();
         for shard in &self.shards {
@@ -279,15 +455,42 @@ where
         self.shards[shard.as_usize()].record_wire_bytes(kind, bytes);
     }
 
+    /// Records the encoded size of one outgoing control or rebalance message.
+    pub fn record_control_wire_bytes(&mut self, kind: &str, bytes: u64) {
+        self.control.record_wire_bytes(kind, bytes);
+    }
+
+    /// Encoded bytes-on-the-wire of control and rebalance traffic (filled by
+    /// [`ShardedReplica::record_control_wire_bytes`]).
+    pub fn control_wire_metrics(&self) -> WireMetrics {
+        self.control.metrics().wire.clone()
+    }
+
     /// The whole keyspace as one map: the join of every shard's local acceptor
     /// state (observability and tests; linearizable reads go through
-    /// [`ShardedReplica::submit`]).
+    /// [`ShardedReplica::submit`]). Stale handoff leftovers are absorbed by the
+    /// join, so this is invariant across a rebalance.
     pub fn merged_state(&self) -> LatticeMap<K, V> {
         let mut merged = LatticeMap::default();
         for shard in &self.shards {
             merged.join(shard.local_state());
         }
         merged
+    }
+
+    /// Number of active shards as a `usize` index bound.
+    fn active(&self) -> usize {
+        self.shard_count() as usize
+    }
+
+    /// This replica's current assignment stamp: `(epoch, active shard count)`.
+    fn stamp(&self) -> Stamp {
+        (self.partitioner.epoch(), self.shard_count())
+    }
+
+    /// The client id under which this replica submits control-shard commands.
+    fn control_client(&self) -> ClientId {
+        ClientId(self.id.as_u64())
     }
 
     /// Submits a client command, routing it to the owning shard (or fanning it out
@@ -297,20 +500,12 @@ where
         let outer = CommandId(self.next_command);
         self.next_command += 1;
         match command {
-            Command::Update(MapUpdate::Apply { key, update }) => {
-                let shard = self.partitioner.shard_of(&key);
-                let command = Command::Update(MapUpdate::Apply { key, update });
-                let inner = self.shards[shard.as_usize()].submit(client, command);
-                self.pending.insert((shard, inner), Pending::Single { command: outer });
-            }
-            Command::Query(MapQuery::Get { key, query }) => {
-                let shard = self.partitioner.shard_of(&key);
-                let command = Command::Query(MapQuery::Get { key, query });
-                let inner = self.shards[shard.as_usize()].submit(client, command);
-                self.pending.insert((shard, inner), Pending::Single { command: outer });
+            single @ (Command::Update(MapUpdate::Apply { .. })
+            | Command::Query(MapQuery::Get { .. })) => {
+                self.submit_routed(client, outer, single);
             }
             Command::Query(query) => {
-                // Keyspace-wide query: every shard answers for its key range.
+                // Keyspace-wide query: every shard answers for the keys it owns.
                 let acc = match query {
                     MapQuery::Len => FanoutAcc::Len(0),
                     MapQuery::Keys => FanoutAcc::Keys(Vec::new()),
@@ -318,22 +513,51 @@ where
                 };
                 self.fanouts.insert(
                     outer,
-                    Fanout {
-                        client,
-                        remaining: self.shards.len(),
-                        round_trips: 0,
-                        failed: false,
-                        acc,
-                    },
+                    Fanout { client, remaining: 0, round_trips: 0, failed: false, acc },
                 );
-                for index in 0..self.shards.len() {
-                    let inner = self.shards[index].submit(client, Command::Query(query.clone()));
-                    let shard = ShardId(index as u32);
-                    self.pending.insert((shard, inner), Pending::Fanout { command: outer });
-                }
+                self.launch_fanout_legs(outer, client);
             }
         }
         outer
+    }
+
+    /// Routes a single-key command to its owning shard and records the pending
+    /// mapping (used for fresh submissions and for re-homing after a rebalance).
+    /// Only the key is retained at this layer; a rebalance reclaims the command
+    /// payload from the instance itself ([`Replica::cancel_in_flight`]).
+    fn submit_routed(
+        &mut self,
+        client: ClientId,
+        outer: CommandId,
+        command: Command<LatticeMap<K, V>>,
+    ) {
+        let key = match &command {
+            Command::Update(MapUpdate::Apply { key, .. })
+            | Command::Query(MapQuery::Get { key, .. }) => key.clone(),
+            Command::Query(_) => unreachable!("keyspace-wide queries are tracked as fan-outs"),
+        };
+        let owner = self.partitioner.shard_of(&key).as_usize();
+        let inner = self.shards[owner].submit(client, command);
+        self.pending
+            .insert((ShardId(owner as u32), inner), Pending::Single { command: outer, key });
+    }
+
+    /// Submits one `Keys` leg per active shard for the fan-out `outer` and resets
+    /// its remaining-legs counter.
+    ///
+    /// Legs always ask for the shard's key list — even for `Len` — because the
+    /// aggregate must filter each answer down to the keys the shard currently
+    /// owns: handed-off ranges leave stale lower-bound copies at their source, and
+    /// counting those would double-count moved keys.
+    fn launch_fanout_legs(&mut self, outer: CommandId, client: ClientId) {
+        let active = self.active();
+        if let Some(fanout) = self.fanouts.get_mut(&outer) {
+            fanout.remaining = active;
+        }
+        for index in 0..active {
+            let inner = self.shards[index].submit(client, Command::Query(MapQuery::Keys));
+            self.pending.insert((ShardId(index as u32), inner), Pending::Fanout { command: outer });
+        }
     }
 
     /// Convenience wrapper: apply a nested update to `key`.
@@ -346,13 +570,321 @@ where
         self.submit(client, Command::Query(MapQuery::Get { key, query }))
     }
 
-    /// Handles a shard-tagged protocol message from another replica.
-    ///
-    /// Messages for unknown shards (a peer with a diverging shard count — a
-    /// misconfiguration) are dropped rather than corrupting another instance.
+    /// Handles a shard-tagged message from another replica.
     pub fn handle_message(&mut self, from: ReplicaId, message: ShardMessage<LatticeMap<K, V>>) {
-        let Some(shard) = self.shards.get_mut(message.shard.as_usize()) else { return };
-        shard.handle_message(from, message.message);
+        match message {
+            ShardMessage::Protocol { epoch, shards, shard, message } => {
+                self.handle_protocol(from, (epoch, shards), shard, message);
+            }
+            ShardMessage::Control { message } => {
+                self.control.handle_message(from, message);
+                self.poll_control();
+            }
+            ShardMessage::Rebalance { plan } => self.install_plan(plan),
+            ShardMessage::PlanRequest => {
+                if let Some(plan) = self.plan {
+                    self.extra.push(ShardEnvelope {
+                        from: self.id,
+                        to: from,
+                        message: ShardMessage::Rebalance { plan },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Routes one stamped protocol message through the assignment fence.
+    fn handle_protocol(
+        &mut self,
+        from: ReplicaId,
+        stamp: Stamp,
+        shard: ShardId,
+        message: Message<LatticeMap<K, V>>,
+    ) {
+        let current = self.stamp();
+        if stamp < current {
+            // Fence: the sender routes by a superseded assignment. Its data must
+            // not bypass the handoff copies, so answer with the plan instead of
+            // processing; the sender installs it, re-homes, and retries.
+            self.stats.epoch_bounces += 1;
+            if let Some(plan) = self.plan {
+                self.extra.push(ShardEnvelope {
+                    from: self.id,
+                    to: from,
+                    message: ShardMessage::Rebalance { plan },
+                });
+            }
+            return;
+        }
+        if stamp > current {
+            // The sender is ahead: its plan has not reached this replica yet.
+            // Processing early would bypass the local handoff copy, so buffer
+            // until the plan installs — and ask the sender for it, because the
+            // one-shot gossip may have been lost and the sender's retransmissions
+            // would otherwise just pile up here with the same future stamp.
+            if self.deferred.len() < Self::DEFERRED_CAP {
+                self.stats.messages_deferred += 1;
+                self.deferred.push((from, stamp, shard, message));
+            }
+            self.extra.push(ShardEnvelope {
+                from: self.id,
+                to: from,
+                message: ShardMessage::PlanRequest,
+            });
+            return;
+        }
+        // Equal stamps mean the identical assignment, so in-range shard ids are
+        // guaranteed for well-behaved peers; anything else is a misconfiguration
+        // and is dropped rather than corrupting another instance.
+        if shard.as_usize() >= self.active() {
+            return;
+        }
+        self.shards[shard.as_usize()].handle_message(from, message);
+    }
+
+    /// Initiates a rebalance to `target_shards` hash-partitioned shards.
+    ///
+    /// The proposal is committed on the control shard through the ordinary
+    /// protocol; once durable, this replica reads back the (deterministically
+    /// resolved) winner, installs it, and gossips the plan — see
+    /// [`crate::rebalance`] for the full choreography. Returns `false` if a
+    /// rebalance initiated here is still in flight — the new target is then
+    /// queued (latest wins) and starts once the current choreography resolves;
+    /// one runs at a time per coordinator, and racing coordinators on different
+    /// replicas are resolved by the control lattice plus the assignment-stamp
+    /// supersede rule.
+    pub fn begin_rebalance(&mut self, target_shards: u32) -> bool {
+        if target_shards == 0 {
+            return false;
+        }
+        if self.control_phase.is_some() {
+            // One choreography at a time per coordinator; the request is not
+            // dropped — it starts as soon as the current one resolves.
+            self.queued_target = Some(target_shards);
+            return false;
+        }
+        let epoch = self.partitioner.epoch() + 1;
+        let command = self.control.submit(
+            self.control_client(),
+            Command::Update(MapUpdate::Apply {
+                key: epoch,
+                update: GSetUpdate::Insert(target_shards),
+            }),
+        );
+        self.control_phase = Some(ControlPhase::Committing { command, epoch });
+        true
+    }
+
+    /// Advances the coordinator choreography with any control-shard responses.
+    fn poll_control(&mut self) {
+        for response in self.control.take_responses() {
+            let Some(phase) = self.control_phase else { continue };
+            match phase {
+                ControlPhase::Committing { command, epoch } if command == response.command => {
+                    // The proposal is durable; a linearizable read resolves racing
+                    // proposals for the same epoch to one deterministic winner.
+                    let read = self.control.submit(
+                        self.control_client(),
+                        Command::Query(MapQuery::Get { key: epoch, query: SetQuery::Elements }),
+                    );
+                    self.control_phase = Some(ControlPhase::Reading { command: read, epoch });
+                }
+                ControlPhase::Reading { command, epoch } if command == response.command => {
+                    self.control_phase = None;
+                    if let ResponseBody::QueryDone(MapOutput::Value(Some(SetOutput::Elements(
+                        proposals,
+                    )))) = response.body
+                    {
+                        if let Some(shards) = winning_shards(&proposals) {
+                            self.install_plan(RebalancePlan { epoch, shards });
+                        }
+                    }
+                    // A rebalance requested while this one was in flight starts
+                    // now, targeting the next epoch.
+                    if let Some(target) = self.queued_target.take() {
+                        self.begin_rebalance(target);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Installs a committed rebalance plan: grows the instance table, performs the
+    /// lattice-join state handoff, fences the old assignment, re-homes in-flight
+    /// work, and gossips the plan. Idempotent — plans whose `(epoch, shards)`
+    /// stamp does not supersede the current assignment are ignored. A same-epoch
+    /// plan with a larger shard count **does** supersede: racing coordinators may
+    /// transiently install different assignments under one epoch, and the
+    /// larger-shard-count winner (the same growth bias as [`winning_shards`])
+    /// displaces the loser with a fresh handoff from the replica's current
+    /// assignment; the full-stamp fence keeps the two assignments from ever
+    /// forming a mixed quorum in the interim.
+    pub fn install_plan(&mut self, plan: RebalancePlan) {
+        // Epoch 0 is reserved for the construction-time assignment.
+        if plan.epoch == 0 || (plan.epoch, plan.shards) <= self.stamp() {
+            return;
+        }
+        let Some(new_inner) = P::from_plan(&plan) else {
+            return;
+        };
+        let old_active = self.active();
+        let instances_before = self.shards.len();
+        if !self.partitioner.supersede(plan.epoch, new_inner) {
+            return;
+        }
+        self.plan = Some(plan);
+        self.stats.plans_installed += 1;
+        let new_active = self.active();
+
+        // Grow the instance table deterministically (every replica constructs the
+        // same instances). A shrink keeps retired instances: their states are
+        // harmless lower bounds a later split reactivates in place.
+        while self.shards.len() < new_active {
+            self.shards.push(Replica::new(
+                self.id,
+                self.members.clone(),
+                LatticeMap::default(),
+                self.config.clone(),
+            ));
+        }
+
+        // Lattice-join state handoff: every key the new assignment routes away
+        // from its old instance has its sub-state joined into the destination's
+        // acceptor. Nothing is deleted — the log-less design needs no truncation,
+        // and stale source copies are lower bounds a future move-back absorbs.
+        let mut moves: Vec<LatticeMap<K, V>> =
+            (0..self.shards.len()).map(|_| LatticeMap::default()).collect();
+        for source in 0..old_active {
+            for (key, value) in self.shards[source].local_state().iter() {
+                let destination = self.partitioner.shard_of(key).as_usize();
+                if destination != source {
+                    moves[destination].merge_entry(key.clone(), value);
+                    self.stats.keys_moved += 1;
+                }
+            }
+        }
+        for (index, sub) in moves.iter().enumerate() {
+            if !sub.is_empty() {
+                self.shards[index].absorb_state(sub);
+            }
+        }
+
+        // Cutover: cancel every in-flight command (its old-assignment quorum can
+        // no longer be trusted to complete — peers that installed the plan
+        // bounce) and re-home it under the new assignment. Updates already
+        // applied locally are contained in the handoff copies, so they complete
+        // via a resync on their new owner; unapplied updates and queries hand
+        // their payloads back and are simply resubmitted there.
+        let mut rehome_resync: BTreeMap<usize, Vec<(ClientId, CommandId, K)>> = BTreeMap::new();
+        let mut resubmit: Vec<Rehomed<K, V>> = Vec::new();
+        for index in 0..instances_before {
+            let shard = ShardId(index as u32);
+            let cancelled = self.shards[index].cancel_in_flight();
+            for (client, inner) in cancelled.applied_updates {
+                if let Some(Pending::Single { command, key }) = self.pending.remove(&(shard, inner))
+                {
+                    let owner = self.partitioner.shard_of(&key).as_usize();
+                    self.stats.commands_rehomed += 1;
+                    rehome_resync.entry(owner).or_default().push((client, command, key));
+                }
+                // `None` is a cancelled waiterless resync: nothing to re-home.
+            }
+            for (client, inner, update) in cancelled.unapplied_updates {
+                if let Some(Pending::Single { command, .. }) = self.pending.remove(&(shard, inner))
+                {
+                    self.stats.commands_rehomed += 1;
+                    resubmit.push((client, command, Command::Update(update)));
+                }
+            }
+            for (client, inner, query) in cancelled.queries {
+                match self.pending.remove(&(shard, inner)) {
+                    Some(Pending::Single { command, .. }) => {
+                        self.stats.commands_rehomed += 1;
+                        resubmit.push((client, command, Command::Query(query)));
+                    }
+                    // Fan-out legs restart wholesale below.
+                    Some(Pending::Fanout { .. }) | None => {}
+                }
+            }
+        }
+
+        // One resync per destination: handed-off ranges become quorum-durable
+        // ahead of client traffic, and cut-over updates complete exactly once.
+        for (index, moved) in moves.iter().enumerate().take(new_active) {
+            let rehomed = rehome_resync.remove(&index).unwrap_or_default();
+            if rehomed.is_empty() && moved.is_empty() {
+                continue;
+            }
+            let clients: Vec<ClientId> = rehomed.iter().map(|(client, _, _)| *client).collect();
+            let inner_ids = self.shards[index].submit_resync(&clients);
+            for ((_, outer, key), inner) in rehomed.into_iter().zip(inner_ids) {
+                self.pending.insert(
+                    (ShardId(index as u32), inner),
+                    Pending::Single { command: outer, key },
+                );
+            }
+        }
+
+        for (client, outer, command) in resubmit {
+            self.submit_routed(client, outer, command);
+        }
+
+        // Keyspace-wide fan-outs restart from scratch against the new shard set.
+        // Purge every remaining fan-out leg mapping first: legs that completed
+        // but whose responses are still buffered in their instance would
+        // otherwise be absorbed into the restarted aggregate, double-counting
+        // keys and emitting it before the new legs finish.
+        self.pending.retain(|_, pending| !matches!(pending, Pending::Fanout { .. }));
+        let fanout_ids: Vec<CommandId> = self.fanouts.keys().copied().collect();
+        for outer in fanout_ids {
+            self.restart_fanout(outer);
+        }
+
+        // Messages that were waiting for exactly this assignment can now be
+        // processed; anything still newer keeps waiting, anything older turned
+        // stale.
+        let installed = (plan.epoch, plan.shards);
+        let deferred = std::mem::take(&mut self.deferred);
+        for (from, stamp, shard, message) in deferred {
+            match stamp.cmp(&installed) {
+                std::cmp::Ordering::Equal => {
+                    if shard.as_usize() < new_active {
+                        self.shards[shard.as_usize()].handle_message(from, message);
+                    }
+                }
+                std::cmp::Ordering::Greater => self.deferred.push((from, stamp, shard, message)),
+                std::cmp::Ordering::Less => {}
+            }
+        }
+
+        // Gossip the plan once per install, so idle replicas converge without
+        // waiting to be bounced (and a crashed coordinator cannot strand the
+        // plan: any installed replica re-announces it).
+        for index in 0..self.members.len() {
+            let peer = self.members[index];
+            if peer != self.id {
+                self.extra.push(ShardEnvelope {
+                    from: self.id,
+                    to: peer,
+                    message: ShardMessage::Rebalance { plan },
+                });
+            }
+        }
+    }
+
+    /// Resets a fan-out's aggregate and resubmits its legs on the active shards.
+    fn restart_fanout(&mut self, outer: CommandId) {
+        let client = {
+            let Some(fanout) = self.fanouts.get_mut(&outer) else { return };
+            fanout.failed = false;
+            fanout.acc = match fanout.acc {
+                FanoutAcc::Len(_) => FanoutAcc::Len(0),
+                FanoutAcc::Keys(_) => FanoutAcc::Keys(Vec::new()),
+            };
+            fanout.client
+        };
+        self.launch_fanout_legs(outer, client);
     }
 
     /// Advances every shard's notion of time (batch flushes, retransmissions).
@@ -360,34 +892,50 @@ where
         for shard in &mut self.shards {
             shard.tick(now_ms);
         }
+        self.control.tick(now_ms);
     }
 
     /// Replaces the replica group on every shard (see
     /// [`Replica::update_membership`]).
     pub fn update_membership(&mut self, members: Vec<ReplicaId>) {
+        self.members = members.clone();
         for shard in &mut self.shards {
             shard.update_membership(members.clone());
         }
+        self.control.update_membership(members);
     }
 
     /// Drains the shard-tagged messages produced since the last call.
     pub fn take_outbox(&mut self) -> Vec<ShardEnvelope<LatticeMap<K, V>>> {
-        let mut out = Vec::new();
+        self.poll_control();
+        let (epoch, shards) = self.stamp();
+        let mut out = std::mem::take(&mut self.extra);
         for (index, shard) in self.shards.iter_mut().enumerate() {
             let shard_id = ShardId(index as u32);
-            out.extend(
-                shard
-                    .take_outbox()
-                    .into_iter()
-                    .map(|inner| ShardEnvelope { shard: shard_id, inner }),
-            );
+            shard.drain_outbox_into(&mut self.outbox_scratch);
+            out.extend(self.outbox_scratch.drain(..).map(|envelope| ShardEnvelope {
+                from: envelope.from,
+                to: envelope.to,
+                message: ShardMessage::Protocol {
+                    epoch,
+                    shards,
+                    shard: shard_id,
+                    message: envelope.message,
+                },
+            }));
         }
+        out.extend(self.control.take_outbox().into_iter().map(|envelope| ShardEnvelope {
+            from: envelope.from,
+            to: envelope.to,
+            message: ShardMessage::Control { message: envelope.message },
+        }));
         out
     }
 
     /// Drains the client responses produced since the last call, with fan-out
     /// queries aggregated across shards.
     pub fn take_responses(&mut self) -> Vec<ClientResponse<LatticeMap<K, V>>> {
+        self.poll_control();
         for index in 0..self.shards.len() {
             let shard = ShardId(index as u32);
             for response in self.shards[index].take_responses() {
@@ -395,45 +943,43 @@ where
                     continue;
                 };
                 match pending {
-                    Pending::Single { command } => self.responses.push(ClientResponse {
+                    Pending::Single { command, .. } => self.responses.push(ClientResponse {
                         client: response.client,
                         command,
                         body: response.body,
                         round_trips: response.round_trips,
                     }),
-                    Pending::Fanout { command } => self.absorb_fanout_leg(command, response),
+                    Pending::Fanout { command } => self.absorb_fanout_leg(command, shard, response),
                 }
             }
         }
         std::mem::take(&mut self.responses)
     }
 
-    /// Folds one shard's answer into its fan-out aggregate, emitting the combined
-    /// response once every shard has answered.
+    /// Folds one shard's key-list answer into its fan-out aggregate — filtered to
+    /// the keys the shard currently owns — emitting the combined response once
+    /// every shard has answered.
     fn absorb_fanout_leg(
         &mut self,
         command: CommandId,
+        shard: ShardId,
         response: ClientResponse<LatticeMap<K, V>>,
     ) {
+        let owned: Option<Vec<K>> = match response.body {
+            ResponseBody::QueryDone(MapOutput::Keys(keys)) => Some(
+                keys.into_iter().filter(|key| self.partitioner.shard_of(key) == shard).collect(),
+            ),
+            _ => None,
+        };
         let Some(fanout) = self.fanouts.get_mut(&command) else { return };
         fanout.remaining = fanout.remaining.saturating_sub(1);
         fanout.round_trips = fanout.round_trips.max(response.round_trips);
-        match response.body {
-            ResponseBody::QueryDone(MapOutput::Len(count)) => {
-                if let FanoutAcc::Len(total) = &mut fanout.acc {
-                    *total += count;
-                } else {
-                    fanout.failed = true;
-                }
-            }
-            ResponseBody::QueryDone(MapOutput::Keys(mut keys)) => {
-                if let FanoutAcc::Keys(all) = &mut fanout.acc {
-                    all.append(&mut keys);
-                } else {
-                    fanout.failed = true;
-                }
-            }
-            _ => fanout.failed = true,
+        match owned {
+            Some(keys) => match &mut fanout.acc {
+                FanoutAcc::Len(total) => *total += keys.len() as u64,
+                FanoutAcc::Keys(all) => all.extend(keys),
+            },
+            None => fanout.failed = true,
         }
         if fanout.remaining == 0 {
             let fanout = self.fanouts.remove(&command).expect("fan-out present");
@@ -483,7 +1029,7 @@ mod tests {
             let mut envelopes = Vec::new();
             for node in nodes.iter_mut() {
                 for envelope in node.take_outbox() {
-                    envelopes.push((envelope.inner.from, envelope.into_parts()));
+                    envelopes.push((envelope.from, envelope.into_parts()));
                 }
             }
             if envelopes.is_empty() {
@@ -594,7 +1140,9 @@ mod tests {
     #[test]
     fn messages_for_unknown_shards_are_dropped() {
         let mut nodes = cluster(3, 2, ProtocolConfig::default());
-        let bogus: ShardMessage<LatticeMap<String, GCounter>> = ShardMessage {
+        let bogus: ShardMessage<LatticeMap<String, GCounter>> = ShardMessage::Protocol {
+            epoch: 0,
+            shards: 2,
             shard: ShardId(9),
             message: Message::MergeAck { request: crate::msg::RequestId(0) },
         };
@@ -613,9 +1161,14 @@ mod tests {
             let decoded: ShardEnvelope<LatticeMap<String, GCounter>> =
                 wire::from_slice(&bytes).unwrap();
             assert_eq!(decoded, envelope);
-            // The shard tag costs a single byte on the wire for small shard ids.
-            let inner_bytes = wire::to_vec(&envelope.inner).unwrap();
-            assert!(bytes.len() <= inner_bytes.len() + 2);
+            // The variant tag, epoch, shard count, and shard id cost four bytes
+            // on the wire for small values.
+            if let ShardMessage::Protocol { message, .. } = &envelope.message {
+                let inner =
+                    Envelope { from: envelope.from, to: envelope.to, message: message.clone() };
+                let inner_bytes = wire::to_vec(&inner).unwrap();
+                assert!(bytes.len() <= inner_bytes.len() + 4);
+            }
         }
     }
 
@@ -635,5 +1188,383 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = Node::new(ReplicaId::new(0), ids(3), 0, ProtocolConfig::default());
+    }
+
+    // ----- dynamic resharding ---------------------------------------------------
+
+    /// Runs the full coordinator choreography to quiescence: control commit, read,
+    /// install, gossip, handoff resyncs.
+    fn rebalance_to(nodes: &mut [Node], coordinator: usize, target: u32) {
+        assert!(nodes[coordinator].begin_rebalance(target));
+        run_to_quiescence(nodes);
+    }
+
+    #[test]
+    fn split_preserves_values_and_advances_the_epoch_everywhere() {
+        let mut nodes = cluster(3, 4, ProtocolConfig::default());
+        let keys: Vec<String> = (0..16).map(|i| format!("key{i}")).collect();
+        for (i, key) in keys.iter().enumerate() {
+            nodes[i % 3].submit_update(
+                ClientId(0),
+                key.clone(),
+                CounterUpdate::Increment(i as u64 + 1),
+            );
+        }
+        run_to_quiescence(&mut nodes);
+        for node in nodes.iter_mut() {
+            node.take_responses();
+        }
+        let before: Vec<_> = nodes.iter().map(|n| n.merged_state()).collect();
+
+        rebalance_to(&mut nodes, 0, 8);
+
+        for node in &nodes {
+            assert_eq!(node.epoch(), 1, "every replica installs the plan");
+            assert_eq!(node.shard_count(), 8);
+            assert_eq!(node.current_plan(), Some(RebalancePlan { epoch: 1, shards: 8 }));
+            assert!(node.rebalance_stats().plans_installed == 1);
+        }
+        // The handoff preserves the keyspace exactly.
+        for (node, before) in nodes.iter().zip(&before) {
+            assert_eq!(&node.merged_state(), before, "handoff must not change merged_state");
+        }
+        // Post-split reads are linearizable and see every pre-split update.
+        for (i, key) in keys.iter().enumerate() {
+            nodes[i % 3].submit_query(ClientId(1), key.clone(), CounterQuery::Value);
+            run_to_quiescence(&mut nodes);
+            let responses = nodes[i % 3].take_responses();
+            assert_eq!(responses.len(), 1);
+            match &responses[0].body {
+                ResponseBody::QueryDone(MapOutput::Value(Some(v))) => {
+                    assert_eq!(*v as usize, i + 1, "value of {key} survives the split");
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn merge_then_split_round_trips_through_retired_instances() {
+        let mut nodes = cluster(3, 8, ProtocolConfig::default());
+        for i in 0..12 {
+            nodes[0].submit_update(ClientId(0), format!("k{i}"), CounterUpdate::Increment(1));
+        }
+        run_to_quiescence(&mut nodes);
+        nodes[0].take_responses();
+
+        rebalance_to(&mut nodes, 1, 4);
+        assert_eq!(nodes[0].shard_count(), 4);
+        assert_eq!(nodes[0].instance_count(), 8, "retired instances are kept");
+
+        // Write through the merged assignment, then split back out.
+        nodes[2].submit_update(ClientId(0), "k3".into(), CounterUpdate::Increment(5));
+        run_to_quiescence(&mut nodes);
+        nodes[2].take_responses();
+
+        rebalance_to(&mut nodes, 0, 8);
+        assert_eq!(nodes[1].epoch(), 2);
+        assert_eq!(nodes[1].shard_count(), 8);
+
+        // The post-merge update is visible after moving back: the reactivated
+        // instance's stale copy was absorbed by the lattice join.
+        nodes[1].submit_query(ClientId(9), "k3".into(), CounterQuery::Value);
+        run_to_quiescence(&mut nodes);
+        let responses = nodes[1].take_responses();
+        assert_eq!(
+            responses[0].body,
+            ResponseBody::QueryDone(MapOutput::Value(Some(6))),
+            "updates from every epoch survive merge + split"
+        );
+    }
+
+    #[test]
+    fn rebalance_to_the_identical_plan_is_a_noop_for_data_and_routing() {
+        let mut nodes = cluster(3, 4, ProtocolConfig::default());
+        nodes[0].submit_update(ClientId(0), "a".into(), CounterUpdate::Increment(7));
+        run_to_quiescence(&mut nodes);
+        nodes[0].take_responses();
+        let before: Vec<_> = nodes.iter().map(|n| n.merged_state()).collect();
+
+        rebalance_to(&mut nodes, 0, 4);
+
+        for (node, before) in nodes.iter().zip(&before) {
+            assert_eq!(node.epoch(), 1, "the epoch still advances (the plan committed)");
+            assert_eq!(node.shard_count(), 4);
+            assert_eq!(node.instance_count(), 4);
+            assert_eq!(&node.merged_state(), before);
+            assert_eq!(
+                node.rebalance_stats().keys_moved,
+                0,
+                "no key moves under an identical plan"
+            );
+        }
+        nodes[2].submit_query(ClientId(0), "a".into(), CounterQuery::Value);
+        run_to_quiescence(&mut nodes);
+        assert_eq!(
+            nodes[2].take_responses()[0].body,
+            ResponseBody::QueryDone(MapOutput::Value(Some(7)))
+        );
+    }
+
+    #[test]
+    fn in_flight_updates_cut_over_complete_exactly_once() {
+        let mut nodes = cluster(3, 2, ProtocolConfig::default());
+        // Start an update but do not deliver its merges yet.
+        nodes[0].submit_update(ClientId(0), "pending".into(), CounterUpdate::Increment(3));
+        let held: Vec<_> = nodes[0].take_outbox();
+        assert!(!held.is_empty());
+        assert_eq!(nodes[0].in_flight(), 1);
+
+        // The other replicas agree on a split while the update is in flight; the
+        // coordinator's plan gossip reaches replica 0, which re-homes the update.
+        assert!(nodes[1].begin_rebalance(4));
+        run_to_quiescence(&mut nodes);
+
+        assert_eq!(nodes[0].epoch(), 1);
+        let responses = nodes[0].take_responses();
+        assert_eq!(responses.len(), 1, "the cut-over update answers exactly once");
+        assert!(matches!(responses[0].body, ResponseBody::UpdateDone));
+        assert!(nodes[0].rebalance_stats().commands_rehomed >= 1);
+
+        // Exactly once: the value reflects a single application of the increment.
+        nodes[2].submit_query(ClientId(1), "pending".into(), CounterQuery::Value);
+        run_to_quiescence(&mut nodes);
+        assert_eq!(
+            nodes[2].take_responses()[0].body,
+            ResponseBody::QueryDone(MapOutput::Value(Some(3)))
+        );
+    }
+
+    #[test]
+    fn old_epoch_messages_bounce_back_the_plan() {
+        let mut nodes = cluster(3, 2, ProtocolConfig::default());
+        rebalance_to(&mut nodes, 0, 4);
+        assert_eq!(nodes[1].epoch(), 1);
+
+        // A straggler still routing by epoch 0 gets the plan back instead of an ack.
+        let stale: ShardMessage<LatticeMap<String, GCounter>> = ShardMessage::Protocol {
+            epoch: 0,
+            shards: 2,
+            shard: ShardId(0),
+            message: Message::MergeAck { request: crate::msg::RequestId(99) },
+        };
+        nodes[1].handle_message(ReplicaId::new(2), stale);
+        let bounced = nodes[1].take_outbox();
+        assert!(bounced.iter().any(|envelope| matches!(
+            envelope.message,
+            ShardMessage::Rebalance { plan: RebalancePlan { epoch: 1, shards: 4 } }
+        ) && envelope.to == ReplicaId::new(2)));
+        assert_eq!(nodes[1].rebalance_stats().epoch_bounces, 1);
+    }
+
+    #[test]
+    fn future_epoch_messages_are_deferred_until_the_plan_installs() {
+        let mut nodes = cluster(3, 2, ProtocolConfig::default());
+        // Hand-deliver a future-epoch message: it must not be processed yet.
+        let early: ShardMessage<LatticeMap<String, GCounter>> = ShardMessage::Protocol {
+            epoch: 1,
+            shards: 4,
+            shard: ShardId(3),
+            message: Message::MergeAck { request: crate::msg::RequestId(7) },
+        };
+        nodes[0].handle_message(ReplicaId::new(1), early);
+        assert_eq!(nodes[0].rebalance_stats().messages_deferred, 1);
+        // Deferral asks the ahead sender for its plan (the one-shot gossip may
+        // have been lost), and produces nothing else.
+        let out = nodes[0].take_outbox();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].message, ShardMessage::PlanRequest));
+        assert_eq!(out[0].to, ReplicaId::new(1));
+
+        // Installing the plan drains the buffer (the ack targets a dead request,
+        // so it is absorbed silently — the point is that it is routed at all).
+        nodes[0].install_plan(RebalancePlan { epoch: 1, shards: 4 });
+        assert_eq!(nodes[0].epoch(), 1);
+        assert_eq!(nodes[0].shard_count(), 4);
+    }
+
+    /// Racing coordinators are the dangerous corner of plan agreement: replica 2
+    /// can commit + read + install its plan before replica 0's proposal for the
+    /// *same* epoch even commits, so the two read different proposal sets and
+    /// derive different winners. The full `(epoch, shards)` stamp keeps the two
+    /// assignments fenced from each other, and the larger-shard-count plan
+    /// supersedes in place, so the cluster converges to one assignment.
+    #[test]
+    fn racing_coordinators_converge_to_one_assignment() {
+        let mut nodes = cluster(3, 2, ProtocolConfig::default());
+        for i in 0..10 {
+            nodes[i % 3].submit_update(ClientId(0), format!("k{i}"), CounterUpdate::Increment(1));
+        }
+        run_to_quiescence(&mut nodes);
+        for node in nodes.iter_mut() {
+            node.take_responses();
+        }
+
+        // Both coordinators target epoch 1 with different shard counts; replica
+        // 0's traffic is held back so replica 2 commits, reads {4}, and installs
+        // (1, 4) everywhere before replica 0's proposal for 8 even lands.
+        assert!(nodes[0].begin_rebalance(8));
+        assert!(nodes[2].begin_rebalance(4));
+        let mut held = Vec::new();
+        loop {
+            let mut deliverable = Vec::new();
+            for node in nodes.iter_mut() {
+                for envelope in node.take_outbox() {
+                    if envelope.from == ReplicaId::new(0) {
+                        held.push(envelope);
+                    } else {
+                        deliverable.push(envelope);
+                    }
+                }
+            }
+            if deliverable.is_empty() {
+                break;
+            }
+            for envelope in deliverable {
+                let from = envelope.from;
+                let (to, message) = envelope.into_parts();
+                let index = nodes.iter().position(|n| n.id() == to).expect("known replica");
+                nodes[index].handle_message(from, message);
+            }
+        }
+        assert_eq!(nodes[2].current_plan(), Some(RebalancePlan { epoch: 1, shards: 4 }));
+
+        // Release replica 0's proposal; it commits late, reads {4, 8}, picks the
+        // winner 8, and supersedes the same-epoch 4-shard assignment everywhere.
+        for envelope in held {
+            let from = envelope.from;
+            let (to, message) = envelope.into_parts();
+            let index = nodes.iter().position(|n| n.id() == to).expect("known replica");
+            nodes[index].handle_message(from, message);
+        }
+        run_to_quiescence(&mut nodes);
+
+        let stamps: Vec<_> =
+            nodes.iter().map(|n| (n.epoch(), n.shard_count(), n.current_plan())).collect();
+        assert!(
+            stamps.iter().all(|stamp| stamp == &stamps[0]),
+            "replicas must converge to one assignment, got {stamps:?}"
+        );
+        assert_eq!(stamps[0].2, Some(RebalancePlan { epoch: 1, shards: 8 }));
+
+        // Data written before the race survives, reads stay linearizable.
+        for i in 0..10 {
+            nodes[i % 3].submit_query(ClientId(1), format!("k{i}"), CounterQuery::Value);
+            run_to_quiescence(&mut nodes);
+            let responses = nodes[i % 3].take_responses();
+            assert_eq!(
+                responses[0].body,
+                ResponseBody::QueryDone(MapOutput::Value(Some(1))),
+                "k{i} must survive the racing rebalances"
+            );
+        }
+    }
+
+    /// A fan-out leg that completed — with its response still buffered in the
+    /// instance — before a plan installs must not leak into the restarted
+    /// fan-out: its stale answer would double-count keys and complete the
+    /// aggregate early.
+    #[test]
+    fn buffered_fanout_legs_do_not_leak_into_the_restarted_fanout() {
+        let mut nodes = cluster(3, 2, ProtocolConfig::default());
+        for i in 0..10 {
+            nodes[0].submit_update(ClientId(0), format!("k{i}"), CounterUpdate::Increment(1));
+        }
+        run_to_quiescence(&mut nodes);
+        nodes[0].take_responses();
+
+        // Run the fan-out to full completion at the protocol level WITHOUT
+        // draining responses: every leg's answer is now buffered.
+        nodes[0].submit(ClientId(5), Command::Query(MapQuery::Len));
+        run_to_quiescence(&mut nodes);
+
+        // Install a same-shard-count plan directly: the fan-out restarts while
+        // the stale leg responses still sit in their instances.
+        for node in nodes.iter_mut() {
+            node.install_plan(RebalancePlan { epoch: 1, shards: 2 });
+        }
+        run_to_quiescence(&mut nodes);
+        let responses = nodes[0].take_responses();
+        assert_eq!(responses.len(), 1, "exactly one aggregate response");
+        assert_eq!(
+            responses[0].body,
+            ResponseBody::QueryDone(MapOutput::Len(10)),
+            "stale buffered legs must not be double-counted"
+        );
+    }
+
+    /// Losing every copy of the one-shot plan gossip must not strand a passive
+    /// replica: the first future-stamp message it defers triggers a
+    /// [`ShardMessage::PlanRequest`], the ahead sender replies with the plan, and
+    /// the replica installs and catches up — no retransmission timers needed.
+    #[test]
+    fn a_replica_that_missed_all_gossip_recovers_via_plan_request() {
+        let mut nodes = cluster(3, 2, ProtocolConfig::default());
+        nodes[0].submit_update(ClientId(0), "seed".into(), CounterUpdate::Increment(1));
+        run_to_quiescence(&mut nodes);
+        nodes[0].take_responses();
+
+        // The rebalance completes on replicas 0 and 1 (a quorum); every message
+        // addressed to replica 2 — plan gossip included — is lost.
+        assert!(nodes[0].begin_rebalance(4));
+        loop {
+            let mut envelopes = Vec::new();
+            for node in nodes.iter_mut() {
+                for envelope in node.take_outbox() {
+                    if envelope.to != ReplicaId::new(2) {
+                        envelopes.push((envelope.from, envelope.into_parts()));
+                    }
+                }
+            }
+            if envelopes.is_empty() {
+                break;
+            }
+            for (from, (to, message)) in envelopes {
+                let index = nodes.iter().position(|n| n.id() == to).expect("known replica");
+                nodes[index].handle_message(from, message);
+            }
+        }
+        assert_eq!(nodes[0].epoch(), 1);
+        assert_eq!(nodes[1].epoch(), 1);
+        assert_eq!(nodes[2].epoch(), 0, "replica 2 missed the plan entirely");
+
+        // The next ordinary traffic to replica 2 carries the new stamp; the
+        // plan-request handshake brings it back into the group.
+        nodes[0].submit_update(ClientId(1), "after".into(), CounterUpdate::Increment(5));
+        run_to_quiescence(&mut nodes);
+        nodes[0].take_responses();
+        assert_eq!(nodes[2].epoch(), 1, "deferral requested and installed the plan");
+        assert_eq!(nodes[2].shard_count(), 4);
+
+        nodes[2].submit_query(ClientId(2), "after".into(), CounterQuery::Value);
+        run_to_quiescence(&mut nodes);
+        assert_eq!(
+            nodes[2].take_responses()[0].body,
+            ResponseBody::QueryDone(MapOutput::Value(Some(5))),
+            "the recovered replica serves linearizable reads at the new assignment"
+        );
+    }
+
+    #[test]
+    fn fanouts_straddling_a_rebalance_count_every_key_exactly_once() {
+        let mut nodes = cluster(3, 2, ProtocolConfig::default());
+        for i in 0..10 {
+            nodes[0].submit_update(ClientId(0), format!("k{i}"), CounterUpdate::Increment(1));
+        }
+        run_to_quiescence(&mut nodes);
+        nodes[0].take_responses();
+
+        // Start a keyspace-wide Len, hold its traffic, then rebalance mid-flight.
+        nodes[1].submit(ClientId(5), Command::Query(MapQuery::Len));
+        let _held = nodes[1].take_outbox();
+        rebalance_to(&mut nodes, 0, 4);
+        run_to_quiescence(&mut nodes);
+        let responses = nodes[1].take_responses();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(
+            responses[0].body,
+            ResponseBody::QueryDone(MapOutput::Len(10)),
+            "stale handoff leftovers must not be double-counted"
+        );
     }
 }

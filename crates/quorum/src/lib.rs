@@ -29,7 +29,7 @@ mod weighted;
 pub use grid::GridQuorum;
 pub use majority::MajorityQuorum;
 pub use membership::Membership;
-pub use shard::{HashPartitioner, Partitioner, RangePartitioner, ShardId};
+pub use shard::{EpochPartitioner, HashPartitioner, Partitioner, RangePartitioner, ShardId};
 pub use weighted::WeightedMajority;
 
 use std::collections::BTreeSet;

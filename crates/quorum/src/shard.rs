@@ -121,6 +121,88 @@ impl<K: Hash + ?Sized> Partitioner<K> for HashPartitioner {
     }
 }
 
+/// A [`Partitioner`] stamped with a monotonically increasing **epoch**.
+///
+/// Dynamic resharding changes the key→shard assignment at runtime; the epoch names
+/// one generation of that assignment. Every replica of a cluster must route through
+/// the same `(epoch, partitioner)` pair, and protocol messages are tagged with the
+/// sender's epoch so receivers can *fence*: a message stamped with an older epoch is
+/// answered with the current rebalance plan instead of being processed (its data may
+/// belong to a key range that has since moved), and a message stamped with a newer
+/// epoch is deferred until the local partitioner catches up.
+///
+/// The wrapper is partitioner-agnostic: any [`Partitioner`] can be epoch-stamped.
+/// [`EpochPartitioner::install`] enforces monotonicity — installing an epoch that is
+/// not strictly newer is rejected, which makes plan gossip idempotent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochPartitioner<P> {
+    epoch: u64,
+    inner: P,
+}
+
+impl<P> EpochPartitioner<P> {
+    /// Wraps `inner` as the epoch-0 (initial) partitioning.
+    pub fn new(inner: P) -> Self {
+        EpochPartitioner { epoch: 0, inner }
+    }
+
+    /// The current partitioning generation (0 = the construction-time assignment).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The wrapped partitioner of the current epoch.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Installs `inner` as the partitioning of `epoch` — the strictly monotone
+    /// variant for callers that guarantee one assignment per epoch.
+    ///
+    /// Returns `true` if the epoch advanced; `false` (leaving the current assignment
+    /// untouched) if `epoch` is not strictly newer than the installed one. Note that
+    /// the sharded engine does **not** use this path: racing coordinators can
+    /// transiently commit different assignments under one epoch, so it orders full
+    /// `(epoch, shard count)` stamps and goes through
+    /// [`EpochPartitioner::supersede`], which accepts a same-epoch replacement.
+    pub fn install(&mut self, epoch: u64, inner: P) -> bool {
+        if epoch <= self.epoch {
+            return false;
+        }
+        self.epoch = epoch;
+        self.inner = inner;
+        true
+    }
+
+    /// Replaces the assignment of the **current** epoch (or installs a newer one).
+    ///
+    /// This is the conflict-resolution path of dynamic resharding: racing
+    /// coordinators may install different assignments under the same epoch before
+    /// their gossip crosses, and the deterministic winner (the caller's decision —
+    /// the sharded engine orders full `(epoch, shards)` stamps) must be able to
+    /// displace the loser without burning an epoch. Returns `false` only for a
+    /// strictly older epoch; the caller is responsible for only superseding with a
+    /// genuinely winning assignment.
+    pub fn supersede(&mut self, epoch: u64, inner: P) -> bool {
+        if epoch < self.epoch {
+            return false;
+        }
+        self.epoch = epoch;
+        self.inner = inner;
+        true
+    }
+}
+
+impl<K: ?Sized, P: Partitioner<K>> Partitioner<K> for EpochPartitioner<P> {
+    fn shards(&self) -> u32 {
+        self.inner.shards()
+    }
+
+    fn shard_of(&self, key: &K) -> ShardId {
+        self.inner.shard_of(key)
+    }
+}
+
 /// Range partitioning: shard `i` owns keys below `bounds[i]`, the last shard owns
 /// the rest.
 ///
@@ -233,6 +315,36 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_panic() {
         let _ = RangePartitioner::new(vec![5u64, 5]);
+    }
+
+    #[test]
+    fn epoch_partitioner_delegates_and_installs_monotonically() {
+        let mut partitioner = EpochPartitioner::new(HashPartitioner::new(4));
+        assert_eq!(partitioner.epoch(), 0);
+        assert_eq!(<_ as Partitioner<u64>>::shards(&partitioner), 4);
+        let routed = partitioner.shard_of(&17u64);
+        assert_eq!(routed, HashPartitioner::new(4).shard_of(&17u64));
+
+        assert!(partitioner.install(1, HashPartitioner::new(8)));
+        assert_eq!(partitioner.epoch(), 1);
+        assert_eq!(<_ as Partitioner<u64>>::shards(&partitioner), 8);
+
+        // Stale and duplicate installs are rejected and change nothing.
+        assert!(!partitioner.install(1, HashPartitioner::new(2)));
+        assert!(!partitioner.install(0, HashPartitioner::new(2)));
+        assert_eq!(<_ as Partitioner<u64>>::shards(&partitioner), 8);
+
+        // Epoch jumps are allowed (a recovering replica may skip generations).
+        assert!(partitioner.install(5, HashPartitioner::new(16)));
+        assert_eq!(partitioner.epoch(), 5);
+
+        // Conflict resolution may replace the current epoch's assignment in
+        // place, but never regress to an older epoch.
+        assert!(partitioner.supersede(5, HashPartitioner::new(32)));
+        assert_eq!(partitioner.epoch(), 5);
+        assert_eq!(<_ as Partitioner<u64>>::shards(&partitioner), 32);
+        assert!(!partitioner.supersede(4, HashPartitioner::new(2)));
+        assert_eq!(<_ as Partitioner<u64>>::shards(&partitioner), 32);
     }
 
     #[test]

@@ -65,4 +65,22 @@ fn sharded_cluster_runs_over_the_memory_transport() {
         ResponseBody::QueryDone(MapOutput::Value(Some(3))),
         "linearizable sharded read over the transport"
     );
+
+    // Dynamic resharding needs no transport changes either: the control-shard
+    // traffic, the plan gossip, and the handoff resyncs are just more
+    // `ShardMessage`s through the same endpoints.
+    assert!(nodes[0].begin_rebalance(8));
+    pump(&mut nodes, &endpoints);
+    for node in &nodes {
+        assert_eq!(node.epoch(), 1, "the plan reaches every replica over the transport");
+        assert_eq!(node.shard_count(), 8);
+    }
+    nodes[1].submit_query(ClientId(3), "views".into(), CounterQuery::Value);
+    pump(&mut nodes, &endpoints);
+    let responses = nodes[1].take_responses();
+    assert_eq!(
+        responses[0].body,
+        ResponseBody::QueryDone(MapOutput::Value(Some(8))),
+        "values survive the handoff over the transport"
+    );
 }

@@ -10,7 +10,7 @@
 //! | [`crdt`] | join semilattices and state-based CRDTs (G-Counter, PN-Counter, sets, registers, maps, vector clocks) with delta-state support (`DeltaCrdt`) |
 //! | [`quorum`] | quorum systems (majority, grid, weighted), membership, and keyspace partitioners ([`quorum::Partitioner`]) |
 //! | [`wire`] | compact binary serde codec and message framing |
-//! | [`protocol`] | the CRDT Paxos protocol core: [`protocol::Replica`], messages, configuration, metrics; state-bearing messages carry a [`protocol::Payload`] — the full CRDT state or, with [`protocol::PayloadMode::DeltaWhenPossible`], a per-peer delta that cuts large payloads down to what the receiver is missing (replies are delta-encoded too, against the request's own payload and basis snapshot); [`protocol::ShardedReplica`] partitions a `LatticeMap` keyspace over independent protocol instances — one round counter and one quorum per shard |
+//! | [`protocol`] | the CRDT Paxos protocol core: [`protocol::Replica`], messages, configuration, metrics; state-bearing messages carry a [`protocol::Payload`] — the full CRDT state or, with [`protocol::PayloadMode::DeltaWhenPossible`], a per-peer delta that cuts large payloads down to what the receiver is missing (replies are delta-encoded too, against the request's own payload and basis snapshot); [`protocol::ShardedReplica`] partitions a `LatticeMap` keyspace over independent protocol instances — one round counter and one quorum per shard — and reshards it **dynamically**: a [`protocol::RebalancePlan`] agreed on a control shard moves key ranges by lattice join under an epoch fence while traffic continues |
 //! | [`baselines`] | Multi-Paxos (read leases) and Raft baselines |
 //! | [`transport`] | in-memory and tokio TCP transports |
 //! | [`cluster`] | deterministic simulator, workloads, statistics, linearizability checker |
@@ -64,11 +64,29 @@
 //! assert_eq!(kv.key_count(0), 2);
 //! ```
 //!
+//! A sharded cluster can be **resized while running**: the keyspace hands its
+//! moving ranges off by lattice join (no log to truncate or replay) under an
+//! epoch-stamped partitioner, preserving per-key linearizability throughout:
+//!
+//! ```
+//! use crdt_paxos::crdt::{CounterQuery, CounterUpdate, GCounter};
+//! use crdt_paxos::local::LocalShardedCluster;
+//! use crdt_paxos::protocol::ProtocolConfig;
+//!
+//! let mut kv = LocalShardedCluster::<String, GCounter>::new(3, 4, ProtocolConfig::default());
+//! kv.update(0, "clicks".into(), CounterUpdate::Increment(3));
+//! // Split 4 -> 8 shards: agreed on the control shard, installed everywhere.
+//! assert_eq!(kv.rebalance(0, 8), 1); // the new partitioning epoch
+//! assert_eq!(kv.shard_count(), 8);
+//! assert_eq!(kv.query(2, "clicks".into(), CounterQuery::Value), Some(3));
+//! ```
+//!
 //! See `examples/` for runnable programs (quickstart, sharded replicated shopping
-//! carts, fail-over, TCP deployment, round-trip histograms) and the `bench` crate
-//! for the harnesses that regenerate every figure of the paper's evaluation
-//! (including the `fig5_wire_bytes` full-vs-delta byte comparison and the
-//! `fig6_sharding` throughput-vs-shards report).
+//! carts, fail-over, TCP deployments — single-object and sharded with a live
+//! resize, round-trip histograms) and the `bench` crate for the harnesses that
+//! regenerate every figure of the paper's evaluation (including the
+//! `fig5_wire_bytes` full-vs-delta byte comparison, the `fig6_sharding`
+//! throughput-vs-shards report, and the `fig7_rebalance` live 4→8 split report).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

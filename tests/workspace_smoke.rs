@@ -42,6 +42,38 @@ fn wire_codec_size_report_runs() {
 }
 
 #[test]
+fn rebalance_report_meets_acceptance() {
+    // The deterministic 4 -> 8 live-split report, in `--check` mode: the binary
+    // exits non-zero unless post-split throughput reaches 2x pre-split with a
+    // bounded dip, timely convergence, and no lost or duplicated responses.
+    // Release for the same reason as the sharding report (saturating workload).
+    let output = Command::new(env!("CARGO"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args([
+            "run",
+            "--quiet",
+            "--release",
+            "-p",
+            "bench",
+            "--bin",
+            "fig7_rebalance",
+            "--",
+            "--quick",
+            "--check",
+        ])
+        .output()
+        .expect("failed to launch the rebalance report");
+    assert!(
+        output.status.success(),
+        "fig7_rebalance --quick --check failed:\n{}\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("shard split"), "unexpected report output:\n{stdout}");
+}
+
+#[test]
 fn sharding_throughput_report_meets_acceptance() {
     // The deterministic throughput-vs-shards report, in `--check` mode: the binary
     // exits non-zero unless 8 shards commit at least 3x the single-instance ops.
