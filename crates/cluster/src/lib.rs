@@ -3,7 +3,12 @@
 //! This crate is the evaluation substrate of the CRDT Paxos reproduction. It replaces
 //! the paper's physical testbed (three Xeon nodes, 10 GbE, Basho Bench, 10-minute
 //! runs) with a seeded discrete-event simulator that drives the very same sans-io
-//! protocol state machines the real deployments use:
+//! protocol state machines the real deployments use. The simulator is one of two
+//! executors of those machines — the `engine` crate drives the same
+//! `crdt_paxos_core::ShardCore`s on real OS threads, and its stress tests check
+//! the parallel histories with this crate's [`linearizability`] checker — so
+//! every safety property established deterministically here transfers to the
+//! parallel execution:
 //!
 //! * [`sim`] — the event-driven simulator (network latency/jitter/loss, closed-loop
 //!   clients, crash injection, per-interval statistics),

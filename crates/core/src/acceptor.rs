@@ -14,23 +14,24 @@ use crate::msg::Payload;
 use crate::round::{PrepareRound, Round, RoundId};
 
 /// Outcome of handling a `PREPARE` or `VOTE` message.
-#[derive(Debug, Clone, PartialEq)]
-pub enum AcceptOutcome<C> {
+///
+/// Deliberately carries only the round, not the payload: the caller that needs
+/// the post-decision state borrows it via [`Acceptor::state`] and clones only
+/// on the paths that actually ship it (a `VOTED` reply, for instance, carries
+/// no state at all — §3.6 — so its hot path is clone-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptOutcome {
     /// The request was accepted; reply with `ACK`/`VOTED`.
     Ack {
         /// The acceptor's round after processing the request.
         round: Round,
-        /// The acceptor's payload after processing the request (omitted from `VOTED`
-        /// replies by the caller, per the §3.6 optimization).
-        state: C,
     },
-    /// The request was rejected; reply with `NACK` carrying the current round and
-    /// payload so the proposer can retry with more information.
+    /// The request was rejected; reply with `NACK` carrying the current round
+    /// (and, on the wire, the payload the caller borrows separately) so the
+    /// proposer can retry with more information.
     Nack {
         /// The acceptor's current round.
         round: Round,
-        /// The acceptor's current payload.
-        state: C,
     },
 }
 
@@ -66,13 +67,14 @@ impl<C: Crdt + DeltaCrdt> Acceptor<C> {
 
     /// Applies an update function locally (paper lines 28–31, `apply_update`).
     ///
-    /// Returns a clone of the new payload state, which the proposer broadcasts in
-    /// `MERGE` messages. The round id is set to the write marker, invalidating any
-    /// in-flight proposal that prepared against the previous state.
-    pub fn apply_update(&mut self, update: &C::Update) -> C {
+    /// The round id is set to the write marker, invalidating any in-flight
+    /// proposal that prepared against the previous state. The caller reads the
+    /// grown payload through [`Acceptor::state`] (and clones it once per
+    /// protocol instance, not once per applied update, when broadcasting
+    /// `MERGE` messages).
+    pub fn apply_update(&mut self, update: &C::Update) {
         self.state.apply(self.replica, update);
         self.round = self.round.with_write_marker();
-        self.state.clone()
     }
 
     /// Handles a `MERGE` message (paper lines 32–35): joins the received payload
@@ -105,7 +107,7 @@ impl<C: Crdt + DeltaCrdt> Acceptor<C> {
         &mut self,
         round: PrepareRound,
         payload: Option<&Payload<C>>,
-    ) -> AcceptOutcome<C> {
+    ) -> AcceptOutcome {
         if let Some(payload) = payload {
             payload.join_into(&mut self.state);
         }
@@ -114,23 +116,23 @@ impl<C: Crdt + DeltaCrdt> Acceptor<C> {
 
     /// [`Acceptor::handle_prepare`] for the proposer's own acceptor, which holds the
     /// payload state by reference and never wraps it in a [`Payload`].
-    pub fn prepare_local(&mut self, round: PrepareRound, state: Option<&C>) -> AcceptOutcome<C> {
+    pub fn prepare_local(&mut self, round: PrepareRound, state: Option<&C>) -> AcceptOutcome {
         if let Some(state) = state {
             self.state.join(state);
         }
         self.decide_prepare(round)
     }
 
-    fn decide_prepare(&mut self, round: PrepareRound) -> AcceptOutcome<C> {
+    fn decide_prepare(&mut self, round: PrepareRound) -> AcceptOutcome {
         let requested = match round {
             PrepareRound::Incremental { id } => Round::new(self.round.number + 1, id),
             PrepareRound::Fixed(round) => round,
         };
         if requested.number > self.round.number {
             self.round = requested;
-            AcceptOutcome::Ack { round: self.round, state: self.state.clone() }
+            AcceptOutcome::Ack { round: self.round }
         } else {
-            AcceptOutcome::Nack { round: self.round, state: self.state.clone() }
+            AcceptOutcome::Nack { round: self.round }
         }
     }
 
@@ -140,23 +142,23 @@ impl<C: Crdt + DeltaCrdt> Acceptor<C> {
     /// succeeds only if the acceptor's round still equals the proposal's round, i.e.
     /// no concurrent update, merge, or competing prepare has intervened since the
     /// first phase (invariant I4).
-    pub fn handle_vote(&mut self, round: Round, payload: &Payload<C>) -> AcceptOutcome<C> {
+    pub fn handle_vote(&mut self, round: Round, payload: &Payload<C>) -> AcceptOutcome {
         payload.join_into(&mut self.state);
         self.decide_vote(round)
     }
 
     /// [`Acceptor::handle_vote`] for the proposer's own acceptor (no [`Payload`]
     /// wrapping, no clone).
-    pub fn vote_local(&mut self, round: Round, state: &C) -> AcceptOutcome<C> {
+    pub fn vote_local(&mut self, round: Round, state: &C) -> AcceptOutcome {
         self.state.join(state);
         self.decide_vote(round)
     }
 
-    fn decide_vote(&mut self, round: Round) -> AcceptOutcome<C> {
+    fn decide_vote(&mut self, round: Round) -> AcceptOutcome {
         if round == self.round {
-            AcceptOutcome::Ack { round: self.round, state: self.state.clone() }
+            AcceptOutcome::Ack { round: self.round }
         } else {
-            AcceptOutcome::Nack { round: self.round, state: self.state.clone() }
+            AcceptOutcome::Nack { round: self.round }
         }
     }
 
@@ -192,8 +194,7 @@ mod tests {
     #[test]
     fn apply_update_grows_state_and_marks_write() {
         let mut acceptor = acceptor();
-        let new_state = acceptor.apply_update(&CounterUpdate::Increment(3));
-        assert_eq!(new_state.value(), 3);
+        acceptor.apply_update(&CounterUpdate::Increment(3));
         assert_eq!(acceptor.state().value(), 3);
         assert!(acceptor.has_pending_write_marker());
         assert_eq!(acceptor.round().number, 0, "updates do not change the round number");
@@ -234,10 +235,10 @@ mod tests {
     fn incremental_prepare_is_always_accepted_and_increments_round() {
         let mut acceptor = acceptor();
         match acceptor.handle_prepare(PrepareRound::Incremental { id: proposer_id(1) }, None) {
-            AcceptOutcome::Ack { round, state } => {
+            AcceptOutcome::Ack { round } => {
                 assert_eq!(round.number, 1);
                 assert_eq!(round.id, proposer_id(1));
-                assert_eq!(state.value(), 0);
+                assert_eq!(acceptor.state().value(), 0);
             }
             other => panic!("expected ack, got {other:?}"),
         }
@@ -275,13 +276,13 @@ mod tests {
         let mut acceptor = acceptor();
         let mut payload = GCounter::new();
         payload.increment(ReplicaId::new(2), 4);
-        match acceptor.handle_prepare(
-            PrepareRound::Incremental { id: proposer_id(1) },
-            Some(&Payload::Full(payload)),
-        ) {
-            AcceptOutcome::Ack { state, .. } => assert_eq!(state.value(), 4),
-            other => panic!("expected ack, got {other:?}"),
-        }
+        assert!(matches!(
+            acceptor.handle_prepare(
+                PrepareRound::Incremental { id: proposer_id(1) },
+                Some(&Payload::Full(payload)),
+            ),
+            AcceptOutcome::Ack { .. }
+        ));
         assert_eq!(acceptor.state().value(), 4);
         // Joining a payload during prepare does NOT set the write marker.
         assert!(!acceptor.has_pending_write_marker());
@@ -338,9 +339,9 @@ mod tests {
         acceptor.apply_update(&CounterUpdate::Increment(1));
         let proposed = GCounter::new();
         match acceptor.handle_vote(round, &Payload::Full(proposed)) {
-            AcceptOutcome::Nack { round: current, state } => {
+            AcceptOutcome::Nack { round: current } => {
                 assert_eq!(current.id, RoundId::Write);
-                assert_eq!(state.value(), 1);
+                assert_eq!(acceptor.state().value(), 1);
             }
             other => panic!("expected nack, got {other:?}"),
         }

@@ -1,0 +1,168 @@
+//! The sans-IO driver surface shared by every protocol state machine in this
+//! crate.
+//!
+//! [`Replica`], [`ShardedReplica`], and the per-shard [`ShardCore`] all follow
+//! the same contract: they own no clocks, sockets, channels, or threads.
+//! Whatever hosts them — the deterministic simulator in `cluster`, the
+//! thread-per-shard executor in `engine`, or a hand-written test loop — feeds
+//! them inbound messages and the current time, then drains the addressed
+//! envelopes and client responses they produced. The [`Driver`] trait names
+//! that contract so hosts can be written once, generically, and so the
+//! simulator and the real-parallel engine provably drive the *same* cores.
+//!
+//! [`ShardCore`]: crate::ShardCore
+
+use crdt::ReplicaId;
+
+use crate::msg::ClientResponse;
+use crate::replica::Replica;
+use crate::shard::{ShardEnvelope, ShardMessage, ShardedReplica};
+use crate::PlanPartitioner;
+use crdt::{Crdt, DeltaCrdt, LatticeMap};
+use quorum::Partitioner;
+use std::fmt;
+
+/// Everything one [`Driver::step`] produced: envelopes to forward to peers and
+/// responses to deliver to clients.
+#[derive(Debug)]
+pub struct StepOutput<E, R> {
+    /// Addressed messages for the host to put on the wire (or the in-memory
+    /// mesh). Delivery may be delayed, reordered, or dropped — the protocol
+    /// tolerates all three.
+    pub outbox: Vec<E>,
+    /// Completed client commands, in completion order.
+    pub responses: Vec<R>,
+}
+
+/// A sans-IO protocol state machine: the host owns IO and time, the machine
+/// owns the protocol.
+///
+/// The required methods are the primitive surface every implementation already
+/// exposes (`handle_message` / `tick` / `take_outbox` / `take_responses`);
+/// [`Driver::step`] composes them in the one order that is always correct —
+/// deliver, advance time, drain.
+pub trait Driver {
+    /// What peers send to this machine.
+    type Incoming;
+    /// Addressed messages this machine emits for peers.
+    type Outgoing;
+    /// What this machine hands back to clients.
+    type Response;
+
+    /// Delivers one message from a peer.
+    fn handle(&mut self, from: ReplicaId, message: Self::Incoming);
+
+    /// Advances the machine's notion of time (batch flushes, retransmissions).
+    /// `now_ms` is host time; the machine only requires it to be monotone.
+    fn tick(&mut self, now_ms: u64);
+
+    /// Drains the addressed messages produced since the last drain.
+    fn drain_outbox(&mut self) -> Vec<Self::Outgoing>;
+
+    /// Drains the client responses produced since the last drain.
+    fn drain_responses(&mut self) -> Vec<Self::Response>;
+
+    /// One full driver cycle: deliver `inbox`, advance time to `now_ms`, and
+    /// drain everything produced. Hosts that do not need to interleave (the
+    /// engine's workers, simple test loops) can treat this as the entire API.
+    fn step<I>(&mut self, now_ms: u64, inbox: I) -> StepOutput<Self::Outgoing, Self::Response>
+    where
+        I: IntoIterator<Item = (ReplicaId, Self::Incoming)>,
+    {
+        for (from, message) in inbox {
+            self.handle(from, message);
+        }
+        self.tick(now_ms);
+        StepOutput { outbox: self.drain_outbox(), responses: self.drain_responses() }
+    }
+}
+
+impl<C: Crdt + DeltaCrdt> Driver for Replica<C> {
+    type Incoming = crate::Message<C>;
+    type Outgoing = crate::Envelope<C>;
+    type Response = ClientResponse<C>;
+
+    fn handle(&mut self, from: ReplicaId, message: Self::Incoming) {
+        self.handle_message(from, message);
+    }
+
+    fn tick(&mut self, now_ms: u64) {
+        Replica::tick(self, now_ms);
+    }
+
+    fn drain_outbox(&mut self) -> Vec<Self::Outgoing> {
+        self.take_outbox()
+    }
+
+    fn drain_responses(&mut self) -> Vec<Self::Response> {
+        self.take_responses()
+    }
+}
+
+impl<K, V, P> Driver for ShardedReplica<K, V, P>
+where
+    K: Ord + Clone + fmt::Debug + Send + 'static,
+    V: Crdt + DeltaCrdt,
+    P: Partitioner<K> + PlanPartitioner,
+{
+    type Incoming = ShardMessage<LatticeMap<K, V>>;
+    type Outgoing = ShardEnvelope<LatticeMap<K, V>>;
+    type Response = ClientResponse<LatticeMap<K, V>>;
+
+    fn handle(&mut self, from: ReplicaId, message: Self::Incoming) {
+        self.handle_message(from, message);
+    }
+
+    fn tick(&mut self, now_ms: u64) {
+        ShardedReplica::tick(self, now_ms);
+    }
+
+    fn drain_outbox(&mut self) -> Vec<Self::Outgoing> {
+        self.take_outbox()
+    }
+
+    fn drain_responses(&mut self) -> Vec<Self::Response> {
+        self.take_responses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClientId, Command, ProtocolConfig, ResponseBody};
+    use crdt::{CounterUpdate, GCounter};
+
+    #[test]
+    fn step_drives_a_replica_cluster_to_completion() {
+        let members: Vec<ReplicaId> = (0..3).map(ReplicaId::new).collect();
+        let mut nodes: Vec<Replica<GCounter>> = members
+            .iter()
+            .map(|&id| {
+                Replica::new(id, members.clone(), GCounter::default(), ProtocolConfig::default())
+            })
+            .collect();
+        nodes[0].submit(ClientId(7), Command::Update(CounterUpdate::Increment(5)));
+
+        let mut responses = Vec::new();
+        let mut inboxes: Vec<Vec<(ReplicaId, crate::Message<GCounter>)>> =
+            vec![Vec::new(); nodes.len()];
+        for now in 0..20u64 {
+            let mut quiet = true;
+            for (index, node) in nodes.iter_mut().enumerate() {
+                let out = node.step(now, inboxes[index].drain(..));
+                responses.extend(out.responses);
+                for envelope in out.outbox {
+                    quiet = false;
+                    inboxes[envelope.to.as_u64() as usize].push((envelope.from, envelope.message));
+                }
+            }
+            if quiet && inboxes.iter().all(Vec::is_empty) {
+                break;
+            }
+        }
+
+        assert_eq!(responses.len(), 1);
+        assert!(matches!(responses[0].body, ResponseBody::UpdateDone));
+        assert_eq!(responses[0].client, ClientId(7));
+    }
+}

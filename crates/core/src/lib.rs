@@ -32,11 +32,20 @@
 //!   proposer tracks, per peer, the largest state the peer is known to contain
 //!   (from `MERGED`/`ACK`/`NACK` replies) and diffs against it; first contact,
 //!   retries, and retransmissions fall back to full states.
-//! * [`ShardedReplica`] — the sharded keyspace engine: independent `Replica`
-//!   instances over a `crdt::LatticeMap`, one round counter and one quorum per
-//!   shard, with deterministic key routing (`quorum::Partitioner`) and
-//!   [`ShardEnvelope`]/[`ShardMessage`] multiplexing so non-conflicting commands
-//!   on different key ranges agree in parallel.
+//! * [`ShardCore`] — one shard of a partitioned keyspace as its own sans-io
+//!   state machine: a `Replica<LatticeMap>` plus the per-shard bookkeeping
+//!   (in-flight routing, fan-out legs, handoff extraction/absorption,
+//!   cancel-and-re-home). Pure by construction — no channels, clocks, or
+//!   sockets — so the same core is driven single-threaded by [`ShardedReplica`]
+//!   and the deterministic simulator, and one-OS-thread-per-core by the
+//!   `engine` crate's parallel executor.
+//! * [`ShardedReplica`] — the single-threaded router over a `Vec<ShardCore>`:
+//!   deterministic key routing (`quorum::Partitioner`),
+//!   [`ShardEnvelope`]/[`ShardMessage`] multiplexing, epoch fencing
+//!   ([`fence_decision`]), fan-out aggregation, and rebalance choreography, so
+//!   non-conflicting commands on different key ranges agree in parallel.
+//! * [`Driver`] — the uniform `step(now, inbox) -> outbox` surface over
+//!   [`Replica`] and [`ShardedReplica`] that executors program against.
 //! * [`rebalance`](crate::RebalancePlan) — dynamic resharding: the partitioner is
 //!   epoch-stamped (`quorum::EpochPartitioner`) and a [`RebalancePlan`] — agreed
 //!   through the ordinary protocol on a dedicated control shard — resizes the
@@ -50,24 +59,29 @@
 //! * [`Metrics`] — round-trip histograms, learning-path counters (Figure 3), and
 //!   encoded bytes-on-the-wire per message kind ([`WireMetrics`]).
 //!
-//! The companion crates provide the substrates: `crdt` (the data types), `quorum`
-//! (quorum systems), `cluster` (deterministic simulator and workloads), `transport`
-//! (tokio TCP runtime), and `baselines` (Multi-Paxos and Raft used for comparison).
+//! The companion crates provide the substrates and executors: `crdt` (the data
+//! types), `quorum` (quorum systems), `cluster` (deterministic simulator and
+//! workloads — one driver of these state machines), `engine` (the
+//! thread-per-shard parallel executor — the other driver), `transport` (tokio
+//! TCP runtime), and `baselines` (Multi-Paxos and Raft used for comparison).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod acceptor;
 mod config;
+mod driver;
 mod metrics;
 mod msg;
 mod rebalance;
 mod replica;
 mod round;
 mod shard;
+mod shard_core;
 
 pub use acceptor::{AcceptOutcome, Acceptor};
 pub use config::{PayloadMode, ProtocolConfig};
+pub use driver::{Driver, StepOutput};
 pub use metrics::{KindBytes, Metrics, WireMetrics};
 pub use msg::{
     ClientId, ClientResponse, Command, CommandId, Envelope, Message, Payload, RequestId,
@@ -78,3 +92,6 @@ pub use rebalance::{winning_shards, ControlState, PlanPartitioner, RebalancePlan
 pub use replica::{CancelledWork, Replica};
 pub use round::{PrepareRound, Round, RoundId};
 pub use shard::{ShardEnvelope, ShardMessage, ShardedReplica};
+pub use shard_core::{
+    fence_decision, CoreRehome, FenceDecision, RehomedCommand, ShardCore, ShardOutput, Stamp,
+};

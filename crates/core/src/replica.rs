@@ -7,7 +7,8 @@
 //! ([`Replica::tick`]), and drain the resulting outgoing messages
 //! ([`Replica::take_outbox`]) and client responses ([`Replica::take_responses`]).
 //! The same state machine is driven by the deterministic simulator, the tokio TCP
-//! runtime, and the unit tests.
+//! runtime, the thread-per-shard `engine` executor (via
+//! [`ShardCore`](crate::ShardCore)), and the unit tests.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -523,7 +524,8 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
             Message::Prepare { request, round, payload, basis } => {
                 let outcome = self.acceptor.handle_prepare(round, payload.as_ref());
                 let reply = match outcome {
-                    AcceptOutcome::Ack { round, state } => {
+                    AcceptOutcome::Ack { round } => {
+                        let state = self.acceptor.state().clone();
                         let (state, reveal, used) =
                             self.build_reply(state, payload.as_ref(), basis, true);
                         Message::PrepareAck { request, round, state, reveal, basis: used }
@@ -532,7 +534,8 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
                     // NACK arrives the proposer may have moved to the vote phase,
                     // where the prepare payload is no longer a reconstruction
                     // baseline it holds.
-                    AcceptOutcome::Nack { round, state } => {
+                    AcceptOutcome::Nack { round } => {
+                        let state = self.acceptor.state().clone();
                         Message::Nack { request, round, state: Payload::Full(state), basis: 0 }
                     }
                 };
@@ -553,8 +556,12 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
             Message::Vote { request, round, payload, basis } => {
                 let outcome = self.acceptor.handle_vote(round, &payload);
                 let reply = match outcome {
+                    // The §3.6 optimization pays off here: a `VOTED` carries no
+                    // state, so the acceptor's (possibly large) payload is not
+                    // cloned at all on the accepting hot path.
                     AcceptOutcome::Ack { .. } => Message::VoteAck { request },
-                    AcceptOutcome::Nack { round, state } => {
+                    AcceptOutcome::Nack { round } => {
+                        let state = self.acceptor.state().clone();
                         let (state, _, used) =
                             self.build_reply(state, Some(&payload), basis, false);
                         Message::Nack { request, round, state, basis: used }
@@ -1112,12 +1119,12 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
     fn start_update(&mut self, batch: Vec<(UpdateWaiter, C::Update)>) {
         debug_assert!(!batch.is_empty());
         let mut waiters = Vec::with_capacity(batch.len());
-        let mut merged_state = self.acceptor.state().clone();
         for (waiter, update) in batch {
-            merged_state = self.acceptor.apply_update(&update);
+            self.acceptor.apply_update(&update);
             waiters.push(waiter);
         }
-        self.launch_update(waiters, merged_state);
+        // One clone per protocol instance, after every batched update applied.
+        self.launch_update(waiters, self.acceptor.state().clone());
     }
 
     /// Starts the quorum half of an update instance: `merged_state` is the local
@@ -1197,15 +1204,16 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
         *round_trips += 1;
         *last_sent_ms = self.now_ms;
         match local_outcome {
-            AcceptOutcome::Ack { round: acked_round, state } => {
-                gathered.join(&state);
-                acks.insert(self.id, acked_round, state);
+            AcceptOutcome::Ack { round: acked_round } => {
+                let state = self.acceptor.state();
+                gathered.join(state);
+                acks.insert(self.id, acked_round, state.clone());
             }
-            AcceptOutcome::Nack { round: _, state } => {
+            AcceptOutcome::Nack { round: _ } => {
                 // Only possible for a fixed prepare that lost locally; keep going, the
                 // remote acceptors may still accept, and the retry logic handles the
                 // rest.
-                gathered.join(&state);
+                gathered.join(self.acceptor.state());
             }
         }
         *phase = QueryPhase::Prepare { round, sent_state: payload.clone(), acks };

@@ -10,15 +10,20 @@
 //! *across* keys, so disjoint key ranges may run entirely independent protocol
 //! instances.
 //!
-//! [`ShardedReplica`] is that engine. It owns independent
-//! [`Replica<LatticeMap<K, V>>`] instances — each with its own acceptor state,
-//! round counter, in-flight quorums, and batching timers — and routes every
-//! submitted key through a deterministic [`Partitioner`]. Outgoing traffic is
-//! multiplexed behind [`ShardEnvelope`]/[`ShardMessage`] (the inner protocol
-//! message tagged with its [`ShardId`] and the sender's partitioning **epoch**), so
-//! a single transport connection per peer carries all shards while quorums on
-//! different shards advance concurrently: an update on shard 0 never waits behind a
-//! contended read quorum on shard 3.
+//! [`ShardedReplica`] is the single-threaded router over that idea. Each shard
+//! is a [`ShardCore`](crate::ShardCore) — an independent
+//! [`Replica<LatticeMap<K, V>>`] with its own acceptor state, round counter,
+//! in-flight quorums, and batching timers, packaged as a pure sans-io state
+//! machine — and the router directs every submitted key to its owner through a
+//! deterministic [`Partitioner`]. Outgoing traffic is multiplexed behind
+//! [`ShardEnvelope`]/[`ShardMessage`] (the inner protocol message tagged with
+//! its [`ShardId`] and the sender's partitioning **epoch**), so a single
+//! transport connection per peer carries all shards while quorums on different
+//! shards advance concurrently: an update on shard 0 never waits behind a
+//! contended read quorum on shard 3. The same cores, behind the same wire
+//! format, are alternatively executed one-OS-thread-per-shard by the `engine`
+//! crate — this router is the deterministic (simulator- and test-friendly)
+//! driver, the engine is the parallel one.
 //!
 //! # Dynamic resharding
 //!
@@ -65,11 +70,12 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::ProtocolConfig;
 use crate::metrics::{Metrics, WireMetrics};
-use crate::msg::{ClientId, ClientResponse, Command, CommandId, Envelope, Message, ResponseBody};
+use crate::msg::{ClientId, ClientResponse, Command, CommandId, Message, ResponseBody};
 use crate::rebalance::{
     winning_shards, ControlState, PlanPartitioner, RebalancePlan, RebalanceStats,
 };
 use crate::replica::Replica;
+use crate::shard_core::{fence_decision, FenceDecision, ShardCore, ShardOutput, Stamp};
 
 /// What peers exchange in a sharded deployment: ordinary protocol traffic tagged
 /// with its shard and partitioning epoch, control-shard traffic, or a rebalance
@@ -150,11 +156,6 @@ impl<C: Crdt + DeltaCrdt> ShardEnvelope<C> {
     }
 }
 
-/// One partitioning assignment's identity: `(epoch, shard count)`, ordered
-/// lexicographically. Within an epoch the larger shard count supersedes, the same
-/// growth bias as [`winning_shards`].
-type Stamp = (u64, u32);
-
 /// A protocol message held back because it is stamped with a future assignment:
 /// `(sender, stamp, shard, message)`.
 type Deferred<K, V> = (ReplicaId, Stamp, ShardId, Message<LatticeMap<K, V>>);
@@ -162,17 +163,6 @@ type Deferred<K, V> = (ReplicaId, Stamp, ShardId, Message<LatticeMap<K, V>>);
 /// A client command being re-homed during a plan install:
 /// `(client, outer command id, re-submittable command)`.
 type Rehomed<K, V> = (ClientId, CommandId, Command<LatticeMap<K, V>>);
-
-/// What a completed inner command maps back to at the sharded engine.
-#[derive(Debug, Clone)]
-enum Pending<K> {
-    /// A single-shard command; answer with the outer command id. The key is kept
-    /// so a rebalance can re-home the work onto the key's new owner shard (the
-    /// command payload itself is reclaimed from the instance at cancel time).
-    Single { command: CommandId, key: K },
-    /// One leg of a keyspace-wide fan-out query.
-    Fanout { command: CommandId },
-}
 
 /// Partial aggregate of a keyspace-wide query.
 #[derive(Debug)]
@@ -261,10 +251,12 @@ where
     /// The last installed plan (`None` until the first rebalance); echoed to
     /// stragglers by the epoch fence.
     plan: Option<RebalancePlan>,
-    /// Protocol instances, indexed by shard id. May exceed the active count after
-    /// a shrinking rebalance: retired instances keep their (stale, lower-bound)
-    /// states and are reactivated in place by a later growth.
-    shards: Vec<Replica<LatticeMap<K, V>>>,
+    /// Per-shard sans-IO cores, indexed by shard id. May exceed the active count
+    /// after a shrinking rebalance: retired instances keep their (stale,
+    /// lower-bound) states and are reactivated in place by a later growth.
+    /// These are the same cores the thread-per-shard engine drives — this
+    /// router is simply their single-threaded driver.
+    shards: Vec<ShardCore<K, V>>,
     /// The control shard: plans are agreed here through the ordinary protocol.
     control: Replica<ControlState>,
     control_phase: Option<ControlPhase>,
@@ -273,15 +265,14 @@ where
     /// request wins).
     queued_target: Option<u32>,
     next_command: u64,
-    pending: BTreeMap<(ShardId, CommandId), Pending<K>>,
     fanouts: BTreeMap<CommandId, Fanout<K>>,
     responses: Vec<ClientResponse<LatticeMap<K, V>>>,
     /// Protocol messages from future epochs, buffered until their plan installs.
     deferred: Vec<Deferred<K, V>>,
-    /// Bounce replies and plan gossip produced outside the per-instance outboxes.
+    /// Bounce replies and plan gossip produced outside the per-core outboxes.
     extra: Vec<ShardEnvelope<LatticeMap<K, V>>>,
-    /// Reused drain buffer for the per-instance outboxes (no per-cycle allocs).
-    outbox_scratch: Vec<Envelope<LatticeMap<K, V>>>,
+    /// Reused drain buffer for the per-core outputs (no per-cycle allocs).
+    output_scratch: Vec<ShardOutput<K, V>>,
     stats: RebalanceStats,
 }
 
@@ -334,7 +325,7 @@ where
         let shard_count = <P as Partitioner<K>>::shards(&partitioner);
         assert!(shard_count > 0, "a sharded replica needs at least one shard");
         let shards = (0..shard_count)
-            .map(|_| Replica::new(id, members.clone(), LatticeMap::default(), config.clone()))
+            .map(|shard| ShardCore::new(ShardId(shard), id, members.clone(), config.clone()))
             .collect();
         // The control shard never batches: plan agreement is rare, tiny, and
         // latency-sensitive (the whole cluster fences on its outcome).
@@ -351,12 +342,11 @@ where
             control_phase: None,
             queued_target: None,
             next_command: 0,
-            pending: BTreeMap::new(),
             fanouts: BTreeMap::new(),
             responses: Vec::new(),
             deferred: Vec::new(),
             extra: Vec::new(),
-            outbox_scratch: Vec::new(),
+            output_scratch: Vec::new(),
             stats: RebalanceStats::default(),
         }
     }
@@ -412,23 +402,23 @@ where
 
     /// The replica group (identical across shards).
     pub fn membership(&self) -> &Membership<ReplicaId> {
-        self.shards[0].membership()
+        self.shards[0].replica().membership()
     }
 
     /// Read access to one shard's protocol instance (tests, observability).
     pub fn shard(&self, shard: ShardId) -> &Replica<LatticeMap<K, V>> {
-        &self.shards[shard.as_usize()]
+        self.shards[shard.as_usize()].replica()
     }
 
     /// Iterates over all shard instances in shard order (including retired ones).
     pub fn shards(&self) -> impl Iterator<Item = &Replica<LatticeMap<K, V>>> {
-        self.shards.iter()
+        self.shards.iter().map(ShardCore::replica)
     }
 
     /// Total number of protocol instances currently in flight over all data
     /// shards (the control shard is excluded).
     pub fn in_flight(&self) -> usize {
-        self.shards.iter().map(Replica::in_flight).sum()
+        self.shards.iter().map(ShardCore::in_flight).sum()
     }
 
     /// Proposer metrics aggregated over all data shards.
@@ -537,9 +527,7 @@ where
             Command::Query(_) => unreachable!("keyspace-wide queries are tracked as fan-outs"),
         };
         let owner = self.partitioner.shard_of(&key).as_usize();
-        let inner = self.shards[owner].submit(client, command);
-        self.pending
-            .insert((ShardId(owner as u32), inner), Pending::Single { command: outer, key });
+        self.shards[owner].submit_single(client, outer, key, command);
     }
 
     /// Submits one `Keys` leg per active shard for the fan-out `outer` and resets
@@ -555,8 +543,7 @@ where
             fanout.remaining = active;
         }
         for index in 0..active {
-            let inner = self.shards[index].submit(client, Command::Query(MapQuery::Keys));
-            self.pending.insert((ShardId(index as u32), inner), Pending::Fanout { command: outer });
+            self.shards[index].submit_fanout_leg(client, outer);
         }
     }
 
@@ -601,45 +588,47 @@ where
         shard: ShardId,
         message: Message<LatticeMap<K, V>>,
     ) {
-        let current = self.stamp();
-        if stamp < current {
-            // Fence: the sender routes by a superseded assignment. Its data must
-            // not bypass the handoff copies, so answer with the plan instead of
-            // processing; the sender installs it, re-homes, and retries.
-            self.stats.epoch_bounces += 1;
-            if let Some(plan) = self.plan {
+        match fence_decision(self.stamp(), stamp) {
+            FenceDecision::Bounce => {
+                // The sender routes by a superseded assignment. Its data must
+                // not bypass the handoff copies, so answer with the plan instead
+                // of processing; the sender installs it, re-homes, and retries.
+                self.stats.epoch_bounces += 1;
+                if let Some(plan) = self.plan {
+                    self.extra.push(ShardEnvelope {
+                        from: self.id,
+                        to: from,
+                        message: ShardMessage::Rebalance { plan },
+                    });
+                }
+            }
+            FenceDecision::Defer => {
+                // The sender is ahead: its plan has not reached this replica
+                // yet. Processing early would bypass the local handoff copy, so
+                // buffer until the plan installs — and ask the sender for it,
+                // because the one-shot gossip may have been lost and the
+                // sender's retransmissions would otherwise just pile up here
+                // with the same future stamp.
+                if self.deferred.len() < Self::DEFERRED_CAP {
+                    self.stats.messages_deferred += 1;
+                    self.deferred.push((from, stamp, shard, message));
+                }
                 self.extra.push(ShardEnvelope {
                     from: self.id,
                     to: from,
-                    message: ShardMessage::Rebalance { plan },
+                    message: ShardMessage::PlanRequest,
                 });
             }
-            return;
-        }
-        if stamp > current {
-            // The sender is ahead: its plan has not reached this replica yet.
-            // Processing early would bypass the local handoff copy, so buffer
-            // until the plan installs — and ask the sender for it, because the
-            // one-shot gossip may have been lost and the sender's retransmissions
-            // would otherwise just pile up here with the same future stamp.
-            if self.deferred.len() < Self::DEFERRED_CAP {
-                self.stats.messages_deferred += 1;
-                self.deferred.push((from, stamp, shard, message));
+            FenceDecision::Process => {
+                // Equal stamps mean the identical assignment, so in-range shard
+                // ids are guaranteed for well-behaved peers; anything else is a
+                // misconfiguration and is dropped rather than corrupting
+                // another instance.
+                if shard.as_usize() < self.active() {
+                    self.shards[shard.as_usize()].handle_message(from, message);
+                }
             }
-            self.extra.push(ShardEnvelope {
-                from: self.id,
-                to: from,
-                message: ShardMessage::PlanRequest,
-            });
-            return;
         }
-        // Equal stamps mean the identical assignment, so in-range shard ids are
-        // guaranteed for well-behaved peers; anything else is a misconfiguration
-        // and is dropped rather than corrupting another instance.
-        if shard.as_usize() >= self.active() {
-            return;
-        }
-        self.shards[shard.as_usize()].handle_message(from, message);
     }
 
     /// Initiates a rebalance to `target_shards` hash-partitioned shards.
@@ -741,10 +730,11 @@ where
         // same instances). A shrink keeps retired instances: their states are
         // harmless lower bounds a later split reactivates in place.
         while self.shards.len() < new_active {
-            self.shards.push(Replica::new(
+            let shard = ShardId(self.shards.len() as u32);
+            self.shards.push(ShardCore::new(
+                shard,
                 self.id,
                 self.members.clone(),
-                LatticeMap::default(),
                 self.config.clone(),
             ));
         }
@@ -756,17 +746,17 @@ where
         let mut moves: Vec<LatticeMap<K, V>> =
             (0..self.shards.len()).map(|_| LatticeMap::default()).collect();
         for source in 0..old_active {
-            for (key, value) in self.shards[source].local_state().iter() {
-                let destination = self.partitioner.shard_of(key).as_usize();
-                if destination != source {
-                    moves[destination].merge_entry(key.clone(), value);
-                    self.stats.keys_moved += 1;
-                }
+            let partitioner = &self.partitioner;
+            for (destination, sub) in
+                self.shards[source].extract_moves(|key| partitioner.shard_of(key))
+            {
+                self.stats.keys_moved += sub.len() as u64;
+                moves[destination.as_usize()].join(&sub);
             }
         }
         for (index, sub) in moves.iter().enumerate() {
             if !sub.is_empty() {
-                self.shards[index].absorb_state(sub);
+                self.shards[index].absorb_moved(sub);
             }
         }
 
@@ -779,33 +769,15 @@ where
         let mut rehome_resync: BTreeMap<usize, Vec<(ClientId, CommandId, K)>> = BTreeMap::new();
         let mut resubmit: Vec<Rehomed<K, V>> = Vec::new();
         for index in 0..instances_before {
-            let shard = ShardId(index as u32);
-            let cancelled = self.shards[index].cancel_in_flight();
-            for (client, inner) in cancelled.applied_updates {
-                if let Some(Pending::Single { command, key }) = self.pending.remove(&(shard, inner))
-                {
-                    let owner = self.partitioner.shard_of(&key).as_usize();
-                    self.stats.commands_rehomed += 1;
-                    rehome_resync.entry(owner).or_default().push((client, command, key));
-                }
-                // `None` is a cancelled waiterless resync: nothing to re-home.
+            let rehome = self.shards[index].cancel_and_rehome();
+            for (client, command, key) in rehome.applied {
+                let owner = self.partitioner.shard_of(&key).as_usize();
+                self.stats.commands_rehomed += 1;
+                rehome_resync.entry(owner).or_default().push((client, command, key));
             }
-            for (client, inner, update) in cancelled.unapplied_updates {
-                if let Some(Pending::Single { command, .. }) = self.pending.remove(&(shard, inner))
-                {
-                    self.stats.commands_rehomed += 1;
-                    resubmit.push((client, command, Command::Update(update)));
-                }
-            }
-            for (client, inner, query) in cancelled.queries {
-                match self.pending.remove(&(shard, inner)) {
-                    Some(Pending::Single { command, .. }) => {
-                        self.stats.commands_rehomed += 1;
-                        resubmit.push((client, command, Command::Query(query)));
-                    }
-                    // Fan-out legs restart wholesale below.
-                    Some(Pending::Fanout { .. }) | None => {}
-                }
+            for entry in rehome.resubmit {
+                self.stats.commands_rehomed += 1;
+                resubmit.push(entry);
             }
         }
 
@@ -816,14 +788,7 @@ where
             if rehomed.is_empty() && moved.is_empty() {
                 continue;
             }
-            let clients: Vec<ClientId> = rehomed.iter().map(|(client, _, _)| *client).collect();
-            let inner_ids = self.shards[index].submit_resync(&clients);
-            for ((_, outer, key), inner) in rehomed.into_iter().zip(inner_ids) {
-                self.pending.insert(
-                    (ShardId(index as u32), inner),
-                    Pending::Single { command: outer, key },
-                );
-            }
+            self.shards[index].begin_resync(rehomed);
         }
 
         for (client, outer, command) in resubmit {
@@ -835,7 +800,9 @@ where
         // but whose responses are still buffered in their instance would
         // otherwise be absorbed into the restarted aggregate, double-counting
         // keys and emitting it before the new legs finish.
-        self.pending.retain(|_, pending| !matches!(pending, Pending::Fanout { .. }));
+        for core in &mut self.shards {
+            core.purge_fanout_legs();
+        }
         let fanout_ids: Vec<CommandId> = self.fanouts.keys().copied().collect();
         for outer in fanout_ids {
             self.restart_fanout(outer);
@@ -908,21 +875,10 @@ where
     /// Drains the shard-tagged messages produced since the last call.
     pub fn take_outbox(&mut self) -> Vec<ShardEnvelope<LatticeMap<K, V>>> {
         self.poll_control();
-        let (epoch, shards) = self.stamp();
+        let stamp = self.stamp();
         let mut out = std::mem::take(&mut self.extra);
-        for (index, shard) in self.shards.iter_mut().enumerate() {
-            let shard_id = ShardId(index as u32);
-            shard.drain_outbox_into(&mut self.outbox_scratch);
-            out.extend(self.outbox_scratch.drain(..).map(|envelope| ShardEnvelope {
-                from: envelope.from,
-                to: envelope.to,
-                message: ShardMessage::Protocol {
-                    epoch,
-                    shards,
-                    shard: shard_id,
-                    message: envelope.message,
-                },
-            }));
+        for core in &mut self.shards {
+            core.drain_outbox_into(stamp, &mut out);
         }
         out.extend(self.control.take_outbox().into_iter().map(|envelope| ShardEnvelope {
             from: envelope.from,
@@ -937,19 +893,13 @@ where
     pub fn take_responses(&mut self) -> Vec<ClientResponse<LatticeMap<K, V>>> {
         self.poll_control();
         for index in 0..self.shards.len() {
-            let shard = ShardId(index as u32);
-            for response in self.shards[index].take_responses() {
-                let Some(pending) = self.pending.remove(&(shard, response.command)) else {
-                    continue;
-                };
-                match pending {
-                    Pending::Single { command, .. } => self.responses.push(ClientResponse {
-                        client: response.client,
-                        command,
-                        body: response.body,
-                        round_trips: response.round_trips,
-                    }),
-                    Pending::Fanout { command } => self.absorb_fanout_leg(command, shard, response),
+            self.shards[index].drain_outputs(&mut self.output_scratch);
+            for output in std::mem::take(&mut self.output_scratch) {
+                match output {
+                    ShardOutput::Response(response) => self.responses.push(response),
+                    ShardOutput::FanoutLeg { command, shard, round_trips, keys } => {
+                        self.absorb_fanout_leg(command, shard, round_trips, keys);
+                    }
                 }
             }
         }
@@ -963,17 +913,18 @@ where
         &mut self,
         command: CommandId,
         shard: ShardId,
-        response: ClientResponse<LatticeMap<K, V>>,
+        round_trips: u32,
+        keys: Option<Vec<K>>,
     ) {
-        let owned: Option<Vec<K>> = match response.body {
-            ResponseBody::QueryDone(MapOutput::Keys(keys)) => Some(
-                keys.into_iter().filter(|key| self.partitioner.shard_of(key) == shard).collect(),
-            ),
-            _ => None,
-        };
+        // A shard instance answers for every key in its acceptor state,
+        // including stale handoff leftovers; the router filters down to the
+        // keys the current assignment actually routes to that shard.
+        let owned: Option<Vec<K>> = keys.map(|keys| {
+            keys.into_iter().filter(|key| self.partitioner.shard_of(key) == shard).collect()
+        });
         let Some(fanout) = self.fanouts.get_mut(&command) else { return };
         fanout.remaining = fanout.remaining.saturating_sub(1);
-        fanout.round_trips = fanout.round_trips.max(response.round_trips);
+        fanout.round_trips = fanout.round_trips.max(round_trips);
         match owned {
             Some(keys) => match &mut fanout.acc {
                 FanoutAcc::Len(total) => *total += keys.len() as u64,
@@ -1164,8 +1115,11 @@ mod tests {
             // The variant tag, epoch, shard count, and shard id cost four bytes
             // on the wire for small values.
             if let ShardMessage::Protocol { message, .. } = &envelope.message {
-                let inner =
-                    Envelope { from: envelope.from, to: envelope.to, message: message.clone() };
+                let inner = crate::Envelope {
+                    from: envelope.from,
+                    to: envelope.to,
+                    message: message.clone(),
+                };
                 let inner_bytes = wire::to_vec(&inner).unwrap();
                 assert!(bytes.len() <= inner_bytes.len() + 4);
             }

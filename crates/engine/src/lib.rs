@@ -1,0 +1,133 @@
+//! # engine — thread-per-shard parallel execution of the sharded CRDT Paxos
+//!
+//! The protocol crates are sans-IO: [`crdt_paxos_core::ShardCore`] is a pure
+//! state machine per shard, and the single-threaded
+//! [`crdt_paxos_core::ShardedReplica`] router that the deterministic simulator
+//! drives is just one way to execute those cores. This crate is the other way:
+//! a **real-parallel executor** that puts each shard core on its own OS thread
+//! and connects everything with lock-free mailboxes, so non-conflicting
+//! commands on different shards are agreed genuinely concurrently — the
+//! multi-core payoff of the paper's per-key independence argument.
+//!
+//! ## Topology
+//!
+//! Per replica ([`EngineNode`]):
+//!
+//! * one **router thread** — ingress demux + epoch fence, control shard,
+//!   rebalance choreography, fan-out aggregation (see [`mod@router` docs][r]);
+//! * one **worker thread per shard** — owns that shard's [`ShardCore`] and
+//!   pumps it: drain mailbox → tick → ship outbox → report outputs;
+//! * **mailboxes** ([`mailbox`]) — unbounded lock-free queues (`SegQueue`)
+//!   with condvar wakeups for inter-thread edges, one bounded queue
+//!   (`ArrayQueue`) for client submissions so callers feel backpressure.
+//!
+//! Outgoing envelopes leave through an [`Outbound`] sink: [`LocalMesh`] for
+//! in-process clusters ([`EngineCluster`]), or any transport bridge (see
+//! `examples/sharded_tcp_kv.rs`). Threads park when idle — the engine never
+//! busy-spins, so oversubscribed configurations (more shards than cores)
+//! degrade gracefully.
+//!
+//! Because the engine executes the *same* `ShardCore` type the simulator
+//! drives, every safety property the deterministic tests establish transfers
+//! to the parallel execution; the engine adds only scheduling. The stress test
+//! in `tests/` checks the combination end to end: per-key linearizable
+//! histories under concurrent multi-threaded clients across a live rebalance.
+//!
+//! [r]: self::router
+//! [`ShardCore`]: crdt_paxos_core::ShardCore
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hash::Hash;
+
+use crdt::{Crdt, DeltaCrdt};
+use crdt_paxos_core::ProtocolConfig;
+
+pub mod mailbox;
+mod mesh;
+mod node;
+mod router;
+mod worker;
+
+pub use mesh::{LocalMesh, Outbound};
+pub use node::{EngineNode, NodeIngress};
+pub use router::RouterRequest;
+
+/// Everything the engine requires of a key: the sharded keyspace's own bounds
+/// plus `Hash` (the engine partitions by hash) and `Send` (keys cross thread
+/// boundaries).
+pub trait EngineKey: Ord + Clone + Hash + fmt::Debug + Send + 'static {}
+impl<K> EngineKey for K where K: Ord + Clone + Hash + fmt::Debug + Send + 'static {}
+
+/// Everything the engine requires of a value CRDT: the protocol's own bounds
+/// plus `Send` for the state and its delta (both cross thread boundaries).
+pub trait EngineValue: Crdt + DeltaCrdt<Delta: Send> + Send + 'static {}
+impl<V> EngineValue for V where V: Crdt + DeltaCrdt<Delta: Send> + Send + 'static {}
+
+/// An in-process engine cluster: `replicas` nodes wired through a
+/// [`LocalMesh`], each running its own router and shard workers.
+///
+/// This is the parallel counterpart of the facade's simulator-style local
+/// cluster: same protocol, same cores, real threads.
+pub struct EngineCluster<K: EngineKey, V: EngineValue> {
+    nodes: Vec<EngineNode<K, V>>,
+}
+
+impl<K: EngineKey, V: EngineValue> EngineCluster<K, V> {
+    /// Starts `replicas` nodes with `shards` hash-partitioned shards each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` or `shards` is zero.
+    pub fn new(replicas: u64, shards: u32, config: ProtocolConfig) -> Self {
+        use crdt::ReplicaId;
+        use std::sync::Arc;
+
+        assert!(replicas > 0, "a cluster needs at least one replica");
+        let members: Vec<ReplicaId> = (0..replicas).map(ReplicaId::new).collect();
+        let shareds: Vec<_> = members.iter().map(|_| node::NodeShared::new(shards)).collect();
+        let mesh = Arc::new(LocalMesh::new(
+            shareds.iter().map(|shared| node::NodeIngress::from_shared(shared)).collect(),
+        ));
+        let nodes = members
+            .iter()
+            .zip(shareds)
+            .map(|(&id, shared)| {
+                EngineNode::start_with_shared(
+                    id,
+                    members.clone(),
+                    shards,
+                    config.clone(),
+                    shared,
+                    Arc::<LocalMesh<K, V>>::clone(&mesh),
+                )
+            })
+            .collect();
+        EngineCluster { nodes }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no replicas (never true — see
+    /// [`EngineCluster::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node handle for replica `index`.
+    pub fn node(&self, index: usize) -> &EngineNode<K, V> {
+        &self.nodes[index]
+    }
+
+    /// Shuts every node down, joining all threads.
+    pub fn shutdown(mut self) {
+        for node in self.nodes.drain(..) {
+            node.shutdown();
+        }
+    }
+}

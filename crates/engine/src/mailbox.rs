@@ -1,0 +1,214 @@
+//! Lock-free mailboxes with blocking wakeups.
+//!
+//! Every engine thread (router or shard worker) owns one [`Signal`] and parks
+//! on it when idle; every queue feeding that thread shares the signal. The
+//! queues themselves are the lock-free primitives from the `crossbeam` shim —
+//! [`SegQueue`] for unbounded mailboxes, [`ArrayQueue`] for the bounded
+//! client-submission queue that provides backpressure — so producers never
+//! contend on a lock: a push is an atomic enqueue plus (only when the consumer
+//! might be parked) a condvar notify.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crossbeam::queue::{ArrayQueue, SegQueue};
+
+/// A consumer's wakeup latch: set by producers, consumed by one parked thread.
+///
+/// The latch (not the condvar alone) is what makes wakeups race-free: a
+/// producer that pushes between the consumer's drain and its park leaves the
+/// latch set, so the park returns immediately instead of sleeping a full
+/// timeout with work pending.
+#[derive(Debug, Default)]
+pub struct Signal {
+    /// Fast-path flag checked without the mutex; mirrors `state`.
+    pending: AtomicBool,
+    state: Mutex<bool>,
+    ready: Condvar,
+}
+
+impl Signal {
+    /// Creates an unsignalled latch.
+    pub fn new() -> Self {
+        Signal::default()
+    }
+
+    /// Sets the latch and wakes the consumer if it is parked.
+    pub fn notify(&self) {
+        if self.pending.swap(true, Ordering::AcqRel) {
+            // Already signalled: the consumer will observe it; skip the lock.
+            return;
+        }
+        let mut state = self.state.lock().unwrap();
+        *state = true;
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Parks until the latch is set or `timeout` elapses, then clears it.
+    /// Returns immediately when the latch is already set.
+    pub fn wait_timeout(&self, timeout: Duration) {
+        let mut state = self.state.lock().unwrap();
+        if !*state {
+            let (guard, _) = self.ready.wait_timeout(state, timeout).unwrap();
+            state = guard;
+        }
+        *state = false;
+        drop(state);
+        self.pending.store(false, Ordering::Release);
+    }
+}
+
+/// An unbounded MPSC mailbox: a lock-free [`SegQueue`] plus the consumer's
+/// shared [`Signal`].
+#[derive(Debug)]
+pub struct Mailbox<T> {
+    queue: SegQueue<T>,
+    signal: Arc<Signal>,
+}
+
+impl<T> Mailbox<T> {
+    /// Creates a mailbox whose pushes wake `signal`'s owner.
+    pub fn new(signal: Arc<Signal>) -> Self {
+        Mailbox { queue: SegQueue::new(), signal }
+    }
+
+    /// Enqueues `item` and wakes the consumer.
+    pub fn push(&self, item: T) {
+        self.queue.push(item);
+        self.signal.notify();
+    }
+
+    /// Moves every queued item into `buf`; returns how many were moved.
+    pub fn drain_into(&self, buf: &mut Vec<T>) -> usize {
+        let before = buf.len();
+        while let Some(item) = self.queue.pop() {
+            buf.push(item);
+        }
+        buf.len() - before
+    }
+
+    /// Dequeues one item if one is ready.
+    pub fn try_pop(&self) -> Option<T> {
+        self.queue.pop()
+    }
+
+    /// Whether the mailbox is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// A bounded MPSC submission queue: a lock-free [`ArrayQueue`] plus the
+/// consumer's [`Signal`]. A full queue pushes back on the producer —
+/// [`BoundedMailbox::push`] spins with `yield_now` until a slot frees up — so
+/// clients cannot outrun the router unboundedly.
+#[derive(Debug)]
+pub struct BoundedMailbox<T> {
+    queue: ArrayQueue<T>,
+    signal: Arc<Signal>,
+}
+
+impl<T> BoundedMailbox<T> {
+    /// Creates a bounded mailbox with room for `capacity` items.
+    pub fn new(capacity: usize, signal: Arc<Signal>) -> Self {
+        BoundedMailbox { queue: ArrayQueue::new(capacity), signal }
+    }
+
+    /// Enqueues `item`, blocking (yield-spinning) while the queue is full.
+    pub fn push(&self, item: T) {
+        let mut item = item;
+        loop {
+            match self.queue.push(item) {
+                Ok(()) => break,
+                Err(rejected) => {
+                    item = rejected;
+                    // The consumer drains in batches; yielding beats a condvar
+                    // round trip at these queue depths.
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.signal.notify();
+    }
+
+    /// Enqueues `item` if there is room, without blocking.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let result = self.queue.push(item);
+        if result.is_ok() {
+            self.signal.notify();
+        }
+        result
+    }
+
+    /// Moves every queued item into `buf`; returns how many were moved.
+    pub fn drain_into(&self, buf: &mut Vec<T>) -> usize {
+        let before = buf.len();
+        while let Some(item) = self.queue.pop() {
+            buf.push(item);
+        }
+        buf.len() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn signal_wakes_parked_consumer() {
+        let signal = Arc::new(Signal::new());
+        let mailbox = Arc::new(Mailbox::new(Arc::clone(&signal)));
+        let consumer = {
+            let signal = Arc::clone(&signal);
+            let mailbox = Arc::clone(&mailbox);
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let deadline = Instant::now() + Duration::from_secs(5);
+                while buf.is_empty() && Instant::now() < deadline {
+                    mailbox.drain_into(&mut buf);
+                    if buf.is_empty() {
+                        signal.wait_timeout(Duration::from_millis(50));
+                    }
+                }
+                buf
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        mailbox.push(42u64);
+        assert_eq!(consumer.join().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn notify_before_wait_is_not_lost() {
+        let signal = Signal::new();
+        signal.notify();
+        let start = Instant::now();
+        signal.wait_timeout(Duration::from_secs(5));
+        // The pre-set latch must make the wait return without sleeping.
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn bounded_mailbox_applies_backpressure() {
+        let signal = Arc::new(Signal::new());
+        let mailbox = Arc::new(BoundedMailbox::new(2, Arc::clone(&signal)));
+        mailbox.push(1u8);
+        mailbox.push(2u8);
+        assert_eq!(mailbox.try_push(3u8), Err(3u8));
+        // A blocked push completes once the consumer drains.
+        let producer = {
+            let mailbox = Arc::clone(&mailbox);
+            std::thread::spawn(move || mailbox.push(4u8))
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        let mut buf = Vec::new();
+        while buf.len() < 3 {
+            mailbox.drain_into(&mut buf);
+        }
+        producer.join().unwrap();
+        assert_eq!(buf, vec![1, 2, 4]);
+    }
+}

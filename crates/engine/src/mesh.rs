@@ -1,0 +1,52 @@
+//! Where outgoing envelopes go: the [`Outbound`] trait and the in-process
+//! [`LocalMesh`].
+//!
+//! Workers and routers hand every produced [`ShardEnvelope`] to an `Outbound`
+//! sink. In-process clusters use [`LocalMesh`], which pushes the envelope
+//! straight onto the destination node's ingress mailbox (no serialization, no
+//! router hop on the sending side). Distributed deployments implement
+//! `Outbound` over a real transport — see `examples/sharded_tcp_kv.rs`, which
+//! bridges to `transport::TcpMesh` — and feed received messages back through
+//! [`NodeIngress::deliver`].
+
+use crdt::{LatticeMap, ReplicaId};
+use crdt_paxos_core::{ShardEnvelope, ShardMessage};
+
+use crate::node::NodeIngress;
+use crate::{EngineKey, EngineValue};
+
+/// A sink for outgoing protocol envelopes. Implementations must be cheap and
+/// non-blocking: workers call this from their hot loop.
+pub trait Outbound<K: EngineKey, V: EngineValue>: Send + Sync {
+    /// Ships one addressed envelope towards `envelope.to`. Delivery may be
+    /// delayed, reordered, or dropped — the protocol tolerates all three.
+    fn send(&self, envelope: ShardEnvelope<LatticeMap<K, V>>);
+}
+
+/// The in-process transport: every node's ingress mailbox, indexed by replica
+/// id. Sends are a single lock-free enqueue on the destination's router queue.
+pub struct LocalMesh<K: EngineKey, V: EngineValue> {
+    ingress: Vec<NodeIngress<K, V>>,
+}
+
+impl<K: EngineKey, V: EngineValue> LocalMesh<K, V> {
+    /// Builds a mesh over the given ingress handles; node `i` must be replica
+    /// id `i`.
+    pub fn new(ingress: Vec<NodeIngress<K, V>>) -> Self {
+        LocalMesh { ingress }
+    }
+
+    /// Delivers a message to a node directly (test hook).
+    pub fn deliver(&self, to: ReplicaId, from: ReplicaId, message: ShardMessage<LatticeMap<K, V>>) {
+        if let Some(ingress) = self.ingress.get(to.as_u64() as usize) {
+            ingress.deliver(from, message);
+        }
+    }
+}
+
+impl<K: EngineKey, V: EngineValue> Outbound<K, V> for LocalMesh<K, V> {
+    fn send(&self, envelope: ShardEnvelope<LatticeMap<K, V>>) {
+        let (to, from, message) = (envelope.to, envelope.from, envelope.message);
+        self.deliver(to, from, message);
+    }
+}

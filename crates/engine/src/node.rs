@@ -1,0 +1,226 @@
+//! The public handle on one engine replica: submission, responses, rebalance
+//! control, and transport bridging.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crdt::{LatticeMap, ReplicaId};
+use crdt_paxos_core::{ClientId, ClientResponse, Command, CommandId, ProtocolConfig, ShardMessage};
+use crossbeam::queue::SegQueue;
+
+use crate::mailbox::{BoundedMailbox, Mailbox, Signal};
+use crate::mesh::Outbound;
+use crate::router::{Router, RouterRequest};
+use crate::worker::WorkerFeedback;
+use crate::{EngineKey, EngineValue};
+
+/// How many client submissions may queue at the router before `submit` blocks.
+/// Deep enough to keep pipelined clients busy, shallow enough that a stalled
+/// router pushes back instead of buffering without bound.
+const SUBMIT_QUEUE_DEPTH: usize = 1024;
+
+/// State shared between the node handle, its router thread, and (via
+/// [`NodeIngress`]) the transport feeding it.
+pub(crate) struct NodeShared<K: EngineKey, V: EngineValue> {
+    /// The router's wakeup latch; every inbound queue below notifies it.
+    pub router_signal: Arc<Signal>,
+    /// Peer messages from the transport.
+    pub ingress: Mailbox<(ReplicaId, ShardMessage<LatticeMap<K, V>>)>,
+    /// Client submissions and rebalance requests (bounded: backpressure).
+    pub requests: BoundedMailbox<RouterRequest<K, V>>,
+    /// Worker → router feedback (outputs and cutover replies); workers hold
+    /// clones of this handle.
+    pub feedback: Arc<Mailbox<WorkerFeedback<K, V>>>,
+    /// Completed client commands, drained by the node handle.
+    pub responses: SegQueue<ClientResponse<LatticeMap<K, V>>>,
+    /// Wakes one response consumer; see [`EngineNode::wait_response`].
+    pub response_signal: Signal,
+    /// Outer command-id allocator (handles allocate, the router just routes).
+    pub next_command: AtomicU64,
+    /// The installed partitioning epoch (mirrors the router's stamp).
+    pub epoch: AtomicU64,
+    /// The active shard count (mirrors the router's stamp).
+    pub shards: AtomicU32,
+    /// False while a rebalance initiated on this node is still choreographing.
+    pub rebalance_idle: AtomicBool,
+    /// Set by [`EngineNode::shutdown`]; the router joins its workers and exits.
+    pub shutdown: AtomicBool,
+}
+
+impl<K: EngineKey, V: EngineValue> NodeShared<K, V> {
+    pub(crate) fn new(shards: u32) -> Arc<Self> {
+        let router_signal = Arc::new(Signal::new());
+        Arc::new(NodeShared {
+            ingress: Mailbox::new(Arc::clone(&router_signal)),
+            requests: BoundedMailbox::new(SUBMIT_QUEUE_DEPTH, Arc::clone(&router_signal)),
+            feedback: Arc::new(Mailbox::new(Arc::clone(&router_signal))),
+            router_signal,
+            responses: SegQueue::new(),
+            response_signal: Signal::new(),
+            next_command: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            shards: AtomicU32::new(shards),
+            rebalance_idle: AtomicBool::new(true),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+}
+
+/// A cloneable handle for delivering peer messages into a node — the receive
+/// half of a transport bridge ([`crate::LocalMesh`] in process, or a real
+/// transport reader task).
+pub struct NodeIngress<K: EngineKey, V: EngineValue> {
+    shared: Arc<NodeShared<K, V>>,
+}
+
+impl<K: EngineKey, V: EngineValue> Clone for NodeIngress<K, V> {
+    fn clone(&self) -> Self {
+        NodeIngress { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<K: EngineKey, V: EngineValue> NodeIngress<K, V> {
+    pub(crate) fn from_shared(shared: &Arc<NodeShared<K, V>>) -> Self {
+        NodeIngress { shared: Arc::clone(shared) }
+    }
+
+    /// Delivers one peer message to the node's router.
+    pub fn deliver(&self, from: ReplicaId, message: ShardMessage<LatticeMap<K, V>>) {
+        self.shared.ingress.push((from, message));
+    }
+}
+
+/// One replica of a thread-per-shard engine cluster: a router thread fencing
+/// and demultiplexing traffic, plus one worker thread per shard core.
+///
+/// The handle is `Send + Sync`; `submit` may be called from any number of
+/// client threads concurrently. Responses are drained from a single queue —
+/// use one consumer thread (or demultiplex by [`ClientResponse::command`] /
+/// client id) when multiple clients share a node. Dropping the handle shuts
+/// the node down.
+pub struct EngineNode<K: EngineKey, V: EngineValue> {
+    id: ReplicaId,
+    shared: Arc<NodeShared<K, V>>,
+    router: Option<JoinHandle<()>>,
+}
+
+impl<K: EngineKey, V: EngineValue> EngineNode<K, V> {
+    /// Starts a standalone node over a custom transport ([`Outbound`] for
+    /// sends; feed receives through [`EngineNode::ingress`]). For in-process
+    /// clusters use [`crate::EngineCluster::new`].
+    pub fn start(
+        id: ReplicaId,
+        members: Vec<ReplicaId>,
+        shards: u32,
+        config: ProtocolConfig,
+        outbound: Arc<dyn Outbound<K, V>>,
+    ) -> Self {
+        let shared = NodeShared::new(shards);
+        Self::start_with_shared(id, members, shards, config, shared, outbound)
+    }
+
+    pub(crate) fn start_with_shared(
+        id: ReplicaId,
+        members: Vec<ReplicaId>,
+        shards: u32,
+        config: ProtocolConfig,
+        shared: Arc<NodeShared<K, V>>,
+        outbound: Arc<dyn Outbound<K, V>>,
+    ) -> Self {
+        let router_shared = Arc::clone(&shared);
+        let router = std::thread::Builder::new()
+            .name(format!("router-{}", id.as_u64()))
+            .spawn(move || {
+                Router::new(id, members, shards, config, router_shared, outbound, Instant::now())
+                    .run();
+            })
+            .expect("spawn router");
+        EngineNode { id, shared, router: Some(router) }
+    }
+
+    /// This node's replica id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// A handle for delivering peer messages into this node.
+    pub fn ingress(&self) -> NodeIngress<K, V> {
+        NodeIngress { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Submits a client command; blocks briefly when the submission queue is
+    /// full (backpressure). Returns the id the response will carry.
+    pub fn submit(&self, client: ClientId, command: Command<LatticeMap<K, V>>) -> CommandId {
+        let outer = CommandId(self.shared.next_command.fetch_add(1, Ordering::Relaxed));
+        self.shared.requests.push(RouterRequest::Submit { client, outer, command });
+        outer
+    }
+
+    /// Initiates a rebalance of the whole cluster to `target` shards,
+    /// coordinated by this node. Poll [`EngineNode::epoch`] /
+    /// [`EngineNode::shard_count`] / [`EngineNode::rebalance_idle`] for
+    /// completion.
+    pub fn begin_rebalance(&self, target: u32) {
+        self.shared.rebalance_idle.store(false, Ordering::Release);
+        self.shared.requests.push(RouterRequest::Rebalance { target });
+    }
+
+    /// The partitioning epoch this node has installed.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// The active shard count this node routes by.
+    pub fn shard_count(&self) -> u32 {
+        self.shared.shards.load(Ordering::Acquire)
+    }
+
+    /// Whether no rebalance initiated on this node is still in flight.
+    pub fn rebalance_idle(&self) -> bool {
+        self.shared.rebalance_idle.load(Ordering::Acquire)
+    }
+
+    /// Dequeues one completed command, if any.
+    pub fn try_response(&self) -> Option<ClientResponse<LatticeMap<K, V>>> {
+        self.shared.responses.pop()
+    }
+
+    /// Blocks until a completed command is available or `timeout` elapses.
+    /// Intended for a single consumer thread per node.
+    pub fn wait_response(&self, timeout: Duration) -> Option<ClientResponse<LatticeMap<K, V>>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(response) = self.shared.responses.pop() {
+                return Some(response);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let remaining = deadline - now;
+            self.shared.response_signal.wait_timeout(remaining.min(Duration::from_millis(5)));
+        }
+    }
+
+    /// Stops the router and every worker, joining their threads. Queued work
+    /// is dropped; in-flight commands never produce a response.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.router_signal.notify();
+        if let Some(router) = self.router.take() {
+            router.join().ok();
+        }
+    }
+}
+
+impl<K: EngineKey, V: EngineValue> Drop for EngineNode<K, V> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -1,0 +1,604 @@
+//! The per-node router thread: the engine-side twin of the single-threaded
+//! [`ShardedReplica`] router, driving worker threads instead of an in-place
+//! `Vec<ShardCore>`.
+//!
+//! The router is a node's single stamp authority. Everything that depends on
+//! the current assignment happens here, in one thread, so no fence logic needs
+//! to be concurrent:
+//!
+//! * **Ingress demux** — every peer message passes through
+//!   [`fence_decision`]; accepted protocol traffic is forwarded to its shard's
+//!   worker mailbox (FIFO, so a cutover [`WorkerInput::Install`] is ordered
+//!   before any traffic of the new assignment and workers need no fence of
+//!   their own).
+//! * **Control shard** — the `Replica<ControlState>` that agrees rebalance
+//!   plans runs inline on the router (it is tiny and latency-insensitive).
+//! * **Rebalance choreography** — a plan install sends `Install` to every
+//!   worker, gathers their handoff/re-home replies at a barrier, then ships
+//!   the joined sub-states and resyncs to the destination workers. The barrier
+//!   only blocks the router (workers keep draining their mailboxes), and
+//!   mirrors the single-threaded install step for step.
+//! * **Fan-out aggregation** — keyspace-wide queries fan one leg per shard and
+//!   the router folds the answers, filtered to the keys each shard owns under
+//!   the current assignment.
+//!
+//! [`ShardedReplica`]: crdt_paxos_core::ShardedReplica
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crdt::{
+    GSetUpdate, Lattice, LatticeMap, MapOutput, MapQuery, MapUpdate, ReplicaId, SetOutput, SetQuery,
+};
+use crdt_paxos_core::{
+    fence_decision, winning_shards, ClientId, ClientResponse, Command, CommandId, ControlState,
+    FenceDecision, Message, PlanPartitioner, ProtocolConfig, RebalancePlan, RehomedCommand,
+    Replica, ResponseBody, ShardEnvelope, ShardMessage, ShardOutput, Stamp,
+};
+use quorum::{EpochPartitioner, HashPartitioner, Partitioner, ShardId};
+
+use crate::mesh::Outbound;
+use crate::node::NodeShared;
+use crate::worker::{spawn_worker, WorkerFeedback, WorkerHandle, WorkerInput, PARK};
+use crate::{EngineKey, EngineValue};
+
+/// Client-facing requests entering the router through the bounded queue.
+pub enum RouterRequest<K: EngineKey, V: EngineValue> {
+    /// A client command under a handle-allocated outer id.
+    Submit {
+        /// The submitting client.
+        client: ClientId,
+        /// The outer command id allocated by the node handle.
+        outer: CommandId,
+        /// The command to route.
+        command: Command<LatticeMap<K, V>>,
+    },
+    /// Coordinate a rebalance of the cluster to `target` shards.
+    Rebalance {
+        /// The requested number of shards.
+        target: u32,
+    },
+}
+
+/// Messages deferred because their stamp is ahead of the local assignment.
+type Deferred<K, V> = (ReplicaId, Stamp, ShardId, Message<LatticeMap<K, V>>);
+
+/// The coordinator's two-step rebalance choreography (commit the proposal,
+/// then read back the deterministic winner).
+#[derive(Debug, Clone, Copy)]
+enum ControlPhase {
+    Committing { command: CommandId, epoch: u64 },
+    Reading { command: CommandId, epoch: u64 },
+}
+
+/// A keyspace-wide query being aggregated across shard legs.
+struct Fanout<K> {
+    client: ClientId,
+    remaining: usize,
+    round_trips: u32,
+    failed: bool,
+    acc: FanoutAcc<K>,
+}
+
+enum FanoutAcc<K> {
+    Len(u64),
+    Keys(Vec<K>),
+}
+
+pub(crate) struct Router<K: EngineKey, V: EngineValue> {
+    id: ReplicaId,
+    members: Vec<ReplicaId>,
+    config: ProtocolConfig,
+    partitioner: EpochPartitioner<HashPartitioner>,
+    plan: Option<RebalancePlan>,
+    control: Replica<ControlState>,
+    control_phase: Option<ControlPhase>,
+    queued_target: Option<u32>,
+    fanouts: BTreeMap<CommandId, Fanout<K>>,
+    deferred: Vec<Deferred<K, V>>,
+    workers: Vec<WorkerHandle<K, V>>,
+    shared: Arc<NodeShared<K, V>>,
+    outbound: Arc<dyn Outbound<K, V>>,
+    start: Instant,
+}
+
+impl<K: EngineKey, V: EngineValue> Router<K, V> {
+    /// Future-stamped messages buffered per node (same cap as the
+    /// single-threaded router).
+    const DEFERRED_CAP: usize = 4096;
+
+    pub(crate) fn new(
+        id: ReplicaId,
+        members: Vec<ReplicaId>,
+        shards: u32,
+        config: ProtocolConfig,
+        shared: Arc<NodeShared<K, V>>,
+        outbound: Arc<dyn Outbound<K, V>>,
+        start: Instant,
+    ) -> Self {
+        assert!(shards > 0, "a keyspace needs at least one shard");
+        let control = Replica::new(id, members.clone(), ControlState::default(), config.clone());
+        let mut router = Router {
+            id,
+            members,
+            config,
+            partitioner: EpochPartitioner::new(HashPartitioner::new(shards)),
+            plan: None,
+            control,
+            control_phase: None,
+            queued_target: None,
+            fanouts: BTreeMap::new(),
+            deferred: Vec::new(),
+            workers: Vec::new(),
+            shared,
+            outbound,
+            start,
+        };
+        for shard in 0..shards {
+            router.spawn_shard(ShardId(shard));
+        }
+        router
+    }
+
+    fn spawn_shard(&mut self, shard: ShardId) {
+        let handle = spawn_worker(
+            shard,
+            self.id,
+            self.members.clone(),
+            self.config.clone(),
+            self.stamp(),
+            Arc::clone(&self.shared.feedback),
+            Arc::clone(&self.outbound),
+            self.start,
+        );
+        self.workers.push(handle);
+    }
+
+    fn stamp(&self) -> Stamp {
+        (self.partitioner.epoch(), Partitioner::<K>::shards(&self.partitioner))
+    }
+
+    fn active(&self) -> usize {
+        Partitioner::<K>::shards(&self.partitioner) as usize
+    }
+
+    fn control_client(&self) -> ClientId {
+        ClientId(self.id.as_u64())
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    pub(crate) fn run(mut self) {
+        let mut ingress = Vec::new();
+        let mut requests = Vec::new();
+        let mut feedback = Vec::new();
+        while !self.shared.shutdown.load(Ordering::Acquire) {
+            let mut busy = 0;
+            busy += self.shared.ingress.drain_into(&mut ingress);
+            for (from, message) in ingress.drain(..) {
+                self.handle_message(from, message);
+            }
+            busy += self.shared.requests.drain_into(&mut requests);
+            for request in requests.drain(..) {
+                match request {
+                    RouterRequest::Submit { client, outer, command } => {
+                        self.submit(client, outer, command);
+                    }
+                    RouterRequest::Rebalance { target } => self.begin_rebalance(target),
+                }
+            }
+            busy += self.shared.feedback.drain_into(&mut feedback);
+            for item in feedback.drain(..) {
+                self.handle_feedback(item);
+            }
+            self.control.tick(self.now_ms());
+            self.poll_control();
+            self.flush_control_outbox();
+            if busy == 0 {
+                self.shared.router_signal.wait_timeout(PARK);
+            }
+        }
+        for worker in &self.workers {
+            worker.mailbox.push(WorkerInput::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            worker.join.join().ok();
+        }
+    }
+
+    /// Ships the control replica's outbox (plan agreement traffic).
+    fn flush_control_outbox(&mut self) {
+        for envelope in self.control.take_outbox() {
+            self.outbound.send(ShardEnvelope {
+                from: envelope.from,
+                to: envelope.to,
+                message: ShardMessage::Control { message: envelope.message },
+            });
+        }
+    }
+
+    /// Handles one peer message — the same demux as
+    /// `ShardedReplica::handle_message`.
+    fn handle_message(&mut self, from: ReplicaId, message: ShardMessage<LatticeMap<K, V>>) {
+        match message {
+            ShardMessage::Protocol { epoch, shards, shard, message } => {
+                self.handle_protocol(from, (epoch, shards), shard, message);
+            }
+            ShardMessage::Control { message } => {
+                self.control.handle_message(from, message);
+                self.poll_control();
+            }
+            ShardMessage::Rebalance { plan } => self.install_plan(plan),
+            ShardMessage::PlanRequest => {
+                if let Some(plan) = self.plan {
+                    self.outbound.send(ShardEnvelope {
+                        from: self.id,
+                        to: from,
+                        message: ShardMessage::Rebalance { plan },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Routes one stamped protocol message through the assignment fence.
+    fn handle_protocol(
+        &mut self,
+        from: ReplicaId,
+        stamp: Stamp,
+        shard: ShardId,
+        message: Message<LatticeMap<K, V>>,
+    ) {
+        match fence_decision(self.stamp(), stamp) {
+            FenceDecision::Bounce => {
+                if let Some(plan) = self.plan {
+                    self.outbound.send(ShardEnvelope {
+                        from: self.id,
+                        to: from,
+                        message: ShardMessage::Rebalance { plan },
+                    });
+                }
+            }
+            FenceDecision::Defer => {
+                if self.deferred.len() < Self::DEFERRED_CAP {
+                    self.deferred.push((from, stamp, shard, message));
+                }
+                self.outbound.send(ShardEnvelope {
+                    from: self.id,
+                    to: from,
+                    message: ShardMessage::PlanRequest,
+                });
+            }
+            FenceDecision::Process => {
+                if shard.as_usize() < self.active() {
+                    self.workers[shard.as_usize()]
+                        .mailbox
+                        .push(WorkerInput::Peer { from, message });
+                }
+            }
+        }
+    }
+
+    /// Routes a client command (single-key to its owner, keyspace-wide as a
+    /// fan-out) — the same split as `ShardedReplica::submit`.
+    fn submit(&mut self, client: ClientId, outer: CommandId, command: Command<LatticeMap<K, V>>) {
+        match command {
+            single @ (Command::Update(MapUpdate::Apply { .. })
+            | Command::Query(MapQuery::Get { .. })) => {
+                self.submit_routed(client, outer, single);
+            }
+            Command::Query(query) => {
+                let acc = match query {
+                    MapQuery::Len => FanoutAcc::Len(0),
+                    MapQuery::Keys => FanoutAcc::Keys(Vec::new()),
+                    MapQuery::Get { .. } => unreachable!("routed above"),
+                };
+                self.fanouts.insert(
+                    outer,
+                    Fanout { client, remaining: 0, round_trips: 0, failed: false, acc },
+                );
+                self.launch_fanout_legs(outer, client);
+            }
+        }
+    }
+
+    fn submit_routed(
+        &mut self,
+        client: ClientId,
+        outer: CommandId,
+        command: Command<LatticeMap<K, V>>,
+    ) {
+        let key = match &command {
+            Command::Update(MapUpdate::Apply { key, .. })
+            | Command::Query(MapQuery::Get { key, .. }) => key.clone(),
+            Command::Query(_) => unreachable!("keyspace-wide queries are tracked as fan-outs"),
+        };
+        let owner = self.partitioner.shard_of(&key).as_usize();
+        self.workers[owner].mailbox.push(WorkerInput::Submit { client, outer, key, command });
+    }
+
+    fn launch_fanout_legs(&mut self, outer: CommandId, client: ClientId) {
+        let active = self.active();
+        if let Some(fanout) = self.fanouts.get_mut(&outer) {
+            fanout.remaining = active;
+        }
+        for index in 0..active {
+            self.workers[index].mailbox.push(WorkerInput::FanoutLeg { client, outer });
+        }
+    }
+
+    /// Folds one worker feedback item into router state. `Rehomed` replies are
+    /// consumed by the install barrier and must not appear here.
+    fn handle_feedback(&mut self, item: WorkerFeedback<K, V>) {
+        match item {
+            WorkerFeedback::Output { stamp, output } => match output {
+                ShardOutput::Response(response) => self.emit_response(response),
+                ShardOutput::FanoutLeg { command, shard, round_trips, keys } => {
+                    // Legs drained under a superseded assignment are the
+                    // parallel analogue of purged buffered responses: the
+                    // fan-out has been restarted, drop them.
+                    if stamp == self.stamp() {
+                        self.absorb_fanout_leg(command, shard, round_trips, keys);
+                    }
+                }
+            },
+            WorkerFeedback::Rehomed { .. } => {
+                unreachable!("cutover replies are consumed by the install barrier")
+            }
+        }
+    }
+
+    fn emit_response(&self, response: ClientResponse<LatticeMap<K, V>>) {
+        self.shared.responses.push(response);
+        self.shared.response_signal.notify();
+    }
+
+    /// Folds one shard's key-list answer into its fan-out aggregate — the same
+    /// ownership filtering as `ShardedReplica::absorb_fanout_leg`.
+    fn absorb_fanout_leg(
+        &mut self,
+        command: CommandId,
+        shard: ShardId,
+        round_trips: u32,
+        keys: Option<Vec<K>>,
+    ) {
+        let owned: Option<Vec<K>> = keys.map(|keys| {
+            keys.into_iter().filter(|key| self.partitioner.shard_of(key) == shard).collect()
+        });
+        let Some(fanout) = self.fanouts.get_mut(&command) else { return };
+        fanout.remaining = fanout.remaining.saturating_sub(1);
+        fanout.round_trips = fanout.round_trips.max(round_trips);
+        match owned {
+            Some(keys) => match &mut fanout.acc {
+                FanoutAcc::Len(total) => *total += keys.len() as u64,
+                FanoutAcc::Keys(all) => all.extend(keys),
+            },
+            None => fanout.failed = true,
+        }
+        if fanout.remaining == 0 {
+            let fanout = self.fanouts.remove(&command).expect("fan-out present");
+            let body = if fanout.failed {
+                ResponseBody::QueryFailed
+            } else {
+                match fanout.acc {
+                    FanoutAcc::Len(total) => ResponseBody::QueryDone(MapOutput::Len(total)),
+                    FanoutAcc::Keys(mut keys) => {
+                        keys.sort();
+                        ResponseBody::QueryDone(MapOutput::Keys(keys))
+                    }
+                }
+            };
+            self.emit_response(ClientResponse {
+                client: fanout.client,
+                command,
+                body,
+                round_trips: fanout.round_trips,
+            });
+        }
+    }
+
+    /// Starts coordinating a rebalance — the same two-phase control-shard
+    /// choreography as `ShardedReplica::begin_rebalance`.
+    fn begin_rebalance(&mut self, target: u32) {
+        if target == 0 {
+            self.refresh_idle();
+            return;
+        }
+        if self.control_phase.is_some() {
+            self.queued_target = Some(target);
+            return;
+        }
+        let epoch = self.partitioner.epoch() + 1;
+        let command = self.control.submit(
+            self.control_client(),
+            Command::Update(MapUpdate::Apply { key: epoch, update: GSetUpdate::Insert(target) }),
+        );
+        self.control_phase = Some(ControlPhase::Committing { command, epoch });
+        self.refresh_idle();
+    }
+
+    fn refresh_idle(&self) {
+        let idle = self.control_phase.is_none() && self.queued_target.is_none();
+        self.shared.rebalance_idle.store(idle, Ordering::Release);
+    }
+
+    /// Advances the coordinator choreography with control-shard responses.
+    fn poll_control(&mut self) {
+        for response in self.control.take_responses() {
+            let Some(phase) = self.control_phase else { continue };
+            match phase {
+                ControlPhase::Committing { command, epoch } if command == response.command => {
+                    let read = self.control.submit(
+                        self.control_client(),
+                        Command::Query(MapQuery::Get { key: epoch, query: SetQuery::Elements }),
+                    );
+                    self.control_phase = Some(ControlPhase::Reading { command: read, epoch });
+                }
+                ControlPhase::Reading { command, epoch } if command == response.command => {
+                    self.control_phase = None;
+                    if let ResponseBody::QueryDone(MapOutput::Value(Some(SetOutput::Elements(
+                        proposals,
+                    )))) = response.body
+                    {
+                        if let Some(shards) = winning_shards(&proposals) {
+                            self.install_plan(RebalancePlan { epoch, shards });
+                        }
+                    }
+                    if let Some(target) = self.queued_target.take() {
+                        self.begin_rebalance(target);
+                    }
+                }
+                _ => {}
+            }
+            self.refresh_idle();
+        }
+    }
+
+    /// Installs a committed plan across the worker fleet. Mirrors
+    /// `ShardedReplica::install_plan` step for step; the only structural
+    /// difference is the barrier that gathers each worker's cutover reply
+    /// before the handoff sub-states are shipped to their destinations.
+    fn install_plan(&mut self, plan: RebalancePlan) {
+        if plan.epoch == 0 || (plan.epoch, plan.shards) <= self.stamp() {
+            return;
+        }
+        let Some(new_inner) = HashPartitioner::from_plan(&plan) else {
+            return;
+        };
+        let old_active = self.active();
+        let instances_before = self.workers.len();
+        if !self.partitioner.supersede(plan.epoch, new_inner) {
+            return;
+        }
+        self.plan = Some(plan);
+        self.shared.epoch.store(plan.epoch, Ordering::Release);
+        self.shared.shards.store(plan.shards, Ordering::Release);
+        let stamp = self.stamp();
+        let new_active = self.active();
+
+        // Grow the worker fleet; new workers start already fenced at the new
+        // stamp. A shrink keeps retired workers: their cores hold harmless
+        // lower bounds a later split reactivates in place.
+        while self.workers.len() < new_active {
+            self.spawn_shard(ShardId(self.workers.len() as u32));
+        }
+
+        // Cutover on every pre-existing worker; handoff extraction only from
+        // the previously active ones. The FIFO mailbox orders this before any
+        // new-assignment traffic the fence admits afterwards.
+        let partitioner = *self.partitioner.inner();
+        for (index, worker) in self.workers.iter().enumerate().take(instances_before) {
+            worker.mailbox.push(WorkerInput::Install {
+                stamp,
+                partitioner,
+                extract: index < old_active,
+            });
+        }
+
+        // Barrier: gather every cutover reply. Workers keep draining their
+        // mailboxes, so the replies arrive promptly; ordinary outputs that
+        // interleave are processed as usual.
+        let mut moves: Vec<LatticeMap<K, V>> =
+            (0..self.workers.len()).map(|_| LatticeMap::default()).collect();
+        let mut rehome_resync: BTreeMap<usize, Vec<(ClientId, CommandId, K)>> = BTreeMap::new();
+        let mut resubmit: Vec<RehomedCommand<K, V>> = Vec::new();
+        let mut replies = 0;
+        let mut feedback = Vec::new();
+        while replies < instances_before {
+            if self.shared.feedback.drain_into(&mut feedback) == 0 {
+                self.shared.router_signal.wait_timeout(PARK);
+                continue;
+            }
+            for item in feedback.drain(..) {
+                match item {
+                    WorkerFeedback::Rehomed { moves: worker_moves, rehome } => {
+                        replies += 1;
+                        for (destination, sub) in worker_moves {
+                            moves[destination.as_usize()].join(&sub);
+                        }
+                        for (client, command, key) in rehome.applied {
+                            let owner = self.partitioner.shard_of(&key).as_usize();
+                            rehome_resync.entry(owner).or_default().push((client, command, key));
+                        }
+                        resubmit.extend(rehome.resubmit);
+                    }
+                    other => self.handle_feedback(other),
+                }
+            }
+        }
+
+        // Handoff + one resync per destination: handed-off ranges become
+        // quorum-durable ahead of client traffic, and cut-over updates
+        // complete exactly once.
+        for (index, moved) in moves.into_iter().enumerate().take(new_active) {
+            let rehomed = rehome_resync.remove(&index).unwrap_or_default();
+            if rehomed.is_empty() && moved.is_empty() {
+                continue;
+            }
+            self.workers[index].mailbox.push(WorkerInput::Absorb { sub: moved, rehomed });
+        }
+
+        for (client, outer, command) in resubmit {
+            self.submit_routed(client, outer, command);
+        }
+
+        // Keyspace-wide fan-outs restart from scratch against the new shard
+        // set (stale legs are dropped by the stamp check in
+        // `handle_feedback`).
+        let fanout_ids: Vec<CommandId> = self.fanouts.keys().copied().collect();
+        for outer in fanout_ids {
+            self.restart_fanout(outer);
+        }
+
+        // Deferred messages waiting for exactly this assignment are delivered;
+        // anything still newer keeps waiting, anything older turned stale.
+        let installed = (plan.epoch, plan.shards);
+        let deferred = std::mem::take(&mut self.deferred);
+        for (from, message_stamp, shard, message) in deferred {
+            match message_stamp.cmp(&installed) {
+                std::cmp::Ordering::Equal => {
+                    if shard.as_usize() < new_active {
+                        self.workers[shard.as_usize()]
+                            .mailbox
+                            .push(WorkerInput::Peer { from, message });
+                    }
+                }
+                std::cmp::Ordering::Greater => {
+                    self.deferred.push((from, message_stamp, shard, message));
+                }
+                std::cmp::Ordering::Less => {}
+            }
+        }
+
+        // Gossip the plan once per install so idle replicas converge without
+        // waiting to be bounced.
+        for &peer in &self.members {
+            if peer != self.id {
+                self.outbound.send(ShardEnvelope {
+                    from: self.id,
+                    to: peer,
+                    message: ShardMessage::Rebalance { plan },
+                });
+            }
+        }
+    }
+
+    /// Resets a fan-out's aggregate and resubmits its legs on the active
+    /// shards.
+    fn restart_fanout(&mut self, outer: CommandId) {
+        let client = {
+            let Some(fanout) = self.fanouts.get_mut(&outer) else { return };
+            fanout.failed = false;
+            fanout.acc = match fanout.acc {
+                FanoutAcc::Len(_) => FanoutAcc::Len(0),
+                FanoutAcc::Keys(_) => FanoutAcc::Keys(Vec::new()),
+            };
+            fanout.client
+        };
+        self.launch_fanout_legs(outer, client);
+    }
+}

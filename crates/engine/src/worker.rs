@@ -1,0 +1,163 @@
+//! One shard's executor: an OS thread owning a [`ShardCore`] and draining a
+//! lock-free mailbox.
+//!
+//! The worker is a dumb pump around the sans-IO core: apply every queued
+//! input, advance the core's clock, ship the outbox, report the outputs, park
+//! when idle. All policy — routing, fencing, rebalance choreography — lives in
+//! the router; the only state a worker owns besides its core is the assignment
+//! stamp of the last cutover it processed, which it uses to stamp outgoing
+//! envelopes. A worker whose stamp is transiently stale is harmless: peers
+//! bounce or defer its traffic by the same fence the single-threaded router
+//! applies.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crdt::{LatticeMap, ReplicaId};
+use crdt_paxos_core::{
+    ClientId, Command, CommandId, CoreRehome, Message, ProtocolConfig, ShardCore, ShardOutput,
+    Stamp,
+};
+use quorum::{HashPartitioner, Partitioner, ShardId};
+
+use crate::mailbox::{Mailbox, Signal};
+use crate::mesh::Outbound;
+use crate::{EngineKey, EngineValue};
+
+/// How long an idle worker parks before ticking its core again. Retransmission
+/// timers are tens of milliseconds, so a millisecond of tick granularity is
+/// plenty — and parking (instead of spinning) keeps oversubscribed
+/// configurations from starving each other.
+pub(crate) const PARK: Duration = Duration::from_millis(1);
+
+/// Everything the router can ask of a shard worker. Delivered in FIFO order,
+/// which is what lets workers skip the epoch fence: the router orders every
+/// [`WorkerInput::Install`] before any traffic of the new assignment.
+pub(crate) enum WorkerInput<K: EngineKey, V: EngineValue> {
+    /// One fenced protocol message from a peer's same-shard instance.
+    Peer { from: ReplicaId, message: Message<LatticeMap<K, V>> },
+    /// A routed single-key client command.
+    Submit { client: ClientId, outer: CommandId, key: K, command: Command<LatticeMap<K, V>> },
+    /// One leg of a keyspace-wide fan-out.
+    FanoutLeg { client: ClientId, outer: CommandId },
+    /// A rebalance cutover: extract handoff sub-states (when `extract`),
+    /// cancel in-flight work, purge fan-out legs, adopt the new stamp, and
+    /// reply with [`WorkerFeedback::Rehomed`].
+    Install { stamp: Stamp, partitioner: HashPartitioner, extract: bool },
+    /// The destination half of a handoff: absorb the moved sub-state and start
+    /// the resync that makes it quorum-durable (completing the given cut-over
+    /// updates exactly once).
+    Absorb { sub: LatticeMap<K, V>, rehomed: Vec<(ClientId, CommandId, K)> },
+    /// Drain and exit; queued items behind this are dropped by the mailbox.
+    Shutdown,
+}
+
+/// What workers report back to their router.
+pub(crate) enum WorkerFeedback<K: EngineKey, V: EngineValue> {
+    /// A drained core output, tagged with the stamp the worker held when it
+    /// drained it. The router uses the tag to discard fan-out legs that
+    /// completed under a superseded assignment (the parallel equivalent of
+    /// [`ShardCore::purge_fanout_legs`] catching buffered responses).
+    Output { stamp: Stamp, output: ShardOutput<K, V> },
+    /// The reply to a [`WorkerInput::Install`]: handoff sub-states grouped by
+    /// destination shard plus the reclaimed in-flight work.
+    Rehomed { moves: Vec<(ShardId, LatticeMap<K, V>)>, rehome: CoreRehome<K, V> },
+}
+
+/// The router's handle on one spawned worker.
+pub(crate) struct WorkerHandle<K: EngineKey, V: EngineValue> {
+    pub mailbox: Arc<Mailbox<WorkerInput<K, V>>>,
+    pub join: JoinHandle<()>,
+}
+
+/// Spawns the worker thread for `shard`, already fenced at `stamp`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn_worker<K: EngineKey, V: EngineValue>(
+    shard: ShardId,
+    id: ReplicaId,
+    members: Vec<ReplicaId>,
+    config: ProtocolConfig,
+    stamp: Stamp,
+    feedback: Arc<Mailbox<WorkerFeedback<K, V>>>,
+    outbound: Arc<dyn Outbound<K, V>>,
+    start: Instant,
+) -> WorkerHandle<K, V> {
+    let signal = Arc::new(Signal::new());
+    let mailbox = Arc::new(Mailbox::new(Arc::clone(&signal)));
+    let inbox = Arc::clone(&mailbox);
+    let join = std::thread::Builder::new()
+        .name(format!("shard-{}-{}", id.as_u64(), shard.as_u32()))
+        .spawn(move || {
+            let core = ShardCore::new(shard, id, members, config);
+            run(core, stamp, inbox, signal, feedback, outbound, start);
+        })
+        .expect("spawn shard worker");
+    WorkerHandle { mailbox, join }
+}
+
+/// The worker pump. Exits on [`WorkerInput::Shutdown`].
+fn run<K: EngineKey, V: EngineValue>(
+    mut core: ShardCore<K, V>,
+    mut stamp: Stamp,
+    inbox: Arc<Mailbox<WorkerInput<K, V>>>,
+    signal: Arc<Signal>,
+    feedback: Arc<Mailbox<WorkerFeedback<K, V>>>,
+    outbound: Arc<dyn Outbound<K, V>>,
+    start: Instant,
+) {
+    let mut inputs = Vec::new();
+    let mut outbox = Vec::new();
+    let mut outputs = Vec::new();
+    loop {
+        inbox.drain_into(&mut inputs);
+        let had_inputs = !inputs.is_empty();
+        for input in inputs.drain(..) {
+            match input {
+                WorkerInput::Peer { from, message } => core.handle_message(from, message),
+                WorkerInput::Submit { client, outer, key, command } => {
+                    core.submit_single(client, outer, key, command);
+                }
+                WorkerInput::FanoutLeg { client, outer } => core.submit_fanout_leg(client, outer),
+                WorkerInput::Install { stamp: new_stamp, partitioner, extract } => {
+                    // Mirrors one iteration of the single-threaded install:
+                    // extract before any absorb (the router's barrier orders
+                    // every extraction before the first Absorb), then cancel
+                    // and purge. Completed-but-undrained single responses
+                    // survive (their pending entries remain); undrained
+                    // fan-out legs are discarded, exactly like the purge in
+                    // `ShardedReplica::install_plan`.
+                    let moves = if extract {
+                        core.extract_moves(|key| partitioner.shard_of(key))
+                    } else {
+                        Vec::new()
+                    };
+                    let rehome = core.cancel_and_rehome();
+                    core.purge_fanout_legs();
+                    stamp = new_stamp;
+                    feedback.push(WorkerFeedback::Rehomed { moves, rehome });
+                }
+                WorkerInput::Absorb { sub, rehomed } => {
+                    if !sub.is_empty() {
+                        core.absorb_moved(&sub);
+                    }
+                    core.begin_resync(rehomed);
+                }
+                WorkerInput::Shutdown => return,
+            }
+        }
+        core.tick(start.elapsed().as_millis() as u64);
+        core.drain_outbox_into(stamp, &mut outbox);
+        for envelope in outbox.drain(..) {
+            outbound.send(envelope);
+        }
+        core.drain_outputs(&mut outputs);
+        let had_outputs = !outputs.is_empty();
+        for output in outputs.drain(..) {
+            feedback.push(WorkerFeedback::Output { stamp, output });
+        }
+        if !had_inputs && !had_outputs {
+            signal.wait_timeout(PARK);
+        }
+    }
+}

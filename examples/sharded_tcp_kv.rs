@@ -1,116 +1,101 @@
-//! A sharded, replicated key-value store as three processes over loopback TCP.
+//! A sharded, replicated key-value store as three processes over loopback TCP,
+//! executed by the thread-per-shard engine.
 //!
-//! Each replica task runs the sharded engine (`ShardedReplica`: one protocol
-//! instance per shard plus the rebalance control shard) behind a
-//! `transport::tcp::TcpMesh`; the transports are message-agnostic, so the
-//! shard-multiplexed `ShardMessage` — protocol traffic, control-shard traffic, and
-//! rebalance plans alike — crosses the sockets as ordinary `wire` frames. A client
-//! task writes counters under different keys via different replicas, reads them
-//! back linearizably, then triggers a live 2→4 shard split and reads again: every
-//! value survives the lattice-join handoff.
+//! Each replica is an `engine::EngineNode` — a router thread plus one OS thread
+//! per shard core — bridged to a `transport::tcp::TcpMesh`: an `Outbound` adapter
+//! forwards every envelope the engine produces to an async sender task, and a
+//! receiver task feeds incoming frames back through `NodeIngress::deliver`. The
+//! transports are message-agnostic, so the shard-multiplexed `ShardMessage` —
+//! protocol traffic, control-shard traffic, and rebalance plans alike — crosses
+//! the sockets as ordinary `wire` frames. A client writes counters under
+//! different keys via different replicas, reads them back linearizably, then
+//! triggers a live 2→4 shard split and reads again: every value survives the
+//! lattice-join handoff.
 //!
 //! ```bash
 //! cargo run --example sharded_tcp_kv
 //! ```
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crdt_paxos::crdt::{
     CounterQuery, CounterUpdate, GCounter, LatticeMap, MapOutput, MapQuery, MapUpdate, ReplicaId,
 };
+use crdt_paxos::engine::{EngineNode, Outbound};
 use crdt_paxos::protocol::{
-    ClientId, Command, ProtocolConfig, ResponseBody, ShardMessage, ShardedReplica,
+    ClientId, Command, ProtocolConfig, ResponseBody, ShardEnvelope, ShardMessage,
 };
 use crdt_paxos::transport::tcp::TcpMesh;
 use tokio::sync::mpsc;
 
 type KvMap = LatticeMap<String, GCounter>;
 
-/// Commands the local "client" sends to a replica task.
-enum ClientCommand {
-    Increment { key: String, amount: u64 },
-    Read { key: String },
-    Resize { shards: u32 },
+/// Bridges the engine's synchronous outbound hot path to the async TCP mesh:
+/// a lock-free enqueue here, the actual socket write on a tokio task.
+struct TcpOutbound {
+    tx: mpsc::UnboundedSender<ShardEnvelope<KvMap>>,
 }
 
-enum Reply {
-    Done,
-    Value(Option<i64>),
-    Resizing,
+impl Outbound<String, GCounter> for TcpOutbound {
+    fn send(&self, envelope: ShardEnvelope<KvMap>) {
+        let _ = self.tx.send(envelope);
+    }
 }
 
-type ReplyTx = mpsc::UnboundedSender<Reply>;
-
-async fn replica_task(
+/// Starts one replica: binds its TCP endpoint, spawns the engine node, and
+/// wires both directions of the transport bridge.
+async fn start_replica(
     id: u64,
     addrs: Vec<(u64, String)>,
     shards: u32,
-    mut commands: mpsc::UnboundedReceiver<(ClientCommand, ReplyTx)>,
-) {
+) -> EngineNode<String, GCounter> {
     let listen = addrs.iter().find(|(peer, _)| *peer == id).expect("own address").1.clone();
-    let mesh = TcpMesh::bind(id, &listen, &addrs).await.expect("bind replica endpoint");
+    let mesh = Arc::new(TcpMesh::bind(id, &listen, &addrs).await.expect("bind replica endpoint"));
 
     let members: Vec<ReplicaId> = addrs.iter().map(|(peer, _)| ReplicaId::new(*peer)).collect();
-    let mut replica: ShardedReplica<String, GCounter> =
-        ShardedReplica::new(ReplicaId::new(id), members, shards, ProtocolConfig::default());
+    let (tx, mut rx) = mpsc::unbounded_channel();
+    let node = EngineNode::start(
+        ReplicaId::new(id),
+        members,
+        shards,
+        ProtocolConfig::default(),
+        Arc::new(TcpOutbound { tx }),
+    );
 
-    let mut waiting: Vec<ReplyTx> = Vec::new();
-    let mut ticker = tokio::time::interval(Duration::from_millis(1));
-    let started = std::time::Instant::now();
-
-    loop {
-        // Drain protocol output: forward shard envelopes over TCP, deliver replies.
-        for envelope in replica.take_outbox() {
+    // Engine -> sockets: drain the outbound queue onto the mesh.
+    let sender_mesh = Arc::clone(&mesh);
+    tokio::spawn(async move {
+        while let Some(envelope) = rx.recv().await {
+            let from = envelope.from;
             let (to, message) = envelope.into_parts();
-            let _ = mesh.send(to.as_u64(), &message).await;
+            debug_assert_eq!(from.as_u64(), id);
+            let _ = sender_mesh.send(to.as_u64(), &message).await;
         }
-        for response in replica.take_responses() {
-            if let Some(reply) = waiting.get(response.client.0 as usize) {
-                let body = match response.body {
-                    ResponseBody::UpdateDone => Reply::Done,
-                    ResponseBody::QueryDone(MapOutput::Value(value)) => Reply::Value(value),
-                    other => panic!("unexpected response {other:?}"),
-                };
-                let _ = reply.send(body);
-            }
-        }
+    });
 
-        tokio::select! {
-            incoming = mesh.recv::<ShardMessage<KvMap>>() => {
-                if let Ok((from, message)) = incoming {
-                    replica.handle_message(ReplicaId::new(from), message);
-                }
-            }
-            Some((command, reply)) = commands.recv() => {
-                let client = ClientId(waiting.len() as u64);
-                match command {
-                    ClientCommand::Increment { key, amount } => {
-                        waiting.push(reply);
-                        replica.submit(client, Command::Update(MapUpdate::Apply {
-                            key,
-                            update: CounterUpdate::Increment(amount),
-                        }));
-                    }
-                    ClientCommand::Read { key } => {
-                        waiting.push(reply);
-                        replica.submit(client, Command::Query(MapQuery::Get {
-                            key,
-                            query: CounterQuery::Value,
-                        }));
-                    }
-                    ClientCommand::Resize { shards } => {
-                        // The rebalance completes asynchronously: the plan commits
-                        // on the control shard, installs everywhere, and the
-                        // lattice-join handoff runs while traffic continues.
-                        replica.begin_rebalance(shards);
-                        let _ = reply.send(Reply::Resizing);
-                    }
-                }
-            }
-            _ = ticker.tick() => {
-                replica.tick(started.elapsed().as_millis() as u64);
+    // Sockets -> engine: every received frame goes straight onto the router's
+    // ingress mailbox (a lock-free enqueue — safe from an async task).
+    let ingress = node.ingress();
+    tokio::spawn(async move {
+        while let Ok((from, message)) = mesh.recv::<ShardMessage<KvMap>>().await {
+            ingress.deliver(ReplicaId::new(from), message);
+        }
+    });
+
+    node
+}
+
+/// Submits one command and polls for its response without blocking the runtime.
+async fn call(node: &EngineNode<String, GCounter>, command: Command<KvMap>) -> ResponseBody<KvMap> {
+    let id = node.submit(ClientId(7), command);
+    loop {
+        while let Some(response) = node.try_response() {
+            if response.command == id {
+                return response.body;
             }
         }
+        tokio::time::sleep(Duration::from_millis(1)).await;
     }
 }
 
@@ -122,70 +107,78 @@ async fn main() {
         (2, "127.0.0.1:40073".to_string()),
     ];
 
-    // Spawn the three replica tasks, each starting with 2 shards.
-    let mut handles = Vec::new();
-    let mut command_channels = Vec::new();
+    // Spawn the three replicas, each starting with 2 shards.
+    let mut nodes = Vec::new();
     for (id, _) in &addrs {
-        let (tx, rx) = mpsc::unbounded_channel();
-        command_channels.push(tx);
-        handles.push(tokio::spawn(replica_task(*id, addrs.clone(), 2, rx)));
+        nodes.push(start_replica(*id, addrs.clone(), 2).await);
     }
 
     // Give the mesh a moment to connect.
     tokio::time::sleep(Duration::from_millis(300)).await;
 
-    println!("three sharded CRDT Paxos replicas (2 shards) over loopback TCP");
-
-    let send = |replica: usize, command: ClientCommand| {
-        let (reply_tx, reply_rx) = mpsc::unbounded_channel();
-        command_channels[replica].send((command, reply_tx)).unwrap();
-        reply_rx
-    };
+    println!("three sharded CRDT Paxos replicas (2 shards each, one thread per shard) over TCP");
 
     // Writes on different keys via different replicas.
     for (replica, key, amount) in
         [(0usize, "clicks", 2u64), (1, "views", 3), (2, "carts", 5), (0, "views", 4)]
     {
-        let mut rx = send(replica, ClientCommand::Increment { key: key.into(), amount });
-        rx.recv().await.expect("update response");
-        println!("  {key} += {amount} via replica {replica}");
+        let update = Command::Update(MapUpdate::Apply {
+            key: key.to_string(),
+            update: CounterUpdate::Increment(amount),
+        });
+        match call(&nodes[replica], update).await {
+            ResponseBody::UpdateDone => println!("  {key} += {amount} via replica {replica}"),
+            other => println!("  {key} += {amount} via replica {replica}: unexpected {other:?}"),
+        }
     }
 
     // Linearizable reads at other replicas see every committed write.
     for (replica, key) in [(2usize, "clicks"), (0, "views"), (1, "carts")] {
-        let mut rx = send(replica, ClientCommand::Read { key: key.into() });
-        match rx.recv().await {
-            Some(Reply::Value(value)) => println!("  read {key} via replica {replica}: {value:?}"),
-            other => println!(
-                "  read {key} via replica {replica}: unexpected reply ({})",
-                if other.is_some() { "wrong kind" } else { "closed" }
-            ),
+        let query =
+            Command::Query(MapQuery::Get { key: key.to_string(), query: CounterQuery::Value });
+        match call(&nodes[replica], query).await {
+            ResponseBody::QueryDone(MapOutput::Value(value)) => {
+                println!("  read {key} via replica {replica}: {value:?}")
+            }
+            other => println!("  read {key} via replica {replica}: unexpected {other:?}"),
         }
     }
 
     // Live 2 -> 4 shard split: agreed on the control shard, installed via plan
-    // gossip, key ranges moved by lattice join — all over the same TCP mesh.
-    let mut rx = send(0, ClientCommand::Resize { shards: 4 });
-    rx.recv().await.expect("resize acknowledged");
+    // gossip, key ranges moved by lattice join — all over the same TCP mesh,
+    // with two new worker threads spawned per replica as the plan lands.
     println!("  resizing the keyspace to 4 shards ...");
-    tokio::time::sleep(Duration::from_millis(500)).await;
+    nodes[0].begin_rebalance(4);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        let installed = nodes.iter().all(|node| node.epoch() >= 1 && node.shard_count() == 4);
+        if installed && nodes[0].rebalance_idle() {
+            break;
+        }
+        tokio::time::sleep(Duration::from_millis(5)).await;
+    }
+    println!(
+        "  installed: epoch {} with {} shards on every replica",
+        nodes[0].epoch(),
+        nodes[0].shard_count()
+    );
 
     // Every value survives the handoff, still linearizable.
     for (replica, key, expected) in [(1usize, "clicks", 2i64), (2, "views", 7), (0, "carts", 5)] {
-        let mut rx = send(replica, ClientCommand::Read { key: key.into() });
-        match rx.recv().await {
-            Some(Reply::Value(Some(value))) if value == expected => {
+        let query =
+            Command::Query(MapQuery::Get { key: key.to_string(), query: CounterQuery::Value });
+        match call(&nodes[replica], query).await {
+            ResponseBody::QueryDone(MapOutput::Value(Some(value))) if value == expected => {
                 println!("  read {key} after the split via replica {replica}: {value} ✓")
             }
-            Some(Reply::Value(value)) => {
-                println!("  read {key} after the split via replica {replica}: {value:?} (expected {expected})")
-            }
-            _ => println!("  read {key} after the split via replica {replica}: no reply"),
+            other => println!(
+                "  read {key} after the split via replica {replica}: {other:?} (expected {expected})"
+            ),
         }
     }
 
-    println!("done — aborting replica tasks");
-    for handle in handles {
-        handle.abort();
+    println!("done — shutting the engines down");
+    for node in nodes {
+        node.shutdown();
     }
 }

@@ -1,5 +1,8 @@
-//! Minimal `crossbeam` stand-in: MPMC unbounded channels with cloneable
-//! senders *and* receivers, backed by a mutex + condvar queue.
+//! Minimal `crossbeam` stand-in: MPMC unbounded channels (mutex + condvar)
+//! plus the lock-free [`queue`] primitives the thread-per-shard engine's
+//! mailboxes are built on.
+
+pub mod queue;
 
 pub mod channel {
     use std::collections::VecDeque;

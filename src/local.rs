@@ -8,8 +8,11 @@
 //!
 //! [`LocalShardedCluster`] is the keyspace variant: a replicated `LatticeMap<K, V>`
 //! partitioned over independent protocol instances (one round counter and one
-//! quorum per shard, hash-routed keys), with a synchronous per-key API. It is the
-//! in-process face of `protocol::ShardedReplica` and the entry point used by the
+//! quorum per shard, hash-routed keys), with a synchronous per-key API. It runs
+//! on the thread-per-shard [`engine`]: each replica is an [`engine::EngineNode`]
+//! with one router thread plus one OS thread per shard core, wired through an
+//! in-process mesh — so commands on different shards are agreed genuinely in
+//! parallel even behind this blocking facade. It is the entry point used by the
 //! replicated key-value example. The partitioning is **dynamic**:
 //! [`LocalShardedCluster::rebalance`] resizes the keyspace at runtime — the plan
 //! is agreed through the ordinary protocol on a control shard, every replica
@@ -17,13 +20,14 @@
 //! off by lattice join (the log-less design needs no snapshot/replay machinery),
 //! preserving every key's value and per-key linearizability.
 
-use std::fmt;
-use std::hash::Hash;
+use std::time::{Duration, Instant};
 
 use crdt::{Crdt, DeltaCrdt, LatticeMap, MapOutput, MapQuery, ReplicaId};
 use crdt_paxos_core::{
-    ClientId, Command, CommandId, ProtocolConfig, Replica, ResponseBody, ShardId, ShardedReplica,
+    ClientId, Command, CommandId, ProtocolConfig, Replica, ResponseBody, ShardId,
 };
+use engine::{EngineCluster, EngineKey, EngineValue};
+use quorum::{HashPartitioner, Partitioner};
 
 /// An in-process cluster of CRDT Paxos replicas with synchronous message delivery.
 #[derive(Debug)]
@@ -115,11 +119,15 @@ impl<C: Crdt + DeltaCrdt> LocalCluster<C> {
 }
 
 /// An in-process **sharded** key-value cluster: a replicated `LatticeMap<K, V>`
-/// partitioned across independent protocol instances with synchronous delivery.
+/// partitioned across independent protocol instances, executed by the
+/// thread-per-shard engine.
 ///
 /// Every key holds a CRDT of type `V`; updates and linearizable reads are routed to
 /// the shard owning the key, so commands on different key ranges never contend on a
-/// round counter.
+/// round counter — and, because every shard core runs on its own OS thread, never
+/// contend on a CPU core either. The API here is synchronous (each call blocks
+/// until its command's quorum completes); use [`engine::EngineCluster`] directly
+/// for pipelined multi-client workloads.
 ///
 /// # Example
 ///
@@ -135,75 +143,60 @@ impl<C: Crdt + DeltaCrdt> LocalCluster<C> {
 /// let value = cluster.query(2, "clicks".into(), CounterQuery::Value);
 /// assert_eq!(value, Some(3));
 /// ```
-#[derive(Debug)]
-pub struct LocalShardedCluster<K, V>
-where
-    K: Ord + Clone + Hash + fmt::Debug + Send + 'static,
-    V: Crdt + DeltaCrdt,
-{
-    replicas: Vec<ShardedReplica<K, V>>,
-    now_ms: u64,
+pub struct LocalShardedCluster<K: EngineKey, V: EngineValue> {
+    cluster: EngineCluster<K, V>,
 }
 
-impl<K, V> LocalShardedCluster<K, V>
-where
-    K: Ord + Clone + Hash + fmt::Debug + Send + 'static,
-    V: Crdt + DeltaCrdt,
-{
+/// How long a synchronous facade call waits for its quorum before concluding
+/// the cluster is wedged. Generous: a healthy in-process cluster answers in
+/// microseconds.
+const FACADE_TIMEOUT: Duration = Duration::from_secs(30);
+
+impl<K: EngineKey, V: EngineValue> LocalShardedCluster<K, V> {
     /// Creates a cluster of `n` replicas, each partitioning the keyspace over
-    /// `shards` protocol instances.
+    /// `shards` protocol instances — and spawning `shards` worker threads plus
+    /// a router thread per replica.
     ///
     /// # Panics
     ///
     /// Panics if `n` or `shards` is zero.
     pub fn new(n: u64, shards: u32, config: ProtocolConfig) -> Self {
-        assert!(n > 0, "a cluster needs at least one replica");
-        let ids: Vec<ReplicaId> = (0..n).map(ReplicaId::new).collect();
-        let replicas = ids
-            .iter()
-            .map(|&id| ShardedReplica::new(id, ids.clone(), shards, config.clone()))
-            .collect();
-        LocalShardedCluster { replicas, now_ms: 0 }
+        LocalShardedCluster { cluster: EngineCluster::new(n, shards, config) }
     }
 
     /// Number of replicas.
     pub fn len(&self) -> usize {
-        self.replicas.len()
+        self.cluster.len()
     }
 
     /// Returns `true` if the cluster has no replicas (never true after construction).
     pub fn is_empty(&self) -> bool {
-        self.replicas.is_empty()
+        self.cluster.is_empty()
     }
 
     /// Number of shards per replica.
     pub fn shard_count(&self) -> u32 {
-        self.replicas[0].shard_count()
+        self.cluster.node(0).shard_count()
     }
 
-    /// The shard owning `key`.
+    /// The shard owning `key` under the current assignment.
     pub fn shard_of(&self, key: &K) -> ShardId {
-        self.replicas[0].shard_of(key)
-    }
-
-    /// Read-only access to one replica (per-shard metrics, merged state).
-    pub fn replica(&self, index: usize) -> &ShardedReplica<K, V> {
-        &self.replicas[index]
+        HashPartitioner::new(self.shard_count()).shard_of(key)
     }
 
     /// Applies a linearizable update to `key` at the given replica and waits for
     /// the owning shard's quorum.
     pub fn update(&mut self, replica: usize, key: K, update: V::Update) {
-        let command_id = self.replicas[replica].submit_update(ClientId(0), key, update);
-        let body = self.wait_for(replica, command_id);
+        let command = Command::Update(crdt::MapUpdate::Apply { key, update });
+        let body = self.submit(replica, command);
         debug_assert!(matches!(body, ResponseBody::UpdateDone), "updates cannot fail");
     }
 
     /// Runs a linearizable read of `key` at the given replica; `None` if the key
     /// has never been written.
     pub fn query(&mut self, replica: usize, key: K, query: V::Query) -> Option<V::Output> {
-        let command_id = self.replicas[replica].submit_query(ClientId(0), key, query);
-        match self.wait_for(replica, command_id) {
+        let command = Command::Query(MapQuery::Get { key, query });
+        match self.submit(replica, command) {
             ResponseBody::QueryDone(MapOutput::Value(value)) => value,
             other => panic!("unexpected sharded query response: {other:?}"),
         }
@@ -212,8 +205,7 @@ where
     /// Number of keys in the whole keyspace (a fan-out over every shard; each
     /// shard's answer is linearizable, the sum is not a keyspace snapshot).
     pub fn key_count(&mut self, replica: usize) -> u64 {
-        let command_id = self.replicas[replica].submit(ClientId(0), Command::Query(MapQuery::Len));
-        match self.wait_for(replica, command_id) {
+        match self.submit(replica, Command::Query(MapQuery::Len)) {
             ResponseBody::QueryDone(MapOutput::Len(count)) => count,
             other => panic!("unexpected sharded len response: {other:?}"),
         }
@@ -222,21 +214,20 @@ where
     /// All keys in the keyspace, in order (fan-out, like
     /// [`LocalShardedCluster::key_count`]).
     pub fn keys(&mut self, replica: usize) -> Vec<K> {
-        let command_id = self.replicas[replica].submit(ClientId(0), Command::Query(MapQuery::Keys));
-        match self.wait_for(replica, command_id) {
+        match self.submit(replica, Command::Query(MapQuery::Keys)) {
             ResponseBody::QueryDone(MapOutput::Keys(keys)) => keys,
             other => panic!("unexpected sharded keys response: {other:?}"),
         }
     }
 
-    /// Submits any `LatticeMap` command at the given replica and runs the protocol
-    /// to completion.
+    /// Submits any `LatticeMap` command at the given replica and blocks until
+    /// the engine reports it complete.
     pub fn submit(
         &mut self,
         replica: usize,
         command: Command<LatticeMap<K, V>>,
     ) -> ResponseBody<LatticeMap<K, V>> {
-        let command_id = self.replicas[replica].submit(ClientId(0), command);
+        let command_id = self.cluster.node(replica).submit(ClientId(0), command);
         self.wait_for(replica, command_id)
     }
 
@@ -245,22 +236,20 @@ where
         replica: usize,
         command_id: CommandId,
     ) -> ResponseBody<LatticeMap<K, V>> {
-        loop {
-            self.pump();
-            let response = self.replicas[replica]
-                .take_responses()
-                .into_iter()
-                .find(|response| response.command == command_id);
-            if let Some(response) = response {
+        let deadline = Instant::now() + FACADE_TIMEOUT;
+        while Instant::now() < deadline {
+            let Some(response) =
+                self.cluster.node(replica).wait_response(Duration::from_millis(50))
+            else {
+                continue;
+            };
+            if response.command == command_id {
                 return response.body;
             }
-            // Batching configurations need time to pass before a batch is flushed.
-            self.now_ms += 1;
-            let now = self.now_ms;
-            for replica in &mut self.replicas {
-                replica.tick(now);
-            }
+            // Synchronous use means at most one command is outstanding per
+            // node; anything else is a left-over from an abandoned call.
         }
+        panic!("command {command_id:?} timed out after {FACADE_TIMEOUT:?}")
     }
 
     /// Resizes the keyspace to `target_shards` shards while preserving every
@@ -268,49 +257,31 @@ where
     /// shard via the ordinary protocol, installs it everywhere, and runs the
     /// lattice-join state handoff to completion. Returns the new epoch.
     ///
-    /// The synchronous facade pumps until the whole cluster has cut over; in a
-    /// real deployment traffic keeps flowing during the handoff (that transition
-    /// is what the simulator's rebalance workloads and `fig7_rebalance` measure).
+    /// The facade blocks until the whole cluster has cut over; client traffic
+    /// submitted from other threads (via a shared [`engine::EngineCluster`])
+    /// keeps flowing during the handoff — that transition is what the
+    /// simulator's rebalance workloads and `fig7_rebalance` measure, and what
+    /// the engine's stress test exercises live.
     pub fn rebalance(&mut self, replica: usize, target_shards: u32) -> u64 {
-        let started = self.replicas[replica].begin_rebalance(target_shards);
-        assert!(started, "a rebalance initiated at this replica is already in flight");
-        let target_epoch = self.replicas[replica].epoch() + 1;
-        while self.replicas.iter().any(|r| r.epoch() < target_epoch)
-            || self.replicas[replica].rebalance_in_progress()
-        {
-            self.pump();
-            self.now_ms += 1;
-            let now = self.now_ms;
-            for replica in &mut self.replicas {
-                replica.tick(now);
+        let target_epoch = self.cluster.node(replica).epoch() + 1;
+        self.cluster.node(replica).begin_rebalance(target_shards);
+        let deadline = Instant::now() + FACADE_TIMEOUT;
+        loop {
+            let installed = (0..self.cluster.len()).all(|index| {
+                let node = self.cluster.node(index);
+                node.epoch() >= target_epoch && node.shard_count() == target_shards
+            });
+            if installed && self.cluster.node(replica).rebalance_idle() {
+                return target_epoch;
             }
+            assert!(Instant::now() < deadline, "rebalance did not complete");
+            std::thread::sleep(Duration::from_millis(1));
         }
-        // Drain the handoff resyncs so the new assignment is quorum-durable.
-        self.pump();
-        target_epoch
     }
 
     /// The current partitioning epoch (0 until the first rebalance).
     pub fn epoch(&self) -> u64 {
-        self.replicas[0].epoch()
-    }
-
-    /// Delivers every in-flight shard envelope until the cluster is quiescent.
-    fn pump(&mut self) {
-        loop {
-            let mut envelopes = Vec::new();
-            for replica in &mut self.replicas {
-                envelopes.extend(replica.take_outbox());
-            }
-            if envelopes.is_empty() {
-                return;
-            }
-            for envelope in envelopes {
-                let from = envelope.from;
-                let (to, message) = envelope.into_parts();
-                self.replicas[to.as_u64() as usize].handle_message(from, message);
-            }
-        }
+        self.cluster.node(0).epoch()
     }
 }
 
