@@ -15,11 +15,14 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use crate::{ClientId, CommandId, NodeId, Outgoing, Reply, ReplyBody, Request, StateMachine};
 
 /// A Paxos ballot: totally ordered by `(number, node)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Ballot {
     /// Ballot number.
     pub number: u64,
@@ -63,7 +66,8 @@ impl Default for PaxosConfig {
 }
 
 /// What a log slot carries.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(bound(serialize = "S::Command: Serialize", deserialize = "S::Command: Deserialize<'de>"))]
 pub enum PaxosEntry<S: StateMachine> {
     /// Filler entry proposed by a new leader for slots it must complete.
     Noop,
@@ -81,7 +85,11 @@ pub enum PaxosEntry<S: StateMachine> {
 }
 
 /// Multi-Paxos protocol messages.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(bound(
+    serialize = "S::Command: Serialize, S::Query: Serialize",
+    deserialize = "S::Command: Deserialize<'de>, S::Query: Deserialize<'de>"
+))]
 pub enum PaxosMessage<S: StateMachine> {
     /// Phase 1a: a candidate leader announces a ballot for the whole log.
     Prepare {

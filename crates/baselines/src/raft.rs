@@ -11,6 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use crate::{ClientId, CommandId, NodeId, Outgoing, Reply, ReplyBody, Request, StateMachine};
 
@@ -39,7 +40,11 @@ impl Default for RaftConfig {
 }
 
 /// What a log entry carries.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(bound(
+    serialize = "S::Command: Serialize, S::Query: Serialize",
+    deserialize = "S::Command: Deserialize<'de>, S::Query: Deserialize<'de>"
+))]
 pub enum EntryKind<S: StateMachine> {
     /// A no-op appended by a freshly elected leader to commit entries of older terms.
     Noop,
@@ -68,7 +73,11 @@ pub enum EntryKind<S: StateMachine> {
 }
 
 /// One replicated log entry.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(bound(
+    serialize = "S::Command: Serialize, S::Query: Serialize",
+    deserialize = "S::Command: Deserialize<'de>, S::Query: Deserialize<'de>"
+))]
 pub struct LogEntry<S: StateMachine> {
     /// Term in which the entry was appended.
     pub term: u64,
@@ -77,7 +86,11 @@ pub struct LogEntry<S: StateMachine> {
 }
 
 /// Raft protocol messages.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(bound(
+    serialize = "S::Command: Serialize, S::Query: Serialize",
+    deserialize = "S::Command: Deserialize<'de>, S::Query: Deserialize<'de>"
+))]
 pub enum RaftMessage<S: StateMachine> {
     /// Candidate requesting votes.
     RequestVote {

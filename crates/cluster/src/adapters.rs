@@ -29,6 +29,9 @@ pub struct CrdtPaxosNode {
     /// Encode every outgoing message with the `wire` codec and account its size in
     /// the replica's [`WireMetrics`] (costs one serialization per message).
     measure_wire: bool,
+    /// Reused encode buffer for wire accounting — one allocation for the whole
+    /// run instead of one per message.
+    scratch: Vec<u8>,
 }
 
 impl CrdtPaxosNode {
@@ -38,6 +41,7 @@ impl CrdtPaxosNode {
         CrdtPaxosNode {
             inner: Replica::new(ReplicaId::new(id), member_ids, GCounter::default(), config),
             measure_wire: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -87,14 +91,16 @@ impl SimNode for CrdtPaxosNode {
             for envelope in &envelopes {
                 // Protocol messages must always encode; failing silently here would
                 // quietly undercount the byte-reduction figures.
-                let bytes = wire::to_vec(&envelope.message).expect("protocol messages encode");
+                self.scratch.clear();
+                wire::to_writer(&envelope.message, &mut self.scratch)
+                    .expect("protocol messages encode");
                 // Key state-bearing messages by payload representation too
                 // ("MERGE:full" / "MERGE:delta"), so one run shows both.
                 let kind = match envelope.message.payload() {
                     Some(payload) => format!("{}:{}", envelope.message.kind(), payload.kind()),
                     None => envelope.message.kind().to_string(),
                 };
-                self.inner.record_wire_bytes(&kind, bytes.len() as u64);
+                self.inner.record_wire_bytes(&kind, self.scratch.len() as u64);
             }
         }
         envelopes.into_iter().map(|envelope| (envelope.to.as_u64(), envelope.message)).collect()
@@ -134,6 +140,7 @@ impl SimNode for CrdtPaxosNode {
 pub struct KeyValueNode {
     inner: Replica<KvMap>,
     measure_wire: bool,
+    scratch: Vec<u8>,
 }
 
 impl KeyValueNode {
@@ -143,6 +150,7 @@ impl KeyValueNode {
         KeyValueNode {
             inner: Replica::new(ReplicaId::new(id), member_ids, KvMap::default(), config),
             measure_wire: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -209,12 +217,14 @@ impl SimNode for KeyValueNode {
         let envelopes = self.inner.take_outbox();
         if self.measure_wire {
             for envelope in &envelopes {
-                let bytes = wire::to_vec(&envelope.message).expect("protocol messages encode");
+                self.scratch.clear();
+                wire::to_writer(&envelope.message, &mut self.scratch)
+                    .expect("protocol messages encode");
                 let kind = match envelope.message.payload() {
                     Some(payload) => format!("{}:{}", envelope.message.kind(), payload.kind()),
                     None => envelope.message.kind().to_string(),
                 };
-                self.inner.record_wire_bytes(&kind, bytes.len() as u64);
+                self.inner.record_wire_bytes(&kind, self.scratch.len() as u64);
             }
         }
         envelopes.into_iter().map(|envelope| (envelope.to.as_u64(), envelope.message)).collect()
@@ -247,6 +257,7 @@ impl SimNode for KeyValueNode {
 pub struct ShardedKvNode {
     inner: ShardedReplica<u64, GCounter>,
     measure_wire: bool,
+    scratch: Vec<u8>,
 }
 
 impl ShardedKvNode {
@@ -256,6 +267,7 @@ impl ShardedKvNode {
         ShardedKvNode {
             inner: ShardedReplica::new(ReplicaId::new(id), member_ids, shards, config),
             measure_wire: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -312,24 +324,27 @@ impl SimNode for ShardedKvNode {
         let envelopes = self.inner.take_outbox();
         if self.measure_wire {
             for envelope in &envelopes {
-                let bytes = wire::to_vec(&envelope.message).expect("shard messages encode");
+                self.scratch.clear();
+                wire::to_writer(&envelope.message, &mut self.scratch)
+                    .expect("shard messages encode");
                 match &envelope.message {
                     ShardMessage::Protocol { shard, message, .. } => {
                         let kind = match message.payload() {
                             Some(payload) => format!("{}:{}", message.kind(), payload.kind()),
                             None => message.kind().to_string(),
                         };
-                        self.inner.record_wire_bytes(*shard, &kind, bytes.len() as u64);
+                        self.inner.record_wire_bytes(*shard, &kind, self.scratch.len() as u64);
                     }
                     ShardMessage::Control { message } => {
                         let kind = format!("CTRL:{}", message.kind());
-                        self.inner.record_control_wire_bytes(&kind, bytes.len() as u64);
+                        self.inner.record_control_wire_bytes(&kind, self.scratch.len() as u64);
                     }
                     ShardMessage::Rebalance { .. } => {
-                        self.inner.record_control_wire_bytes("REBALANCE", bytes.len() as u64);
+                        self.inner
+                            .record_control_wire_bytes("REBALANCE", self.scratch.len() as u64);
                     }
                     ShardMessage::PlanRequest => {
-                        self.inner.record_control_wire_bytes("PLANREQ", bytes.len() as u64);
+                        self.inner.record_control_wire_bytes("PLANREQ", self.scratch.len() as u64);
                     }
                 }
             }

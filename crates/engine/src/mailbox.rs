@@ -102,31 +102,47 @@ impl<T> Mailbox<T> {
 
 /// A bounded MPSC submission queue: a lock-free [`ArrayQueue`] plus the
 /// consumer's [`Signal`]. A full queue pushes back on the producer —
-/// [`BoundedMailbox::push`] spins with `yield_now` until a slot frees up — so
-/// clients cannot outrun the router unboundedly.
+/// [`BoundedMailbox::push`] parks on a condvar until the consumer drains —
+/// so clients cannot outrun the router unboundedly, and a blocked producer
+/// costs no CPU while it waits.
 #[derive(Debug)]
 pub struct BoundedMailbox<T> {
     queue: ArrayQueue<T>,
     signal: Arc<Signal>,
+    /// Parking lot for producers blocked on a full queue. The consumer takes
+    /// this lock before notifying, so a producer that re-checked the queue
+    /// under the lock cannot miss the wakeup; the wait timeout is only a
+    /// safety net.
+    space_lock: Mutex<()>,
+    space: Condvar,
 }
 
 impl<T> BoundedMailbox<T> {
     /// Creates a bounded mailbox with room for `capacity` items.
     pub fn new(capacity: usize, signal: Arc<Signal>) -> Self {
-        BoundedMailbox { queue: ArrayQueue::new(capacity), signal }
+        BoundedMailbox {
+            queue: ArrayQueue::new(capacity),
+            signal,
+            space_lock: Mutex::new(()),
+            space: Condvar::new(),
+        }
     }
 
-    /// Enqueues `item`, blocking (yield-spinning) while the queue is full.
+    /// Enqueues `item`, parking the calling thread while the queue is full.
     pub fn push(&self, item: T) {
         let mut item = item;
-        loop {
-            match self.queue.push(item) {
-                Ok(()) => break,
-                Err(rejected) => {
-                    item = rejected;
-                    // The consumer drains in batches; yielding beats a condvar
-                    // round trip at these queue depths.
-                    std::thread::yield_now();
+        if let Err(rejected) = self.queue.push(item) {
+            item = rejected;
+            let mut guard = self.space_lock.lock().unwrap();
+            loop {
+                match self.queue.push(item) {
+                    Ok(()) => break,
+                    Err(rejected) => {
+                        item = rejected;
+                        let (g, _) =
+                            self.space.wait_timeout(guard, Duration::from_millis(1)).unwrap();
+                        guard = g;
+                    }
                 }
             }
         }
@@ -148,7 +164,14 @@ impl<T> BoundedMailbox<T> {
         while let Some(item) = self.queue.pop() {
             buf.push(item);
         }
-        buf.len() - before
+        let moved = buf.len() - before;
+        if moved > 0 {
+            // Slots freed: release any producers parked on the full queue.
+            // Taking the lock orders this notify after their re-check.
+            drop(self.space_lock.lock().unwrap());
+            self.space.notify_all();
+        }
+        moved
     }
 }
 
@@ -210,5 +233,32 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(buf, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn many_blocked_producers_drain_through_a_tiny_queue() {
+        let signal = Arc::new(Signal::new());
+        let mailbox = Arc::new(BoundedMailbox::new(2, Arc::clone(&signal)));
+        let producers: Vec<_> = (0..4)
+            .map(|base| {
+                let mailbox = Arc::clone(&mailbox);
+                std::thread::spawn(move || {
+                    for offset in 0..64u64 {
+                        mailbox.push(base * 64 + offset);
+                    }
+                })
+            })
+            .collect();
+        let mut buf = Vec::new();
+        while buf.len() < 256 {
+            if mailbox.drain_into(&mut buf) == 0 {
+                signal.wait_timeout(Duration::from_millis(10));
+            }
+        }
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        buf.sort_unstable();
+        assert_eq!(buf, (0..256).collect::<Vec<_>>());
     }
 }

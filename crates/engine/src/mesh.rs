@@ -21,6 +21,17 @@ pub trait Outbound<K: EngineKey, V: EngineValue>: Send + Sync {
     /// Ships one addressed envelope towards `envelope.to`. Delivery may be
     /// delayed, reordered, or dropped — the protocol tolerates all three.
     fn send(&self, envelope: ShardEnvelope<LatticeMap<K, V>>);
+
+    /// Ships a drained outbox, leaving `envelopes` empty. Callers group the
+    /// batch by destination (runs of equal `to`) so networked implementations
+    /// can hand each peer's run to the transport as one unit — one wire batch
+    /// per peer per cycle instead of one per message. The default forwards
+    /// each envelope to [`Outbound::send`].
+    fn send_batch(&self, envelopes: &mut Vec<ShardEnvelope<LatticeMap<K, V>>>) {
+        for envelope in envelopes.drain(..) {
+            self.send(envelope);
+        }
+    }
 }
 
 /// The in-process transport: every node's ingress mailbox, indexed by replica

@@ -210,14 +210,22 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
         }
     }
 
-    /// Ships the control replica's outbox (plan agreement traffic).
+    /// Ships the control replica's outbox (plan agreement traffic), batched
+    /// per destination like the worker outboxes.
     fn flush_control_outbox(&mut self) {
-        for envelope in self.control.take_outbox() {
-            self.outbound.send(ShardEnvelope {
+        let mut outbox: Vec<_> = self
+            .control
+            .take_outbox()
+            .into_iter()
+            .map(|envelope| ShardEnvelope {
                 from: envelope.from,
                 to: envelope.to,
                 message: ShardMessage::Control { message: envelope.message },
-            });
+            })
+            .collect();
+        if !outbox.is_empty() {
+            outbox.sort_by_key(|envelope| envelope.to);
+            self.outbound.send_batch(&mut outbox);
         }
     }
 

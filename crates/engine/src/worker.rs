@@ -148,8 +148,11 @@ fn run<K: EngineKey, V: EngineValue>(
         }
         core.tick(start.elapsed().as_millis() as u64);
         core.drain_outbox_into(stamp, &mut outbox);
-        for envelope in outbox.drain(..) {
-            outbound.send(envelope);
+        if !outbox.is_empty() {
+            // Group by destination (stable: per-peer order is preserved) so
+            // the mesh ships one batch per peer for this whole cycle.
+            outbox.sort_by_key(|envelope| envelope.to);
+            outbound.send_batch(&mut outbox);
         }
         core.drain_outputs(&mut outputs);
         let had_outputs = !outputs.is_empty();

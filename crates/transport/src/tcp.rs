@@ -1,36 +1,58 @@
-//! Tokio TCP mesh transport with length-prefixed wire framing.
+//! Tokio TCP mesh transport with coalesced, length-prefixed wire framing.
 //!
-//! Each replica runs a [`TcpMesh`]: it listens on its own address, dials every peer,
-//! and exchanges `(sender id, frame)` pairs. Messages are delivered to the application
-//! through an async channel. The `distributed_counter` example uses this transport to
-//! run three CRDT Paxos replicas as independent tokio tasks communicating over
-//! loopback TCP.
+//! Each replica runs a [`TcpMesh`]: it listens on its own address and owns one
+//! persistent outbound connection per peer, dialed lazily and redialed (with
+//! backoff) whenever it drops — a peer restart heals without intervention.
+//!
+//! The write side coalesces: messages are encoded once into [`Bytes`] frames
+//! and queued per peer; the peer's writer task drains everything queued and
+//! flushes it as a single socket write (bounded by a batch-size threshold), so
+//! under load the syscall and wakeup cost is amortized over many messages
+//! while an idle mesh adds no latency. The read side mirrors this, feeding
+//! whole socket chunks through an incremental frame decoder. [`TcpMesh::send_many`]
+//! lets callers with a ready batch encode it into one contiguous buffer up
+//! front.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::time::Duration;
 
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::mpsc;
 use tokio::sync::Mutex;
+use wire::framing::{FrameDecoder, FrameEncoder};
 
 use crate::{PeerId, TransportError};
+
+/// Flush a coalesced batch once it reaches this many bytes, even if more
+/// frames are queued; keeps a single write from growing unboundedly under a
+/// backlog.
+const MAX_BATCH_BYTES: usize = 256 * 1024;
+
+/// Read chunk size for the inbound decoder.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Initial and maximum redial backoff for a peer that is down.
+const RECONNECT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+const RECONNECT_BACKOFF_MAX: Duration = Duration::from_millis(200);
 
 /// A TCP endpoint connected to every peer of the replica group.
 #[derive(Debug)]
 pub struct TcpMesh {
     id: PeerId,
-    peers: Arc<Mutex<HashMap<PeerId, mpsc::UnboundedSender<Vec<u8>>>>>,
-    incoming: Mutex<mpsc::UnboundedReceiver<(PeerId, Vec<u8>)>>,
+    peers: HashMap<PeerId, mpsc::UnboundedSender<Bytes>>,
+    incoming: Mutex<mpsc::UnboundedReceiver<(PeerId, BytesMut)>>,
+    tasks: Vec<tokio::JoinHandle<()>>,
 }
 
 impl TcpMesh {
-    /// Binds to `listen_addr`, connects to every `(peer id, address)` pair, and
-    /// returns the mesh once the listener is running. Connections to peers that are
-    /// not up yet are retried in the background.
+    /// Binds to `listen_addr`, starts one writer task per `(peer id, address)`
+    /// pair, and returns the mesh once the listener is running. Peers that are
+    /// not up yet (or that restart later) are dialed in the background with
+    /// backoff.
     ///
     /// # Errors
     ///
@@ -42,12 +64,12 @@ impl TcpMesh {
     ) -> Result<Self, TransportError> {
         let listener = TcpListener::bind(listen_addr).await?;
         let (incoming_tx, incoming_rx) = mpsc::unbounded_channel();
-        let outgoing: Arc<Mutex<HashMap<PeerId, mpsc::UnboundedSender<Vec<u8>>>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let mut outgoing = HashMap::new();
+        let mut tasks = Vec::new();
 
         // Accept loop: peers identify themselves with an 8-byte hello.
         let accept_incoming = incoming_tx.clone();
-        tokio::spawn(async move {
+        tasks.push(tokio::spawn(async move {
             loop {
                 let Ok((stream, _)) = listener.accept().await else { break };
                 let tx = accept_incoming.clone();
@@ -55,39 +77,18 @@ impl TcpMesh {
                     let _ = read_loop(stream, tx).await;
                 });
             }
-        });
+        }));
 
-        // Dial every peer (with retries, so start order does not matter).
         for (peer, addr) in peers.iter().cloned() {
             if peer == id {
                 continue;
             }
-            let (tx, mut rx) = mpsc::unbounded_channel::<Vec<u8>>();
-            outgoing.lock().await.insert(peer, tx);
-            tokio::spawn(async move {
-                let stream = loop {
-                    match TcpStream::connect(&addr).await {
-                        Ok(stream) => break stream,
-                        Err(_) => tokio::time::sleep(std::time::Duration::from_millis(50)).await,
-                    }
-                };
-                let mut stream = stream;
-                // Identify ourselves.
-                if stream.write_all(&id.to_le_bytes()).await.is_err() {
-                    return;
-                }
-                while let Some(frame) = rx.recv().await {
-                    let len = (frame.len() as u32).to_le_bytes();
-                    if stream.write_all(&len).await.is_err()
-                        || stream.write_all(&frame).await.is_err()
-                    {
-                        return;
-                    }
-                }
-            });
+            let (tx, rx) = mpsc::unbounded_channel::<Bytes>();
+            outgoing.insert(peer, tx);
+            tasks.push(tokio::spawn(write_loop(id, addr, rx)));
         }
 
-        Ok(TcpMesh { id, peers: outgoing, incoming: Mutex::new(incoming_rx) })
+        Ok(TcpMesh { id, peers: outgoing, incoming: Mutex::new(incoming_rx), tasks })
     }
 
     /// This replica's id.
@@ -95,7 +96,8 @@ impl TcpMesh {
         self.id
     }
 
-    /// Sends a message to `peer`.
+    /// Sends a message to `peer`: encoded once into an owned frame and queued
+    /// on the peer's writer, which coalesces it with whatever else is pending.
     ///
     /// # Errors
     ///
@@ -105,10 +107,36 @@ impl TcpMesh {
         peer: PeerId,
         message: &M,
     ) -> Result<(), TransportError> {
-        let bytes = wire::to_vec(message)?;
-        let peers = self.peers.lock().await;
-        let sender = peers.get(&peer).ok_or(TransportError::UnknownPeer(peer))?;
-        sender.send(bytes).map_err(|_| TransportError::Closed)
+        let mut encoder = FrameEncoder::new();
+        encoder.encode(message)?;
+        self.enqueue(peer, encoder.take())
+    }
+
+    /// Sends a batch of messages to `peer`, encoded back-to-back into one
+    /// contiguous buffer so the writer flushes them as a single write.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the peer is unknown or a message cannot be encoded;
+    /// on encode failure nothing is sent.
+    pub async fn send_many<M: Serialize>(
+        &self,
+        peer: PeerId,
+        messages: &[M],
+    ) -> Result<(), TransportError> {
+        if messages.is_empty() {
+            return Ok(());
+        }
+        let mut encoder = FrameEncoder::new();
+        for message in messages {
+            encoder.encode(message)?;
+        }
+        self.enqueue(peer, encoder.take())
+    }
+
+    fn enqueue(&self, peer: PeerId, frames: Bytes) -> Result<(), TransportError> {
+        let sender = self.peers.get(&peer).ok_or(TransportError::UnknownPeer(peer))?;
+        sender.send(frames).map_err(|_| TransportError::Closed)
     }
 
     /// Receives the next `(sender, message)` pair.
@@ -122,27 +150,112 @@ impl TcpMesh {
         let (from, bytes) = incoming.recv().await.ok_or(TransportError::Closed)?;
         Ok((from, wire::from_slice(&bytes)?))
     }
+
+    /// Stops the accept loop and every per-peer writer, closing the listener
+    /// socket so the address can be rebound. Called automatically on drop.
+    pub fn shutdown(&self) {
+        for task in &self.tasks {
+            task.abort();
+        }
+    }
 }
 
-/// Reads the peer hello and then length-prefixed frames, forwarding them upstream.
+impl Drop for TcpMesh {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Owns the outbound connection to one peer: dials (and redials) with
+/// backoff, then drains the frame queue, coalescing everything pending into
+/// single writes. Exits when the mesh drops the send handle.
+async fn write_loop(id: PeerId, addr: String, mut rx: mpsc::UnboundedReceiver<Bytes>) {
+    let mut staging = BytesMut::with_capacity(MAX_BATCH_BYTES);
+    let mut backoff = RECONNECT_BACKOFF_MIN;
+    'reconnect: loop {
+        let mut stream = match TcpStream::connect(&addr).await {
+            Ok(stream) => stream,
+            Err(_) => {
+                tokio::time::sleep(backoff).await;
+                backoff = (backoff * 2).min(RECONNECT_BACKOFF_MAX);
+                continue;
+            }
+        };
+        backoff = RECONNECT_BACKOFF_MIN;
+        // Identify ourselves.
+        if stream.write_all(&id.to_le_bytes()).await.is_err() {
+            continue;
+        }
+        loop {
+            let Some(first) = rx.recv().await else { return };
+            let mut batch = vec![first];
+            let mut total = batch[0].len();
+            drain_pending(&mut rx, &mut batch, &mut total);
+            if total < MAX_BATCH_BYTES {
+                // One scheduling linger: frames being enqueued by concurrently
+                // running tasks join this batch instead of paying their own
+                // write. No timer — an idle queue flushes immediately.
+                tokio::task::yield_now().await;
+                drain_pending(&mut rx, &mut batch, &mut total);
+            }
+            let flushed = if batch.len() == 1 {
+                stream.write_all(&batch[0]).await
+            } else {
+                staging.clear();
+                for frames in &batch {
+                    staging.extend_from_slice(frames);
+                }
+                stream.write_all(&staging).await
+            };
+            if flushed.is_err() {
+                // The queued-but-unflushed frames die with the connection;
+                // protocol-level retransmission recovers, as with any TCP
+                // connection loss.
+                continue 'reconnect;
+            }
+        }
+    }
+}
+
+/// Moves every already-queued frame buffer into `batch`, up to the flush
+/// threshold.
+fn drain_pending(
+    rx: &mut mpsc::UnboundedReceiver<Bytes>,
+    batch: &mut Vec<Bytes>,
+    total: &mut usize,
+) {
+    while *total < MAX_BATCH_BYTES {
+        match rx.try_recv() {
+            Some(frames) => {
+                *total += frames.len();
+                batch.push(frames);
+            }
+            None => break,
+        }
+    }
+}
+
+/// Reads the peer hello and then whole socket chunks, draining every complete
+/// frame per chunk — the inbound half of coalescing.
 async fn read_loop(
     mut stream: TcpStream,
-    tx: mpsc::UnboundedSender<(PeerId, Vec<u8>)>,
+    tx: mpsc::UnboundedSender<(PeerId, BytesMut)>,
 ) -> Result<(), TransportError> {
     let mut hello = [0u8; 8];
     stream.read_exact(&mut hello).await?;
     let peer = PeerId::from_le_bytes(hello);
-    let mut buffer = BytesMut::with_capacity(64 * 1024);
+    let mut decoder = FrameDecoder::default();
+    let mut chunk = vec![0u8; READ_CHUNK];
     loop {
-        let mut len_bytes = [0u8; 4];
-        if stream.read_exact(&mut len_bytes).await.is_err() {
+        let Ok(count) = stream.read(&mut chunk).await else { return Ok(()) };
+        if count == 0 {
             return Ok(());
         }
-        let len = u32::from_le_bytes(len_bytes) as usize;
-        buffer.resize(len, 0);
-        stream.read_exact(&mut buffer[..len]).await?;
-        if tx.send((peer, buffer[..len].to_vec())).is_err() {
-            return Ok(());
+        decoder.extend(&chunk[..count]);
+        while let Some(payload) = decoder.next_frame()? {
+            if tx.send((peer, payload)).is_err() {
+                return Ok(());
+            }
         }
     }
 }
@@ -183,5 +296,56 @@ mod tests {
         let err = mesh.send(9, &Hello { text: "x".into() }).await.unwrap_err();
         assert!(matches!(err, TransportError::UnknownPeer(9)));
         assert_eq!(mesh.id(), 7);
+    }
+
+    #[tokio::test]
+    async fn send_many_delivers_a_batch_in_order() {
+        let addr_a = "127.0.0.1:39024";
+        let addr_b = "127.0.0.1:39025";
+        let mesh_a = TcpMesh::bind(0, addr_a, &[(1u64, addr_b.to_string())]).await.unwrap();
+        let mesh_b = TcpMesh::bind(1, addr_b, &[(0u64, addr_a.to_string())]).await.unwrap();
+
+        let batch: Vec<Hello> = (0..50).map(|i| Hello { text: format!("m{i}") }).collect();
+        mesh_a.send_many(1, &batch).await.unwrap();
+        for i in 0..50 {
+            let (from, hello): (u64, Hello) = mesh_b.recv().await.unwrap();
+            assert_eq!(from, 0);
+            assert_eq!(hello.text, format!("m{i}"));
+        }
+    }
+
+    #[tokio::test]
+    async fn reconnects_after_peer_restart() {
+        let addr_a = "127.0.0.1:39026";
+        let addr_b = "127.0.0.1:39027";
+        let peers_a = vec![(1u64, addr_b.to_string())];
+        let peers_b = vec![(0u64, addr_a.to_string())];
+        let mesh_a = TcpMesh::bind(0, addr_a, &peers_a).await.unwrap();
+        let mesh_b = TcpMesh::bind(1, addr_b, &peers_b).await.unwrap();
+
+        mesh_a.send(1, &Hello { text: "before".into() }).await.unwrap();
+        let (_, hello): (u64, Hello) = mesh_b.recv().await.unwrap();
+        assert_eq!(hello.text, "before");
+
+        // Restart peer B: the old listener socket closes and a new mesh binds
+        // the same address (SO_REUSEADDR). A's writer must redial and deliver.
+        drop(mesh_b);
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        let mesh_b = TcpMesh::bind(1, addr_b, &peers_b).await.unwrap();
+
+        let mut delivered = None;
+        for _ in 0..400 {
+            mesh_a.send(1, &Hello { text: "after".into() }).await.unwrap();
+            let received = tokio::select! {
+                result = mesh_b.recv::<Hello>() => { Some(result.unwrap()) }
+                _ = tokio::time::sleep(Duration::from_millis(25)) => { None }
+            };
+            if let Some((from, hello)) = received {
+                assert_eq!(from, 0);
+                delivered = Some(hello.text);
+                break;
+            }
+        }
+        assert_eq!(delivered.as_deref(), Some("after"));
     }
 }

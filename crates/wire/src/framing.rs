@@ -3,9 +3,11 @@
 //! TCP delivers a byte stream, so the networked replicas delimit messages with a
 //! 4-byte little-endian length prefix followed by the wire-format payload. The
 //! [`FrameDecoder`] is an incremental decoder suitable for feeding arbitrary chunks
-//! (as produced by socket reads), and [`encode_frame`] produces one framed message.
+//! (as produced by socket reads), [`encode_frame`] produces one framed message, and
+//! [`FrameEncoder`] batches many frames into a single contiguous buffer that is
+//! handed off as [`Bytes`] without copying — the write-side coalescing path.
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
@@ -27,6 +29,63 @@ pub fn encode_frame<T: Serialize + ?Sized>(value: &T, out: &mut BytesMut) -> Res
     out.put_u32_le(len);
     out.put_slice(&payload);
     Ok(())
+}
+
+/// Batching frame encoder: serializes values back-to-back into one owned
+/// buffer, each behind its length prefix, so a whole outbound queue becomes a
+/// single socket write.
+///
+/// Values serialize directly into the accumulating buffer (the length prefix
+/// is back-filled after the payload is written — no intermediate `Vec` per
+/// message), and [`FrameEncoder::take`] converts the batch into [`Bytes`]
+/// without copying.
+#[derive(Debug, Default)]
+pub struct FrameEncoder {
+    buf: Vec<u8>,
+}
+
+impl FrameEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        FrameEncoder::default()
+    }
+
+    /// Appends one length-prefixed frame for `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialization fails or the encoded payload exceeds
+    /// `u32::MAX`; the buffer is rolled back to its pre-call state.
+    pub fn encode<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        let frame_start = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 4]);
+        if let Err(err) = crate::to_writer(value, &mut self.buf) {
+            self.buf.truncate(frame_start);
+            return Err(err);
+        }
+        let payload_len = self.buf.len() - frame_start - 4;
+        let Ok(len) = u32::try_from(payload_len) else {
+            self.buf.truncate(frame_start);
+            return Err(Error::LengthOverflow(payload_len as u64));
+        };
+        self.buf[frame_start..frame_start + 4].copy_from_slice(&len.to_le_bytes());
+        Ok(())
+    }
+
+    /// Number of encoded bytes pending.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Takes the encoded batch as [`Bytes`], leaving the encoder empty.
+    pub fn take(&mut self) -> Bytes {
+        Bytes::from(std::mem::take(&mut self.buf))
+    }
 }
 
 /// Incremental frame decoder.
@@ -70,6 +129,21 @@ impl FrameDecoder {
     /// Returns [`Error::FrameTooLarge`] for oversized frames and any payload decoding
     /// error from [`crate::from_slice`].
     pub fn decode_next<T: DeserializeOwned>(&mut self) -> Result<Option<T>> {
+        match self.next_frame()? {
+            Some(payload) => Ok(Some(crate::from_slice(&payload)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Extracts the next complete frame's raw payload without deserializing.
+    ///
+    /// Returns `Ok(None)` if more bytes are needed. Lets a transport hand the
+    /// undecoded payload across a channel and defer (or skip) deserialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FrameTooLarge`] for oversized frames.
+    pub fn next_frame(&mut self) -> Result<Option<BytesMut>> {
         if self.buffer.len() < 4 {
             return Ok(None);
         }
@@ -83,9 +157,7 @@ impl FrameDecoder {
             return Ok(None);
         }
         self.buffer.advance(4);
-        let payload = self.buffer.split_to(len);
-        let value = crate::from_slice(&payload)?;
-        Ok(Some(value))
+        Ok(Some(self.buffer.split_to(len)))
     }
 }
 
@@ -146,6 +218,71 @@ mod tests {
         }
         let none: Option<Msg> = decoder.decode_next().unwrap();
         assert!(none.is_none());
+    }
+
+    #[test]
+    fn frame_encoder_batches_without_copying() {
+        let mut encoder = FrameEncoder::new();
+        for id in 0..4u64 {
+            encoder.encode(&Msg { id, body: format!("b{id}") }).unwrap();
+        }
+        let batch = encoder.take();
+        assert!(encoder.is_empty());
+
+        // The batch must be byte-identical to four individually encoded frames.
+        let mut reference = BytesMut::new();
+        for id in 0..4u64 {
+            encode_frame(&Msg { id, body: format!("b{id}") }, &mut reference).unwrap();
+        }
+        assert_eq!(&batch[..], &reference[..]);
+
+        let mut decoder = FrameDecoder::default();
+        decoder.extend(&batch);
+        for id in 0..4u64 {
+            let msg: Msg = decoder.decode_next().unwrap().unwrap();
+            assert_eq!(msg.id, id);
+        }
+    }
+
+    #[test]
+    fn next_frame_returns_raw_payloads() {
+        let msg = Msg { id: 3, body: "raw".into() };
+        let mut encoder = FrameEncoder::new();
+        encoder.encode(&msg).unwrap();
+        let mut decoder = FrameDecoder::default();
+        decoder.extend(&encoder.take());
+        let payload = decoder.next_frame().unwrap().unwrap();
+        let decoded: Msg = crate::from_slice(&payload).unwrap();
+        assert_eq!(decoded, msg);
+        assert!(decoder.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn failed_encode_rolls_back_the_batch() {
+        // Unknown-length sequences are unserializable in this format.
+        struct Unsized;
+        impl Serialize for Unsized {
+            fn serialize<S: serde::Serializer>(
+                &self,
+                serializer: S,
+            ) -> std::result::Result<S::Ok, S::Error> {
+                use serde::ser::SerializeSeq;
+                let mut seq = serializer.serialize_seq(None)?;
+                seq.serialize_element(&1u8)?;
+                seq.end()
+            }
+        }
+
+        let mut encoder = FrameEncoder::new();
+        encoder.encode(&Msg { id: 1, body: "keep".into() }).unwrap();
+        let len_before = encoder.len();
+        assert!(encoder.encode(&Unsized).is_err());
+        assert_eq!(encoder.len(), len_before);
+        let mut decoder = FrameDecoder::default();
+        decoder.extend(&encoder.take());
+        let msg: Msg = decoder.decode_next().unwrap().unwrap();
+        assert_eq!(msg.id, 1);
+        assert_eq!(decoder.buffered(), 0);
     }
 
     #[test]

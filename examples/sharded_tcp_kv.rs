@@ -32,14 +32,20 @@ use tokio::sync::mpsc;
 type KvMap = LatticeMap<String, GCounter>;
 
 /// Bridges the engine's synchronous outbound hot path to the async TCP mesh:
-/// a lock-free enqueue here, the actual socket write on a tokio task.
+/// a lock-free enqueue here, the actual socket write on a tokio task. Whole
+/// outbox drains cross the channel as one batch, so each worker cycle costs
+/// one enqueue and the mesh sees per-peer runs it can ship as single writes.
 struct TcpOutbound {
-    tx: mpsc::UnboundedSender<ShardEnvelope<KvMap>>,
+    tx: mpsc::UnboundedSender<Vec<ShardEnvelope<KvMap>>>,
 }
 
 impl Outbound<String, GCounter> for TcpOutbound {
     fn send(&self, envelope: ShardEnvelope<KvMap>) {
-        let _ = self.tx.send(envelope);
+        let _ = self.tx.send(vec![envelope]);
+    }
+
+    fn send_batch(&self, envelopes: &mut Vec<ShardEnvelope<KvMap>>) {
+        let _ = self.tx.send(std::mem::take(envelopes));
     }
 }
 
@@ -63,14 +69,30 @@ async fn start_replica(
         Arc::new(TcpOutbound { tx }),
     );
 
-    // Engine -> sockets: drain the outbound queue onto the mesh.
+    // Engine -> sockets: drain outbox batches onto the mesh. Batches arrive
+    // sorted by destination, so consecutive same-peer envelopes become one
+    // `send_many` — one contiguous wire batch per peer per engine cycle.
     let sender_mesh = Arc::clone(&mesh);
     tokio::spawn(async move {
-        while let Some(envelope) = rx.recv().await {
-            let from = envelope.from;
-            let (to, message) = envelope.into_parts();
-            debug_assert_eq!(from.as_u64(), id);
-            let _ = sender_mesh.send(to.as_u64(), &message).await;
+        let mut run: Vec<ShardMessage<KvMap>> = Vec::new();
+        while let Some(batch) = rx.recv().await {
+            let mut run_peer = None;
+            for envelope in batch {
+                debug_assert_eq!(envelope.from.as_u64(), id);
+                let (to, message) = envelope.into_parts();
+                if run_peer != Some(to.as_u64()) {
+                    if let Some(peer) = run_peer {
+                        let _ = sender_mesh.send_many(peer, &run).await;
+                        run.clear();
+                    }
+                    run_peer = Some(to.as_u64());
+                }
+                run.push(message);
+            }
+            if let Some(peer) = run_peer {
+                let _ = sender_mesh.send_many(peer, &run).await;
+                run.clear();
+            }
         }
     });
 

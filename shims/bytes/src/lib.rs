@@ -1,10 +1,97 @@
-//! Minimal `bytes` stand-in: a growable byte buffer with cheap front-advance.
+//! Minimal `bytes` stand-in: a growable byte buffer with cheap front-advance
+//! and a cheaply clonable frozen form.
 //!
 //! Implements the subset of the upstream API used by this workspace:
 //! `BytesMut` with `Buf::advance` / `BufMut::{put_u32_le, put_slice}` semantics,
-//! `split_to`, `resize`, and `Deref`/`DerefMut` to `[u8]`.
+//! `split_to`, `resize`, `freeze`, and [`Bytes`] — an immutable `Arc`-backed
+//! view whose `Clone` is a reference-count bump, not a copy.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+///
+/// Cloning shares the underlying allocation (upstream `bytes::Bytes`
+/// semantics), so a frame encoded once can be queued to several peers or
+/// retried after a reconnect without copying the payload.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` if no readable bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a view of the first `count` bytes, sharing the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the number of readable bytes.
+    pub fn slice_to(&self, count: usize) -> Bytes {
+        assert!(count <= self.len(), "slice_to past end of buffer");
+        Bytes { data: Arc::clone(&self.data), start: self.start, end: self.start + count }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", self.as_slice())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes { data: Arc::new(data), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(bytes: &[u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+}
 
 /// A mutable, growable byte buffer.
 ///
@@ -65,6 +152,19 @@ impl BytesMut {
     pub fn resize(&mut self, new_len: usize, fill: u8) {
         self.compact();
         self.data.resize(new_len, fill);
+    }
+
+    /// Discards all readable bytes, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.start = 0;
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`] without copying the
+    /// readable region's backing storage.
+    pub fn freeze(mut self) -> Bytes {
+        self.compact();
+        Bytes::from(self.data)
     }
 
     fn as_slice(&self) -> &[u8] {
@@ -155,6 +255,29 @@ impl BufMut for BytesMut {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn freeze_shares_the_allocation() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"payload");
+        let frozen = buf.freeze();
+        let alias = frozen.clone();
+        assert_eq!(&frozen[..], b"payload");
+        assert_eq!(frozen, alias);
+        assert_eq!(alias.as_ref().as_ptr(), frozen.as_ref().as_ptr());
+        assert_eq!(&frozen.slice_to(3)[..], b"pay");
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(b"abc");
+        buf.advance(1);
+        buf.clear();
+        assert!(buf.is_empty());
+        buf.put_slice(b"xyz");
+        assert_eq!(&buf[..], b"xyz");
+    }
 
     #[test]
     fn append_advance_split() {

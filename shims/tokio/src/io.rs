@@ -2,12 +2,14 @@
 
 use std::future::poll_fn;
 use std::io;
-use std::task::Poll;
 
 use crate::net::TcpStream;
 
 /// Async reading helpers (subset of upstream `AsyncReadExt`).
 pub trait AsyncReadExt {
+    /// Reads some bytes, returning how many were read (0 at end of stream).
+    fn read(&mut self, buf: &mut [u8]) -> impl std::future::Future<Output = io::Result<usize>>;
+
     /// Reads exactly `buf.len()` bytes.
     fn read_exact(
         &mut self,
@@ -22,23 +24,27 @@ pub trait AsyncWriteExt {
 }
 
 impl AsyncReadExt for TcpStream {
+    async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        poll_fn(|cx| self.poll_read(cx, buf)).await
+    }
+
     async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         let mut filled = 0usize;
-        poll_fn(|_cx| {
+        poll_fn(|cx| {
             while filled < buf.len() {
-                match self.poll_read(&mut buf[filled..]) {
-                    Poll::Ready(Ok(0)) => {
-                        return Poll::Ready(Err(io::Error::new(
+                match self.poll_read(cx, &mut buf[filled..]) {
+                    std::task::Poll::Ready(Ok(0)) => {
+                        return std::task::Poll::Ready(Err(io::Error::new(
                             io::ErrorKind::UnexpectedEof,
                             "connection closed mid-read",
                         )))
                     }
-                    Poll::Ready(Ok(n)) => filled += n,
-                    Poll::Ready(Err(err)) => return Poll::Ready(Err(err)),
-                    Poll::Pending => return Poll::Pending,
+                    std::task::Poll::Ready(Ok(n)) => filled += n,
+                    std::task::Poll::Ready(Err(err)) => return std::task::Poll::Ready(Err(err)),
+                    std::task::Poll::Pending => return std::task::Poll::Pending,
                 }
             }
-            Poll::Ready(Ok(filled))
+            std::task::Poll::Ready(Ok(filled))
         })
         .await
     }
@@ -47,21 +53,21 @@ impl AsyncReadExt for TcpStream {
 impl AsyncWriteExt for TcpStream {
     async fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
         let mut written = 0usize;
-        poll_fn(|_cx| {
+        poll_fn(|cx| {
             while written < buf.len() {
-                match self.poll_write(&buf[written..]) {
-                    Poll::Ready(Ok(0)) => {
-                        return Poll::Ready(Err(io::Error::new(
+                match self.poll_write(cx, &buf[written..]) {
+                    std::task::Poll::Ready(Ok(0)) => {
+                        return std::task::Poll::Ready(Err(io::Error::new(
                             io::ErrorKind::WriteZero,
                             "connection closed mid-write",
                         )))
                     }
-                    Poll::Ready(Ok(n)) => written += n,
-                    Poll::Ready(Err(err)) => return Poll::Ready(Err(err)),
-                    Poll::Pending => return Poll::Pending,
+                    std::task::Poll::Ready(Ok(n)) => written += n,
+                    std::task::Poll::Ready(Err(err)) => return std::task::Poll::Ready(Err(err)),
+                    std::task::Poll::Pending => return std::task::Poll::Pending,
                 }
             }
-            Poll::Ready(Ok(()))
+            std::task::Poll::Ready(Ok(()))
         })
         .await
     }

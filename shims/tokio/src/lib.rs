@@ -1,16 +1,24 @@
-//! Minimal `tokio` stand-in.
+//! Minimal `tokio` stand-in with a readiness-based runtime.
 //!
-//! Futures are driven by a spin-polling executor (no waker plumbing): every
-//! spawned task gets its own OS thread that re-polls at a small interval.
-//! Networking wraps non-blocking `std::net` sockets, so `select!` and
-//! concurrent tasks behave correctly, just with polling latency instead of
-//! readiness notifications. This trades efficiency for a tiny, dependency-free
-//! implementation — fine for the examples and tests in this workspace.
+//! Futures run on a small shared worker pool and are polled only when woken:
+//! a process-wide [`reactor`](mod@reactor) thread multiplexes every
+//! registered socket and timer through a single `poll(2)` call and wakes the
+//! parked task when the kernel reports readiness or a deadline passes.
+//! `TcpStream`/`TcpListener` wrap non-blocking `std::net` sockets whose
+//! `WouldBlock` results park the task's waker on the reactor — there is no
+//! fixed-interval re-polling anywhere on the async path, so a thousand idle
+//! connections cost one sleeping syscall, not a thousand spinning threads.
+//! Dependency-free by design: the API surface is the subset of upstream
+//! `tokio` this workspace uses.
 
 pub mod io;
 pub mod net;
+mod reactor;
+#[cfg(test)]
+mod readiness_tests;
 pub mod runtime;
 pub mod sync;
+pub mod task;
 pub mod time;
 
 pub use runtime::{spawn, JoinHandle};

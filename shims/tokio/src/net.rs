@@ -1,9 +1,75 @@
-//! Async TCP over non-blocking `std::net` sockets.
+//! Async TCP over non-blocking `std::net` sockets, woken by the reactor.
+//!
+//! Every `WouldBlock` parks the calling task's waker on the socket's fd in
+//! the [`reactor`](crate::reactor); the reactor's `poll(2)` thread wakes it
+//! when the kernel reports readiness. No polling loops, no sleeps.
 
 use std::future::poll_fn;
 use std::io::{self, Read, Write};
 use std::net::{self, SocketAddr, ToSocketAddrs};
-use std::task::Poll;
+use std::os::fd::{AsRawFd, FromRawFd, RawFd};
+use std::task::{Context, Poll};
+
+use crate::reactor::reactor;
+
+// Raw listener construction (socket/setsockopt/bind/listen) so the listening
+// socket gets `SO_REUSEADDR` before binding, like upstream tokio: restarted
+// replicas must be able to rebind their address while old accepted
+// connections linger in TIME_WAIT. `std` links libc, so the four syscall
+// wrappers are declared directly.
+extern "C" {
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+    fn bind(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
+    fn listen(fd: i32, backlog: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+const AF_INET: i32 = 2;
+const SOCK_STREAM: i32 = 1;
+const SOCK_NONBLOCK: i32 = 0x800;
+const SOCK_CLOEXEC: i32 = 0x8_0000;
+const SOL_SOCKET: i32 = 1;
+const SO_REUSEADDR: i32 = 2;
+const LISTEN_BACKLOG: i32 = 1024;
+
+#[repr(C)]
+struct SockAddrIn {
+    sin_family: u16,
+    /// Port in network byte order.
+    sin_port: u16,
+    /// Address in network byte order.
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+/// Creates a non-blocking IPv4 listener with `SO_REUSEADDR` set before bind.
+fn bind_reuseaddr_v4(addr: &std::net::SocketAddrV4) -> io::Result<net::TcpListener> {
+    // SAFETY: plain syscalls on a locally owned fd; the fd is either wrapped
+    // into a `TcpListener` (which owns closing it) or closed on error.
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let one: i32 = 1;
+        let sockaddr = SockAddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: addr.port().to_be(),
+            sin_addr: u32::from_ne_bytes(addr.ip().octets()),
+            sin_zero: [0; 8],
+        };
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) < 0
+            || bind(fd, &sockaddr, std::mem::size_of::<SockAddrIn>() as u32) < 0
+            || listen(fd, LISTEN_BACKLOG) < 0
+        {
+            let err = io::Error::last_os_error();
+            close(fd);
+            return Err(err);
+        }
+        Ok(net::TcpListener::from_raw_fd(fd))
+    }
+}
 
 /// A TCP listener accepting connections asynchronously.
 #[derive(Debug)]
@@ -12,24 +78,44 @@ pub struct TcpListener {
 }
 
 impl TcpListener {
-    /// Binds to `addr` and starts listening.
+    /// Binds to `addr` and starts listening (with `SO_REUSEADDR`, like
+    /// upstream tokio, so restarted peers can rebind promptly).
     pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
-        let inner = net::TcpListener::bind(addr)?;
-        inner.set_nonblocking(true)?;
-        Ok(TcpListener { inner })
+        let mut last_err = None;
+        for addr in addr.to_socket_addrs()? {
+            let bound = match addr {
+                SocketAddr::V4(v4) => bind_reuseaddr_v4(&v4),
+                SocketAddr::V6(_) => net::TcpListener::bind(addr).and_then(|inner| {
+                    inner.set_nonblocking(true)?;
+                    Ok(inner)
+                }),
+            };
+            match bound {
+                Ok(inner) => return Ok(TcpListener { inner }),
+                Err(err) => last_err = Some(err),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no addresses to bind")))
     }
 
     /// Accepts the next inbound connection.
     pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
-        poll_fn(|_cx| match self.inner.accept() {
+        poll_fn(|cx| match self.inner.accept() {
             Ok((stream, addr)) => {
                 if let Err(err) = stream.set_nonblocking(true) {
                     return Poll::Ready(Err(err));
                 }
+                stream.set_nodelay(true).ok();
                 Poll::Ready(Ok((TcpStream { inner: stream }, addr)))
             }
-            Err(err) if err.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
-            Err(err) if err.kind() == io::ErrorKind::Interrupted => Poll::Pending,
+            Err(err)
+                if err.kind() == io::ErrorKind::WouldBlock
+                    || err.kind() == io::ErrorKind::Interrupted =>
+            {
+                reactor().register_read(self.inner.as_raw_fd(), cx.waker());
+                Poll::Pending
+            }
             Err(err) => Poll::Ready(Err(err)),
         })
         .await
@@ -38,6 +124,12 @@ impl TcpListener {
     /// The local address the listener is bound to.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.inner.local_addr()
+    }
+}
+
+impl Drop for TcpListener {
+    fn drop(&mut self) {
+        reactor().deregister(self.inner.as_raw_fd());
     }
 }
 
@@ -50,7 +142,8 @@ pub struct TcpStream {
 impl TcpStream {
     /// Connects to `addr`.
     pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
-        // The blocking connect happens on this task's dedicated thread.
+        // Loopback connects complete in one syscall; a brief synchronous
+        // connect occupies one pool worker, it does not stall the runtime.
         let inner = net::TcpStream::connect(addr)?;
         inner.set_nodelay(true).ok();
         inner.set_nonblocking(true)?;
@@ -62,21 +155,49 @@ impl TcpStream {
         self.inner.peer_addr()
     }
 
-    pub(crate) fn poll_read(&mut self, buf: &mut [u8]) -> Poll<io::Result<usize>> {
-        match self.inner.read(buf) {
-            Ok(n) => Poll::Ready(Ok(n)),
-            Err(err) if err.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
-            Err(err) if err.kind() == io::ErrorKind::Interrupted => Poll::Pending,
-            Err(err) => Poll::Ready(Err(err)),
+    pub(crate) fn raw_fd(&self) -> RawFd {
+        self.inner.as_raw_fd()
+    }
+
+    pub(crate) fn poll_read(
+        &mut self,
+        cx: &mut Context<'_>,
+        buf: &mut [u8],
+    ) -> Poll<io::Result<usize>> {
+        loop {
+            match self.inner.read(buf) {
+                Ok(n) => return Poll::Ready(Ok(n)),
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    reactor().register_read(self.raw_fd(), cx.waker());
+                    return Poll::Pending;
+                }
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(err) => return Poll::Ready(Err(err)),
+            }
         }
     }
 
-    pub(crate) fn poll_write(&mut self, buf: &[u8]) -> Poll<io::Result<usize>> {
-        match self.inner.write(buf) {
-            Ok(n) => Poll::Ready(Ok(n)),
-            Err(err) if err.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
-            Err(err) if err.kind() == io::ErrorKind::Interrupted => Poll::Pending,
-            Err(err) => Poll::Ready(Err(err)),
+    pub(crate) fn poll_write(
+        &mut self,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        loop {
+            match self.inner.write(buf) {
+                Ok(n) => return Poll::Ready(Ok(n)),
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    reactor().register_write(self.raw_fd(), cx.waker());
+                    return Poll::Pending;
+                }
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(err) => return Poll::Ready(Err(err)),
+            }
         }
+    }
+}
+
+impl Drop for TcpStream {
+    fn drop(&mut self) {
+        reactor().deregister(self.raw_fd());
     }
 }

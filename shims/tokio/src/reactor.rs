@@ -1,0 +1,253 @@
+//! The readiness reactor: one process-wide poll thread that owns every
+//! registered socket interest and timer.
+//!
+//! Futures that hit `WouldBlock` register their fd and waker here and return
+//! `Poll::Pending`; the reactor thread sits in a single `poll(2)` syscall until
+//! some registered fd becomes ready (or the earliest timer is due) and wakes
+//! exactly the parked tasks. Nothing on the async I/O path sleeps on a fixed
+//! interval — between readiness events the whole runtime is idle in the kernel.
+//!
+//! Design notes:
+//!
+//! * **`poll(2)`, not `epoll`** — the interest set is rebuilt from the
+//!   registration table on every iteration, which keeps the reactor stateless
+//!   with respect to the kernel (no add/modify/delete bookkeeping, no stale
+//!   registrations after an fd is closed). The O(fds) scan is irrelevant at
+//!   the few-thousand-socket scale this workspace targets, and `struct pollfd`
+//!   is plain POSIX (unlike packed `epoll_event`). The syscall is declared
+//!   directly: `std` already links libc, so no external crate is needed.
+//! * **Level-triggered, one-shot interest** — an fd is armed only while a
+//!   waker is parked on it, and the waker is taken (fired once) when readiness
+//!   is reported. A future that still gets `WouldBlock` after waking simply
+//!   re-registers. Because the kernel reports level-triggered readiness there
+//!   is no register/ready race: if the fd was already readable when the waker
+//!   was parked, the very next `poll(2)` returns immediately.
+//! * **Self-wake pipe** — registrations land while the reactor is blocked in
+//!   `poll(2)` on the *previous* interest set, so every mutation writes one
+//!   byte to a socketpair the reactor always watches. Bytes coalesce: a full
+//!   pipe means a wakeup is already pending.
+//! * **Timers** — `time::sleep`/`interval` park `(deadline, id, waker)`
+//!   entries in an ordered map; the earliest deadline bounds the `poll(2)`
+//!   timeout (rounded up to the next millisecond so the reactor never spins on
+//!   a sub-millisecond remainder).
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::task::Waker;
+use std::time::Instant;
+
+// `std` links the platform libc; declaring the one syscall wrapper we need
+// avoids an external dependency (this workspace vendors all deps as shims).
+#[repr(C)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+/// Error conditions (`POLLERR | POLLHUP | POLLNVAL`) are delivered regardless
+/// of the requested events; they must wake both directions so the parked I/O
+/// attempt can observe the failure.
+const POLLERR_ANY: i16 = 0x008 | 0x010 | 0x020;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+#[derive(Default)]
+struct Interest {
+    read: Option<Waker>,
+    write: Option<Waker>,
+}
+
+#[derive(Default)]
+struct Registrations {
+    sockets: HashMap<RawFd, Interest>,
+    timers: BTreeMap<(Instant, u64), Waker>,
+}
+
+/// The process-wide reactor. Obtain it with [`reactor()`].
+pub(crate) struct Reactor {
+    state: Mutex<Registrations>,
+    /// Write half of the self-wake socketpair.
+    wake_tx: UnixStream,
+    /// Counts `poll(2)` syscalls — exposed so tests can assert the runtime
+    /// blocks on readiness instead of busy-spinning.
+    polls: AtomicU64,
+    /// Allocator for timer ids (disambiguates equal deadlines).
+    timer_ids: AtomicU64,
+}
+
+impl Reactor {
+    /// Parks `waker` until `fd` is readable. One-shot: fired wakers are
+    /// consumed and must be re-registered on the next `WouldBlock`.
+    pub(crate) fn register_read(&self, fd: RawFd, waker: &Waker) {
+        let mut state = self.state.lock().unwrap();
+        state.sockets.entry(fd).or_default().read = Some(waker.clone());
+        drop(state);
+        self.wake();
+    }
+
+    /// Parks `waker` until `fd` is writable.
+    pub(crate) fn register_write(&self, fd: RawFd, waker: &Waker) {
+        let mut state = self.state.lock().unwrap();
+        state.sockets.entry(fd).or_default().write = Some(waker.clone());
+        drop(state);
+        self.wake();
+    }
+
+    /// Drops every interest parked on `fd` (called when the socket closes).
+    /// Parked wakers are fired so their tasks observe the closed socket
+    /// instead of sleeping forever; a spurious wake is harmless by contract.
+    pub(crate) fn deregister(&self, fd: RawFd) {
+        let interest = self.state.lock().unwrap().sockets.remove(&fd);
+        if let Some(interest) = interest {
+            if let Some(waker) = interest.read {
+                waker.wake();
+            }
+            if let Some(waker) = interest.write {
+                waker.wake();
+            }
+            self.wake();
+        }
+    }
+
+    /// Allocates a timer id; each timer future owns one for its lifetime so
+    /// re-polls replace (not duplicate) its parked entry.
+    pub(crate) fn next_timer_id(&self) -> u64 {
+        self.timer_ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Parks `waker` until `deadline`. Re-registering the same `(deadline,
+    /// id)` replaces the stored waker.
+    pub(crate) fn register_timer(&self, deadline: Instant, id: u64, waker: &Waker) {
+        self.state.lock().unwrap().timers.insert((deadline, id), waker.clone());
+        self.wake();
+    }
+
+    /// Removes a parked timer (dropped `Sleep` futures cancel themselves).
+    pub(crate) fn cancel_timer(&self, deadline: Instant, id: u64) {
+        self.state.lock().unwrap().timers.remove(&(deadline, id));
+    }
+
+    /// Number of `poll(2)` syscalls issued so far. Consumed by the
+    /// busy-spin regression test.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn poll_syscalls(&self) -> u64 {
+        self.polls.load(Ordering::Relaxed)
+    }
+
+    /// Interrupts an in-flight `poll(2)` so the next iteration sees fresh
+    /// registrations. A full pipe means a wakeup is already pending.
+    fn wake(&self) {
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+
+    fn run(&self, mut wake_rx: UnixStream) {
+        let wake_fd = wake_rx.as_raw_fd();
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut drain = [0u8; 64];
+        loop {
+            // Rebuild the interest set and compute the timer-bounded timeout.
+            fds.clear();
+            fds.push(PollFd { fd: wake_fd, events: POLLIN, revents: 0 });
+            let timeout = {
+                let state = self.state.lock().unwrap();
+                for (&fd, interest) in &state.sockets {
+                    let mut events = 0;
+                    if interest.read.is_some() {
+                        events |= POLLIN;
+                    }
+                    if interest.write.is_some() {
+                        events |= POLLOUT;
+                    }
+                    if events != 0 {
+                        fds.push(PollFd { fd, events, revents: 0 });
+                    }
+                }
+                match state.timers.keys().next() {
+                    // Round up: a sub-millisecond remainder must sleep one
+                    // more millisecond, not spin through zero-timeouts.
+                    Some(&(deadline, _)) => {
+                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        i32::try_from(remaining.as_millis().saturating_add(1)).unwrap_or(i32::MAX)
+                    }
+                    None => -1,
+                }
+            };
+
+            self.polls.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: `fds` is a valid, exclusively borrowed array of
+            // `nfds` pollfd structs for the duration of the call.
+            let ready = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout) };
+            if ready < 0 {
+                // EINTR: retry with a rebuilt set.
+                continue;
+            }
+
+            if fds[0].revents != 0 {
+                // Drain coalesced self-wake bytes.
+                while matches!(wake_rx.read(&mut drain), Ok(n) if n > 0) {}
+            }
+
+            let now = Instant::now();
+            let mut state = self.state.lock().unwrap();
+            // Fire due timers.
+            while let Some(&key) = state.timers.keys().next() {
+                if key.0 > now {
+                    break;
+                }
+                if let Some(waker) = state.timers.remove(&key) {
+                    waker.wake();
+                }
+            }
+            // Fire readiness wakers (one-shot: taken, not retained).
+            for entry in &fds[1..] {
+                if entry.revents == 0 {
+                    continue;
+                }
+                let Some(interest) = state.sockets.get_mut(&entry.fd) else { continue };
+                if entry.revents & (POLLIN | POLLERR_ANY) != 0 {
+                    if let Some(waker) = interest.read.take() {
+                        waker.wake();
+                    }
+                }
+                if entry.revents & (POLLOUT | POLLERR_ANY) != 0 {
+                    if let Some(waker) = interest.write.take() {
+                        waker.wake();
+                    }
+                }
+                if interest.read.is_none() && interest.write.is_none() {
+                    state.sockets.remove(&entry.fd);
+                }
+            }
+        }
+    }
+}
+
+/// The lazily started process-wide reactor.
+pub(crate) fn reactor() -> &'static Reactor {
+    static REACTOR: OnceLock<&'static Reactor> = OnceLock::new();
+    REACTOR.get_or_init(|| {
+        let (wake_rx, wake_tx) = UnixStream::pair().expect("reactor wake pipe");
+        wake_rx.set_nonblocking(true).expect("nonblocking wake pipe");
+        wake_tx.set_nonblocking(true).expect("nonblocking wake pipe");
+        let reactor: &'static Reactor = Box::leak(Box::new(Reactor {
+            state: Mutex::new(Registrations::default()),
+            wake_tx,
+            polls: AtomicU64::new(0),
+            timer_ids: AtomicU64::new(0),
+        }));
+        std::thread::Builder::new()
+            .name("tokio-reactor".into())
+            .spawn(move || reactor.run(wake_rx))
+            .expect("spawn reactor thread");
+        reactor
+    })
+}

@@ -1,33 +1,143 @@
-//! Spin-polling executor: `block_on`, `spawn`, and `JoinHandle`.
+//! Waker-driven executor: `block_on`, `spawn`, and `JoinHandle`.
+//!
+//! Tasks are `Arc`-backed futures on a shared run queue drained by a small
+//! pool of worker threads. A task is polled only when something wakes it —
+//! the reactor on socket readiness or a timer, a channel on send, a mutex on
+//! unlock — so a thousand connection tasks blocked on I/O cost nothing but
+//! memory. `block_on` drives its future on the calling thread, parking
+//! between wakeups. Nothing here sleeps on a fixed interval.
 
+use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::Arc;
-use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
-use std::time::Duration;
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Wake, Waker};
 
-/// How long the executor sleeps between polls of a pending future.
-const POLL_INTERVAL: Duration = Duration::from_micros(100);
+type BoxedFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
 
-fn noop_waker() -> Waker {
-    const VTABLE: RawWakerVTable =
-        RawWakerVTable::new(|_| RawWaker::new(std::ptr::null(), &VTABLE), |_| {}, |_| {}, |_| {});
-    // SAFETY: the vtable functions do nothing and carry no data.
-    unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+/// One spawned task: the future, its scheduling state, and the waker of the
+/// `JoinHandle` awaiting it (if any).
+struct Task {
+    /// `None` once the future has completed or been aborted.
+    future: Mutex<Option<BoxedFuture>>,
+    /// Guards against double-queueing: set when pushed onto the run queue,
+    /// cleared immediately before the poll so wakes that land *during* the
+    /// poll re-queue the task for another pass.
+    queued: AtomicBool,
+    aborted: AtomicBool,
+    join_waker: Mutex<Option<Waker>>,
 }
 
-/// Runs a future to completion on the current thread by polling at a fixed
-/// interval.
+impl Task {
+    /// Drops the future (completing or cancelling it) and wakes the joiner.
+    fn finish(&self) {
+        *self.future.lock().unwrap() = None;
+        if let Some(waker) = self.join_waker.lock().unwrap().take() {
+            waker.wake();
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        schedule(self);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        schedule(Arc::clone(self));
+    }
+}
+
+struct Executor {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    ready: Condvar,
+}
+
+/// The lazily started worker pool. A handful of workers suffices: runnable
+/// tasks are the scarce resource, not parked ones, and the pool must merely
+/// cover the occasional synchronous call (e.g. a blocking `connect`) without
+/// stalling every other runnable task.
+fn executor() -> &'static Executor {
+    static EXECUTOR: OnceLock<&'static Executor> = OnceLock::new();
+    EXECUTOR.get_or_init(|| {
+        let executor: &'static Executor = Box::leak(Box::new(Executor {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }));
+        let workers =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(4, 8);
+        for index in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("tokio-worker-{index}"))
+                .spawn(move || worker_loop(executor))
+                .expect("spawn executor worker");
+        }
+        executor
+    })
+}
+
+fn schedule(task: Arc<Task>) {
+    if task.queued.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let executor = executor();
+    executor.queue.lock().unwrap().push_back(task);
+    executor.ready.notify_one();
+}
+
+fn worker_loop(executor: &'static Executor) {
+    loop {
+        let task = {
+            let mut queue = executor.queue.lock().unwrap();
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                queue = executor.ready.wait(queue).unwrap();
+            }
+        };
+        // Clear before polling so a wake that races the poll re-queues.
+        task.queued.store(false, Ordering::Release);
+        if task.aborted.load(Ordering::Acquire) {
+            task.finish();
+            continue;
+        }
+        let mut slot = task.future.lock().unwrap();
+        let Some(future) = slot.as_mut() else { continue };
+        let waker = Waker::from(Arc::clone(&task));
+        let mut context = Context::from_waker(&waker);
+        if future.as_mut().poll(&mut context).is_ready() {
+            drop(slot);
+            task.finish();
+        }
+    }
+}
+
+/// Wakes `block_on`'s calling thread. `unpark` carries a token, so a wake
+/// delivered between the final `Pending` and the `park` is never lost.
+struct ThreadWaker(std::thread::Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Runs a future to completion on the current thread, parking between
+/// wakeups.
 pub fn block_on<F: Future>(future: F) -> F::Output {
-    let mut future = Box::pin(future);
-    let waker = noop_waker();
+    let mut future = std::pin::pin!(future);
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
     let mut context = Context::from_waker(&waker);
     loop {
         match future.as_mut().poll(&mut context) {
             Poll::Ready(value) => return value,
-            Poll::Pending => std::thread::sleep(POLL_INTERVAL),
+            Poll::Pending => std::thread::park(),
         }
     }
 }
@@ -45,58 +155,70 @@ impl std::fmt::Display for JoinError {
 impl std::error::Error for JoinError {}
 
 /// Handle to a spawned task.
-#[derive(Debug)]
 pub struct JoinHandle<T> {
-    result: mpsc::Receiver<T>,
-    aborted: Arc<AtomicBool>,
+    /// Locked so the handle is `Sync` (like upstream); polls are the only
+    /// reader, so the lock is never contended.
+    result: Mutex<mpsc::Receiver<T>>,
+    task: Arc<Task>,
 }
 
 impl<T> JoinHandle<T> {
-    /// Requests the task to stop at its next poll point.
+    /// Cancels the task: its future is dropped at the next scheduling point
+    /// (releasing everything it owns, including registered timers and
+    /// sockets) and awaiting the handle yields [`JoinError`].
     pub fn abort(&self) {
-        self.aborted.store(true, Ordering::Release);
+        self.task.aborted.store(true, Ordering::Release);
+        schedule(Arc::clone(&self.task));
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JoinHandle(..)")
     }
 }
 
 impl<T> Future for JoinHandle<T> {
     type Output = Result<T, JoinError>;
 
-    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
-        match self.result.try_recv() {
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let result = self.result.lock().unwrap();
+        match result.try_recv() {
+            Ok(value) => return Poll::Ready(Ok(value)),
+            Err(mpsc::TryRecvError::Disconnected) => return Poll::Ready(Err(JoinError)),
+            Err(mpsc::TryRecvError::Empty) => {}
+        }
+        *self.task.join_waker.lock().unwrap() = Some(cx.waker().clone());
+        // Re-check under the parked waker: completion between the first
+        // try_recv and the store would otherwise never wake us.
+        match result.try_recv() {
             Ok(value) => Poll::Ready(Ok(value)),
-            Err(mpsc::TryRecvError::Empty) => Poll::Pending,
             Err(mpsc::TryRecvError::Disconnected) => Poll::Ready(Err(JoinError)),
+            Err(mpsc::TryRecvError::Empty) => Poll::Pending,
         }
     }
 }
 
-/// Spawns a future on a dedicated OS thread driven by a spin-polling executor.
+/// Spawns a future onto the shared worker pool.
 pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
 where
     F: Future + Send + 'static,
     F::Output: Send + 'static,
 {
     let (result_tx, result_rx) = mpsc::channel();
-    let aborted = Arc::new(AtomicBool::new(false));
-    let abort_flag = Arc::clone(&aborted);
-    std::thread::spawn(move || {
-        let mut future = Box::pin(future);
-        let waker = noop_waker();
-        let mut context = Context::from_waker(&waker);
-        loop {
-            if abort_flag.load(Ordering::Acquire) {
-                return;
-            }
-            match future.as_mut().poll(&mut context) {
-                Poll::Ready(value) => {
-                    let _ = result_tx.send(value);
-                    return;
-                }
-                Poll::Pending => std::thread::sleep(POLL_INTERVAL),
-            }
-        }
+    let task = Arc::new(Task {
+        future: Mutex::new(None),
+        queued: AtomicBool::new(false),
+        aborted: AtomicBool::new(false),
+        join_waker: Mutex::new(None),
     });
-    JoinHandle { result: result_rx, aborted }
+    // The result sender lives inside the future: dropping the future (abort)
+    // disconnects the channel, which is how `JoinError` reaches the handle.
+    *task.future.lock().unwrap() = Some(Box::pin(async move {
+        let _ = result_tx.send(future.await);
+    }));
+    schedule(Arc::clone(&task));
+    JoinHandle { result: Mutex::new(result_rx), task }
 }
 
 /// Outcome carrier for two-branch [`crate::select!`].
@@ -126,6 +248,7 @@ pub enum Select4<A, B, C, D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn block_on_and_spawn_round_trip() {
@@ -142,5 +265,27 @@ mod tests {
         });
         handle.abort();
         assert!(block_on(handle).is_err());
+    }
+
+    #[test]
+    fn many_tasks_share_the_worker_pool() {
+        // Far more tasks than worker threads: all must complete, which only
+        // works if pending tasks park instead of pinning a thread each.
+        let handles: Vec<_> = (0..256)
+            .map(|i| {
+                spawn(async move {
+                    crate::time::sleep(Duration::from_millis(20)).await;
+                    i
+                })
+            })
+            .collect();
+        let total: u64 = block_on(async move {
+            let mut total = 0;
+            for handle in handles {
+                total += handle.await.unwrap();
+            }
+            total
+        });
+        assert_eq!(total, (0..256).sum());
     }
 }

@@ -1,21 +1,42 @@
 //! Async synchronization primitives: unbounded mpsc channels and an async
 //! mutex (subset used by this workspace).
+//!
+//! Both primitives are waker-correct: a pending `recv` parks its waker under
+//! the channel lock (so a racing `send` cannot miss it), and a contended
+//! `Mutex::lock` parks in a waiter list drained on unlock. Nothing spins.
 
 use std::collections::VecDeque;
 use std::future::poll_fn;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::task::Poll;
+use std::task::{Poll, Waker};
 
 pub mod mpsc {
     //! Unbounded multi-producer single-consumer channels.
 
     use super::*;
 
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        /// The receiver's parked waker. Stored and taken under the same lock
+        /// as the queue, so a send between the empty check and the park is
+        /// impossible.
+        recv_waker: Option<Waker>,
+    }
+
     struct Shared<T> {
-        queue: std::sync::Mutex<VecDeque<T>>,
+        inner: std::sync::Mutex<Inner<T>>,
         senders: AtomicUsize,
+    }
+
+    impl<T> Shared<T> {
+        fn wake_receiver(&self) {
+            let waker = self.inner.lock().unwrap().recv_waker.take();
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+        }
     }
 
     /// Error returned when the receiver has been dropped.
@@ -49,7 +70,7 @@ pub mod mpsc {
     /// Creates an unbounded channel.
     pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
         let shared = Arc::new(Shared {
-            queue: std::sync::Mutex::new(VecDeque::new()),
+            inner: std::sync::Mutex::new(Inner { queue: VecDeque::new(), recv_waker: None }),
             senders: AtomicUsize::new(1),
         });
         let receiver_alive = Arc::new(AtomicBool::new(true));
@@ -63,28 +84,37 @@ pub mod mpsc {
     }
 
     impl<T> UnboundedSender<T> {
-        /// Enqueues a message; fails if the receiver is gone.
+        /// Enqueues a message and wakes the receiver; fails if the receiver
+        /// is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if !self.receiver_alive.load(Ordering::Acquire) {
                 return Err(SendError(value));
             }
-            self.shared.queue.lock().unwrap().push_back(value);
+            let waker = {
+                let mut inner = self.shared.inner.lock().unwrap();
+                inner.queue.push_back(value);
+                inner.recv_waker.take()
+            };
+            if let Some(waker) = waker {
+                waker.wake();
+            }
             Ok(())
         }
     }
 
     impl<T> UnboundedReceiver<T> {
-        /// Waits for the next message; `None` once all senders are dropped and
-        /// the queue is drained.
+        /// Waits for the next message; `None` once all senders are dropped
+        /// and the queue is drained.
         pub async fn recv(&mut self) -> Option<T> {
-            poll_fn(|_cx| {
-                let mut queue = self.shared.queue.lock().unwrap();
-                if let Some(value) = queue.pop_front() {
+            poll_fn(|cx| {
+                let mut inner = self.shared.inner.lock().unwrap();
+                if let Some(value) = inner.queue.pop_front() {
                     return Poll::Ready(Some(value));
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
                     return Poll::Ready(None);
                 }
+                inner.recv_waker = Some(cx.waker().clone());
                 Poll::Pending
             })
             .await
@@ -92,7 +122,7 @@ pub mod mpsc {
 
         /// Dequeues a message if one is ready.
         pub fn try_recv(&mut self) -> Option<T> {
-            self.shared.queue.lock().unwrap().pop_front()
+            self.shared.inner.lock().unwrap().queue.pop_front()
         }
     }
 
@@ -108,7 +138,10 @@ pub mod mpsc {
 
     impl<T> Drop for UnboundedSender<T> {
         fn drop(&mut self) {
-            self.shared.senders.fetch_sub(1, Ordering::AcqRel);
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: a parked receiver must wake to observe `None`.
+                self.shared.wake_receiver();
+            }
         }
     }
 
@@ -131,10 +164,13 @@ pub mod mpsc {
     }
 }
 
-/// An async mutex implemented as a polled spinlock. The guard is `Send`, so it
-/// may be held across `.await` points.
+/// An async mutex. The guard is `Send`, so it may be held across `.await`
+/// points; contended lockers park their waker and are woken on unlock.
 pub struct Mutex<T: ?Sized> {
     locked: AtomicBool,
+    /// Wakers of tasks waiting for the lock; all are woken on unlock (the
+    /// losers of the resulting race simply re-park).
+    waiters: std::sync::Mutex<Vec<Waker>>,
     value: std::cell::UnsafeCell<T>,
 }
 
@@ -145,23 +181,33 @@ unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 impl<T> Mutex<T> {
     /// Creates a new async mutex.
     pub fn new(value: T) -> Self {
-        Mutex { locked: AtomicBool::new(false), value: std::cell::UnsafeCell::new(value) }
+        Mutex {
+            locked: AtomicBool::new(false),
+            waiters: std::sync::Mutex::new(Vec::new()),
+            value: std::cell::UnsafeCell::new(value),
+        }
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
+    fn try_acquire(&self) -> bool {
+        self.locked.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_ok()
+    }
+
     /// Acquires the lock.
     pub async fn lock(&self) -> MutexGuard<'_, T> {
-        poll_fn(|_cx| {
-            if self
-                .locked
-                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                Poll::Ready(MutexGuard { mutex: self })
-            } else {
-                Poll::Pending
+        poll_fn(|cx| {
+            if self.try_acquire() {
+                return Poll::Ready(MutexGuard { mutex: self });
             }
+            self.waiters.lock().unwrap().push(cx.waker().clone());
+            // Re-check after parking: an unlock between the failed acquire
+            // and the park would otherwise never wake us. The leftover waker
+            // only costs a spurious wake.
+            if self.try_acquire() {
+                return Poll::Ready(MutexGuard { mutex: self });
+            }
+            Poll::Pending
         })
         .await
     }
@@ -201,6 +247,10 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
         self.mutex.locked.store(false, Ordering::Release);
+        let wakers: Vec<Waker> = std::mem::take(&mut self.mutex.waiters.lock().unwrap());
+        for waker in wakers {
+            waker.wake();
+        }
     }
 }
 
@@ -223,6 +273,17 @@ mod tests {
     }
 
     #[test]
+    fn recv_parks_until_a_cross_thread_send() {
+        let (tx, mut rx) = mpsc::unbounded_channel();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            tx.send(7u32).unwrap();
+        });
+        assert_eq!(block_on(rx.recv()), Some(7));
+        sender.join().unwrap();
+    }
+
+    #[test]
     fn mutex_provides_exclusive_access() {
         block_on(async {
             let mutex = Mutex::new(10);
@@ -232,5 +293,26 @@ mod tests {
             }
             assert_eq!(*mutex.lock().await, 11);
         });
+    }
+
+    #[test]
+    fn contended_mutex_wakes_waiters() {
+        let mutex = Arc::new(Mutex::new(0u64));
+        let tasks: Vec<_> = (0..8)
+            .map(|_| {
+                let mutex = Arc::clone(&mutex);
+                crate::spawn(async move {
+                    for _ in 0..50 {
+                        *mutex.lock().await += 1;
+                    }
+                })
+            })
+            .collect();
+        block_on(async move {
+            for task in tasks {
+                task.await.unwrap();
+            }
+        });
+        assert_eq!(block_on(async { *mutex.lock().await }), 400);
     }
 }

@@ -1,0 +1,37 @@
+//! Task utilities (subset of upstream `tokio::task`).
+
+use std::future::poll_fn;
+use std::task::Poll;
+
+/// Yields back to the executor once, letting other runnable tasks make
+/// progress before this one resumes.
+///
+/// The first poll wakes the task's own waker and returns `Pending`, so the
+/// task goes to the back of the run queue; the second poll completes.
+pub async fn yield_now() {
+    let mut yielded = false;
+    poll_fn(|cx| {
+        if yielded {
+            Poll::Ready(())
+        } else {
+            yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    })
+    .await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on;
+
+    #[test]
+    fn yield_now_completes() {
+        block_on(async {
+            yield_now().await;
+            yield_now().await;
+        });
+    }
+}

@@ -1,13 +1,50 @@
-//! Timers: `sleep` and `interval` (subset used by this workspace).
+//! Timers: `sleep` and `interval`, parked on the reactor's timer wheel.
+//!
+//! A pending timer registers `(deadline, id, waker)` with the reactor, whose
+//! `poll(2)` timeout is bounded by the earliest deadline — no re-polling at a
+//! fixed interval. Dropped timers cancel their registration.
 
-use std::future::poll_fn;
-use std::task::Poll;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
 
+use crate::reactor::reactor;
+
 /// Completes once `duration` has elapsed.
-pub async fn sleep(duration: Duration) {
-    let deadline = Instant::now() + duration;
-    poll_fn(|_cx| if Instant::now() >= deadline { Poll::Ready(()) } else { Poll::Pending }).await
+pub fn sleep(duration: Duration) -> Sleep {
+    sleep_until(Instant::now() + duration)
+}
+
+pub(crate) fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline, id: reactor().next_timer_id() }
+}
+
+/// Future returned by [`sleep`]. Re-polls replace the parked waker (the id
+/// keys the reactor entry); dropping the future cancels the timer.
+#[derive(Debug)]
+pub struct Sleep {
+    deadline: Instant,
+    id: u64,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            reactor().register_timer(self.deadline, self.id, cx.waker());
+            Poll::Pending
+        }
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        reactor().cancel_timer(self.deadline, self.id);
+    }
 }
 
 /// Creates an interval timer; the first tick completes immediately.
@@ -26,8 +63,7 @@ impl Interval {
     /// Waits until the next tick.
     pub async fn tick(&mut self) -> Instant {
         let deadline = self.next;
-        poll_fn(|_cx| if Instant::now() >= deadline { Poll::Ready(()) } else { Poll::Pending })
-            .await;
+        sleep_until(deadline).await;
         self.next = deadline.max(Instant::now() - self.period) + self.period;
         Instant::now()
     }
