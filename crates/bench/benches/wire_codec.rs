@@ -1,9 +1,14 @@
 //! Micro-benchmarks of the wire codec: encoding/decoding protocol messages,
-//! including the full-vs-delta MERGE payload comparison (64-slot counter case).
+//! including the full-vs-delta MERGE payload comparison (64-slot counter case)
+//! and the decode-side split between owned decoding (`from_slice`, allocates
+//! the payload) and in-place decoding into a reused scratch message
+//! (`from_slice_in_place`, the engine worker's steady state).
 
-use crdt::{DeltaCrdt, GCounter, ReplicaId};
-use crdt_paxos_core::{Message, Payload, RequestId, Round, RoundId};
+use bytes::Bytes;
+use crdt::{DeltaCrdt, GCounter, LatticeMap, ReplicaId};
+use crdt_paxos_core::{Message, Payload, RequestId, Round, RoundId, ShardEnvelope, ShardMessage};
 use criterion::{criterion_group, criterion_main, Criterion};
+use quorum::ShardId;
 
 fn wide_state(slots: u64) -> GCounter {
     let mut state = GCounter::new();
@@ -69,6 +74,71 @@ fn bench_wire(c: &mut Criterion) {
         let ack: Message<GCounter> = Message::MergeAck { request: RequestId(7) };
         b.iter(|| wire::to_vec(&ack).unwrap().len());
     });
+
+    // Decode side: owned (`from_slice` builds a fresh message, allocating its
+    // payload) vs in-place (`from_slice_in_place` rewrites a reused scratch
+    // message — the engine worker's steady state, allocation-free once the
+    // scratch has taken the frame's shape).
+    for (label, message) in [
+        ("decode_merge_full_64_slots", merge_full(64)),
+        ("decode_merge_delta_64_slots", merge_delta(64)),
+    ] {
+        let encoded = wire::to_vec(&message).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let decoded: Message<GCounter> = wire::from_slice(&encoded).unwrap();
+                decoded.kind()
+            });
+        });
+        group.bench_function(format!("{label}_in_place"), |b| {
+            let mut scratch: Message<GCounter> = Message::MergeAck { request: RequestId(0) };
+            b.iter(|| {
+                wire::from_slice_in_place(&encoded, &mut scratch).unwrap();
+                scratch.kind()
+            });
+        });
+    }
+
+    // The frame a TCP peer actually decodes: the stamped shard envelope around
+    // a keyed delta merge, via the `Bytes`-backed entry point the transport
+    // uses.
+    {
+        type Kv = LatticeMap<u64, GCounter>;
+        let known = wide_state(64);
+        let mut state = known.clone();
+        state.increment(ReplicaId::new(0), 1);
+        let envelope = ShardEnvelope::<Kv> {
+            from: ReplicaId::new(0),
+            to: ReplicaId::new(1),
+            message: ShardMessage::Protocol {
+                epoch: 3,
+                shards: 8,
+                shard: ShardId(5),
+                message: Message::Merge {
+                    request: RequestId(42),
+                    payload: Payload::Delta({
+                        let mut map = LatticeMap::default();
+                        map.merge_entry(7, &state.delta_since(&known));
+                        map
+                    }),
+                },
+            },
+        };
+        let frame = Bytes::from(wire::to_vec(&envelope).unwrap());
+        group.bench_function("decode_shard_envelope", |b| {
+            b.iter(|| {
+                let decoded: ShardEnvelope<Kv> = wire::from_bytes(&frame).unwrap();
+                decoded.to
+            });
+        });
+        group.bench_function("decode_shard_envelope_in_place", |b| {
+            let mut scratch: ShardEnvelope<Kv> = envelope.clone();
+            b.iter(|| {
+                wire::from_bytes_in_place(&frame, &mut scratch).unwrap();
+                scratch.to
+            });
+        });
+    }
 
     group.finish();
 }

@@ -95,12 +95,10 @@ impl SimNode for CrdtPaxosNode {
                 wire::to_writer(&envelope.message, &mut self.scratch)
                     .expect("protocol messages encode");
                 // Key state-bearing messages by payload representation too
-                // ("MERGE:full" / "MERGE:delta"), so one run shows both.
-                let kind = match envelope.message.payload() {
-                    Some(payload) => format!("{}:{}", envelope.message.kind(), payload.kind()),
-                    None => envelope.message.kind().to_string(),
-                };
-                self.inner.record_wire_bytes(&kind, self.scratch.len() as u64);
+                // ("MERGE:full" / "MERGE:delta"), so one run shows both. The
+                // key is static: accounting adds no per-message allocation.
+                self.inner
+                    .record_wire_bytes(envelope.message.wire_kind(), self.scratch.len() as u64);
             }
         }
         envelopes.into_iter().map(|envelope| (envelope.to.as_u64(), envelope.message)).collect()
@@ -220,11 +218,8 @@ impl SimNode for KeyValueNode {
                 self.scratch.clear();
                 wire::to_writer(&envelope.message, &mut self.scratch)
                     .expect("protocol messages encode");
-                let kind = match envelope.message.payload() {
-                    Some(payload) => format!("{}:{}", envelope.message.kind(), payload.kind()),
-                    None => envelope.message.kind().to_string(),
-                };
-                self.inner.record_wire_bytes(&kind, self.scratch.len() as u64);
+                self.inner
+                    .record_wire_bytes(envelope.message.wire_kind(), self.scratch.len() as u64);
             }
         }
         envelopes.into_iter().map(|envelope| (envelope.to.as_u64(), envelope.message)).collect()
@@ -329,11 +324,11 @@ impl SimNode for ShardedKvNode {
                     .expect("shard messages encode");
                 match &envelope.message {
                     ShardMessage::Protocol { shard, message, .. } => {
-                        let kind = match message.payload() {
-                            Some(payload) => format!("{}:{}", message.kind(), payload.kind()),
-                            None => message.kind().to_string(),
-                        };
-                        self.inner.record_wire_bytes(*shard, &kind, self.scratch.len() as u64);
+                        self.inner.record_wire_bytes(
+                            *shard,
+                            message.wire_kind(),
+                            self.scratch.len() as u64,
+                        );
                     }
                     ShardMessage::Control { message } => {
                         let kind = format!("CTRL:{}", message.kind());

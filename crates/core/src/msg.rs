@@ -200,6 +200,29 @@ impl<C: Crdt + DeltaCrdt> Message<C> {
         }
     }
 
+    /// The byte-accounting key: the message kind with the payload
+    /// representation appended for state-bearing messages ("MERGE:full" /
+    /// "MERGE:delta"). Every combination maps to a static string so hot-loop
+    /// accounting never allocates per message.
+    pub fn wire_kind(&self) -> &'static str {
+        match (self, self.payload()) {
+            (_, None) => self.kind(),
+            (Message::Merge { .. }, Some(Payload::Full(_))) => "MERGE:full",
+            (Message::Merge { .. }, Some(Payload::Delta(_))) => "MERGE:delta",
+            (Message::Prepare { .. }, Some(Payload::Full(_))) => "PREPARE:full",
+            (Message::Prepare { .. }, Some(Payload::Delta(_))) => "PREPARE:delta",
+            (Message::PrepareAck { .. }, Some(Payload::Full(_))) => "ACK:full",
+            (Message::PrepareAck { .. }, Some(Payload::Delta(_))) => "ACK:delta",
+            (Message::Vote { .. }, Some(Payload::Full(_))) => "VOTE:full",
+            (Message::Vote { .. }, Some(Payload::Delta(_))) => "VOTE:delta",
+            (Message::Nack { .. }, Some(Payload::Full(_))) => "NACK:full",
+            (Message::Nack { .. }, Some(Payload::Delta(_))) => "NACK:delta",
+            (Message::MergeAck { .. } | Message::VoteAck { .. }, Some(_)) => {
+                unreachable!("acks carry no payload")
+            }
+        }
+    }
+
     /// The payload carried by a state-bearing message (request or reply), if any.
     pub fn payload(&self) -> Option<&Payload<C>> {
         match self {

@@ -512,16 +512,32 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
     /// reconfiguration, a departed peer's late acknowledgements must not count
     /// toward quorums of the new group.
     pub fn handle_message(&mut self, from: ReplicaId, message: Message<C>) {
+        let mut message = message;
+        self.handle_message_mut(from, &mut message);
+    }
+
+    /// [`Replica::handle_message`] over a borrowed message.
+    ///
+    /// This is the allocation-free entry point for the inbound hot path: a
+    /// worker decodes each frame into a per-worker scratch message (reusing
+    /// its resident allocations) and hands it in by reference. The accepting
+    /// arms (`Merge`, `Prepare`, `Vote`) only read the payload, so the scratch
+    /// survives intact for the next frame; the reply-resolution arms
+    /// (`PrepareAck`, `Nack`) genuinely consume their state and take it out of
+    /// the scratch, leaving a cheap placeholder.
+    pub fn handle_message_mut(&mut self, from: ReplicaId, message: &mut Message<C>) {
         if !self.membership.contains(&from) {
             return;
         }
         match message {
             Message::Merge { request, payload } => {
-                self.acceptor.handle_merge(&payload);
+                let request = *request;
+                self.acceptor.handle_merge(payload);
                 self.send(from, Message::MergeAck { request });
             }
-            Message::MergeAck { request } => self.handle_merge_ack(from, request),
+            Message::MergeAck { request } => self.handle_merge_ack(from, *request),
             Message::Prepare { request, round, payload, basis } => {
+                let (request, round, basis) = (*request, *round, *basis);
                 let outcome = self.acceptor.handle_prepare(round, payload.as_ref());
                 let reply = match outcome {
                     AcceptOutcome::Ack { round } => {
@@ -541,20 +557,9 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
                 };
                 self.send(from, reply);
             }
-            Message::PrepareAck { request, round, state, reveal, basis } => {
-                // Resolve the reply payload to the acceptor's exact state. Full
-                // replies teach the proposer the peer's lower bound even when the
-                // request is no longer in flight; delta replies need the in-flight
-                // request's baselines, so stale ones are dropped.
-                let Some(state) = self.resolve_prepare_reply(from, request, state, reveal, basis)
-                else {
-                    return;
-                };
-                self.note_peer_state(from, &state);
-                self.handle_prepare_ack(from, request, round, state);
-            }
             Message::Vote { request, round, payload, basis } => {
-                let outcome = self.acceptor.handle_vote(round, &payload);
+                let (request, round, basis) = (*request, *round, *basis);
+                let outcome = self.acceptor.handle_vote(round, payload);
                 let reply = match outcome {
                     // The §3.6 optimization pays off here: a `VOTED` carries no
                     // state, so the acceptor's (possibly large) payload is not
@@ -563,19 +568,41 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
                     AcceptOutcome::Nack { round } => {
                         let state = self.acceptor.state().clone();
                         let (state, _, used) =
-                            self.build_reply(state, Some(&payload), basis, false);
+                            self.build_reply(state, Some(&*payload), basis, false);
                         Message::Nack { request, round, state, basis: used }
                     }
                 };
                 self.send(from, reply);
             }
-            Message::VoteAck { request } => self.handle_vote_ack(from, request),
-            Message::Nack { request, round, state, basis } => {
-                let Some(state) = self.resolve_nack_reply(from, request, state, basis) else {
-                    return;
-                };
-                self.note_peer_state(from, &state);
-                self.handle_nack(request, round, state);
+            Message::VoteAck { request } => self.handle_vote_ack(from, *request),
+            Message::PrepareAck { request, .. } | Message::Nack { request, .. } => {
+                let request = *request;
+                let taken = std::mem::replace(message, Message::MergeAck { request });
+                match taken {
+                    Message::PrepareAck { request, round, state, reveal, basis } => {
+                        // Resolve the reply payload to the acceptor's exact state.
+                        // Full replies teach the proposer the peer's lower bound
+                        // even when the request is no longer in flight; delta
+                        // replies need the in-flight request's baselines, so stale
+                        // ones are dropped.
+                        let Some(state) =
+                            self.resolve_prepare_reply(from, request, state, reveal, basis)
+                        else {
+                            return;
+                        };
+                        self.note_peer_state(from, &state);
+                        self.handle_prepare_ack(from, request, round, state);
+                    }
+                    Message::Nack { request, round, state, basis } => {
+                        let Some(state) = self.resolve_nack_reply(from, request, state, basis)
+                        else {
+                            return;
+                        };
+                        self.note_peer_state(from, &state);
+                        self.handle_nack(request, round, state);
+                    }
+                    _ => unreachable!("placeholder swap only happens for PrepareAck/Nack"),
+                }
             }
         }
     }

@@ -229,6 +229,12 @@ where
         self.replica.handle_message(from, message);
     }
 
+    /// [`ShardCore::handle_message`] over a borrowed message — the
+    /// allocation-free entry point for frames decoded into a worker scratch.
+    pub fn handle_message_mut(&mut self, from: ReplicaId, message: &mut Message<LatticeMap<K, V>>) {
+        self.replica.handle_message_mut(from, message);
+    }
+
     /// Advances this core's notion of time (batch flushes, retransmissions).
     pub fn tick(&mut self, now_ms: u64) {
         self.replica.tick(now_ms);

@@ -1,0 +1,195 @@
+//! Owned ↔ borrowed decode equivalence laws for the wire codec.
+//!
+//! The inbound hot path decodes straight from refcounted [`bytes::Bytes`]
+//! views of the socket read buffer (`wire::from_bytes`), while tests, tools,
+//! and the cold paths decode from plain slices (`wire::from_slice`). These
+//! properties pin the two entry points to each other over generated protocol
+//! envelopes: identical values on every complete encoding, identical
+//! accept/reject verdicts on every truncated prefix, and frame views that
+//! stay valid after the decoder that produced them is gone.
+
+use bytes::Bytes;
+use crdt::{GCounter, LatticeMap, ReplicaId};
+use crdt_paxos_core::{
+    Envelope, Message, Payload, PrepareRound, RequestId, Round, RoundId, ShardEnvelope,
+    ShardMessage,
+};
+use proptest::prelude::*;
+use quorum::ShardId;
+use wire::framing::{FrameDecoder, FrameEncoder};
+
+type Kv = LatticeMap<u64, GCounter>;
+
+fn arb_counter() -> impl Strategy<Value = GCounter> {
+    proptest::collection::vec((0u64..8, 1u64..1000), 0..6).prop_map(|slots| {
+        let mut counter = GCounter::new();
+        for (replica, amount) in slots {
+            counter.increment(ReplicaId::new(replica), amount);
+        }
+        counter
+    })
+}
+
+fn arb_map() -> impl Strategy<Value = Kv> {
+    proptest::collection::vec((0u64..16, arb_counter()), 0..4).prop_map(|entries| {
+        let mut map = Kv::default();
+        for (key, counter) in entries {
+            map.merge_entry(key, &counter);
+        }
+        map
+    })
+}
+
+fn arb_payload() -> impl Strategy<Value = Payload<Kv>> {
+    prop_oneof![arb_map().prop_map(Payload::Full), arb_map().prop_map(Payload::Delta)]
+}
+
+fn arb_round() -> impl Strategy<Value = Round> {
+    (0u64..1000, 0u64..100, 0u64..8).prop_map(|(number, seq, id)| {
+        Round::new(number, RoundId::proposer(seq, ReplicaId::new(id)))
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message<Kv>> {
+    prop_oneof![
+        (any::<u64>(), arb_payload())
+            .prop_map(|(request, payload)| Message::Merge { request: RequestId(request), payload }),
+        any::<u64>().prop_map(|request| Message::MergeAck { request: RequestId(request) }),
+        (any::<u64>(), arb_round(), proptest::option::of(arb_payload()), 0u64..100).prop_map(
+            |(request, round, payload, basis)| Message::Prepare {
+                request: RequestId(request),
+                round: PrepareRound::Fixed(round),
+                payload,
+                basis,
+            }
+        ),
+        (any::<u64>(), 0u64..8, proptest::option::of(arb_payload()), 0u64..100).prop_map(
+            |(request, id, payload, basis)| Message::Prepare {
+                request: RequestId(request),
+                round: PrepareRound::Incremental {
+                    id: RoundId::proposer(basis, ReplicaId::new(id)),
+                },
+                payload,
+                basis,
+            }
+        ),
+        (any::<u64>(), arb_round(), arb_payload(), 0u64..100, 0u64..100).prop_map(
+            |(request, round, state, reveal, basis)| Message::PrepareAck {
+                request: RequestId(request),
+                round,
+                state,
+                reveal,
+                basis,
+            }
+        ),
+        (any::<u64>(), arb_round(), arb_payload(), 0u64..100).prop_map(
+            |(request, round, payload, basis)| Message::Vote {
+                request: RequestId(request),
+                round,
+                payload,
+                basis,
+            }
+        ),
+    ]
+}
+
+fn arb_shard_message() -> impl Strategy<Value = ShardMessage<Kv>> {
+    prop_oneof![
+        (0u64..10, 1u32..16, 0u32..16, arb_message()).prop_map(
+            |(epoch, shards, shard, message)| ShardMessage::Protocol {
+                epoch,
+                shards,
+                shard: ShardId(shard % shards),
+                message,
+            }
+        ),
+        Just(ShardMessage::PlanRequest),
+    ]
+}
+
+fn arb_envelope() -> impl Strategy<Value = Envelope<Kv>> {
+    (0u64..8, 0u64..8, arb_message()).prop_map(|(from, to, message)| Envelope {
+        from: ReplicaId::new(from),
+        to: ReplicaId::new(to),
+        message,
+    })
+}
+
+fn arb_shard_envelope() -> impl Strategy<Value = ShardEnvelope<Kv>> {
+    (0u64..8, 0u64..8, arb_shard_message()).prop_map(|(from, to, message)| ShardEnvelope {
+        from: ReplicaId::new(from),
+        to: ReplicaId::new(to),
+        message,
+    })
+}
+
+/// Both decode entry points, fed the same complete encoding, produce the
+/// original value; fed the same truncated prefix, they agree byte for byte on
+/// whether it decodes and on what it decodes to.
+fn assert_equivalent<T>(value: &T, encoded: &[u8])
+where
+    T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug,
+{
+    let frame = Bytes::from(encoded.to_vec());
+    let from_slice: T = wire::from_slice(encoded).expect("from_slice decodes its own encoding");
+    let from_bytes: T = wire::from_bytes(&frame).expect("from_bytes decodes its own encoding");
+    assert_eq!(&from_slice, value);
+    assert_eq!(&from_bytes, value);
+
+    for cut in 0..encoded.len() {
+        let prefix = &encoded[..cut];
+        let prefix_bytes = frame.slice(0..cut);
+        let owned: Result<T, _> = wire::from_slice(prefix);
+        let borrowed: Result<T, _> = wire::from_bytes(&prefix_bytes);
+        match (owned, borrowed) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "prefix of {cut} bytes decodes differently"),
+            (Err(_), Err(_)) => {}
+            (owned, borrowed) => panic!(
+                "prefix of {cut}/{} bytes: from_slice {:?} but from_bytes {:?}",
+                encoded.len(),
+                owned.map(|_| "Ok"),
+                borrowed.map(|_| "Ok"),
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn envelope_owned_and_borrowed_decode_agree(envelope in arb_envelope()) {
+        let encoded = wire::to_vec(&envelope).expect("encode");
+        assert_equivalent(&envelope, &encoded);
+    }
+
+    #[test]
+    fn shard_envelope_owned_and_borrowed_decode_agree(envelope in arb_shard_envelope()) {
+        let encoded = wire::to_vec(&envelope).expect("encode");
+        assert_equivalent(&envelope, &encoded);
+    }
+
+    /// A `Bytes` frame view handed out by the decoder remains valid — same
+    /// bytes, same decoded value — after the decoder (and the read buffer it
+    /// owns) is dropped.
+    #[test]
+    fn frame_view_outlives_its_decoder(envelope in arb_shard_envelope()) {
+        let encoded = wire::to_vec(&envelope).expect("encode");
+        let mut encoder = FrameEncoder::new();
+        encoder.encode(&envelope).expect("frame");
+        let wire_bytes = encoder.take();
+
+        let view = {
+            let mut decoder = FrameDecoder::default();
+            let buf = decoder.read_buf(wire_bytes.len());
+            buf[..wire_bytes.len()].copy_from_slice(&wire_bytes);
+            decoder.commit(wire_bytes.len());
+            decoder.decode_next_view().expect("well-formed").expect("complete")
+            // decoder dropped here; `view` keeps the backing buffer alive
+        };
+
+        prop_assert_eq!(&view[..], &encoded[..]);
+        let decoded: ShardEnvelope<Kv> = wire::from_bytes(&view).expect("decode view");
+        prop_assert_eq!(decoded, envelope);
+    }
+}

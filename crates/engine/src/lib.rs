@@ -44,6 +44,8 @@ use std::hash::Hash;
 
 use crdt::{Crdt, DeltaCrdt};
 use crdt_paxos_core::ProtocolConfig;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
 
 pub mod mailbox;
 mod mesh;
@@ -56,15 +58,41 @@ pub use node::{EngineNode, NodeIngress};
 pub use router::RouterRequest;
 
 /// Everything the engine requires of a key: the sharded keyspace's own bounds
-/// plus `Hash` (the engine partitions by hash) and `Send` (keys cross thread
-/// boundaries).
-pub trait EngineKey: Ord + Clone + Hash + fmt::Debug + Send + 'static {}
-impl<K> EngineKey for K where K: Ord + Clone + Hash + fmt::Debug + Send + 'static {}
+/// plus `Hash` (the engine partitions by hash), `Send` (keys cross thread
+/// boundaries), and both halves of the wire codec (the engine decodes received
+/// frames itself — see [`NodeIngress::deliver_frame`] — and any transport
+/// bridge must be able to encode its envelopes without extra bounds).
+pub trait EngineKey:
+    Ord + Clone + Hash + fmt::Debug + Serialize + DeserializeOwned + Send + 'static
+{
+}
+impl<K> EngineKey for K where
+    K: Ord + Clone + Hash + fmt::Debug + Serialize + DeserializeOwned + Send + 'static
+{
+}
 
 /// Everything the engine requires of a value CRDT: the protocol's own bounds
-/// plus `Send` for the state and its delta (both cross thread boundaries).
-pub trait EngineValue: Crdt + DeltaCrdt<Delta: Send> + Send + 'static {}
-impl<V> EngineValue for V where V: Crdt + DeltaCrdt<Delta: Send> + Send + 'static {}
+/// plus `Send` for the state and its delta (both cross thread boundaries) and
+/// the wire codec for both (full payloads ship the state, delta payloads ship
+/// the delta).
+pub trait EngineValue:
+    Crdt
+    + DeltaCrdt<Delta: Send + Serialize + DeserializeOwned>
+    + Serialize
+    + DeserializeOwned
+    + Send
+    + 'static
+{
+}
+impl<V> EngineValue for V where
+    V: Crdt
+        + DeltaCrdt<Delta: Send + Serialize + DeserializeOwned>
+        + Serialize
+        + DeserializeOwned
+        + Send
+        + 'static
+{
+}
 
 /// An in-process engine cluster: `replicas` nodes wired through a
 /// [`LocalMesh`], each running its own router and shard workers.

@@ -6,8 +6,12 @@
 //! straight onto the destination node's ingress mailbox (no serialization, no
 //! router hop on the sending side). Distributed deployments implement
 //! `Outbound` over a real transport — see `examples/sharded_tcp_kv.rs`, which
-//! bridges to `transport::TcpMesh` — and feed received messages back through
-//! [`NodeIngress::deliver`].
+//! bridges to `transport::TcpMesh` — and feed received frames back through
+//! [`NodeIngress::deliver_frame`] (zero-copy: the router peeks the routing
+//! preamble, the shard worker decodes the body in place) or decoded messages
+//! through [`NodeIngress::deliver`].
+//!
+//! [`NodeIngress::deliver_frame`]: crate::NodeIngress::deliver_frame
 
 use crdt::{LatticeMap, ReplicaId};
 use crdt_paxos_core::{ShardEnvelope, ShardMessage};

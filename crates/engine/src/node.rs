@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use crdt::{LatticeMap, ReplicaId};
 use crdt_paxos_core::{ClientId, ClientResponse, Command, CommandId, ProtocolConfig, ShardMessage};
 use crossbeam::queue::SegQueue;
@@ -21,13 +22,25 @@ use crate::{EngineKey, EngineValue};
 /// router pushes back instead of buffering without bound.
 const SUBMIT_QUEUE_DEPTH: usize = 1024;
 
+/// One item on a node's ingress mailbox: a peer message either already
+/// decoded (in-process meshes skip the codec entirely) or still as the raw
+/// wire frame it arrived in (networked transports hand frames over untouched;
+/// the router peeks the routing preamble and the shard worker decodes the rest
+/// in place — see [`NodeIngress::deliver_frame`]).
+pub(crate) enum IngressItem<K: EngineKey, V: EngineValue> {
+    /// A decoded message, as delivered by [`NodeIngress::deliver`].
+    Message(ReplicaId, ShardMessage<LatticeMap<K, V>>),
+    /// An encoded frame, as delivered by [`NodeIngress::deliver_frame`].
+    Frame(ReplicaId, Bytes),
+}
+
 /// State shared between the node handle, its router thread, and (via
 /// [`NodeIngress`]) the transport feeding it.
 pub(crate) struct NodeShared<K: EngineKey, V: EngineValue> {
     /// The router's wakeup latch; every inbound queue below notifies it.
     pub router_signal: Arc<Signal>,
     /// Peer messages from the transport.
-    pub ingress: Mailbox<(ReplicaId, ShardMessage<LatticeMap<K, V>>)>,
+    pub ingress: Mailbox<IngressItem<K, V>>,
     /// Client submissions and rebalance requests (bounded: backpressure).
     pub requests: BoundedMailbox<RouterRequest<K, V>>,
     /// Worker → router feedback (outputs and cutover replies); workers hold
@@ -88,7 +101,20 @@ impl<K: EngineKey, V: EngineValue> NodeIngress<K, V> {
 
     /// Delivers one peer message to the node's router.
     pub fn deliver(&self, from: ReplicaId, message: ShardMessage<LatticeMap<K, V>>) {
-        self.shared.ingress.push((from, message));
+        self.shared.ingress.push(IngressItem::Message(from, message));
+    }
+
+    /// Delivers one peer message still in its encoded wire frame — the
+    /// zero-copy receive path for networked transports (pair with
+    /// `transport::tcp::TcpMesh::recv_frame`).
+    ///
+    /// The router reads only the few-byte routing preamble of the frame;
+    /// protocol traffic that passes the epoch fence is decoded on its shard's
+    /// worker thread, in place, into a long-lived scratch message, so in
+    /// steady state a delta frame reaches the protocol without allocating.
+    /// Undecodable frames are dropped, like any other lost message.
+    pub fn deliver_frame(&self, from: ReplicaId, frame: Bytes) {
+        self.shared.ingress.push(IngressItem::Frame(from, frame));
     }
 }
 

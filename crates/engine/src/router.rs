@@ -29,6 +29,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
+use bytes::Bytes;
 use crdt::{
     GSetUpdate, Lattice, LatticeMap, MapOutput, MapQuery, MapUpdate, ReplicaId, SetOutput, SetQuery,
 };
@@ -40,9 +41,34 @@ use crdt_paxos_core::{
 use quorum::{EpochPartitioner, HashPartitioner, Partitioner, ShardId};
 
 use crate::mesh::Outbound;
-use crate::node::NodeShared;
+use crate::node::{IngressItem, NodeShared};
 use crate::worker::{spawn_worker, WorkerFeedback, WorkerHandle, WorkerInput, PARK};
 use crate::{EngineKey, EngineValue};
+
+/// The wire variant index of [`ShardMessage::Protocol`] — the first declared
+/// variant, encoded by the `wire` format as a leading varint tag.
+/// [`peek_protocol`] depends on this staying the first variant; the
+/// `peek_matches_full_decode` test pins the coupling.
+const PROTOCOL_TAG: u64 = 0;
+
+/// Reads the routing preamble of an encoded [`ShardMessage`] frame without
+/// decoding (or allocating) the message body.
+///
+/// A [`ShardMessage::Protocol`] frame starts with four LEB128 varints — the
+/// variant tag, then the `epoch`, `shards`, and `shard` fields, in declaration
+/// order — which is everything the router's fence needs. Returns `None` for
+/// any other variant tag and for frames too mangled to carry a preamble; both
+/// take the owned full-decode path instead.
+fn peek_protocol(frame: &[u8]) -> Option<(Stamp, ShardId)> {
+    let mut rest = frame;
+    if wire::varint::decode_u64(&mut rest).ok()? != PROTOCOL_TAG {
+        return None;
+    }
+    let epoch = wire::varint::decode_u64(&mut rest).ok()?;
+    let shards = u32::try_from(wire::varint::decode_u64(&mut rest).ok()?).ok()?;
+    let shard = u32::try_from(wire::varint::decode_u64(&mut rest).ok()?).ok()?;
+    Some(((epoch, shards), ShardId(shard)))
+}
 
 /// Client-facing requests entering the router through the bounded queue.
 pub enum RouterRequest<K: EngineKey, V: EngineValue> {
@@ -179,8 +205,11 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
         while !self.shared.shutdown.load(Ordering::Acquire) {
             let mut busy = 0;
             busy += self.shared.ingress.drain_into(&mut ingress);
-            for (from, message) in ingress.drain(..) {
-                self.handle_message(from, message);
+            for item in ingress.drain(..) {
+                match item {
+                    IngressItem::Message(from, message) => self.handle_message(from, message),
+                    IngressItem::Frame(from, frame) => self.handle_frame(from, frame),
+                }
             }
             busy += self.shared.requests.drain_into(&mut requests);
             for request in requests.drain(..) {
@@ -250,6 +279,32 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
                     });
                 }
             }
+        }
+    }
+
+    /// Routes one received wire frame — the zero-copy half of the ingress
+    /// demux.
+    ///
+    /// Protocol frames that pass the fence are handed to their shard worker
+    /// still encoded: the expensive body decode happens on the worker thread,
+    /// in place, into its long-lived scratch message, so the router's
+    /// steady-state cost per frame is the four-varint [`peek_protocol`].
+    /// Everything else — control traffic, plans, plan requests, and protocol
+    /// frames the fence bounces or defers (which need the decoded message for
+    /// the deferred queue) — takes the owned decode path through
+    /// [`Router::handle_message`]. Frames that fail to decode are dropped; the
+    /// protocol tolerates lost messages.
+    fn handle_frame(&mut self, from: ReplicaId, frame: Bytes) {
+        if let Some((stamp, shard)) = peek_protocol(&frame) {
+            if matches!(fence_decision(self.stamp(), stamp), FenceDecision::Process) {
+                if shard.as_usize() < self.active() {
+                    self.workers[shard.as_usize()].mailbox.push(WorkerInput::Frame { from, frame });
+                }
+                return;
+            }
+        }
+        if let Ok(message) = wire::from_bytes(&frame) {
+            self.handle_message(from, message);
         }
     }
 
@@ -608,5 +663,81 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
             fanout.client
         };
         self.launch_fanout_legs(outer, client);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt::GCounter;
+    use crdt_paxos_core::{Payload, RequestId};
+
+    type Kv = LatticeMap<String, GCounter>;
+
+    /// The peek must agree with a full decode on every frame: same stamp and
+    /// shard for `Protocol`, `None` exactly for the other variants. This is
+    /// the property that lets [`Router::handle_frame`] fence frames without
+    /// decoding their bodies.
+    #[test]
+    fn peek_matches_full_decode() {
+        let mut counter = GCounter::default();
+        counter.increment(ReplicaId::new(3), 17);
+        let inner: Vec<Message<Kv>> = vec![
+            Message::MergeAck { request: RequestId(7) },
+            Message::Merge {
+                request: RequestId(u64::MAX),
+                payload: Payload::Full({
+                    let mut map = Kv::default();
+                    map.merge_entry("clicks".to_string(), &counter);
+                    map
+                }),
+            },
+        ];
+        // Stamps straddling every varint width boundary the fields can hit.
+        let stamps: Vec<(u64, u32, u32)> = vec![
+            (0, 1, 0),
+            (1, 2, 1),
+            (127, 127, 127),
+            (128, 128, 128),
+            (300, 4, 3),
+            (u64::MAX, u32::MAX, u32::MAX),
+        ];
+        for message in &inner {
+            for &(epoch, shards, shard) in &stamps {
+                let frame = wire::to_vec(&ShardMessage::Protocol {
+                    epoch,
+                    shards,
+                    shard: ShardId(shard),
+                    message: message.clone(),
+                })
+                .unwrap();
+                assert_eq!(peek_protocol(&frame), Some(((epoch, shards), ShardId(shard))));
+            }
+        }
+
+        let others: Vec<ShardMessage<Kv>> = vec![
+            ShardMessage::PlanRequest,
+            ShardMessage::Rebalance { plan: RebalancePlan { epoch: 300, shards: 7 } },
+            ShardMessage::Control { message: Message::MergeAck { request: RequestId(1) } },
+        ];
+        for message in &others {
+            let frame = wire::to_vec(message).unwrap();
+            assert_eq!(peek_protocol(&frame), None, "{message:?}");
+        }
+    }
+
+    /// Mangled frames must fail the peek instead of misrouting.
+    #[test]
+    fn peek_rejects_mangled_preambles() {
+        assert_eq!(peek_protocol(&[]), None);
+        // Unterminated varint.
+        assert_eq!(peek_protocol(&[0x80]), None);
+        // A valid Protocol tag but a preamble cut short.
+        assert_eq!(peek_protocol(&[0, 5]), None);
+        // `shards` overflowing u32 must not wrap into a bogus stamp.
+        let mut frame = vec![0, 1];
+        wire::varint::encode_u64(u64::from(u32::MAX) + 1, &mut frame);
+        frame.push(0);
+        assert_eq!(peek_protocol(&frame), None);
     }
 }

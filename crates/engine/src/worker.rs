@@ -14,10 +14,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use crdt::{LatticeMap, ReplicaId};
 use crdt_paxos_core::{
-    ClientId, Command, CommandId, CoreRehome, Message, ProtocolConfig, ShardCore, ShardOutput,
-    Stamp,
+    ClientId, Command, CommandId, CoreRehome, Message, ProtocolConfig, ShardCore, ShardMessage,
+    ShardOutput, Stamp,
 };
 use quorum::{HashPartitioner, Partitioner, ShardId};
 
@@ -37,6 +38,11 @@ pub(crate) const PARK: Duration = Duration::from_millis(1);
 pub(crate) enum WorkerInput<K: EngineKey, V: EngineValue> {
     /// One fenced protocol message from a peer's same-shard instance.
     Peer { from: ReplicaId, message: Message<LatticeMap<K, V>> },
+    /// One fenced protocol message still in its encoded wire frame. The router
+    /// has already peeked the stamp and applied the fence; the worker decodes
+    /// the body in place into its long-lived scratch message, so steady-state
+    /// delta frames reach the core without allocating.
+    Frame { from: ReplicaId, frame: Bytes },
     /// A routed single-key client command.
     Submit { client: ClientId, outer: CommandId, key: K, command: Command<LatticeMap<K, V>> },
     /// One leg of a keyspace-wide fan-out.
@@ -109,12 +115,28 @@ fn run<K: EngineKey, V: EngineValue>(
     let mut inputs = Vec::new();
     let mut outbox = Vec::new();
     let mut outputs = Vec::new();
+    // Decode target reused across frames: after the first frame of a kind,
+    // in-place decode rewrites the resident variant field by field, reusing
+    // its payload's map nodes and value allocations instead of building fresh
+    // ones (`wire::from_bytes_in_place`).
+    let mut scratch: ShardMessage<LatticeMap<K, V>> = ShardMessage::PlanRequest;
     loop {
         inbox.drain_into(&mut inputs);
         let had_inputs = !inputs.is_empty();
         for input in inputs.drain(..) {
             match input {
                 WorkerInput::Peer { from, message } => core.handle_message(from, message),
+                WorkerInput::Frame { from, frame } => {
+                    // Decode failures drop the frame (the protocol tolerates
+                    // losses); a non-Protocol variant cannot pass the router's
+                    // peek, so the else branch is unreachable for frames that
+                    // decoded at all.
+                    if wire::from_bytes_in_place(&frame, &mut scratch).is_ok() {
+                        if let ShardMessage::Protocol { message, .. } = &mut scratch {
+                            core.handle_message_mut(from, message);
+                        }
+                    }
+                }
                 WorkerInput::Submit { client, outer, key, command } => {
                     core.submit_single(client, outer, key, command);
                 }

@@ -8,10 +8,13 @@
 //! and queued per peer; the peer's writer task drains everything queued and
 //! flushes it as a single socket write (bounded by a batch-size threshold), so
 //! under load the syscall and wakeup cost is amortized over many messages
-//! while an idle mesh adds no latency. The read side mirrors this, feeding
-//! whole socket chunks through an incremental frame decoder. [`TcpMesh::send_many`]
-//! lets callers with a ready batch encode it into one contiguous buffer up
-//! front.
+//! while an idle mesh adds no latency. The read side mirrors this: the socket
+//! reads land directly in the frame decoder's buffer (no staging chunk), and
+//! complete frames travel to the consumer as refcounted [`Bytes`] views of
+//! that buffer — the inbound path writes each payload byte exactly once.
+//! [`TcpMesh::send_many`] lets callers with a ready batch encode it into one
+//! contiguous buffer up front, and [`TcpMesh::recv_frame`] exposes the raw
+//! frame views for allocation-free decoding via [`wire::from_bytes`].
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -44,7 +47,7 @@ const RECONNECT_BACKOFF_MAX: Duration = Duration::from_millis(200);
 pub struct TcpMesh {
     id: PeerId,
     peers: HashMap<PeerId, mpsc::UnboundedSender<Bytes>>,
-    incoming: Mutex<mpsc::UnboundedReceiver<(PeerId, BytesMut)>>,
+    incoming: Mutex<mpsc::UnboundedReceiver<(PeerId, Bytes)>>,
     tasks: Vec<tokio::JoinHandle<()>>,
 }
 
@@ -146,9 +149,22 @@ impl TcpMesh {
     /// Returns [`TransportError::Closed`] when the mesh has shut down, or a codec
     /// error if a frame cannot be decoded.
     pub async fn recv<M: DeserializeOwned>(&self) -> Result<(PeerId, M), TransportError> {
+        let (from, frame) = self.recv_frame().await?;
+        Ok((from, wire::from_bytes(&frame)?))
+    }
+
+    /// Receives the next `(sender, frame)` pair without deserializing.
+    ///
+    /// The frame is a zero-copy view of the reader's socket buffer; decode it
+    /// with [`wire::from_bytes`] (borrowed) or [`wire::from_bytes_in_place`]
+    /// (into a scratch value) to keep the inbound path allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Closed`] when the mesh has shut down.
+    pub async fn recv_frame(&self) -> Result<(PeerId, Bytes), TransportError> {
         let mut incoming = self.incoming.lock().await;
-        let (from, bytes) = incoming.recv().await.ok_or(TransportError::Closed)?;
-        Ok((from, wire::from_slice(&bytes)?))
+        incoming.recv().await.ok_or(TransportError::Closed)
     }
 
     /// Stops the accept loop and every per-peer writer, closing the listener
@@ -235,25 +251,29 @@ fn drain_pending(
     }
 }
 
-/// Reads the peer hello and then whole socket chunks, draining every complete
-/// frame per chunk — the inbound half of coalescing.
+/// Reads the peer hello and then whole socket chunks directly into the frame
+/// decoder's buffer, draining every complete frame per chunk as a refcounted
+/// view — the inbound half of coalescing, with no staging copy.
 async fn read_loop(
     mut stream: TcpStream,
-    tx: mpsc::UnboundedSender<(PeerId, BytesMut)>,
+    tx: mpsc::UnboundedSender<(PeerId, Bytes)>,
 ) -> Result<(), TransportError> {
     let mut hello = [0u8; 8];
     stream.read_exact(&mut hello).await?;
     let peer = PeerId::from_le_bytes(hello);
     let mut decoder = FrameDecoder::default();
-    let mut chunk = vec![0u8; READ_CHUNK];
     loop {
-        let Ok(count) = stream.read(&mut chunk).await else { return Ok(()) };
+        let count = {
+            let buf = decoder.read_buf(READ_CHUNK);
+            let Ok(count) = stream.read(buf).await else { return Ok(()) };
+            count
+        };
         if count == 0 {
             return Ok(());
         }
-        decoder.extend(&chunk[..count]);
-        while let Some(payload) = decoder.next_frame()? {
-            if tx.send((peer, payload)).is_err() {
+        decoder.commit(count);
+        while let Some(frame) = decoder.decode_next_view()? {
+            if tx.send((peer, frame)).is_err() {
                 return Ok(());
             }
         }

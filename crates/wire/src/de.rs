@@ -33,6 +33,59 @@ pub fn from_slice<'de, T: Deserialize<'de>>(input: &'de [u8]) -> Result<T> {
     }
 }
 
+/// Deserializes a value of type `T` from a refcounted [`Bytes`](bytes::Bytes)
+/// view, borrowing string and byte fields from it instead of copying them.
+///
+/// The decoded value may borrow from `input` (via `&str` / `&[u8]` fields), so
+/// it cannot outlive the view — but the view itself is a cheap `Arc` slice of
+/// the transport read buffer, which is exactly what makes the inbound path
+/// copy-free: socket bytes are written once and then only ever aliased.
+///
+/// # Errors
+///
+/// Identical to [`from_slice`]: the same bytes produce the same value or the
+/// same error whether decoded borrowed or owned.
+pub fn from_bytes<'de, T: Deserialize<'de>>(input: &'de bytes::Bytes) -> Result<T> {
+    from_slice(input)
+}
+
+/// Deserializes from `input` into an existing `place`, reusing its resident
+/// heap allocations (`String` capacity, `Vec` slots, map nodes) instead of
+/// building a fresh value.
+///
+/// On the steady-state inbound path every frame carries the same message
+/// shape, so decoding into a per-worker scratch value allocates nothing.
+///
+/// # Errors
+///
+/// Identical to [`from_slice`]. On error `place` may hold a partially
+/// overwritten value and should not be interpreted until the next successful
+/// decode.
+pub fn from_slice_in_place<'de, T: Deserialize<'de>>(
+    input: &'de [u8],
+    place: &mut T,
+) -> Result<()> {
+    let mut deserializer = Deserializer::new(input);
+    T::deserialize_in_place(&mut deserializer, place)?;
+    if deserializer.input.is_empty() {
+        Ok(())
+    } else {
+        Err(Error::TrailingBytes(deserializer.input.len()))
+    }
+}
+
+/// [`from_slice_in_place`] over a refcounted [`Bytes`](bytes::Bytes) view.
+///
+/// # Errors
+///
+/// Identical to [`from_slice`].
+pub fn from_bytes_in_place<'de, T: Deserialize<'de>>(
+    input: &'de bytes::Bytes,
+    place: &mut T,
+) -> Result<()> {
+    from_slice_in_place(input, place)
+}
+
 /// Streaming deserializer reading from a byte slice.
 #[derive(Debug)]
 pub struct Deserializer<'de> {

@@ -115,6 +115,27 @@ impl FrameDecoder {
         self.buffer.extend_from_slice(bytes);
     }
 
+    /// Exposes at least `min` writable bytes at the buffer tail, so a socket
+    /// read can land directly in the frame buffer instead of staging through a
+    /// separate chunk that [`FrameDecoder::extend`] would copy.
+    ///
+    /// Follow the read with [`FrameDecoder::commit`] to mark the bytes
+    /// actually written as received frame data.
+    pub fn read_buf(&mut self, min: usize) -> &mut [u8] {
+        self.buffer.tail_mut(min)
+    }
+
+    /// Marks `count` bytes at the tail — just written through
+    /// [`FrameDecoder::read_buf`] — as received frame data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the writable span the last
+    /// [`FrameDecoder::read_buf`] call exposed.
+    pub fn commit(&mut self, count: usize) {
+        self.buffer.advance_tail(count);
+    }
+
     /// Number of buffered, not yet decoded bytes.
     pub fn buffered(&self) -> usize {
         self.buffer.len()
@@ -133,6 +154,21 @@ impl FrameDecoder {
             Some(payload) => Ok(Some(crate::from_slice(&payload)?)),
             None => Ok(None),
         }
+    }
+
+    /// Extracts the next complete frame as a zero-copy [`Bytes`] view.
+    ///
+    /// The view aliases the decoder's read buffer (refcounted, no copy) and
+    /// stays valid after the decoder buffers more data or is dropped: later
+    /// writes land in fresh capacity rather than disturbing live views.
+    /// Decode it with [`crate::from_bytes`] to borrow payload fields straight
+    /// out of the socket buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FrameTooLarge`] for oversized frames.
+    pub fn decode_next_view(&mut self) -> Result<Option<Bytes>> {
+        Ok(self.next_frame()?.map(BytesMut::freeze))
     }
 
     /// Extracts the next complete frame's raw payload without deserializing.
@@ -282,6 +318,51 @@ mod tests {
         decoder.extend(&encoder.take());
         let msg: Msg = decoder.decode_next().unwrap().unwrap();
         assert_eq!(msg.id, 1);
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn decode_next_view_aliases_the_read_buffer() {
+        let msg = Msg { id: 11, body: "view".into() };
+        let mut encoder = FrameEncoder::new();
+        encoder.encode(&msg).unwrap();
+        let mut decoder = FrameDecoder::default();
+        decoder.extend(&encoder.take());
+
+        let view = decoder.decode_next_view().unwrap().unwrap();
+        // Buffer more frames and drop the decoder: the view must stay intact.
+        let mut encoder = FrameEncoder::new();
+        encoder.encode(&Msg { id: 12, body: "later".into() }).unwrap();
+        decoder.extend(&encoder.take());
+        drop(decoder);
+        let decoded: Msg = crate::from_bytes(&view).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn read_buf_commit_feeds_frames_without_staging_copies() {
+        let mut reference = BytesMut::new();
+        for id in 0..3u64 {
+            encode_frame(&Msg { id, body: format!("direct{id}") }, &mut reference).unwrap();
+        }
+
+        // Simulate socket reads of awkward sizes landing directly in the tail.
+        let mut decoder = FrameDecoder::default();
+        let mut offset = 0;
+        let mut seen = 0u64;
+        while offset < reference.len() {
+            let take = (reference.len() - offset).min(7);
+            let buf = decoder.read_buf(7);
+            assert!(buf.len() >= 7);
+            buf[..take].copy_from_slice(&reference[offset..offset + take]);
+            decoder.commit(take);
+            offset += take;
+            while let Some(msg) = decoder.decode_next::<Msg>().unwrap() {
+                assert_eq!(msg.id, seen);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 3);
         assert_eq!(decoder.buffered(), 0);
     }
 

@@ -36,7 +36,7 @@ pub mod framing;
 mod ser;
 pub mod varint;
 
-pub use de::{from_slice, Deserializer};
+pub use de::{from_bytes, from_bytes_in_place, from_slice, from_slice_in_place, Deserializer};
 pub use error::{Error, Result};
 pub use ser::{to_vec, to_writer, Serializer};
 
@@ -121,6 +121,47 @@ mod tests {
             pair: (65535, -32768),
         };
         assert_eq!(roundtrip(&nested), nested);
+    }
+
+    #[test]
+    fn in_place_decode_matches_owned() {
+        let mut values = BTreeMap::new();
+        values.insert("k".to_string(), vec![-1, 0, 1]);
+        values.insert("z".to_string(), vec![9]);
+        let nested = Nested {
+            name: "nested".into(),
+            values,
+            flag: Some(Sample::NewType(1)),
+            raw: vec![0, 255, 128],
+            pair: (65535, -32768),
+        };
+        let bytes = to_vec(&nested).unwrap();
+
+        // Scratch with different shape everywhere: stale map keys, longer
+        // strings, a different enum variant, mismatched vec lengths.
+        let mut stale = BTreeMap::new();
+        stale.insert("k".to_string(), vec![7; 10]);
+        stale.insert("stale-key".to_string(), vec![]);
+        let mut place = Nested {
+            name: "a much longer resident name".into(),
+            values: stale,
+            flag: Some(Sample::Struct { a: 0, b: vec![true] }),
+            raw: vec![1],
+            pair: (0, 0),
+        };
+        from_slice_in_place(&bytes, &mut place).unwrap();
+        assert_eq!(place, nested);
+
+        // Same-variant enum re-decode goes field-wise.
+        let mut place = Sample::Tuple(1, "resident".into());
+        let target = Sample::Tuple(2, "bb".into());
+        from_slice_in_place(&to_vec(&target).unwrap(), &mut place).unwrap();
+        assert_eq!(place, target);
+
+        // Variant switch falls back to owned construction.
+        let target = Sample::Unit;
+        from_slice_in_place(&to_vec(&target).unwrap(), &mut place).unwrap();
+        assert_eq!(place, target);
     }
 
     #[test]

@@ -97,11 +97,14 @@ async fn start_replica(
     });
 
     // Sockets -> engine: every received frame goes straight onto the router's
-    // ingress mailbox (a lock-free enqueue — safe from an async task).
+    // ingress mailbox (a lock-free enqueue — safe from an async task), still
+    // encoded. The router peeks the routing preamble and the shard worker
+    // decodes the body in place, so the receive path never copies the frame
+    // and in steady state never allocates for it.
     let ingress = node.ingress();
     tokio::spawn(async move {
-        while let Ok((from, message)) = mesh.recv::<ShardMessage<KvMap>>().await {
-            ingress.deliver(ReplicaId::new(from), message);
+        while let Ok((from, frame)) = mesh.recv_frame().await {
+            ingress.deliver_frame(ReplicaId::new(from), frame);
         }
     });
 

@@ -5,8 +5,22 @@
 //! `BytesMut` with `Buf::advance` / `BufMut::{put_u32_le, put_slice}` semantics,
 //! `split_to`, `resize`, `freeze`, and [`Bytes`] — an immutable `Arc`-backed
 //! view whose `Clone` is a reference-count bump, not a copy.
+//!
+//! Both types are `(Arc<Vec<u8>>, start, end)` views over one shared
+//! allocation, which is what makes the decode path allocation-free:
+//! [`BytesMut::split_to`] and [`BytesMut::freeze`] are O(1) refcount bumps
+//! (upstream semantics — no memmove, no copy), and a frozen frame stays valid
+//! after the decoder that produced it keeps reading. Mutation goes through a
+//! copy-on-write gate: the writer reuses its buffer in place while it is the
+//! sole owner and silently re-allocates when outstanding views still alias it,
+//! so readers never observe a write. The safe read-into tail
+//! ([`BytesMut::tail_mut`] / [`BytesMut::advance_tail`]) replaces upstream's
+//! `unsafe` `chunk_mut` with a zero-initialized spare region a socket can read
+//! straight into.
 
-use std::ops::{Deref, DerefMut};
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 /// An immutable, reference-counted byte buffer.
@@ -45,6 +59,27 @@ impl Bytes {
     pub fn slice_to(&self, count: usize) -> Bytes {
         assert!(count <= self.len(), "slice_to past end of buffer");
         Bytes { data: Arc::clone(&self.data), start: self.start, end: self.start + count }
+    }
+
+    /// Returns a sub-view of `range` (in readable-byte coordinates), sharing
+    /// the allocation — the upstream `Bytes::slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
     }
 
     fn as_slice(&self) -> &[u8] {
@@ -93,30 +128,46 @@ impl From<&[u8]> for Bytes {
     }
 }
 
+impl Buf for Bytes {
+    fn advance(&mut self, count: usize) {
+        assert!(count <= self.len(), "advance past end of buffer");
+        self.start += count;
+    }
+}
+
 /// A mutable, growable byte buffer.
 ///
-/// Backed by a `Vec<u8>` plus a start offset so `advance`/`split_to` are O(1)
-/// bookkeeping until the next compaction.
-#[derive(Clone, Default, PartialEq, Eq)]
+/// A `(shared allocation, start, end)` view like [`Bytes`], so
+/// [`BytesMut::advance`], [`BytesMut::split_to`], and [`BytesMut::freeze`] are
+/// O(1) bookkeeping with no copy. Writes require unique ownership: while split
+/// heads or frozen frames still alias the allocation, the next write
+/// transparently moves the readable bytes to a fresh buffer (copy-on-write);
+/// once all views are gone, the whole capacity is reused in place.
 pub struct BytesMut {
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
+    /// First readable byte.
     start: usize,
+    /// One past the last readable byte. The backing vector's length is the
+    /// *initialized watermark* — it may exceed `end` after an `advance_tail`
+    /// under-fill or a shrinking `resize`, and that spare region is reused by
+    /// the next write without re-zeroing.
+    end: usize,
 }
 
 impl BytesMut {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        BytesMut { data: Vec::new(), start: 0 }
+        BytesMut::default()
     }
 
     /// Creates an empty buffer with at least `capacity` bytes of capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(capacity), start: 0 }
+        BytesMut { data: Arc::new(Vec::with_capacity(capacity)), start: 0, end: 0 }
     }
 
     /// Number of readable bytes.
     pub fn len(&self) -> usize {
-        self.data.len() - self.start
+        self.end - self.start
     }
 
     /// Returns `true` if no readable bytes remain.
@@ -126,65 +177,142 @@ impl BytesMut {
 
     /// Ensures space for at least `additional` more bytes.
     pub fn reserve(&mut self, additional: usize) {
-        self.compact();
-        self.data.reserve(additional);
+        self.writable(additional);
     }
 
     /// Appends `bytes` to the buffer.
     pub fn extend_from_slice(&mut self, bytes: &[u8]) {
-        self.data.extend_from_slice(bytes);
+        let count = bytes.len();
+        self.writable(count)[..count].copy_from_slice(bytes);
+        self.end += count;
     }
 
-    /// Splits off and returns the first `count` readable bytes.
+    /// Exposes at least `min` writable bytes past the readable region, for a
+    /// reader to fill directly (e.g. a socket `read`); commit what was actually
+    /// written with [`BytesMut::advance_tail`]. The returned slice is
+    /// zero-initialized on first use and may be longer than `min`.
+    ///
+    /// This is the safe stand-in for upstream's `chunk_mut`: one buffer serves
+    /// as both the read destination and the decode source, removing the
+    /// staging-chunk copy.
+    pub fn tail_mut(&mut self, min: usize) -> &mut [u8] {
+        self.writable(min)
+    }
+
+    /// Marks `count` bytes of the [`BytesMut::tail_mut`] region as filled,
+    /// extending the readable region over them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the initialized tail capacity.
+    pub fn advance_tail(&mut self, count: usize) {
+        assert!(self.end + count <= self.data.len(), "advance_tail past initialized tail");
+        self.end += count;
+    }
+
+    /// Splits off and returns the first `count` readable bytes as a view
+    /// sharing the allocation — O(1), no copy.
     ///
     /// # Panics
     ///
     /// Panics if `count` exceeds the number of readable bytes.
     pub fn split_to(&mut self, count: usize) -> BytesMut {
         assert!(count <= self.len(), "split_to past end of buffer");
-        let head = self.as_slice()[..count].to_vec();
+        let head =
+            BytesMut { data: Arc::clone(&self.data), start: self.start, end: self.start + count };
         self.start += count;
-        self.maybe_compact();
-        BytesMut { data: head, start: 0 }
+        head
     }
 
     /// Resizes the readable region to `new_len`, filling with `fill` when growing.
     pub fn resize(&mut self, new_len: usize, fill: u8) {
-        self.compact();
-        self.data.resize(new_len, fill);
+        let len = self.len();
+        if new_len <= len {
+            self.end = self.start + new_len;
+            return;
+        }
+        let grow = new_len - len;
+        self.writable(grow)[..grow].fill(fill);
+        self.end += grow;
     }
 
     /// Discards all readable bytes, keeping the allocation.
     pub fn clear(&mut self) {
-        self.data.clear();
         self.start = 0;
+        self.end = 0;
     }
 
-    /// Converts the buffer into an immutable [`Bytes`] without copying the
-    /// readable region's backing storage.
-    pub fn freeze(mut self) -> Bytes {
-        self.compact();
-        Bytes::from(self.data)
+    /// Converts the buffer into an immutable [`Bytes`] without copying — the
+    /// view keeps sharing the allocation (O(1), upstream semantics).
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, start: self.start, end: self.end }
     }
 
     fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..]
+        &self.data[self.start..self.end]
     }
 
-    fn compact(&mut self) {
-        if self.start > 0 {
-            self.data.drain(..self.start);
+    /// Returns a uniquely owned, initialized slice of at least `min` bytes
+    /// starting at `end` (the writable tail), re-establishing the writer
+    /// invariants first: sole ownership of the allocation (copy-on-write when
+    /// views alias it) and a bounded dead prefix (compact when the dead bytes
+    /// outweigh the live ones — amortized O(1) per byte advanced).
+    fn writable(&mut self, min: usize) -> &mut [u8] {
+        if Arc::get_mut(&mut self.data).is_none() {
+            // Outstanding views alias the buffer: move the readable bytes to a
+            // fresh allocation and leave the old one to the views.
+            let len = self.end - self.start;
+            let mut fresh = Vec::with_capacity((len + min).max(self.data.capacity()));
+            fresh.extend_from_slice(&self.data[self.start..self.end]);
+            self.data = Arc::new(fresh);
             self.start = 0;
+            self.end = len;
+        } else if self.start == self.end {
+            // Nothing readable: restart at offset zero, reusing the whole
+            // capacity (and watermark) with no copy.
+            self.start = 0;
+            self.end = 0;
+        } else if self.start > 0 && self.start >= self.end - self.start {
+            // The dead prefix dominates: reclaim it with one memmove of the
+            // live bytes (each byte moves at most once per 2x it was advanced
+            // past, so advance stays amortized O(1)).
+            let (start, end) = (self.start, self.end);
+            let vec = Arc::get_mut(&mut self.data).expect("checked unique");
+            vec.copy_within(start..end, 0);
+            vec.truncate(end - start);
+            self.start = 0;
+            self.end = end - start;
         }
-    }
-
-    fn maybe_compact(&mut self) {
-        // Reclaim memory once the dead prefix dominates the buffer.
-        if self.start > 4096 && self.start * 2 > self.data.len() {
-            self.compact();
+        let end = self.end;
+        let vec = Arc::get_mut(&mut self.data).expect("unique after normalization");
+        if vec.len() < end + min {
+            vec.resize(end + min, 0);
         }
+        &mut vec[end..]
     }
 }
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut { data: Arc::new(Vec::new()), start: 0, end: 0 }
+    }
+}
+
+impl Clone for BytesMut {
+    /// Deep copy of the readable bytes (upstream semantics: a `BytesMut` clone
+    /// must be independently mutable).
+    fn clone(&self) -> Self {
+        BytesMut::from(self.as_slice())
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for BytesMut {}
 
 impl Deref for BytesMut {
     type Target = [u8];
@@ -196,8 +324,11 @@ impl Deref for BytesMut {
 
 impl DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        let start = self.start;
-        &mut self.data[start..]
+        // Route through the copy-on-write gate; `writable(0)` only normalizes.
+        self.writable(0);
+        let (start, end) = (self.start, self.end);
+        let vec = Arc::get_mut(&mut self.data).expect("unique after writable");
+        &mut vec[start..end]
     }
 }
 
@@ -215,7 +346,7 @@ impl std::fmt::Debug for BytesMut {
 
 impl From<&[u8]> for BytesMut {
     fn from(bytes: &[u8]) -> Self {
-        BytesMut { data: bytes.to_vec(), start: 0 }
+        BytesMut { data: Arc::new(bytes.to_vec()), start: 0, end: bytes.len() }
     }
 }
 
@@ -226,13 +357,15 @@ pub trait Buf {
 }
 
 impl Buf for BytesMut {
+    /// O(1) bookkeeping; dead-prefix space is reclaimed lazily by the next
+    /// write (see [`BytesMut::tail_mut`]).
+    ///
     /// # Panics
     ///
     /// Panics if `count` exceeds the number of readable bytes.
     fn advance(&mut self, count: usize) {
         assert!(count <= self.len(), "advance past end of buffer");
         self.start += count;
-        self.maybe_compact();
     }
 }
 
@@ -266,6 +399,8 @@ mod tests {
         assert_eq!(frozen, alias);
         assert_eq!(alias.as_ref().as_ptr(), frozen.as_ref().as_ptr());
         assert_eq!(&frozen.slice_to(3)[..], b"pay");
+        assert_eq!(&frozen.slice(3..)[..], b"load");
+        assert_eq!(frozen.slice(3..).as_ref().as_ptr(), frozen.as_ref()[3..].as_ptr());
     }
 
     #[test]
@@ -291,5 +426,85 @@ mod tests {
         assert_eq!(&buf[..], b"lo");
         buf.resize(4, 0);
         assert_eq!(&buf[..], b"lo\0\0");
+    }
+
+    #[test]
+    fn split_and_freeze_are_zero_copy_views() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"frame-a|frame-b");
+        let base = buf.as_ref().as_ptr();
+        let head = buf.split_to(8);
+        assert_eq!(&head[..], b"frame-a|");
+        assert_eq!(head.as_ref().as_ptr(), base, "split head aliases the allocation");
+        let frozen = head.freeze();
+        assert_eq!(frozen.as_ref().as_ptr(), base, "freeze does not copy");
+        // The view stays valid and intact while the source keeps mutating.
+        buf.put_slice(b"|frame-c");
+        assert_eq!(&frozen[..], b"frame-a|");
+        assert_eq!(&buf[..], b"frame-b|frame-c");
+    }
+
+    #[test]
+    fn writes_reuse_capacity_once_views_are_dropped() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(b"0123456789");
+        let view = buf.split_to(10).freeze();
+        drop(view);
+        buf.put_slice(b"ab");
+        // All views gone and nothing readable was pending: the buffer restarts
+        // at offset zero instead of growing.
+        assert_eq!(&buf[..], b"ab");
+        assert_eq!(buf.start, 0);
+    }
+
+    #[test]
+    fn writes_never_disturb_live_views() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"first");
+        let view = buf.split_to(5).freeze();
+        buf.put_slice(b"second");
+        assert_eq!(&view[..], b"first");
+        assert_eq!(&buf[..], b"second");
+        let mut clone_source = BytesMut::from(&b"deep"[..]);
+        let deep = clone_source.clone();
+        clone_source.extend_from_slice(b"er");
+        assert_eq!(&deep[..], b"deep");
+        assert_eq!(&clone_source[..], b"deeper");
+    }
+
+    #[test]
+    fn advance_reclaims_lazily_without_quadratic_cost() {
+        let mut buf = BytesMut::with_capacity(32);
+        // Many advance cycles over a bounded buffer must not grow it without
+        // bound: the dead prefix is reclaimed whenever it dominates.
+        for _ in 0..10_000 {
+            buf.put_slice(&[7u8; 16]);
+            buf.advance(16);
+        }
+        assert!(buf.is_empty());
+        assert!(buf.data.capacity() < 4096, "capacity stayed bounded");
+    }
+
+    #[test]
+    fn tail_read_into_round_trips() {
+        let mut buf = BytesMut::new();
+        let tail = buf.tail_mut(8);
+        assert!(tail.len() >= 8);
+        tail[..3].copy_from_slice(b"abc");
+        buf.advance_tail(3);
+        assert_eq!(&buf[..], b"abc");
+        // A second fill appends after the first.
+        buf.tail_mut(4)[..2].copy_from_slice(b"de");
+        buf.advance_tail(2);
+        assert_eq!(&buf[..], b"abcde");
+    }
+
+    #[test]
+    fn equality_ignores_view_offsets() {
+        let mut a = BytesMut::from(&b"xxhello"[..]);
+        a.advance(2);
+        let b = BytesMut::from(&b"hello"[..]);
+        assert_eq!(a, b);
+        assert_eq!(a.freeze(), Bytes::from(&b"hello"[..]));
     }
 }

@@ -48,6 +48,19 @@ pub trait Deserialize<'de>: Sized {
     fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
     where
         D: Deserializer<'de>;
+
+    /// Deserializes into an existing `place`, reusing its allocations where
+    /// the impl knows how (upstream serde's in-place API: the default builds a
+    /// fresh value and overwrites; containers override to decode into their
+    /// existing capacity, which is what makes the steady-state decode path
+    /// allocation-free).
+    fn deserialize_in_place<D>(deserializer: D, place: &mut Self) -> Result<(), D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        *place = Self::deserialize(deserializer)?;
+        Ok(())
+    }
 }
 
 /// A type deserializable without borrowing from the input.
@@ -74,6 +87,23 @@ impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
         D: Deserializer<'de>,
     {
         T::deserialize(deserializer)
+    }
+}
+
+/// A seed that decodes into an existing slot via
+/// [`Deserialize::deserialize_in_place`] instead of producing a value. Lets
+/// sequence/map/struct impls thread "reuse this allocation" through the
+/// `next_element_seed`/`next_value_seed` plumbing.
+pub struct InPlaceSeed<'a, T>(pub &'a mut T);
+
+impl<'a, 'de, T: Deserialize<'de>> DeserializeSeed<'de> for InPlaceSeed<'a, T> {
+    type Value = ();
+
+    fn deserialize<D>(self, deserializer: D) -> Result<(), D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        T::deserialize_in_place(deserializer, self.0)
     }
 }
 

@@ -5,7 +5,7 @@ use std::fmt;
 use std::hash::{BuildHasher, Hash};
 use std::marker::PhantomData;
 
-use crate::de::{self, Deserialize, Deserializer, MapAccess, SeqAccess, Visitor};
+use crate::de::{self, Deserialize, Deserializer, InPlaceSeed, MapAccess, SeqAccess, Visitor};
 use crate::ser::{
     Serialize, SerializeMap as _, SerializeSeq as _, SerializeTuple as _, Serializer,
 };
@@ -102,9 +102,37 @@ impl<'de> Deserialize<'de> for String {
 
         deserializer.deserialize_string(StringVisitor)
     }
+
+    fn deserialize_in_place<D: Deserializer<'de>>(
+        deserializer: D,
+        place: &mut Self,
+    ) -> Result<(), D::Error> {
+        struct StringInPlaceVisitor<'a>(&'a mut String);
+
+        impl<'a, 'de> Visitor<'de> for StringInPlaceVisitor<'a> {
+            type Value = ();
+
+            fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+                formatter.write_str("a string")
+            }
+
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<(), E> {
+                self.0.clear();
+                self.0.push_str(v);
+                Ok(())
+            }
+
+            fn visit_string<E: de::Error>(self, v: String) -> Result<(), E> {
+                *self.0 = v;
+                Ok(())
+            }
+        }
+
+        deserializer.deserialize_string(StringInPlaceVisitor(place))
+    }
 }
 
-impl<'de> Deserialize<'de> for &'de str {
+impl<'de: 'a, 'a> Deserialize<'de> for &'a str {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         struct StrVisitor;
 
@@ -124,6 +152,26 @@ impl<'de> Deserialize<'de> for &'de str {
     }
 }
 
+impl<'de: 'a, 'a> Deserialize<'de> for &'a [u8] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BytesVisitor;
+
+        impl<'de> Visitor<'de> for BytesVisitor {
+            type Value = &'de [u8];
+
+            fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+                formatter.write_str("borrowed bytes")
+            }
+
+            fn visit_borrowed_bytes<E: de::Error>(self, v: &'de [u8]) -> Result<&'de [u8], E> {
+                Ok(v)
+            }
+        }
+
+        deserializer.deserialize_bytes(BytesVisitor)
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         (**self).serialize(serializer)
@@ -139,6 +187,13 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         T::deserialize(deserializer).map(Box::new)
+    }
+
+    fn deserialize_in_place<D: Deserializer<'de>>(
+        deserializer: D,
+        place: &mut Self,
+    ) -> Result<(), D::Error> {
+        T::deserialize_in_place(deserializer, &mut **place)
     }
 }
 
@@ -206,6 +261,43 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
 
         deserializer.deserialize_option(OptionVisitor(PhantomData))
     }
+
+    fn deserialize_in_place<D: Deserializer<'de>>(
+        deserializer: D,
+        place: &mut Self,
+    ) -> Result<(), D::Error> {
+        struct OptionInPlaceVisitor<'a, T>(&'a mut Option<T>);
+
+        impl<'a, 'de, T: Deserialize<'de>> Visitor<'de> for OptionInPlaceVisitor<'a, T> {
+            type Value = ();
+
+            fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+                formatter.write_str("an option")
+            }
+
+            fn visit_none<E: de::Error>(self) -> Result<(), E> {
+                *self.0 = None;
+                Ok(())
+            }
+
+            fn visit_unit<E: de::Error>(self) -> Result<(), E> {
+                *self.0 = None;
+                Ok(())
+            }
+
+            fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<(), D::Error> {
+                match self.0 {
+                    Some(inner) => T::deserialize_in_place(deserializer, inner),
+                    None => {
+                        *self.0 = Some(T::deserialize(deserializer)?);
+                        Ok(())
+                    }
+                }
+            }
+        }
+
+        deserializer.deserialize_option(OptionInPlaceVisitor(place))
+    }
 }
 
 impl<T: Serialize> Serialize for [T] {
@@ -262,8 +354,69 @@ macro_rules! seq_impl {
     };
 }
 
-seq_impl!(Vec<T>, push);
 seq_impl!(BTreeSet<T: Ord>, insert);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Visitor<'de> for SeqVisitor<Vec<T>> {
+    type Value = Vec<T>;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        formatter.write_str("a sequence")
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+        let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+        while let Some(element) = seq.next_element()? {
+            out.push(element);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_seq(SeqVisitor::<Vec<T>>(PhantomData))
+    }
+
+    fn deserialize_in_place<D: Deserializer<'de>>(
+        deserializer: D,
+        place: &mut Self,
+    ) -> Result<(), D::Error> {
+        deserializer.deserialize_seq(VecInPlaceVisitor(place))
+    }
+}
+
+/// In-place decode for `Vec`: reuse existing slots (recursing into
+/// `deserialize_in_place` on each), then push extras or truncate stale tails.
+pub struct VecInPlaceVisitor<'a, T>(pub &'a mut Vec<T>);
+
+impl<'a, 'de, T: Deserialize<'de>> Visitor<'de> for VecInPlaceVisitor<'a, T> {
+    type Value = ();
+
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        formatter.write_str("a sequence")
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<(), A::Error> {
+        let mut filled = 0;
+        while filled < self.0.len() {
+            if seq.next_element_seed(InPlaceSeed(&mut self.0[filled]))?.is_none() {
+                self.0.truncate(filled);
+                return Ok(());
+            }
+            filled += 1;
+        }
+        while let Some(element) = seq.next_element()? {
+            self.0.push(element);
+        }
+        Ok(())
+    }
+}
 
 impl<T: Serialize> Serialize for HashSet<T> {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
@@ -312,6 +465,60 @@ impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for B
         }
 
         deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+
+    fn deserialize_in_place<D: Deserializer<'de>>(
+        deserializer: D,
+        place: &mut Self,
+    ) -> Result<(), D::Error> {
+        struct MapInPlaceVisitor<'a, K, V>(&'a mut BTreeMap<K, V>);
+
+        impl<'a, 'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de>
+            for MapInPlaceVisitor<'a, K, V>
+        {
+            type Value = ();
+
+            fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+                formatter.write_str("a map")
+            }
+
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<(), A::Error> {
+                // Fast path: the wire format emits entries in ascending key
+                // order, so when the incoming keys track the resident ones we
+                // can decode every value straight into its existing node.
+                let mut matched = 0usize;
+                let mut pending: Option<K> = None;
+                {
+                    let mut slots = self.0.iter_mut();
+                    while let Some(key) = map.next_key::<K>()? {
+                        match slots.next() {
+                            Some((existing, slot)) if *existing == key => {
+                                map.next_value_seed(InPlaceSeed(slot))?;
+                                matched += 1;
+                            }
+                            _ => {
+                                pending = Some(key);
+                                break;
+                            }
+                        }
+                    }
+                }
+                // The matched prefix holds the smallest resident keys, so any
+                // stale residents are all larger and pop off the tail.
+                while self.0.len() > matched {
+                    self.0.pop_last();
+                }
+                if let Some(key) = pending {
+                    self.0.insert(key, map.next_value()?);
+                    while let Some((key, value)) = map.next_entry()? {
+                        self.0.insert(key, value);
+                    }
+                }
+                Ok(())
+            }
+        }
+
+        deserializer.deserialize_map(MapInPlaceVisitor(place))
     }
 }
 

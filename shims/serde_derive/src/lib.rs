@@ -10,8 +10,13 @@
 //!   clauses
 //! * `#[serde(bound(serialize = "…", deserialize = "…"))]` overrides
 //!
-//! Field-level serde attributes are intentionally not supported; the parser
-//! fails loudly on `#[serde(...)]` forms it does not understand.
+//! Field-level serde attributes are skipped, which makes `#[serde(borrow)]` a
+//! tolerated no-op: the positional wire format borrows automatically through
+//! the `&'a str` / `&'a [u8]` impls. Type-level serde attributes other than
+//! `bound` still fail loudly.
+//!
+//! Both derives emit `deserialize_in_place` alongside `deserialize`, so
+//! steady-state re-decodes into scratch values reuse resident allocations.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -189,6 +194,23 @@ fn expand_serialize(input: &Input) -> String {
     )
 }
 
+/// Generates in-place reads of sequence elements into the given `&mut`
+/// expressions (each expression must already have type `&mut Field`). Length
+/// errors use a baked-in message: `&self` may be unavailable while `ref mut`
+/// bindings into the place are live.
+fn read_seq_fields_in_place(exprs: &[String], expected: &str) -> String {
+    let mut out = String::new();
+    for (index, expr) in exprs.iter().enumerate() {
+        let message = format!("invalid length {index}, expected {expected}");
+        out.push_str(&format!(
+            "if ::serde::de::SeqAccess::next_element_seed(&mut __seq, ::serde::de::InPlaceSeed({expr}))?.is_none() {{\n\
+                 return Err(::serde::de::Error::custom({message:?}));\n\
+             }}\n"
+        ));
+    }
+    out
+}
+
 /// Generates `let __fN = …;` bindings reading `count` sequence elements.
 fn read_seq_fields(count: usize) -> String {
     let mut out = String::new();
@@ -227,7 +249,24 @@ fn expand_deserialize(input: &Input) -> String {
     } else {
         format!("__Visitor<{}>", input.generics.args.join(", "))
     };
-    let bounds = where_clause(input, &input.bounds.deserialize, "::serde::de::Deserialize<'de>");
+    let mut bounds =
+        where_clause(input, &input.bounds.deserialize, "::serde::de::Deserialize<'de>");
+    // Borrowed fields (`&'a str`, `&'a [u8]`) require the input to outlive
+    // every lifetime parameter of the deriving type.
+    let lifetime_bounds: Vec<String> = input
+        .generics
+        .args
+        .iter()
+        .filter(|arg| arg.starts_with('\''))
+        .map(|lifetime| format!("'de: {lifetime}"))
+        .collect();
+    if !lifetime_bounds.is_empty() {
+        bounds = if bounds.is_empty() {
+            format!("where {}", lifetime_bounds.join(", "))
+        } else {
+            format!("{bounds}, {}", lifetime_bounds.join(", "))
+        };
+    }
     let phantom_ty = phantom(input);
 
     // Inner visitor definitions (for tuple/struct enum variants) plus the main
@@ -382,6 +421,8 @@ fn expand_deserialize(input: &Input) -> String {
         }
     };
 
+    let in_place = expand_deserialize_in_place(input, &bounds);
+
     format!(
         "#[automatically_derived]\n\
          impl{impl_generics} ::serde::Deserialize<'de> for {self_ty} {bounds} {{\n\
@@ -398,7 +439,235 @@ fn expand_deserialize(input: &Input) -> String {
                  }}\n\
                  {entry}\n\
              }}\n\
+             {in_place}\n\
          }}"
+    )
+}
+
+/// Expands the `deserialize_in_place` method: visitors hold `&mut Self` and
+/// decode field-wise into the existing value, so steady-state re-decodes of a
+/// same-shaped message reuse every resident allocation. Enum visitors re-match
+/// the resident variant and fall back to owned construction on a change.
+fn expand_deserialize_in_place(input: &Input, bounds: &str) -> String {
+    let name = &input.name;
+    let self_ty = self_type(input);
+    let generics = &input.generics.decl;
+    let impl_generics = if generics.is_empty() {
+        "<'de, '__place>".to_string()
+    } else {
+        format!("<'de, '__place, {generics}>")
+    };
+
+    let mut inner_visitors = String::new();
+    let (visitor_methods, entry) = match &input.data {
+        Data::Struct(Fields::Unit) => (
+            format!(
+                "fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<(), __E> {{\n\
+                     *self.0 = {name};\n\
+                     Ok(())\n\
+                 }}"
+            ),
+            format!(
+                "::serde::Deserializer::deserialize_unit_struct(__deserializer, {name:?}, __InPlaceVisitor(__place))"
+            ),
+        ),
+        Data::Struct(Fields::Tuple(1)) => (
+            format!(
+                "fn visit_newtype_struct<__D2: ::serde::Deserializer<'de>>(self, __deserializer: __D2)\n\
+                     -> ::core::result::Result<(), __D2::Error> {{\n\
+                     ::serde::Deserialize::deserialize_in_place(__deserializer, &mut (self.0).0)\n\
+                 }}\n\
+                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                     -> ::core::result::Result<(), __A::Error> {{\n\
+                     {}\n\
+                     Ok(())\n\
+                 }}",
+                read_seq_fields_in_place(&["&mut (self.0).0".to_string()], name)
+            ),
+            format!(
+                "::serde::Deserializer::deserialize_newtype_struct(__deserializer, {name:?}, __InPlaceVisitor(__place))"
+            ),
+        ),
+        Data::Struct(Fields::Tuple(arity)) => {
+            let exprs: Vec<String> = (0..*arity).map(|i| format!("&mut (self.0).{i}")).collect();
+            (
+                format!(
+                    "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                         -> ::core::result::Result<(), __A::Error> {{\n\
+                         {}\n\
+                         Ok(())\n\
+                     }}",
+                    read_seq_fields_in_place(&exprs, name)
+                ),
+                format!(
+                    "::serde::Deserializer::deserialize_tuple_struct(__deserializer, {name:?}, {arity}, __InPlaceVisitor(__place))"
+                ),
+            )
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            let exprs: Vec<String> =
+                fields.iter().map(|field| format!("&mut (self.0).{field}")).collect();
+            let field_names: Vec<String> = fields.iter().map(|f| format!("{f:?}")).collect();
+            (
+                format!(
+                    "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                         -> ::core::result::Result<(), __A::Error> {{\n\
+                         {}\n\
+                         Ok(())\n\
+                     }}",
+                    read_seq_fields_in_place(&exprs, name)
+                ),
+                format!(
+                    "::serde::Deserializer::deserialize_struct(__deserializer, {name:?}, &[{}], __InPlaceVisitor(__place))",
+                    field_names.join(", ")
+                ),
+            )
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for (index, variant) in variants.iter().enumerate() {
+                let index = index as u32;
+                let vname = &variant.name;
+                let path = format!("{name}::{vname}");
+                match &variant.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{index}u32 => {{\n\
+                             ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                             *self.0 = {path};\n\
+                             Ok(())\n\
+                         }},\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{index}u32 => {{\n\
+                             if let {path}(ref mut __f0) = *self.0 {{\n\
+                                 ::serde::de::VariantAccess::newtype_variant_seed(__variant, ::serde::de::InPlaceSeed(__f0))?;\n\
+                             }} else {{\n\
+                                 *self.0 = {path}(::serde::de::VariantAccess::newtype_variant(__variant)?);\n\
+                             }}\n\
+                             Ok(())\n\
+                         }},\n"
+                    )),
+                    Fields::Tuple(arity) => {
+                        let inner = format!("__InPlaceVariant{index}Visitor");
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let pattern: Vec<String> =
+                            binders.iter().map(|b| format!("ref mut {b}")).collect();
+                        let body = format!(
+                            "if let {path}({}) = *self.0 {{\n\
+                                 {}\n\
+                                 return Ok(());\n\
+                             }}\n\
+                             {}\n\
+                             *self.0 = {};\n\
+                             Ok(())",
+                            pattern.join(", "),
+                            read_seq_fields_in_place(&binders, &path),
+                            read_seq_fields(*arity),
+                            tuple_constructor(&path, *arity)
+                        );
+                        inner_visitors.push_str(&in_place_inner_visitor(
+                            &inner,
+                            &impl_generics,
+                            &self_ty,
+                            bounds,
+                            &body,
+                        ));
+                        arms.push_str(&format!(
+                            "{index}u32 => ::serde::de::VariantAccess::tuple_variant(__variant, {arity}, {inner}(self.0)),\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inner = format!("__InPlaceVariant{index}Visitor");
+                        let pattern: Vec<String> =
+                            fields.iter().map(|f| format!("ref mut {f}")).collect();
+                        let field_names: Vec<String> =
+                            fields.iter().map(|f| format!("{f:?}")).collect();
+                        let body = format!(
+                            "if let {path} {{ {} }} = *self.0 {{\n\
+                                 {}\n\
+                                 return Ok(());\n\
+                             }}\n\
+                             {}\n\
+                             *self.0 = {};\n\
+                             Ok(())",
+                            pattern.join(", "),
+                            read_seq_fields_in_place(fields, &path),
+                            read_seq_fields(fields.len()),
+                            named_constructor(&path, fields)
+                        );
+                        inner_visitors.push_str(&in_place_inner_visitor(
+                            &inner,
+                            &impl_generics,
+                            &self_ty,
+                            bounds,
+                            &body,
+                        ));
+                        arms.push_str(&format!(
+                            "{index}u32 => ::serde::de::VariantAccess::struct_variant(__variant, &[{}], {inner}(self.0)),\n",
+                            field_names.join(", ")
+                        ));
+                    }
+                }
+            }
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("{:?}", v.name)).collect();
+            (
+                format!(
+                    "fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+                         -> ::core::result::Result<(), __A::Error> {{\n\
+                         let (__index, __variant): (u32, _) = ::serde::de::EnumAccess::variant(__data)?;\n\
+                         match __index {{\n\
+                             {arms}\n\
+                             __other => Err(::serde::de::Error::custom(format_args!(\n\
+                                 \"invalid variant index {{__other}} for enum {name}\"))),\n\
+                         }}\n\
+                     }}"
+                ),
+                format!(
+                    "::serde::Deserializer::deserialize_enum(__deserializer, {name:?}, &[{}], __InPlaceVisitor(__place))",
+                    variant_names.join(", ")
+                ),
+            )
+        }
+    };
+
+    format!(
+        "fn deserialize_in_place<__D: ::serde::Deserializer<'de>>(__deserializer: __D, __place: &mut Self)\n\
+             -> ::core::result::Result<(), __D::Error> {{\n\
+             struct __InPlaceVisitor<'__place, __T>(&'__place mut __T);\n\
+             {inner_visitors}\n\
+             impl{impl_generics} ::serde::de::Visitor<'de> for __InPlaceVisitor<'__place, {self_ty}> {bounds} {{\n\
+                 type Value = ();\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                     __f.write_str({name:?})\n\
+                 }}\n\
+                 {visitor_methods}\n\
+             }}\n\
+             {entry}\n\
+         }}"
+    )
+}
+
+/// Declares one helper in-place visitor (for a tuple or struct enum variant).
+fn in_place_inner_visitor(
+    visitor_name: &str,
+    impl_generics: &str,
+    self_ty: &str,
+    bounds: &str,
+    visit_seq_body: &str,
+) -> String {
+    format!(
+        "struct {visitor_name}<'__place, __T>(&'__place mut __T);\n\
+         impl{impl_generics} ::serde::de::Visitor<'de> for {visitor_name}<'__place, {self_ty}> {bounds} {{\n\
+             type Value = ();\n\
+             fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"enum variant\")\n\
+             }}\n\
+             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                 -> ::core::result::Result<(), __A::Error> {{\n\
+                 {visit_seq_body}\n\
+             }}\n\
+         }}\n"
     )
 }
 
