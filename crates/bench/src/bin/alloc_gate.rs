@@ -1,26 +1,37 @@
-//! Allocation-accounting gate for the inbound hot path.
+//! Allocation-accounting gate for the inbound *and outbound* hot paths.
 //!
-//! PR 8's tentpole claim is that the steady-state inbound path is
-//! allocation-free from socket bytes to protocol step: frames arrive as
-//! refcounted [`bytes::Bytes`] views of the read buffer, and the shard
-//! worker's in-place decode (`wire::from_bytes_in_place`) rewrites a
-//! long-lived scratch message field by field instead of building a fresh one.
-//! This harness proves the claim with a counting `#[global_allocator]`:
+//! PR 8 proved the steady-state inbound path allocation-free from socket
+//! bytes to protocol step: frames arrive as refcounted [`bytes::Bytes`] views
+//! of the read buffer, and the shard worker's in-place decode
+//! (`wire::from_bytes_in_place`) rewrites a long-lived scratch message field
+//! by field instead of building a fresh one. PR 9 closes the loop on the
+//! outbound half: replies drain through capacity-preserving outboxes
+//! (`drain_outbox_into`) and serialize straight into a recycled
+//! [`FrameEncoder`] batch buffer whose allocation ping-pongs between encoder
+//! and writer. This harness proves both claims with a counting
+//! `#[global_allocator]`:
 //!
 //! * **decode loops** — allocations per frame for a delta MERGE, a full-state
 //!   MERGE, and the owned (`from_bytes`) decode of each for contrast;
-//! * **framing loop** — the whole socket-side cycle (`read_buf`/`commit` into
-//!   the decoder, `decode_next_view`, in-place decode), checking the
-//!   `BytesMut` buffer and its frozen views recycle without reallocating;
-//! * **protocol round** — decode plus the acceptor's `handle_message_mut` and
-//!   outbox drain, reported (not gated): replies genuinely own their
-//!   transient structures.
+//! * **framing loop** — the whole socket-side inbound cycle
+//!   (`read_buf`/`commit` into the decoder, `decode_next_view`, in-place
+//!   decode), checking the `BytesMut` buffer and its frozen views recycle
+//!   without reallocating;
+//! * **encode loops** — the outbound half: a broadcast-sized message
+//!   serialized into a recycled batch buffer (gated at zero) versus a fresh
+//!   encoder per batch (reported for contrast);
+//! * **protocol round** — socket to socket: in-place decode, the acceptor's
+//!   `handle_message_mut`, a capacity-preserving outbox drain, and the reply
+//!   encoded into the recycled batch. Gated at **zero** allocations per
+//!   round; the old `take_outbox`-style drain is reported alongside as the
+//!   what-it-used-to-cost contrast.
 //!
 //! Flags: `--quick` shortens the loops (used by CI); `--check` exits non-zero
-//! unless the in-place delta decode and framing loops hit **zero** allocations
-//! per frame and the full-state decode stays within a small bounded budget.
-//! If the counting allocator turns out not to intercept allocations on this
-//! platform, `--check` prints a loud SKIP and exits 0 (fig9-style).
+//! unless every steady-state loop (delta decode, framing, recycled encode,
+//! full protocol round) hits **zero** allocations per frame and the
+//! full-state decode stays within a small bounded budget. If the counting
+//! allocator turns out not to intercept allocations on this platform,
+//! `--check` prints a loud SKIP and exits 0 (fig9-style).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -29,7 +40,7 @@ use bytes::Bytes;
 use crdt::{DeltaCrdt, GCounter, LatticeMap, ReplicaId};
 use crdt_paxos_core::{Message, Payload, ProtocolConfig, Replica, RequestId, ShardMessage};
 use quorum::ShardId;
-use wire::framing::FrameDecoder;
+use wire::framing::{FrameDecoder, FrameEncoder};
 
 /// Counts allocations while `enabled`; transparent to the system allocator
 /// otherwise. Deallocations are ignored — the gate is about allocation *rate*,
@@ -226,21 +237,70 @@ fn main() {
         std::hint::black_box(&scratch);
     }));
 
-    // A full acceptor round: decode + protocol step + outbox drain. The reply
-    // envelope is a transient the acceptor genuinely owns, so this is
-    // reported, not gated at zero.
+    // The outbound half in isolation: a broadcast-sized message serialized
+    // into the recycled batch buffer. `take()` freezes the batch for the
+    // writer and reclaims a spent buffer once the writer (here: the end of
+    // the iteration) drops its handle — steady state cycles two or three
+    // resident allocations with zero new ones.
+    let broadcast: ShardMessage<Kv> = wire::from_bytes(&delta).expect("decode");
+    let mut batch_encoder = FrameEncoder::new();
+    cases.push(run_case("encode_batch_recycled", warmup, iterations, || {
+        batch_encoder.encode(&broadcast).expect("encode");
+        let batch = batch_encoder.take();
+        std::hint::black_box(&batch);
+    }));
+
+    // Contrast: what a fresh encoder (and thus a fresh batch allocation) per
+    // send costs — the pre-PR 9 write path.
+    cases.push(run_case("encode_batch_fresh", warmup, iterations, || {
+        let mut encoder = FrameEncoder::new();
+        encoder.encode(&broadcast).expect("encode");
+        let batch = encoder.take();
+        std::hint::black_box(&batch);
+    }));
+
+    // A full acceptor round, socket to socket: in-place decode, protocol
+    // step, capacity-preserving outbox drain, and the reply envelope encoded
+    // into the recycled batch buffer. Replies draw their shells from the
+    // outbox's resident capacity and carry no heap of their own (`MergeAck`),
+    // so the whole round is gated at zero.
     let members: Vec<ReplicaId> = (0..3).map(ReplicaId::new).collect();
     let mut acceptor =
-        Replica::new(ReplicaId::new(1), members, Kv::default(), ProtocolConfig::default());
+        Replica::new(ReplicaId::new(1), members.clone(), Kv::default(), ProtocolConfig::default());
     let mut scratch: ShardMessage<Kv> = ShardMessage::PlanRequest;
     let mut outbox = Vec::new();
+    let mut reply_encoder = FrameEncoder::new();
     cases.push(run_case("protocol_round_delta", warmup, iterations, || {
         wire::from_bytes_in_place(&delta, &mut scratch).expect("decode");
         if let ShardMessage::Protocol { message, .. } = &mut scratch {
             acceptor.handle_message_mut(ReplicaId::new(0), message);
         }
-        outbox.clear();
-        outbox.append(&mut acceptor.take_outbox());
+        acceptor.drain_outbox_into(&mut outbox);
+        for envelope in outbox.drain(..) {
+            let reply = ShardMessage::Protocol {
+                epoch: 3,
+                shards: 8,
+                shard: ShardId(5),
+                message: envelope.message,
+            };
+            reply_encoder.encode(&reply).expect("encode reply");
+        }
+        let replies = reply_encoder.take();
+        std::hint::black_box(&replies);
+    }));
+
+    // Contrast: the same round drained through `take_outbox`, which
+    // surrenders the outbox vector every call — the one allocation per round
+    // PR 9 eliminated.
+    let mut acceptor =
+        Replica::new(ReplicaId::new(1), members, Kv::default(), ProtocolConfig::default());
+    let mut scratch: ShardMessage<Kv> = ShardMessage::PlanRequest;
+    cases.push(run_case("protocol_round_take", warmup, iterations, || {
+        wire::from_bytes_in_place(&delta, &mut scratch).expect("decode");
+        if let ShardMessage::Protocol { message, .. } = &mut scratch {
+            acceptor.handle_message_mut(ReplicaId::new(0), message);
+        }
+        let outbox = acceptor.take_outbox();
         std::hint::black_box(&outbox);
     }));
 
@@ -263,7 +323,10 @@ fn main() {
         let mut failed = false;
         for case in &cases {
             let limit = match case.label {
-                "decode_in_place_delta" | "frame_loop_delta" => 0.0,
+                "decode_in_place_delta"
+                | "frame_loop_delta"
+                | "encode_batch_recycled"
+                | "protocol_round_delta" => 0.0,
                 "decode_in_place_full" => FULL_BUDGET,
                 _ => continue,
             };
@@ -281,8 +344,9 @@ fn main() {
         }
         println!();
         println!(
-            "acceptance passed: delta decode and framing loops are allocation-free, \
-             full-state decode within budget ({FULL_BUDGET}/frame)"
+            "acceptance passed: delta decode, framing, recycled encode, and the full \
+             protocol round are allocation-free; full-state decode within budget \
+             ({FULL_BUDGET}/frame)"
         );
     }
 }

@@ -13,8 +13,8 @@ use crdt::{
     CounterQuery, CounterUpdate, GCounter, LatticeMap, MapOutput, MapQuery, MapUpdate, ReplicaId,
 };
 use crdt_paxos_core::{
-    ClientId, Command, ProtocolConfig, Replica, ResponseBody, ShardMessage, ShardedReplica,
-    WireMetrics,
+    ClientId, Command, Envelope, EnvelopePool, ProtocolConfig, Replica, ResponseBody,
+    ShardEnvelope, ShardMessage, ShardedReplica, WireMetrics,
 };
 
 use crate::sim::{SimNode, SimOp, SimOutcome, SimReply};
@@ -32,6 +32,9 @@ pub struct CrdtPaxosNode {
     /// Reused encode buffer for wire accounting — one allocation for the whole
     /// run instead of one per message.
     scratch: Vec<u8>,
+    /// Recycled outbox drain buffers — the same envelope-pool discipline the
+    /// networked plane uses, so sim numbers reflect it.
+    pool: EnvelopePool<Envelope<GCounter>>,
 }
 
 impl CrdtPaxosNode {
@@ -42,6 +45,7 @@ impl CrdtPaxosNode {
             inner: Replica::new(ReplicaId::new(id), member_ids, GCounter::default(), config),
             measure_wire: false,
             scratch: Vec::new(),
+            pool: EnvelopePool::default(),
         }
     }
 
@@ -86,13 +90,14 @@ impl SimNode for CrdtPaxosNode {
     }
 
     fn drain_messages(&mut self) -> Vec<(u64, Self::Message)> {
-        let envelopes = self.inner.take_outbox();
+        let mut envelopes = self.pool.checkout();
+        self.inner.drain_outbox_into(&mut envelopes);
         if self.measure_wire {
             for envelope in &envelopes {
                 // Protocol messages must always encode; failing silently here would
                 // quietly undercount the byte-reduction figures.
                 self.scratch.clear();
-                wire::to_writer(&envelope.message, &mut self.scratch)
+                wire::to_sink(&envelope.message, &mut self.scratch)
                     .expect("protocol messages encode");
                 // Key state-bearing messages by payload representation too
                 // ("MERGE:full" / "MERGE:delta"), so one run shows both. The
@@ -101,7 +106,9 @@ impl SimNode for CrdtPaxosNode {
                     .record_wire_bytes(envelope.message.wire_kind(), self.scratch.len() as u64);
             }
         }
-        envelopes.into_iter().map(|envelope| (envelope.to.as_u64(), envelope.message)).collect()
+        let out = envelopes.drain(..).map(|e| (e.to.as_u64(), e.message)).collect();
+        self.pool.give_back(envelopes);
+        out
     }
 
     fn drain_replies(&mut self) -> Vec<SimReply> {
@@ -139,6 +146,7 @@ pub struct KeyValueNode {
     inner: Replica<KvMap>,
     measure_wire: bool,
     scratch: Vec<u8>,
+    pool: EnvelopePool<Envelope<KvMap>>,
 }
 
 impl KeyValueNode {
@@ -149,6 +157,7 @@ impl KeyValueNode {
             inner: Replica::new(ReplicaId::new(id), member_ids, KvMap::default(), config),
             measure_wire: false,
             scratch: Vec::new(),
+            pool: EnvelopePool::default(),
         }
     }
 
@@ -212,17 +221,20 @@ impl SimNode for KeyValueNode {
     }
 
     fn drain_messages(&mut self) -> Vec<(u64, Self::Message)> {
-        let envelopes = self.inner.take_outbox();
+        let mut envelopes = self.pool.checkout();
+        self.inner.drain_outbox_into(&mut envelopes);
         if self.measure_wire {
             for envelope in &envelopes {
                 self.scratch.clear();
-                wire::to_writer(&envelope.message, &mut self.scratch)
+                wire::to_sink(&envelope.message, &mut self.scratch)
                     .expect("protocol messages encode");
                 self.inner
                     .record_wire_bytes(envelope.message.wire_kind(), self.scratch.len() as u64);
             }
         }
-        envelopes.into_iter().map(|envelope| (envelope.to.as_u64(), envelope.message)).collect()
+        let out = envelopes.drain(..).map(|e| (e.to.as_u64(), e.message)).collect();
+        self.pool.give_back(envelopes);
+        out
     }
 
     fn drain_replies(&mut self) -> Vec<SimReply> {
@@ -253,6 +265,7 @@ pub struct ShardedKvNode {
     inner: ShardedReplica<u64, GCounter>,
     measure_wire: bool,
     scratch: Vec<u8>,
+    pool: EnvelopePool<ShardEnvelope<KvMap>>,
 }
 
 impl ShardedKvNode {
@@ -263,6 +276,7 @@ impl ShardedKvNode {
             inner: ShardedReplica::new(ReplicaId::new(id), member_ids, shards, config),
             measure_wire: false,
             scratch: Vec::new(),
+            pool: EnvelopePool::default(),
         }
     }
 
@@ -316,12 +330,12 @@ impl SimNode for ShardedKvNode {
     }
 
     fn drain_messages(&mut self) -> Vec<(u64, Self::Message)> {
-        let envelopes = self.inner.take_outbox();
+        let mut envelopes = self.pool.checkout();
+        self.inner.drain_outbox_into(&mut envelopes);
         if self.measure_wire {
             for envelope in &envelopes {
                 self.scratch.clear();
-                wire::to_writer(&envelope.message, &mut self.scratch)
-                    .expect("shard messages encode");
+                wire::to_sink(&envelope.message, &mut self.scratch).expect("shard messages encode");
                 match &envelope.message {
                     ShardMessage::Protocol { shard, message, .. } => {
                         self.inner.record_wire_bytes(

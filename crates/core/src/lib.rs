@@ -73,6 +73,7 @@ mod config;
 mod driver;
 mod metrics;
 mod msg;
+mod pool;
 mod rebalance;
 mod replica;
 mod round;
@@ -87,6 +88,7 @@ pub use msg::{
     ClientId, ClientResponse, Command, CommandId, Envelope, Message, Payload, RequestId,
     ResponseBody,
 };
+pub use pool::EnvelopePool;
 pub use quorum::ShardId;
 pub use rebalance::{winning_shards, ControlState, PlanPartitioner, RebalancePlan, RebalanceStats};
 pub use replica::{CancelledWork, Replica};

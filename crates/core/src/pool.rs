@@ -1,0 +1,108 @@
+//! Recycled outbox batches: the free list behind the allocation-free reply
+//! path.
+//!
+//! An [`crate::Envelope`] or [`crate::ShardEnvelope`] shell is three plain
+//! words plus its payload — the heap cost of a drained outbox is the batch
+//! vector the shells sit in, so that vector *is* the free list. The replica's
+//! own outbox already recycles this way (`Replica::drain_outbox_into` and
+//! `ShardCore::drain_outbox_into` move shells out with `Vec::append`, which
+//! preserves the source's capacity, so steady-state rounds push replies into
+//! resident storage). [`EnvelopePool`] extends the same discipline to callers
+//! that cannot hold one drain buffer persistently — per-connection tasks,
+//! simulator adapters, fan-out paths that drain several replicas per cycle:
+//! check a warmed batch out, fill it via the `drain_outbox_into` family,
+//! encode straight out of it, and give it back cleared.
+//!
+//! Steady state allocates zero per round: the shells live in recycled batch
+//! capacity, replies without payloads (`MergeAck`, `VoteAck`) carry no heap at
+//! all, and delta payloads rewrite resident lattice nodes. The `alloc_gate`
+//! bench gates this end to end with a counting allocator.
+
+/// A bounded free list of reusable batch buffers.
+///
+/// `T` is typically [`crate::ShardEnvelope`] (engine/transport plane) or
+/// [`crate::Envelope`] (single-instance plane); the pool is generic because a
+/// shell's storage — the vector — is what gets recycled, not the shell itself.
+#[derive(Debug)]
+pub struct EnvelopePool<T> {
+    batches: Vec<Vec<T>>,
+    /// Maximum number of idle batches retained by [`EnvelopePool::give_back`].
+    retain: usize,
+}
+
+impl<T> Default for EnvelopePool<T> {
+    fn default() -> Self {
+        EnvelopePool::new(8)
+    }
+}
+
+impl<T> EnvelopePool<T> {
+    /// Creates a pool that retains at most `retain` idle batches.
+    pub fn new(retain: usize) -> Self {
+        EnvelopePool { batches: Vec::with_capacity(retain), retain }
+    }
+
+    /// Takes a recycled batch (empty, but with its warmed capacity) or a fresh
+    /// one if the pool is dry.
+    pub fn checkout(&mut self) -> Vec<T> {
+        self.batches.pop().unwrap_or_default()
+    }
+
+    /// Returns a batch to the pool. Leftover shells are dropped here — a
+    /// returned batch never leaks stale envelopes into its next checkout —
+    /// and the buffer is discarded instead of retained once the pool is full.
+    pub fn give_back(&mut self, mut batch: Vec<T>) {
+        batch.clear();
+        if self.batches.len() < self.retain && batch.capacity() > 0 {
+            self.batches.push(batch);
+        }
+    }
+
+    /// Number of idle batches currently retained.
+    pub fn idle(&self) -> usize {
+        self.batches.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_returned_capacity() {
+        let mut pool: EnvelopePool<u64> = EnvelopePool::new(4);
+        let mut batch = pool.checkout();
+        batch.extend(0..100);
+        let warmed = batch.capacity();
+        let base = batch.as_ptr();
+        pool.give_back(batch);
+
+        let again = pool.checkout();
+        assert!(again.is_empty(), "recycled batches come back empty");
+        assert_eq!(again.capacity(), warmed);
+        assert_eq!(again.as_ptr(), base, "same allocation, no copy");
+    }
+
+    #[test]
+    fn give_back_clears_stale_entries() {
+        let mut pool: EnvelopePool<&'static str> = EnvelopePool::default();
+        let mut batch = pool.checkout();
+        batch.push("stale");
+        pool.give_back(batch);
+        assert!(pool.checkout().is_empty());
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let mut pool: EnvelopePool<u8> = EnvelopePool::new(2);
+        for _ in 0..5 {
+            let mut batch = Vec::with_capacity(16);
+            batch.push(1);
+            pool.give_back(batch);
+        }
+        assert_eq!(pool.idle(), 2);
+        // Unwarmed (zero-capacity) buffers are not worth retaining.
+        pool.give_back(Vec::new());
+        assert_eq!(pool.idle(), 2);
+    }
+}

@@ -70,7 +70,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::ProtocolConfig;
 use crate::metrics::{Metrics, WireMetrics};
-use crate::msg::{ClientId, ClientResponse, Command, CommandId, Message, ResponseBody};
+use crate::msg::{ClientId, ClientResponse, Command, CommandId, Envelope, Message, ResponseBody};
 use crate::rebalance::{
     winning_shards, ControlState, PlanPartitioner, RebalancePlan, RebalanceStats,
 };
@@ -273,6 +273,8 @@ where
     extra: Vec<ShardEnvelope<LatticeMap<K, V>>>,
     /// Reused drain buffer for the per-core outputs (no per-cycle allocs).
     output_scratch: Vec<ShardOutput<K, V>>,
+    /// Reused drain buffer for control-shard envelopes (no per-cycle allocs).
+    control_scratch: Vec<Envelope<ControlState>>,
     stats: RebalanceStats,
 }
 
@@ -347,6 +349,7 @@ where
             deferred: Vec::new(),
             extra: Vec::new(),
             output_scratch: Vec::new(),
+            control_scratch: Vec::new(),
             stats: RebalanceStats::default(),
         }
     }
@@ -874,18 +877,29 @@ where
 
     /// Drains the shard-tagged messages produced since the last call.
     pub fn take_outbox(&mut self) -> Vec<ShardEnvelope<LatticeMap<K, V>>> {
+        let mut out = Vec::new();
+        self.drain_outbox_into(&mut out);
+        out
+    }
+
+    /// Drains the shard-tagged messages produced since the last call into
+    /// `sink`, preserving its capacity — the allocation-free form of
+    /// [`ShardedReplica::take_outbox`]. Callers recycle one drain buffer
+    /// (directly or through a [`crate::EnvelopePool`]) and steady-state cycles
+    /// push into resident storage.
+    pub fn drain_outbox_into(&mut self, sink: &mut Vec<ShardEnvelope<LatticeMap<K, V>>>) {
         self.poll_control();
         let stamp = self.stamp();
-        let mut out = std::mem::take(&mut self.extra);
+        sink.append(&mut self.extra);
         for core in &mut self.shards {
-            core.drain_outbox_into(stamp, &mut out);
+            core.drain_outbox_into(stamp, sink);
         }
-        out.extend(self.control.take_outbox().into_iter().map(|envelope| ShardEnvelope {
+        self.control.drain_outbox_into(&mut self.control_scratch);
+        sink.extend(self.control_scratch.drain(..).map(|envelope| ShardEnvelope {
             from: envelope.from,
             to: envelope.to,
             message: ShardMessage::Control { message: envelope.message },
         }));
-        out
     }
 
     /// Drains the client responses produced since the last call, with fan-out

@@ -105,14 +105,26 @@ impl<T> Mailbox<T> {
 /// [`BoundedMailbox::push`] parks on a condvar until the consumer drains —
 /// so clients cannot outrun the router unboundedly, and a blocked producer
 /// costs no CPU while it waits.
+///
+/// The park/unpark handshake is race-free without any timeout: a producer
+/// re-checks the queue *while holding* `space_lock` before it waits, and
+/// every consuming path ([`BoundedMailbox::drain_into`],
+/// [`BoundedMailbox::try_pop`]) takes that same lock between freeing a slot
+/// and notifying. A consumer that frees a slot therefore either (a) freed it
+/// before the producer's locked re-check, which then succeeds and never
+/// waits, or (b) freed it after, in which case its lock acquisition is
+/// ordered after the producer's `wait` released the lock — so the
+/// `notify_all` cannot land in the gap between re-check and park. An earlier
+/// revision hedged this reasoning with a 1 ms wait timeout; the
+/// `blocked_producers_are_released_by_wakeups_alone` test exercises the
+/// handshake with untimed waits, where a missed wakeup hangs instead of
+/// costing a silent millisecond.
 #[derive(Debug)]
 pub struct BoundedMailbox<T> {
     queue: ArrayQueue<T>,
     signal: Arc<Signal>,
-    /// Parking lot for producers blocked on a full queue. The consumer takes
-    /// this lock before notifying, so a producer that re-checked the queue
-    /// under the lock cannot miss the wakeup; the wait timeout is only a
-    /// safety net.
+    /// Parking lot for producers blocked on a full queue; see the type docs
+    /// for the lock ordering that makes the untimed wait safe.
     space_lock: Mutex<()>,
     space: Condvar,
 }
@@ -139,9 +151,7 @@ impl<T> BoundedMailbox<T> {
                     Ok(()) => break,
                     Err(rejected) => {
                         item = rejected;
-                        let (g, _) =
-                            self.space.wait_timeout(guard, Duration::from_millis(1)).unwrap();
-                        guard = g;
+                        guard = self.space.wait(guard).unwrap();
                     }
                 }
             }
@@ -158,6 +168,14 @@ impl<T> BoundedMailbox<T> {
         result
     }
 
+    /// Releases producers parked on the full queue. Must be called by every
+    /// consuming path after it frees at least one slot; taking the lock
+    /// orders the notify after any parked producer's re-check.
+    fn release_space(&self) {
+        drop(self.space_lock.lock().unwrap());
+        self.space.notify_all();
+    }
+
     /// Moves every queued item into `buf`; returns how many were moved.
     pub fn drain_into(&self, buf: &mut Vec<T>) -> usize {
         let before = buf.len();
@@ -166,12 +184,19 @@ impl<T> BoundedMailbox<T> {
         }
         let moved = buf.len() - before;
         if moved > 0 {
-            // Slots freed: release any producers parked on the full queue.
-            // Taking the lock orders this notify after their re-check.
-            drop(self.space_lock.lock().unwrap());
-            self.space.notify_all();
+            self.release_space();
         }
         moved
+    }
+
+    /// Dequeues one item if one is ready, waking a parked producer for the
+    /// freed slot.
+    pub fn try_pop(&self) -> Option<T> {
+        let item = self.queue.pop();
+        if item.is_some() {
+            self.release_space();
+        }
+        item
     }
 }
 
@@ -233,6 +258,56 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(buf, vec![1, 2, 4]);
+    }
+
+    /// The park/unpark stress for the untimed producer wait: a capacity-1
+    /// queue forces every producer through the slow path thousands of times,
+    /// and the consumer alternates between the two consuming paths
+    /// (`drain_into` and `try_pop`) so both must wake parked producers. There
+    /// is no timeout to paper over a missed notify — losing one hangs the
+    /// test. The consumer also parks between empty polls, so the producer →
+    /// consumer `Signal` edge is stressed in the same run.
+    #[test]
+    fn blocked_producers_are_released_by_wakeups_alone() {
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 512;
+        let signal = Arc::new(Signal::new());
+        let mailbox = Arc::new(BoundedMailbox::new(1, Arc::clone(&signal)));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|base| {
+                let mailbox = Arc::clone(&mailbox);
+                std::thread::spawn(move || {
+                    for offset in 0..PER_PRODUCER {
+                        mailbox.push(base * PER_PRODUCER + offset);
+                    }
+                })
+            })
+            .collect();
+        let total = (PRODUCERS * PER_PRODUCER) as usize;
+        let mut buf = Vec::new();
+        let mut use_try_pop = false;
+        while buf.len() < total {
+            let moved = if use_try_pop {
+                match mailbox.try_pop() {
+                    Some(item) => {
+                        buf.push(item);
+                        1
+                    }
+                    None => 0,
+                }
+            } else {
+                mailbox.drain_into(&mut buf)
+            };
+            use_try_pop = !use_try_pop;
+            if moved == 0 {
+                signal.wait_timeout(Duration::from_millis(10));
+            }
+        }
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        buf.sort_unstable();
+        assert_eq!(buf, (0..PRODUCERS * PER_PRODUCER).collect::<Vec<_>>());
     }
 
     #[test]

@@ -35,8 +35,8 @@ use crdt::{
 };
 use crdt_paxos_core::{
     fence_decision, winning_shards, ClientId, ClientResponse, Command, CommandId, ControlState,
-    FenceDecision, Message, PlanPartitioner, ProtocolConfig, RebalancePlan, RehomedCommand,
-    Replica, ResponseBody, ShardEnvelope, ShardMessage, ShardOutput, Stamp,
+    Envelope, FenceDecision, Message, PlanPartitioner, ProtocolConfig, RebalancePlan,
+    RehomedCommand, Replica, ResponseBody, ShardEnvelope, ShardMessage, ShardOutput, Stamp,
 };
 use quorum::{EpochPartitioner, HashPartitioner, Partitioner, ShardId};
 
@@ -124,6 +124,12 @@ pub(crate) struct Router<K: EngineKey, V: EngineValue> {
     queued_target: Option<u32>,
     fanouts: BTreeMap<CommandId, Fanout<K>>,
     deferred: Vec<Deferred<K, V>>,
+    /// Persistent scratch for [`Router::flush_control_outbox`]: the drained
+    /// control envelopes and the wrapped batch handed to the outbound sink.
+    /// Both keep their capacity across flushes, so a steady-state flush
+    /// allocates nothing.
+    control_scratch: Vec<Envelope<ControlState>>,
+    control_outbox: Vec<ShardEnvelope<LatticeMap<K, V>>>,
     workers: Vec<WorkerHandle<K, V>>,
     shared: Arc<NodeShared<K, V>>,
     outbound: Arc<dyn Outbound<K, V>>,
@@ -157,6 +163,8 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
             queued_target: None,
             fanouts: BTreeMap::new(),
             deferred: Vec::new(),
+            control_scratch: Vec::new(),
+            control_outbox: Vec::new(),
             workers: Vec::new(),
             shared,
             outbound,
@@ -240,22 +248,21 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
     }
 
     /// Ships the control replica's outbox (plan agreement traffic), batched
-    /// per destination like the worker outboxes.
+    /// per destination like the worker outboxes. Drains through persistent
+    /// scratch vectors — no per-flush allocation once their capacity is warm.
     fn flush_control_outbox(&mut self) {
-        let mut outbox: Vec<_> = self
-            .control
-            .take_outbox()
-            .into_iter()
-            .map(|envelope| ShardEnvelope {
-                from: envelope.from,
-                to: envelope.to,
-                message: ShardMessage::Control { message: envelope.message },
-            })
-            .collect();
-        if !outbox.is_empty() {
-            outbox.sort_by_key(|envelope| envelope.to);
-            self.outbound.send_batch(&mut outbox);
+        self.control.drain_outbox_into(&mut self.control_scratch);
+        if self.control_scratch.is_empty() {
+            return;
         }
+        self.control_outbox.extend(self.control_scratch.drain(..).map(|envelope| ShardEnvelope {
+            from: envelope.from,
+            to: envelope.to,
+            message: ShardMessage::Control { message: envelope.message },
+        }));
+        self.control_outbox.sort_by_key(|envelope| envelope.to);
+        self.outbound.send_batch(&mut self.control_outbox);
+        self.control_outbox.clear();
     }
 
     /// Handles one peer message — the same demux as

@@ -4,17 +4,20 @@
 //! persistent outbound connection per peer, dialed lazily and redialed (with
 //! backoff) whenever it drops — a peer restart heals without intervention.
 //!
-//! The write side coalesces: messages are encoded once into [`Bytes`] frames
-//! and queued per peer; the peer's writer task drains everything queued and
-//! flushes it as a single socket write (bounded by a batch-size threshold), so
-//! under load the syscall and wakeup cost is amortized over many messages
-//! while an idle mesh adds no latency. The read side mirrors this: the socket
-//! reads land directly in the frame decoder's buffer (no staging chunk), and
-//! complete frames travel to the consumer as refcounted [`Bytes`] views of
-//! that buffer — the inbound path writes each payload byte exactly once.
-//! [`TcpMesh::send_many`] lets callers with a ready batch encode it into one
-//! contiguous buffer up front, and [`TcpMesh::recv_frame`] exposes the raw
-//! frame views for allocation-free decoding via [`wire::from_bytes`].
+//! The write side coalesces: each peer owns a recycled [`FrameEncoder`] whose
+//! batch buffer cycles between the encoder and the writer task, so messages
+//! serialize straight into a resident allocation — no intermediate `Bytes` per
+//! frame, and zero allocations per batch once the cycle is warm. Encoded
+//! batches are queued per peer; the peer's writer task drains everything
+//! queued and flushes it as a single socket write (bounded by a batch-size
+//! threshold), so under load the syscall and wakeup cost is amortized over
+//! many messages while an idle mesh adds no latency. The read side mirrors
+//! this: the socket reads land directly in the frame decoder's buffer (no
+//! staging chunk), and complete frames travel to the consumer as refcounted
+//! [`Bytes`] views of that buffer — the inbound path writes each payload byte
+//! exactly once. [`TcpMesh::send_with`] exposes the raw encoder for callers
+//! that batch many frames per enqueue, and [`TcpMesh::recv_frame`] exposes the
+//! raw frame views for allocation-free decoding via [`wire::from_bytes`].
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -42,11 +45,21 @@ const READ_CHUNK: usize = 64 * 1024;
 const RECONNECT_BACKOFF_MIN: Duration = Duration::from_millis(10);
 const RECONNECT_BACKOFF_MAX: Duration = Duration::from_millis(200);
 
+/// Outbound state for one peer: the queue feeding its writer task, plus the
+/// recycled encoder whose batch buffers ping-pong through that queue. The
+/// encoder lock is held only across a synchronous encode — never an await —
+/// so a blocking mutex is cheaper than an async one here.
+#[derive(Debug)]
+struct PeerHandle {
+    tx: mpsc::UnboundedSender<Bytes>,
+    encoder: std::sync::Mutex<FrameEncoder>,
+}
+
 /// A TCP endpoint connected to every peer of the replica group.
 #[derive(Debug)]
 pub struct TcpMesh {
     id: PeerId,
-    peers: HashMap<PeerId, mpsc::UnboundedSender<Bytes>>,
+    peers: HashMap<PeerId, PeerHandle>,
     incoming: Mutex<mpsc::UnboundedReceiver<(PeerId, Bytes)>>,
     tasks: Vec<tokio::JoinHandle<()>>,
 }
@@ -87,7 +100,10 @@ impl TcpMesh {
                 continue;
             }
             let (tx, rx) = mpsc::unbounded_channel::<Bytes>();
-            outgoing.insert(peer, tx);
+            outgoing.insert(
+                peer,
+                PeerHandle { tx, encoder: std::sync::Mutex::new(FrameEncoder::new()) },
+            );
             tasks.push(tokio::spawn(write_loop(id, addr, rx)));
         }
 
@@ -99,8 +115,9 @@ impl TcpMesh {
         self.id
     }
 
-    /// Sends a message to `peer`: encoded once into an owned frame and queued
-    /// on the peer's writer, which coalesces it with whatever else is pending.
+    /// Sends a message to `peer`: encoded once into the peer's recycled batch
+    /// buffer and queued on the peer's writer, which coalesces it with
+    /// whatever else is pending.
     ///
     /// # Errors
     ///
@@ -110,9 +127,7 @@ impl TcpMesh {
         peer: PeerId,
         message: &M,
     ) -> Result<(), TransportError> {
-        let mut encoder = FrameEncoder::new();
-        encoder.encode(message)?;
-        self.enqueue(peer, encoder.take())
+        self.send_with(peer, |encoder| encoder.encode(message))
     }
 
     /// Sends a batch of messages to `peer`, encoded back-to-back into one
@@ -130,16 +145,44 @@ impl TcpMesh {
         if messages.is_empty() {
             return Ok(());
         }
-        let mut encoder = FrameEncoder::new();
-        for message in messages {
-            encoder.encode(message)?;
-        }
-        self.enqueue(peer, encoder.take())
+        self.send_with(peer, |encoder| {
+            for message in messages {
+                encoder.encode(message)?;
+            }
+            Ok(())
+        })
     }
 
-    fn enqueue(&self, peer: PeerId, frames: Bytes) -> Result<(), TransportError> {
-        let sender = self.peers.get(&peer).ok_or(TransportError::UnknownPeer(peer))?;
-        sender.send(frames).map_err(|_| TransportError::Closed)
+    /// Encodes directly into `peer`'s recycled batch buffer and enqueues the
+    /// result as one contiguous write. `fill` may encode any number of frames
+    /// via [`FrameEncoder::encode`]; this is the mesh's allocation-free
+    /// outbound primitive — synchronous (enqueueing never blocks), so worker
+    /// threads outside the runtime can call it too.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the peer is unknown, `fill` fails (the batch is
+    /// rolled back — nothing is sent, and the encoder stays clean for the
+    /// next call), or the mesh has shut down.
+    pub fn send_with(
+        &self,
+        peer: PeerId,
+        fill: impl FnOnce(&mut FrameEncoder) -> wire::Result<()>,
+    ) -> Result<(), TransportError> {
+        let handle = self.peers.get(&peer).ok_or(TransportError::UnknownPeer(peer))?;
+        let batch = {
+            let mut encoder = handle.encoder.lock().expect("encoder lock poisoned");
+            let start = encoder.len();
+            if let Err(err) = fill(&mut encoder) {
+                encoder.truncate(start);
+                return Err(err.into());
+            }
+            if encoder.is_empty() {
+                return Ok(());
+            }
+            encoder.take()
+        };
+        handle.tx.send(batch).map_err(|_| TransportError::Closed)
     }
 
     /// Receives the next `(sender, message)` pair.
@@ -332,6 +375,41 @@ mod tests {
             assert_eq!(from, 0);
             assert_eq!(hello.text, format!("m{i}"));
         }
+    }
+
+    #[tokio::test]
+    async fn send_with_rolls_back_failed_batches() {
+        // A value the wire format cannot encode: sequence of unknown length.
+        struct Unsized;
+        impl Serialize for Unsized {
+            fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                use serde::ser::SerializeSeq;
+                let mut seq = serializer.serialize_seq(None)?;
+                seq.serialize_element(&1u8)?;
+                seq.end()
+            }
+        }
+
+        let addr_a = "127.0.0.1:39028";
+        let addr_b = "127.0.0.1:39029";
+        let mesh_a = TcpMesh::bind(0, addr_a, &[(1u64, addr_b.to_string())]).await.unwrap();
+        let mesh_b = TcpMesh::bind(1, addr_b, &[(0u64, addr_a.to_string())]).await.unwrap();
+
+        // The first frame encodes fine but the batch fails part-way: nothing
+        // from the poisoned batch may reach the peer.
+        let err = mesh_a
+            .send_with(1, |encoder| {
+                encoder.encode(&Hello { text: "poisoned".into() })?;
+                encoder.encode(&Unsized)?;
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Codec(_)));
+
+        mesh_a.send(1, &Hello { text: "clean".into() }).await.unwrap();
+        let (from, hello): (u64, Hello) = mesh_b.recv().await.unwrap();
+        assert_eq!(from, 0);
+        assert_eq!(hello.text, "clean");
     }
 
     #[tokio::test]

@@ -3,6 +3,7 @@
 use serde::ser::{self, Serialize};
 
 use crate::error::{Error, Result};
+use crate::sink::Sink;
 use crate::varint;
 
 /// Serializes `value` into a freshly allocated byte vector.
@@ -34,22 +35,34 @@ pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
 ///
 /// Same error conditions as [`to_vec`].
 pub fn to_writer<T: Serialize + ?Sized>(value: &T, out: &mut Vec<u8>) -> Result<()> {
+    to_sink(value, out)
+}
+
+/// Serializes `value`, appending the encoded bytes to any [`Sink`] — a
+/// `Vec<u8>` or a `bytes::BytesMut` batch buffer. The latter is the outbound
+/// hot path: [`crate::framing::FrameEncoder`] serializes frames straight into
+/// its recycled batch allocation through this entry point.
+///
+/// # Errors
+///
+/// Same error conditions as [`to_vec`].
+pub fn to_sink<T: Serialize + ?Sized, S: Sink>(value: &T, out: &mut S) -> Result<()> {
     let mut serializer = Serializer { out };
     value.serialize(&mut serializer)
 }
 
-/// Streaming serializer writing into a borrowed byte vector.
+/// Streaming serializer writing into a borrowed byte buffer.
 ///
 /// Most callers should use [`to_vec`] or [`to_writer`]; the type is public so that
 /// higher layers (e.g. the framing codec) can reuse buffers.
 #[derive(Debug)]
-pub struct Serializer<'a> {
-    out: &'a mut Vec<u8>,
+pub struct Serializer<'a, S: Sink = Vec<u8>> {
+    out: &'a mut S,
 }
 
-impl<'a> Serializer<'a> {
+impl<'a, S: Sink> Serializer<'a, S> {
     /// Creates a serializer that appends to `out`.
-    pub fn new(out: &'a mut Vec<u8>) -> Self {
+    pub fn new(out: &'a mut S) -> Self {
         Serializer { out }
     }
 
@@ -58,20 +71,20 @@ impl<'a> Serializer<'a> {
     }
 }
 
-impl<'a, 'b> ser::Serializer for &'a mut Serializer<'b> {
+impl<'a, 'b, S: Sink> ser::Serializer for &'a mut Serializer<'b, S> {
     type Ok = ();
     type Error = Error;
 
-    type SerializeSeq = Compound<'a, 'b>;
-    type SerializeTuple = Compound<'a, 'b>;
-    type SerializeTupleStruct = Compound<'a, 'b>;
-    type SerializeTupleVariant = Compound<'a, 'b>;
-    type SerializeMap = Compound<'a, 'b>;
-    type SerializeStruct = Compound<'a, 'b>;
-    type SerializeStructVariant = Compound<'a, 'b>;
+    type SerializeSeq = Compound<'a, 'b, S>;
+    type SerializeTuple = Compound<'a, 'b, S>;
+    type SerializeTupleStruct = Compound<'a, 'b, S>;
+    type SerializeTupleVariant = Compound<'a, 'b, S>;
+    type SerializeMap = Compound<'a, 'b, S>;
+    type SerializeStruct = Compound<'a, 'b, S>;
+    type SerializeStructVariant = Compound<'a, 'b, S>;
 
     fn serialize_bool(self, v: bool) -> Result<()> {
-        self.out.push(u8::from(v));
+        self.out.put_byte(u8::from(v));
         Ok(())
     }
 
@@ -120,12 +133,12 @@ impl<'a, 'b> ser::Serializer for &'a mut Serializer<'b> {
     }
 
     fn serialize_f32(self, v: f32) -> Result<()> {
-        self.out.extend_from_slice(&v.to_le_bytes());
+        self.out.put_slice(&v.to_le_bytes());
         Ok(())
     }
 
     fn serialize_f64(self, v: f64) -> Result<()> {
-        self.out.extend_from_slice(&v.to_le_bytes());
+        self.out.put_slice(&v.to_le_bytes());
         Ok(())
     }
 
@@ -135,23 +148,23 @@ impl<'a, 'b> ser::Serializer for &'a mut Serializer<'b> {
 
     fn serialize_str(self, v: &str) -> Result<()> {
         self.write_len(v.len());
-        self.out.extend_from_slice(v.as_bytes());
+        self.out.put_slice(v.as_bytes());
         Ok(())
     }
 
     fn serialize_bytes(self, v: &[u8]) -> Result<()> {
         self.write_len(v.len());
-        self.out.extend_from_slice(v);
+        self.out.put_slice(v);
         Ok(())
     }
 
     fn serialize_none(self) -> Result<()> {
-        self.out.push(0);
+        self.out.put_byte(0);
         Ok(())
     }
 
     fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
-        self.out.push(1);
+        self.out.put_byte(1);
         value.serialize(self)
     }
 
@@ -248,11 +261,11 @@ impl<'a, 'b> ser::Serializer for &'a mut Serializer<'b> {
 
 /// Helper used for all compound serialization flavours (sequences, maps, structs…).
 #[derive(Debug)]
-pub struct Compound<'a, 'b> {
-    ser: &'a mut Serializer<'b>,
+pub struct Compound<'a, 'b, S: Sink = Vec<u8>> {
+    ser: &'a mut Serializer<'b, S>,
 }
 
-impl<'a, 'b> ser::SerializeSeq for Compound<'a, 'b> {
+impl<'a, 'b, S: Sink> ser::SerializeSeq for Compound<'a, 'b, S> {
     type Ok = ();
     type Error = Error;
 
@@ -265,7 +278,7 @@ impl<'a, 'b> ser::SerializeSeq for Compound<'a, 'b> {
     }
 }
 
-impl<'a, 'b> ser::SerializeTuple for Compound<'a, 'b> {
+impl<'a, 'b, S: Sink> ser::SerializeTuple for Compound<'a, 'b, S> {
     type Ok = ();
     type Error = Error;
 
@@ -278,7 +291,7 @@ impl<'a, 'b> ser::SerializeTuple for Compound<'a, 'b> {
     }
 }
 
-impl<'a, 'b> ser::SerializeTupleStruct for Compound<'a, 'b> {
+impl<'a, 'b, S: Sink> ser::SerializeTupleStruct for Compound<'a, 'b, S> {
     type Ok = ();
     type Error = Error;
 
@@ -291,7 +304,7 @@ impl<'a, 'b> ser::SerializeTupleStruct for Compound<'a, 'b> {
     }
 }
 
-impl<'a, 'b> ser::SerializeTupleVariant for Compound<'a, 'b> {
+impl<'a, 'b, S: Sink> ser::SerializeTupleVariant for Compound<'a, 'b, S> {
     type Ok = ();
     type Error = Error;
 
@@ -304,7 +317,7 @@ impl<'a, 'b> ser::SerializeTupleVariant for Compound<'a, 'b> {
     }
 }
 
-impl<'a, 'b> ser::SerializeMap for Compound<'a, 'b> {
+impl<'a, 'b, S: Sink> ser::SerializeMap for Compound<'a, 'b, S> {
     type Ok = ();
     type Error = Error;
 
@@ -321,7 +334,7 @@ impl<'a, 'b> ser::SerializeMap for Compound<'a, 'b> {
     }
 }
 
-impl<'a, 'b> ser::SerializeStruct for Compound<'a, 'b> {
+impl<'a, 'b, S: Sink> ser::SerializeStruct for Compound<'a, 'b, S> {
     type Ok = ();
     type Error = Error;
 
@@ -338,7 +351,7 @@ impl<'a, 'b> ser::SerializeStruct for Compound<'a, 'b> {
     }
 }
 
-impl<'a, 'b> ser::SerializeStructVariant for Compound<'a, 'b> {
+impl<'a, 'b, S: Sink> ser::SerializeStructVariant for Compound<'a, 'b, S> {
     type Ok = ();
     type Error = Error;
 

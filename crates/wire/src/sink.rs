@@ -1,0 +1,59 @@
+//! The byte sink abstraction the serializer writes through.
+//!
+//! The wire format is append-only, so the serializer needs exactly two
+//! operations from its output buffer: push one byte, push a slice. Abstracting
+//! them lets the same serializer fill a plain `Vec<u8>` (owned encodes,
+//! [`crate::to_vec`] / [`crate::to_writer`]) or a [`bytes::BytesMut`] batch
+//! buffer ([`crate::framing::FrameEncoder`]) — the latter is what makes the
+//! outbound hot path allocation-free: frames are serialized straight into the
+//! recycled per-peer batch allocation, with no intermediate vector per frame.
+
+use bytes::BytesMut;
+
+/// An append-only byte buffer the serializer can write into.
+pub trait Sink {
+    /// Appends one byte.
+    fn put_byte(&mut self, byte: u8);
+
+    /// Appends a slice of bytes.
+    fn put_slice(&mut self, bytes: &[u8]);
+}
+
+impl Sink for Vec<u8> {
+    fn put_byte(&mut self, byte: u8) {
+        self.push(byte);
+    }
+
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+impl Sink for BytesMut {
+    fn put_byte(&mut self, byte: u8) {
+        self.extend_from_slice(&[byte]);
+    }
+
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(sink: &mut impl Sink) {
+        sink.put_byte(0xab);
+        sink.put_slice(b"tail");
+    }
+
+    #[test]
+    fn vec_and_bytes_mut_sinks_agree() {
+        let mut vec = Vec::new();
+        let mut buf = BytesMut::new();
+        fill(&mut vec);
+        fill(&mut buf);
+        assert_eq!(vec.as_slice(), &buf[..]);
+    }
+}

@@ -5,6 +5,7 @@
 //! zig-zag mapped to unsigned integers first so that small negative numbers stay small.
 
 use crate::error::{Error, Result};
+use crate::sink::Sink;
 
 /// Maximum number of bytes a `u64` varint may occupy.
 pub const MAX_VARINT64_LEN: usize = 10;
@@ -12,14 +13,14 @@ pub const MAX_VARINT64_LEN: usize = 10;
 pub const MAX_VARINT128_LEN: usize = 19;
 
 /// Appends `value` to `out` as an unsigned LEB128 varint.
-pub fn encode_u64(mut value: u64, out: &mut Vec<u8>) {
+pub fn encode_u64<S: Sink>(mut value: u64, out: &mut S) {
     loop {
         let mut byte = (value & 0x7f) as u8;
         value >>= 7;
         if value != 0 {
             byte |= 0x80;
         }
-        out.push(byte);
+        out.put_byte(byte);
         if value == 0 {
             break;
         }
@@ -27,14 +28,14 @@ pub fn encode_u64(mut value: u64, out: &mut Vec<u8>) {
 }
 
 /// Appends `value` to `out` as an unsigned LEB128 varint (128-bit variant).
-pub fn encode_u128(mut value: u128, out: &mut Vec<u8>) {
+pub fn encode_u128<S: Sink>(mut value: u128, out: &mut S) {
     loop {
         let mut byte = (value & 0x7f) as u8;
         value >>= 7;
         if value != 0 {
             byte |= 0x80;
         }
-        out.push(byte);
+        out.put_byte(byte);
         if value == 0 {
             break;
         }
@@ -42,12 +43,12 @@ pub fn encode_u128(mut value: u128, out: &mut Vec<u8>) {
 }
 
 /// Appends `value` to `out` using zig-zag + LEB128 encoding.
-pub fn encode_i64(value: i64, out: &mut Vec<u8>) {
+pub fn encode_i64<S: Sink>(value: i64, out: &mut S) {
     encode_u64(zigzag_encode_64(value), out);
 }
 
 /// Appends `value` to `out` using zig-zag + LEB128 encoding (128-bit variant).
-pub fn encode_i128(value: i128, out: &mut Vec<u8>) {
+pub fn encode_i128<S: Sink>(value: i128, out: &mut S) {
     encode_u128(zigzag_encode_128(value), out);
 }
 

@@ -3,8 +3,10 @@
 //!
 //! Each replica is an `engine::EngineNode` — a router thread plus one OS thread
 //! per shard core — bridged to a `transport::tcp::TcpMesh`: an `Outbound` adapter
-//! forwards every envelope the engine produces to an async sender task, and a
-//! receiver task feeds incoming frames back through `NodeIngress::deliver`. The
+//! serializes every envelope the engine produces straight into the destination
+//! peer's recycled batch buffer (`TcpMesh::send_with`, no intermediate task),
+//! and a receiver task feeds incoming frames back through
+//! `NodeIngress::deliver_frame`. The
 //! transports are message-agnostic, so the shard-multiplexed `ShardMessage` —
 //! protocol traffic, control-shard traffic, and rebalance plans alike — crosses
 //! the sockets as ordinary `wire` frames. A client writes counters under
@@ -23,29 +25,44 @@ use crdt_paxos::crdt::{
     CounterQuery, CounterUpdate, GCounter, LatticeMap, MapOutput, MapQuery, MapUpdate, ReplicaId,
 };
 use crdt_paxos::engine::{EngineNode, Outbound};
-use crdt_paxos::protocol::{
-    ClientId, Command, ProtocolConfig, ResponseBody, ShardEnvelope, ShardMessage,
-};
+use crdt_paxos::protocol::{ClientId, Command, ProtocolConfig, ResponseBody, ShardEnvelope};
 use crdt_paxos::transport::tcp::TcpMesh;
-use tokio::sync::mpsc;
 
 type KvMap = LatticeMap<String, GCounter>;
 
-/// Bridges the engine's synchronous outbound hot path to the async TCP mesh:
-/// a lock-free enqueue here, the actual socket write on a tokio task. Whole
-/// outbox drains cross the channel as one batch, so each worker cycle costs
-/// one enqueue and the mesh sees per-peer runs it can ship as single writes.
+/// Bridges the engine's synchronous outbound hot path to the TCP mesh without
+/// leaving the worker thread: batches arrive sorted by destination, and each
+/// same-peer run is serialized directly into that peer's recycled
+/// `send_with` batch buffer — one contiguous wire batch per peer per engine
+/// cycle, no dispatcher task, no owned envelopes crossing a channel.
 struct TcpOutbound {
-    tx: mpsc::UnboundedSender<Vec<ShardEnvelope<KvMap>>>,
+    mesh: Arc<TcpMesh>,
 }
 
 impl Outbound<String, GCounter> for TcpOutbound {
     fn send(&self, envelope: ShardEnvelope<KvMap>) {
-        let _ = self.tx.send(vec![envelope]);
+        let (to, message) = envelope.into_parts();
+        let _ = self.mesh.send_with(to.as_u64(), |encoder| encoder.encode(&message));
     }
 
     fn send_batch(&self, envelopes: &mut Vec<ShardEnvelope<KvMap>>) {
-        let _ = self.tx.send(std::mem::take(envelopes));
+        let mut index = 0;
+        while index < envelopes.len() {
+            let peer = envelopes[index].to;
+            let mut end = index + 1;
+            while end < envelopes.len() && envelopes[end].to == peer {
+                end += 1;
+            }
+            let run = &envelopes[index..end];
+            let _ = self.mesh.send_with(peer.as_u64(), |encoder| {
+                for envelope in run {
+                    encoder.encode(&envelope.message)?;
+                }
+                Ok(())
+            });
+            index = end;
+        }
+        envelopes.clear();
     }
 }
 
@@ -60,41 +77,13 @@ async fn start_replica(
     let mesh = Arc::new(TcpMesh::bind(id, &listen, &addrs).await.expect("bind replica endpoint"));
 
     let members: Vec<ReplicaId> = addrs.iter().map(|(peer, _)| ReplicaId::new(*peer)).collect();
-    let (tx, mut rx) = mpsc::unbounded_channel();
     let node = EngineNode::start(
         ReplicaId::new(id),
         members,
         shards,
         ProtocolConfig::default(),
-        Arc::new(TcpOutbound { tx }),
+        Arc::new(TcpOutbound { mesh: Arc::clone(&mesh) }),
     );
-
-    // Engine -> sockets: drain outbox batches onto the mesh. Batches arrive
-    // sorted by destination, so consecutive same-peer envelopes become one
-    // `send_many` — one contiguous wire batch per peer per engine cycle.
-    let sender_mesh = Arc::clone(&mesh);
-    tokio::spawn(async move {
-        let mut run: Vec<ShardMessage<KvMap>> = Vec::new();
-        while let Some(batch) = rx.recv().await {
-            let mut run_peer = None;
-            for envelope in batch {
-                debug_assert_eq!(envelope.from.as_u64(), id);
-                let (to, message) = envelope.into_parts();
-                if run_peer != Some(to.as_u64()) {
-                    if let Some(peer) = run_peer {
-                        let _ = sender_mesh.send_many(peer, &run).await;
-                        run.clear();
-                    }
-                    run_peer = Some(to.as_u64());
-                }
-                run.push(message);
-            }
-            if let Some(peer) = run_peer {
-                let _ = sender_mesh.send_many(peer, &run).await;
-                run.clear();
-            }
-        }
-    });
 
     // Sockets -> engine: every received frame goes straight onto the router's
     // ingress mailbox (a lock-free enqueue — safe from an async task), still

@@ -82,6 +82,31 @@ impl Bytes {
         Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
     }
 
+    /// Returns `true` if this is the only handle on the underlying allocation
+    /// (no other `Bytes` or `BytesMut` aliases it) — upstream
+    /// `Bytes::is_unique`. A unique buffer can be reclaimed for reuse via
+    /// [`Bytes::try_into_mut`] without copying.
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+
+    /// Converts back into a [`BytesMut`] without copying if this is the sole
+    /// handle on the allocation; returns `self` unchanged otherwise (upstream
+    /// `Bytes::try_into_mut`). This is the reclaim half of the zero-allocation
+    /// encode cycle: a spent batch buffer whose socket writer has dropped its
+    /// view surrenders its allocation to the next batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when other views still share the allocation.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        if self.is_unique() {
+            Ok(BytesMut { data: self.data, start: self.start, end: self.end })
+        } else {
+            Err(self)
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
@@ -497,6 +522,32 @@ mod tests {
         buf.tail_mut(4)[..2].copy_from_slice(b"de");
         buf.advance_tail(2);
         assert_eq!(&buf[..], b"abcde");
+    }
+
+    #[test]
+    fn try_into_mut_reclaims_unique_buffers_without_copying() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(b"batch-one");
+        let frozen = buf.freeze();
+        let base = frozen.as_ref().as_ptr();
+        assert!(frozen.is_unique());
+        let mut reclaimed = frozen.try_into_mut().expect("sole owner reclaims");
+        assert_eq!(&reclaimed[..], b"batch-one");
+        reclaimed.clear();
+        reclaimed.put_slice(b"batch-two");
+        assert_eq!(reclaimed.as_ref().as_ptr(), base, "reclaim reuses the allocation in place");
+    }
+
+    #[test]
+    fn try_into_mut_refuses_while_views_are_live() {
+        let frozen = Bytes::from(&b"shared"[..]);
+        let alias = frozen.clone();
+        assert!(!frozen.is_unique());
+        let back = frozen.try_into_mut().expect_err("aliased buffer cannot be reclaimed");
+        assert_eq!(&back[..], b"shared");
+        drop(alias);
+        assert!(back.is_unique());
+        assert!(back.try_into_mut().is_ok());
     }
 
     #[test]
