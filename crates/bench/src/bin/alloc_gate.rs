@@ -39,6 +39,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use bytes::Bytes;
 use crdt::{DeltaCrdt, GCounter, LatticeMap, ReplicaId};
 use crdt_paxos_core::{Message, Payload, ProtocolConfig, Replica, RequestId, ShardMessage};
+use obs::{Counter, HighWater, Stage, StageSet, Stopwatch, TraceConfig, TraceRing};
 use quorum::ShardId;
 use wire::framing::{FrameDecoder, FrameEncoder};
 
@@ -293,7 +294,7 @@ fn main() {
     // surrenders the outbox vector every call — the one allocation per round
     // PR 9 eliminated.
     let mut acceptor =
-        Replica::new(ReplicaId::new(1), members, Kv::default(), ProtocolConfig::default());
+        Replica::new(ReplicaId::new(1), members.clone(), Kv::default(), ProtocolConfig::default());
     let mut scratch: ShardMessage<Kv> = ShardMessage::PlanRequest;
     cases.push(run_case("protocol_round_take", warmup, iterations, || {
         wire::from_bytes_in_place(&delta, &mut scratch).expect("decode");
@@ -302,6 +303,70 @@ fn main() {
         }
         let outbox = acceptor.take_outbox();
         std::hint::black_box(&outbox);
+    }));
+
+    // PR 10's claim: the observability instruments cost the hot paths no
+    // allocations either. The same framing loop and acceptor round as above,
+    // but with the full recording surface live per iteration — stage
+    // histograms behind stopwatches, queue-depth high-water marks, park
+    // counters, and a sampled trace-ring write — all gated at zero.
+    let stages = StageSet::new();
+    let parks = Counter::new();
+    let depth = HighWater::new();
+    let ring = TraceRing::new(TraceConfig::sampled(16, 1024));
+    let mut framed = Vec::new();
+    framed.extend_from_slice(&u32::try_from(delta.len()).unwrap().to_le_bytes());
+    framed.extend_from_slice(&delta);
+    let mut decoder = FrameDecoder::default();
+    let mut scratch: ShardMessage<Kv> = ShardMessage::PlanRequest;
+    let mut command = 0u64;
+    cases.push(run_case("frame_loop_observed", warmup, iterations, || {
+        let buf = decoder.read_buf(framed.len());
+        buf[..framed.len()].copy_from_slice(&framed);
+        decoder.commit(framed.len());
+        let view = decoder.decode_next_view().expect("frame").expect("complete frame");
+        let watch = Stopwatch::start();
+        wire::from_bytes_in_place(&view, &mut scratch).expect("decode");
+        stages.record(Stage::Decode, watch.elapsed_nanos());
+        depth.observe(1);
+        ring.record(command, Stage::Decode, watch.elapsed_nanos());
+        command += 1;
+        std::hint::black_box(&scratch);
+    }));
+
+    let mut acceptor =
+        Replica::new(ReplicaId::new(1), members, Kv::default(), ProtocolConfig::default());
+    let mut scratch: ShardMessage<Kv> = ShardMessage::PlanRequest;
+    let mut outbox = Vec::new();
+    let mut reply_encoder = FrameEncoder::new();
+    let mut command = 0u64;
+    cases.push(run_case("protocol_round_observed", warmup, iterations, || {
+        let decode = Stopwatch::start();
+        wire::from_bytes_in_place(&delta, &mut scratch).expect("decode");
+        stages.record(Stage::Decode, decode.elapsed_nanos());
+        if let ShardMessage::Protocol { message, .. } = &mut scratch {
+            let step = Stopwatch::start();
+            acceptor.handle_message_mut(ReplicaId::new(0), message);
+            stages.record(Stage::ProtocolStep, step.elapsed_nanos());
+        }
+        acceptor.drain_outbox_into(&mut outbox);
+        depth.observe(outbox.len() as u64);
+        let encode = Stopwatch::start();
+        for envelope in outbox.drain(..) {
+            let reply = ShardMessage::Protocol {
+                epoch: 3,
+                shards: 8,
+                shard: ShardId(5),
+                message: envelope.message,
+            };
+            reply_encoder.encode(&reply).expect("encode reply");
+        }
+        let replies = reply_encoder.take();
+        stages.record(Stage::ReplyEncode, encode.elapsed_nanos());
+        ring.record(command, Stage::ProtocolStep, encode.elapsed_nanos());
+        parks.incr();
+        command += 1;
+        std::hint::black_box(&replies);
     }));
 
     println!("{:<24} {:>14} {:>14} {:>12}", "case", "allocs/frame", "bytes/frame", "allocs");
@@ -325,8 +390,10 @@ fn main() {
             let limit = match case.label {
                 "decode_in_place_delta"
                 | "frame_loop_delta"
+                | "frame_loop_observed"
                 | "encode_batch_recycled"
-                | "protocol_round_delta" => 0.0,
+                | "protocol_round_delta"
+                | "protocol_round_observed" => 0.0,
                 "decode_in_place_full" => FULL_BUDGET,
                 _ => continue,
             };
@@ -345,8 +412,8 @@ fn main() {
         println!();
         println!(
             "acceptance passed: delta decode, framing, recycled encode, and the full \
-             protocol round are allocation-free; full-state decode within budget \
-             ({FULL_BUDGET}/frame)"
+             protocol round are allocation-free — with observability recording enabled \
+             too; full-state decode within budget ({FULL_BUDGET}/frame)"
         );
     }
 }

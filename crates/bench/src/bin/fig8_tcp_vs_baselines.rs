@@ -45,6 +45,7 @@ use baselines::{
 use crdt::{CounterQuery, CounterUpdate, GCounter, LatticeMap, MapQuery, MapUpdate, ReplicaId};
 use crdt_paxos_core::{ClientId, Command, ProtocolConfig, ResponseBody, ShardEnvelope};
 use engine::{EngineNode, Outbound};
+use obs::{Histogram, HistogramSnapshot};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
@@ -543,8 +544,9 @@ struct TierResult {
     conns: usize,
     completed: u64,
     ops_per_sec: f64,
-    p50_us: u64,
-    p99_us: u64,
+    /// Real-clock request latency across every connection of the tier,
+    /// recorded lock-free into one shared [`obs::Histogram`].
+    latency: HistogramSnapshot,
     lost: u64,
     /// Of `lost`, how many never even established their TCP connection.
     no_connect: u64,
@@ -562,17 +564,19 @@ enum ConnOutcome {
     Died,
 }
 
-/// One closed-loop connection. Returns `(completed, latencies_us, duplicated,
-/// outcome)`.
+/// One closed-loop connection, recording each request's real-clock latency
+/// into the tier's shared histogram (an allocation-free atomic add, so four
+/// thousand concurrent recorders don't contend on a lock). Returns
+/// `(completed, duplicated, outcome)`.
 async fn client_conn(
     addr: String,
     client: u64,
     stop: Arc<AtomicBool>,
-) -> (u64, Vec<u64>, u64, ConnOutcome) {
-    let mut latencies = Vec::new();
+    latency: Arc<Histogram>,
+) -> (u64, u64, ConnOutcome) {
     let mut completed = 0u64;
     let Ok(mut stream) = TcpStream::connect(addr.as_str()).await else {
-        return (0, latencies, 0, ConnOutcome::NoConnect);
+        return (0, 0, ConnOutcome::NoConnect);
     };
     let mut decoder = FrameDecoder::default();
     let mut encoder = FrameEncoder::new();
@@ -587,18 +591,18 @@ async fn client_conn(
             };
             encoder.encode(&req).expect("requests encode");
             if stream.write_all(&encoder.take()).await.is_err() {
-                return (completed, latencies, 0, ConnOutcome::Died);
+                return (completed, 0, ConnOutcome::Died);
             }
             match read_frame::<ClientResp>(&mut stream, &mut decoder).await {
                 Ok(resp) if resp.retry => {
                     tokio::time::sleep(Duration::from_millis(2)).await;
                 }
                 Ok(_) => break,
-                Err(()) => return (completed, latencies, 0, ConnOutcome::Died),
+                Err(()) => return (completed, 0, ConnOutcome::Died),
             }
         }
         completed += 1;
-        latencies.push(started.elapsed().as_micros() as u64);
+        latency.record(started.elapsed().as_nanos() as u64);
         sequence = sequence.wrapping_add(1);
     }
     // A closed loop has nothing outstanding here: any decodable frame left
@@ -607,15 +611,7 @@ async fn client_conn(
     while let Ok(Some(_)) = decoder.next_frame() {
         duplicated += 1;
     }
-    (completed, latencies, duplicated, ConnOutcome::Clean)
-}
-
-fn percentile(sorted: &[u64], fraction: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let index = ((sorted.len() - 1) as f64 * fraction).round() as usize;
-    sorted[index]
+    (completed, duplicated, ConnOutcome::Clean)
 }
 
 /// Runs one connection tier against a running system and collects the report.
@@ -632,6 +628,7 @@ async fn run_tier(
     // baselines' leader takeover), which is a client-storm artifact, not a
     // property of any of the three systems under test.
     const SPAWN_WAVE: usize = 256;
+    let latency = Arc::new(Histogram::new());
     let mut handles = Vec::with_capacity(conns);
     for index in 0..conns {
         let addr = client_addrs[index % client_addrs.len()].clone();
@@ -639,6 +636,7 @@ async fn run_tier(
             addr,
             client_base + index as u64,
             Arc::clone(&stop),
+            Arc::clone(&latency),
         )));
         if (index + 1).is_multiple_of(SPAWN_WAVE) && index + 1 < conns {
             tokio::time::sleep(Duration::from_millis(25)).await;
@@ -654,7 +652,6 @@ async fn run_tier(
     let mut duplicated = 0u64;
     let mut lost = 0u64;
     let mut no_connect = 0u64;
-    let mut latencies = Vec::new();
     let deadline = Instant::now() + DRAIN_GRACE;
     for mut handle in handles {
         let remaining =
@@ -664,10 +661,9 @@ async fn run_tier(
             _ = tokio::time::sleep(remaining) => { None }
         };
         match joined {
-            Some(Ok((ops, lats, dups, outcome))) => {
+            Some(Ok((ops, dups, outcome))) => {
                 completed += ops;
                 duplicated += dups;
-                latencies.extend(lats);
                 if outcome != ConnOutcome::Clean {
                     lost += 1;
                 }
@@ -683,13 +679,11 @@ async fn run_tier(
             }
         }
     }
-    latencies.sort_unstable();
     TierResult {
         conns,
         completed,
         ops_per_sec: completed as f64 / elapsed.as_secs_f64(),
-        p50_us: percentile(&latencies, 0.50),
-        p99_us: percentile(&latencies, 0.99),
+        latency: latency.snapshot(),
         lost,
         no_connect,
         duplicated,
@@ -767,17 +761,18 @@ fn print_report(report: &SystemReport, window: Duration) {
         window.as_millis()
     );
     println!(
-        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>6} {:>4}",
-        "conns", "committed", "ops/s", "p50(us)", "p99(us)", "lost", "dup"
+        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>10} {:>6} {:>4}",
+        "conns", "committed", "ops/s", "p50(us)", "p99(us)", "p99.9(us)", "lost", "dup"
     );
     for tier in &report.tiers {
         println!(
-            "{:>8} {:>12} {:>12.0} {:>10} {:>10} {:>6} {:>4}",
+            "{:>8} {:>12} {:>12.0} {:>10.0} {:>10.0} {:>10.0} {:>6} {:>4}",
             tier.conns,
             tier.completed,
             tier.ops_per_sec,
-            tier.p50_us,
-            tier.p99_us,
+            tier.latency.p50() as f64 / 1_000.0,
+            tier.latency.p99() as f64 / 1_000.0,
+            tier.latency.p999() as f64 / 1_000.0,
             tier.lost,
             tier.duplicated,
         );

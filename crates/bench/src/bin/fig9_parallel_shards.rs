@@ -19,12 +19,13 @@
 //! segment is clean. The scaling criterion needs hardware parallelism: on
 //! fewer than 4 available cores `--check` prints a loud SKIP and exits 0.
 
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use crdt::{CounterQuery, CounterUpdate, GCounter, MapQuery, MapUpdate};
 use crdt_paxos_core::{ClientId, Command, ProtocolConfig};
 use engine::EngineCluster;
+use obs::{Histogram, HistogramSnapshot};
 
 /// Keys spread uniformly over the keyspace; enough that every shard owns some.
 const KEYS: u64 = 64;
@@ -35,6 +36,8 @@ struct RunResult {
     committed: u64,
     lost: u64,
     duplicated: u64,
+    /// Real-clock submit-to-response latency of every committed command.
+    latency: HistogramSnapshot,
 }
 
 /// Drives `cluster` through node 0 with a pipelined 50/50 update/read workload
@@ -48,7 +51,8 @@ fn drive(
 ) -> RunResult {
     let node = cluster.node(0);
     let client = ClientId(1);
-    let mut inflight: BTreeSet<_> = BTreeSet::new();
+    let latency = Histogram::new();
+    let mut inflight: BTreeMap<_, Instant> = BTreeMap::new();
     let mut committed = 0u64;
     let mut duplicated = 0u64;
     let mut sequence = 0u64;
@@ -69,10 +73,12 @@ fn drive(
                 Command::Query(MapQuery::Get { key, query: CounterQuery::Value })
             };
             sequence += 1;
-            inflight.insert(node.submit(client, command));
+            let submitted = Instant::now();
+            inflight.insert(node.submit(client, command), submitted);
         }
         if let Some(response) = node.wait_response(Duration::from_millis(1)) {
-            if inflight.remove(&response.command) {
+            if let Some(submitted) = inflight.remove(&response.command) {
+                latency.record(submitted.elapsed().as_nanos() as u64);
                 committed += 1;
             } else {
                 duplicated += 1;
@@ -83,12 +89,16 @@ fn drive(
     let grace = Instant::now() + Duration::from_secs(10);
     while !inflight.is_empty() && Instant::now() < grace {
         if let Some(response) = node.wait_response(Duration::from_millis(5)) {
-            if !inflight.remove(&response.command) {
-                duplicated += 1;
+            match inflight.remove(&response.command) {
+                Some(submitted) => {
+                    latency.record(submitted.elapsed().as_nanos() as u64);
+                    committed += 1;
+                }
+                None => duplicated += 1,
             }
         }
     }
-    RunResult { committed, lost: inflight.len() as u64, duplicated }
+    RunResult { committed, lost: inflight.len() as u64, duplicated, latency: latency.snapshot() }
 }
 
 fn main() {
@@ -103,8 +113,8 @@ fn main() {
         duration.as_millis()
     );
     println!(
-        "{:>10} {:>12} {:>12} {:>9} {:>6} {:>4}",
-        "shards", "committed", "ops/s", "speedup", "lost", "dup"
+        "{:>10} {:>12} {:>12} {:>9} {:>9} {:>9} {:>10} {:>6} {:>4}",
+        "shards", "committed", "ops/s", "speedup", "p50(us)", "p99(us)", "p99.9(us)", "lost", "dup"
     );
 
     let mut baseline_ops = 0u64;
@@ -121,11 +131,14 @@ fn main() {
             four_shard_ratio = ratio;
         }
         println!(
-            "{:>10} {:>12} {:>12.0} {:>8.2}x {:>6} {:>4}",
+            "{:>10} {:>12} {:>12.0} {:>8.2}x {:>9.1} {:>9.1} {:>10.1} {:>6} {:>4}",
             shards,
             result.committed,
             result.committed as f64 / duration.as_secs_f64(),
             ratio,
+            result.latency.p50() as f64 / 1_000.0,
+            result.latency.p99() as f64 / 1_000.0,
+            result.latency.p999() as f64 / 1_000.0,
             result.lost,
             result.duplicated,
         );

@@ -345,8 +345,10 @@ impl SimNode for ShardedKvNode {
                         );
                     }
                     ShardMessage::Control { message } => {
-                        let kind = format!("CTRL:{}", message.kind());
-                        self.inner.record_control_wire_bytes(&kind, self.scratch.len() as u64);
+                        self.inner.record_control_wire_bytes(
+                            message.ctrl_wire_kind(),
+                            self.scratch.len() as u64,
+                        );
                     }
                     ShardMessage::Rebalance { .. } => {
                         self.inner

@@ -24,16 +24,20 @@ pub struct KindBytes {
 /// The replica itself is sans-io and never encodes anything; drivers that do encode
 /// (the simulator adapter, the TCP runtime) report sizes via
 /// [`crate::Replica::record_wire_bytes`], and this record aggregates them.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WireMetrics {
-    /// Per-kind message counts and byte totals.
-    pub per_kind: BTreeMap<String, KindBytes>,
+    /// Per-kind message counts and byte totals, keyed by the `&'static str`
+    /// kinds [`crate::Message::wire_kind`] provides — recording never
+    /// allocates a key.
+    pub per_kind: BTreeMap<&'static str, KindBytes>,
 }
 
 impl WireMetrics {
-    /// Records one encoded message of the given kind.
-    pub fn record(&mut self, kind: &str, bytes: u64) {
-        let entry = self.per_kind.entry(kind.to_string()).or_default();
+    /// Records one encoded message of the given kind. The key is borrowed
+    /// for `'static` (see [`crate::Message::wire_kind`]), so this is a map
+    /// update with no string allocation per message.
+    pub fn record(&mut self, kind: &'static str, bytes: u64) {
+        let entry = self.per_kind.entry(kind).or_default();
         entry.messages += 1;
         entry.bytes += bytes;
     }
@@ -62,7 +66,7 @@ impl WireMetrics {
     }
 
     fn matching<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a KindBytes> + 'a {
-        self.per_kind.iter().filter_map(move |(key, entry)| {
+        self.per_kind.iter().filter_map(move |(&key, entry)| {
             let matches = key == kind
                 || (key.len() > kind.len()
                     && key.starts_with(kind)
@@ -83,8 +87,8 @@ impl WireMetrics {
 
     /// Merges another record into this one (used to aggregate across replicas).
     pub fn merge(&mut self, other: &WireMetrics) {
-        for (kind, counts) in &other.per_kind {
-            let entry = self.per_kind.entry(kind.clone()).or_default();
+        for (&kind, counts) in &other.per_kind {
+            let entry = self.per_kind.entry(kind).or_default();
             entry.messages += counts.messages;
             entry.bytes += counts.bytes;
         }
@@ -92,7 +96,7 @@ impl WireMetrics {
 }
 
 /// Counters collected by one replica's proposer role.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Completed update commands.
     pub updates_completed: u64,

@@ -223,6 +223,21 @@ impl<C: Crdt + DeltaCrdt> Message<C> {
         }
     }
 
+    /// The byte-accounting key for control-shard traffic: [`Message::kind`]
+    /// with a `CTRL:` prefix, as a static string so accounting never
+    /// allocates per message.
+    pub fn ctrl_wire_kind(&self) -> &'static str {
+        match self {
+            Message::Merge { .. } => "CTRL:MERGE",
+            Message::MergeAck { .. } => "CTRL:MERGED",
+            Message::Prepare { .. } => "CTRL:PREPARE",
+            Message::PrepareAck { .. } => "CTRL:ACK",
+            Message::Vote { .. } => "CTRL:VOTE",
+            Message::VoteAck { .. } => "CTRL:VOTED",
+            Message::Nack { .. } => "CTRL:NACK",
+        }
+    }
+
     /// The payload carried by a state-bearing message (request or reply), if any.
     pub fn payload(&self) -> Option<&Payload<C>> {
         match self {

@@ -467,7 +467,7 @@ impl<C: Crdt + DeltaCrdt> Replica<C> {
     /// The replica is sans-io and never encodes messages itself; drivers that do
     /// (the simulator adapter, the TCP runtime) report sizes here so they surface in
     /// [`Metrics::wire`].
-    pub fn record_wire_bytes(&mut self, kind: &str, bytes: u64) {
+    pub fn record_wire_bytes(&mut self, kind: &'static str, bytes: u64) {
         self.metrics.wire.record(kind, bytes);
     }
 

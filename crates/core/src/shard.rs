@@ -444,12 +444,12 @@ where
     }
 
     /// Records the encoded size of one outgoing message on its shard's metrics.
-    pub fn record_wire_bytes(&mut self, shard: ShardId, kind: &str, bytes: u64) {
+    pub fn record_wire_bytes(&mut self, shard: ShardId, kind: &'static str, bytes: u64) {
         self.shards[shard.as_usize()].record_wire_bytes(kind, bytes);
     }
 
     /// Records the encoded size of one outgoing control or rebalance message.
-    pub fn record_control_wire_bytes(&mut self, kind: &str, bytes: u64) {
+    pub fn record_control_wire_bytes(&mut self, kind: &'static str, bytes: u64) {
         self.control.record_wire_bytes(kind, bytes);
     }
 

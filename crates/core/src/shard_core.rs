@@ -189,7 +189,7 @@ where
     }
 
     /// Records the encoded size of one outgoing message (wire accounting).
-    pub fn record_wire_bytes(&mut self, kind: &str, bytes: u64) {
+    pub fn record_wire_bytes(&mut self, kind: &'static str, bytes: u64) {
         self.replica.record_wire_bytes(kind, bytes);
     }
 

@@ -51,6 +51,7 @@ pub mod mailbox;
 mod mesh;
 mod node;
 mod router;
+mod telemetry;
 mod worker;
 
 pub use mesh::{LocalMesh, Outbound};

@@ -2,7 +2,7 @@
 //! control, and transport bridging.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -11,9 +11,12 @@ use crdt::{LatticeMap, ReplicaId};
 use crdt_paxos_core::{ClientId, ClientResponse, Command, CommandId, ProtocolConfig, ShardMessage};
 use crossbeam::queue::SegQueue;
 
+use obs::{ObsRegistry, ObsSnapshot, TraceConfig, TraceEvent, TraceRing};
+
 use crate::mailbox::{BoundedMailbox, Mailbox, Signal};
 use crate::mesh::Outbound;
 use crate::router::{Router, RouterRequest};
+use crate::telemetry::now_nanos;
 use crate::worker::WorkerFeedback;
 use crate::{EngineKey, EngineValue};
 
@@ -60,10 +63,25 @@ pub(crate) struct NodeShared<K: EngineKey, V: EngineValue> {
     pub rebalance_idle: AtomicBool,
     /// Set by [`EngineNode::shutdown`]; the router joins its workers and exits.
     pub shutdown: AtomicBool,
+    /// The node's time base: every observability timestamp (queue stamps,
+    /// trace events, the cores' tick clock) is relative to this instant.
+    pub start: Instant,
+    /// Where the router and every worker file their instruments.
+    pub obs: Arc<ObsRegistry>,
+    /// Trace sampling configuration inherited by every trace ring.
+    pub trace: TraceConfig,
+    /// Every trace ring spawned under this node (router first, then workers),
+    /// collected so [`EngineNode::trace_events`] can snapshot them. Pushed
+    /// only at thread spawn — never touched on the hot path.
+    pub rings: Mutex<Vec<Arc<TraceRing>>>,
 }
 
 impl<K: EngineKey, V: EngineValue> NodeShared<K, V> {
     pub(crate) fn new(shards: u32) -> Arc<Self> {
+        Self::new_observed(shards, TraceConfig::disabled())
+    }
+
+    pub(crate) fn new_observed(shards: u32, trace: TraceConfig) -> Arc<Self> {
         let router_signal = Arc::new(Signal::new());
         Arc::new(NodeShared {
             ingress: Mailbox::new(Arc::clone(&router_signal)),
@@ -77,6 +95,10 @@ impl<K: EngineKey, V: EngineValue> NodeShared<K, V> {
             shards: AtomicU32::new(shards),
             rebalance_idle: AtomicBool::new(true),
             shutdown: AtomicBool::new(false),
+            start: Instant::now(),
+            obs: Arc::new(ObsRegistry::new()),
+            trace,
+            rings: Mutex::new(Vec::new()),
         })
     }
 }
@@ -147,6 +169,23 @@ impl<K: EngineKey, V: EngineValue> EngineNode<K, V> {
         Self::start_with_shared(id, members, shards, config, shared, outbound)
     }
 
+    /// Like [`EngineNode::start`], but with trace sampling enabled: one in
+    /// `trace.sample` commands logs a compact event at every instrumentation
+    /// station it passes, into preallocated per-thread rings readable via
+    /// [`EngineNode::trace_events`]. Stage histograms and runtime counters
+    /// are always on regardless — recording them is allocation-free.
+    pub fn start_observed(
+        id: ReplicaId,
+        members: Vec<ReplicaId>,
+        shards: u32,
+        config: ProtocolConfig,
+        outbound: Arc<dyn Outbound<K, V>>,
+        trace: TraceConfig,
+    ) -> Self {
+        let shared = NodeShared::new_observed(shards, trace);
+        Self::start_with_shared(id, members, shards, config, shared, outbound)
+    }
+
     pub(crate) fn start_with_shared(
         id: ReplicaId,
         members: Vec<ReplicaId>,
@@ -156,11 +195,11 @@ impl<K: EngineKey, V: EngineValue> EngineNode<K, V> {
         outbound: Arc<dyn Outbound<K, V>>,
     ) -> Self {
         let router_shared = Arc::clone(&shared);
+        let start = shared.start;
         let router = std::thread::Builder::new()
             .name(format!("router-{}", id.as_u64()))
             .spawn(move || {
-                Router::new(id, members, shards, config, router_shared, outbound, Instant::now())
-                    .run();
+                Router::new(id, members, shards, config, router_shared, outbound, start).run();
             })
             .expect("spawn router");
         EngineNode { id, shared, router: Some(router) }
@@ -180,8 +219,41 @@ impl<K: EngineKey, V: EngineValue> EngineNode<K, V> {
     /// full (backpressure). Returns the id the response will carry.
     pub fn submit(&self, client: ClientId, command: Command<LatticeMap<K, V>>) -> CommandId {
         let outer = CommandId(self.shared.next_command.fetch_add(1, Ordering::Relaxed));
-        self.shared.requests.push(RouterRequest::Submit { client, outer, command });
+        let queued_at = now_nanos(self.shared.start);
+        self.shared.requests.push(RouterRequest::Submit { client, outer, command, queued_at });
         outer
+    }
+
+    /// The registry the node's threads file their instruments into. Transport
+    /// bridges register their own stats here so one snapshot covers the whole
+    /// node.
+    pub fn obs(&self) -> Arc<ObsRegistry> {
+        Arc::clone(&self.shared.obs)
+    }
+
+    /// An aggregated point-in-time view of every instrument: per-stage
+    /// latency histograms (merged across the router and all workers), runtime
+    /// counters, and queue-depth high-water marks.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        self.shared.obs.snapshot()
+    }
+
+    /// The node's instruments as Prometheus-style text exposition.
+    pub fn obs_prometheus(&self) -> String {
+        self.obs_snapshot().to_prometheus()
+    }
+
+    /// Drains a stable copy of every trace ring's sampled events (empty
+    /// unless the node was started with tracing via
+    /// [`EngineNode::start_observed`]). Feed the result to
+    /// [`obs::assemble_timelines`] to reconstruct per-command timelines.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        let rings = self.shared.rings.lock().expect("trace ring list poisoned");
+        for ring in rings.iter() {
+            ring.snapshot_into(&mut events);
+        }
+        events
     }
 
     /// Initiates a rebalance of the whole cluster to `target` shards,

@@ -40,8 +40,11 @@ use crdt_paxos_core::{
 };
 use quorum::{EpochPartitioner, HashPartitioner, Partitioner, ShardId};
 
+use obs::{Stage, Stopwatch};
+
 use crate::mesh::Outbound;
 use crate::node::{IngressItem, NodeShared};
+use crate::telemetry::{now_nanos, RouterObs, WorkerObs};
 use crate::worker::{spawn_worker, WorkerFeedback, WorkerHandle, WorkerInput, PARK};
 use crate::{EngineKey, EngineValue};
 
@@ -80,6 +83,10 @@ pub enum RouterRequest<K: EngineKey, V: EngineValue> {
         outer: CommandId,
         /// The command to route.
         command: Command<LatticeMap<K, V>>,
+        /// When the handle queued the request (nanoseconds on the node's
+        /// observability time base); the router's dequeue time minus this is
+        /// the submit-queue dwell.
+        queued_at: u64,
     },
     /// Coordinate a rebalance of the cluster to `target` shards.
     Rebalance {
@@ -134,6 +141,7 @@ pub(crate) struct Router<K: EngineKey, V: EngineValue> {
     shared: Arc<NodeShared<K, V>>,
     outbound: Arc<dyn Outbound<K, V>>,
     start: Instant,
+    obs: RouterObs,
 }
 
 impl<K: EngineKey, V: EngineValue> Router<K, V> {
@@ -152,6 +160,8 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
     ) -> Self {
         assert!(shards > 0, "a keyspace needs at least one shard");
         let control = Replica::new(id, members.clone(), ControlState::default(), config.clone());
+        let obs = RouterObs::new(&shared.obs, shared.trace);
+        shared.rings.lock().expect("trace ring list poisoned").push(Arc::clone(&obs.ring));
         let mut router = Router {
             id,
             members,
@@ -169,6 +179,7 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
             shared,
             outbound,
             start,
+            obs,
         };
         for shard in 0..shards {
             router.spawn_shard(ShardId(shard));
@@ -177,6 +188,12 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
     }
 
     fn spawn_shard(&mut self, shard: ShardId) {
+        let worker_obs = WorkerObs::new(&self.shared.obs, self.shared.trace);
+        self.shared
+            .rings
+            .lock()
+            .expect("trace ring list poisoned")
+            .push(Arc::clone(&worker_obs.ring));
         let handle = spawn_worker(
             shard,
             self.id,
@@ -186,6 +203,7 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
             Arc::clone(&self.shared.feedback),
             Arc::clone(&self.outbound),
             self.start,
+            worker_obs,
         );
         self.workers.push(handle);
     }
@@ -206,29 +224,44 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
         self.start.elapsed().as_millis() as u64
     }
 
+    fn now_nanos(&self) -> u64 {
+        now_nanos(self.start)
+    }
+
     pub(crate) fn run(mut self) {
         let mut ingress = Vec::new();
         let mut requests = Vec::new();
         let mut feedback = Vec::new();
         while !self.shared.shutdown.load(Ordering::Acquire) {
             let mut busy = 0;
-            busy += self.shared.ingress.drain_into(&mut ingress);
+            let drained = self.shared.ingress.drain_into(&mut ingress);
+            self.obs.ingress_depth.observe(drained as u64);
+            busy += drained;
             for item in ingress.drain(..) {
+                let station = Stopwatch::start();
                 match item {
                     IngressItem::Message(from, message) => self.handle_message(from, message),
                     IngressItem::Frame(from, frame) => self.handle_frame(from, frame),
                 }
+                self.obs.stages.record(Stage::RouterIngress, station.elapsed_nanos());
             }
-            busy += self.shared.requests.drain_into(&mut requests);
+            let drained = self.shared.requests.drain_into(&mut requests);
+            self.obs.submit_depth.observe(drained as u64);
+            busy += drained;
             for request in requests.drain(..) {
                 match request {
-                    RouterRequest::Submit { client, outer, command } => {
+                    RouterRequest::Submit { client, outer, command, queued_at } => {
+                        let now = self.now_nanos();
+                        self.obs.stages.record(Stage::SubmitQueue, now.saturating_sub(queued_at));
+                        self.obs.ring.record(outer.0, Stage::SubmitQueue, now);
                         self.submit(client, outer, command);
                     }
                     RouterRequest::Rebalance { target } => self.begin_rebalance(target),
                 }
             }
-            busy += self.shared.feedback.drain_into(&mut feedback);
+            let drained = self.shared.feedback.drain_into(&mut feedback);
+            self.obs.feedback_depth.observe(drained as u64);
+            busy += drained;
             for item in feedback.drain(..) {
                 self.handle_feedback(item);
             }
@@ -236,6 +269,7 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
             self.poll_control();
             self.flush_control_outbox();
             if busy == 0 {
+                self.obs.parks.incr();
                 self.shared.router_signal.wait_timeout(PARK);
             }
         }
@@ -305,7 +339,11 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
         if let Some((stamp, shard)) = peek_protocol(&frame) {
             if matches!(fence_decision(self.stamp(), stamp), FenceDecision::Process) {
                 if shard.as_usize() < self.active() {
-                    self.workers[shard.as_usize()].mailbox.push(WorkerInput::Frame { from, frame });
+                    self.workers[shard.as_usize()].mailbox.push(WorkerInput::Frame {
+                        from,
+                        frame,
+                        at: self.now_nanos(),
+                    });
                 }
                 return;
             }
@@ -345,9 +383,11 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
             }
             FenceDecision::Process => {
                 if shard.as_usize() < self.active() {
-                    self.workers[shard.as_usize()]
-                        .mailbox
-                        .push(WorkerInput::Peer { from, message });
+                    self.workers[shard.as_usize()].mailbox.push(WorkerInput::Peer {
+                        from,
+                        message,
+                        at: self.now_nanos(),
+                    });
                 }
             }
         }
@@ -388,7 +428,13 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
             Command::Query(_) => unreachable!("keyspace-wide queries are tracked as fan-outs"),
         };
         let owner = self.partitioner.shard_of(&key).as_usize();
-        self.workers[owner].mailbox.push(WorkerInput::Submit { client, outer, key, command });
+        self.workers[owner].mailbox.push(WorkerInput::Submit {
+            client,
+            outer,
+            key,
+            command,
+            at: self.now_nanos(),
+        });
     }
 
     fn launch_fanout_legs(&mut self, outer: CommandId, client: ClientId) {
@@ -632,9 +678,11 @@ impl<K: EngineKey, V: EngineValue> Router<K, V> {
             match message_stamp.cmp(&installed) {
                 std::cmp::Ordering::Equal => {
                     if shard.as_usize() < new_active {
-                        self.workers[shard.as_usize()]
-                            .mailbox
-                            .push(WorkerInput::Peer { from, message });
+                        self.workers[shard.as_usize()].mailbox.push(WorkerInput::Peer {
+                            from,
+                            message,
+                            at: self.now_nanos(),
+                        });
                     }
                 }
                 std::cmp::Ordering::Greater => {

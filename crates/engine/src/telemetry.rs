@@ -1,0 +1,85 @@
+//! Engine-side observability wiring: the per-thread instrument bundles the
+//! router and workers record into.
+//!
+//! Each thread owns its bundle outright — recording is an array index plus a
+//! relaxed atomic on preallocated memory, never a shared lock. The bundles
+//! clone their instruments into the node's [`ObsRegistry`] at construction
+//! time (engine startup or shard spawn, both off the hot path), where
+//! same-named instruments from different threads are merged at snapshot time.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use obs::{Counter, HighWater, ObsRegistry, StageSet, TraceConfig, TraceRing};
+
+/// Nanoseconds since the node's start instant — the shared time base for
+/// every queue-dwell measurement and trace timestamp.
+pub(crate) fn now_nanos(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The router thread's instruments.
+pub(crate) struct RouterObs {
+    /// Stage histograms: the router records `SubmitQueue` and `RouterIngress`.
+    pub stages: StageSet,
+    /// How often the router parked for lack of work.
+    pub parks: Arc<Counter>,
+    /// Largest ingress batch drained in one pump cycle.
+    pub ingress_depth: Arc<HighWater>,
+    /// Largest client-submission batch drained in one pump cycle.
+    pub submit_depth: Arc<HighWater>,
+    /// Largest worker-feedback batch drained in one pump cycle.
+    pub feedback_depth: Arc<HighWater>,
+    /// The router's trace ring (client commands log `SubmitQueue` here).
+    pub ring: Arc<TraceRing>,
+}
+
+impl RouterObs {
+    /// Builds the bundle and files every instrument into `registry`.
+    pub fn new(registry: &ObsRegistry, trace: TraceConfig) -> Self {
+        let stages = StageSet::new();
+        stages.register_into(registry);
+        let parks = Arc::new(Counter::new());
+        registry.register_counter("router_parks", Arc::clone(&parks));
+        let ingress_depth = Arc::new(HighWater::new());
+        registry.register_highwater("router_ingress_depth", Arc::clone(&ingress_depth));
+        let submit_depth = Arc::new(HighWater::new());
+        registry.register_highwater("submit_queue_depth", Arc::clone(&submit_depth));
+        let feedback_depth = Arc::new(HighWater::new());
+        registry.register_highwater("router_feedback_depth", Arc::clone(&feedback_depth));
+        RouterObs {
+            stages,
+            parks,
+            ingress_depth,
+            submit_depth,
+            feedback_depth,
+            ring: Arc::new(TraceRing::new(trace)),
+        }
+    }
+}
+
+/// One shard worker's instruments.
+pub(crate) struct WorkerObs {
+    /// Stage histograms: workers record `MailboxDwell`, `Decode`,
+    /// `ProtocolStep`, `QuorumWait`, and `ReplyEncode`.
+    pub stages: StageSet,
+    /// How often the worker parked for lack of work.
+    pub parks: Arc<Counter>,
+    /// Largest mailbox batch drained in one pump cycle.
+    pub mailbox_depth: Arc<HighWater>,
+    /// The worker's trace ring (client commands log dwell/step/learn here).
+    pub ring: Arc<TraceRing>,
+}
+
+impl WorkerObs {
+    /// Builds the bundle and files every instrument into `registry`.
+    pub fn new(registry: &ObsRegistry, trace: TraceConfig) -> Self {
+        let stages = StageSet::new();
+        stages.register_into(registry);
+        let parks = Arc::new(Counter::new());
+        registry.register_counter("worker_parks", Arc::clone(&parks));
+        let mailbox_depth = Arc::new(HighWater::new());
+        registry.register_highwater("worker_mailbox_depth", Arc::clone(&mailbox_depth));
+        WorkerObs { stages, parks, mailbox_depth, ring: Arc::new(TraceRing::new(trace)) }
+    }
+}

@@ -22,8 +22,11 @@ use crdt_paxos_core::{
 };
 use quorum::{HashPartitioner, Partitioner, ShardId};
 
+use obs::{Stage, Stopwatch};
+
 use crate::mailbox::{Mailbox, Signal};
 use crate::mesh::Outbound;
+use crate::telemetry::{now_nanos, WorkerObs};
 use crate::{EngineKey, EngineValue};
 
 /// How long an idle worker parks before ticking its core again. Retransmission
@@ -37,14 +40,20 @@ pub(crate) const PARK: Duration = Duration::from_millis(1);
 /// [`WorkerInput::Install`] before any traffic of the new assignment.
 pub(crate) enum WorkerInput<K: EngineKey, V: EngineValue> {
     /// One fenced protocol message from a peer's same-shard instance.
-    Peer { from: ReplicaId, message: Message<LatticeMap<K, V>> },
+    Peer { from: ReplicaId, message: Message<LatticeMap<K, V>>, at: u64 },
     /// One fenced protocol message still in its encoded wire frame. The router
     /// has already peeked the stamp and applied the fence; the worker decodes
     /// the body in place into its long-lived scratch message, so steady-state
     /// delta frames reach the core without allocating.
-    Frame { from: ReplicaId, frame: Bytes },
+    Frame { from: ReplicaId, frame: Bytes, at: u64 },
     /// A routed single-key client command.
-    Submit { client: ClientId, outer: CommandId, key: K, command: Command<LatticeMap<K, V>> },
+    Submit {
+        client: ClientId,
+        outer: CommandId,
+        key: K,
+        command: Command<LatticeMap<K, V>>,
+        at: u64,
+    },
     /// One leg of a keyspace-wide fan-out.
     FanoutLeg { client: ClientId, outer: CommandId },
     /// A rebalance cutover: extract handoff sub-states (when `extract`),
@@ -88,6 +97,7 @@ pub(crate) fn spawn_worker<K: EngineKey, V: EngineValue>(
     feedback: Arc<Mailbox<WorkerFeedback<K, V>>>,
     outbound: Arc<dyn Outbound<K, V>>,
     start: Instant,
+    obs: WorkerObs,
 ) -> WorkerHandle<K, V> {
     let signal = Arc::new(Signal::new());
     let mailbox = Arc::new(Mailbox::new(Arc::clone(&signal)));
@@ -96,13 +106,14 @@ pub(crate) fn spawn_worker<K: EngineKey, V: EngineValue>(
         .name(format!("shard-{}-{}", id.as_u64(), shard.as_u32()))
         .spawn(move || {
             let core = ShardCore::new(shard, id, members, config);
-            run(core, stamp, inbox, signal, feedback, outbound, start);
+            run(core, stamp, inbox, signal, feedback, outbound, start, obs);
         })
         .expect("spawn shard worker");
     WorkerHandle { mailbox, join }
 }
 
 /// The worker pump. Exits on [`WorkerInput::Shutdown`].
+#[allow(clippy::too_many_arguments)]
 fn run<K: EngineKey, V: EngineValue>(
     mut core: ShardCore<K, V>,
     mut stamp: Stamp,
@@ -111,34 +122,61 @@ fn run<K: EngineKey, V: EngineValue>(
     feedback: Arc<Mailbox<WorkerFeedback<K, V>>>,
     outbound: Arc<dyn Outbound<K, V>>,
     start: Instant,
+    obs: WorkerObs,
 ) {
     let mut inputs = Vec::new();
     let mut outbox = Vec::new();
     let mut outputs = Vec::new();
+    // Commands whose proposal this worker opened and has not yet seen learned:
+    // `(outer id, open timestamp)`, feeding the quorum-wait histogram. The
+    // vector stays warm at the steady-state in-flight window, so pushes stop
+    // allocating after warm-up; entries are reclaimed by the response drain
+    // (or wholesale at a cutover, which cancels in-flight work).
+    let mut pending: Vec<(CommandId, u64)> = Vec::new();
     // Decode target reused across frames: after the first frame of a kind,
     // in-place decode rewrites the resident variant field by field, reusing
     // its payload's map nodes and value allocations instead of building fresh
     // ones (`wire::from_bytes_in_place`).
     let mut scratch: ShardMessage<LatticeMap<K, V>> = ShardMessage::PlanRequest;
     loop {
-        inbox.drain_into(&mut inputs);
+        let drained = inbox.drain_into(&mut inputs);
+        obs.mailbox_depth.observe(drained as u64);
         let had_inputs = !inputs.is_empty();
+        // One dwell reference per pump cycle: everything drained together has
+        // been waiting at least until now, and one clock read per batch keeps
+        // the per-input overhead to the histogram's atomic add.
+        let now = if had_inputs { now_nanos(start) } else { 0 };
         for input in inputs.drain(..) {
             match input {
-                WorkerInput::Peer { from, message } => core.handle_message(from, message),
-                WorkerInput::Frame { from, frame } => {
+                WorkerInput::Peer { from, message, at } => {
+                    obs.stages.record(Stage::MailboxDwell, now.saturating_sub(at));
+                    let step = Stopwatch::start();
+                    core.handle_message(from, message);
+                    obs.stages.record(Stage::ProtocolStep, step.elapsed_nanos());
+                }
+                WorkerInput::Frame { from, frame, at } => {
+                    obs.stages.record(Stage::MailboxDwell, now.saturating_sub(at));
                     // Decode failures drop the frame (the protocol tolerates
                     // losses); a non-Protocol variant cannot pass the router's
                     // peek, so the else branch is unreachable for frames that
                     // decoded at all.
+                    let decode = Stopwatch::start();
                     if wire::from_bytes_in_place(&frame, &mut scratch).is_ok() {
+                        obs.stages.record(Stage::Decode, decode.elapsed_nanos());
                         if let ShardMessage::Protocol { message, .. } = &mut scratch {
+                            let step = Stopwatch::start();
                             core.handle_message_mut(from, message);
+                            obs.stages.record(Stage::ProtocolStep, step.elapsed_nanos());
                         }
                     }
                 }
-                WorkerInput::Submit { client, outer, key, command } => {
+                WorkerInput::Submit { client, outer, key, command, at } => {
+                    obs.stages.record(Stage::MailboxDwell, now.saturating_sub(at));
+                    obs.ring.record(outer.0, Stage::MailboxDwell, now);
+                    let step = Stopwatch::start();
                     core.submit_single(client, outer, key, command);
+                    obs.stages.record(Stage::ProtocolStep, step.elapsed_nanos());
+                    pending.push((outer, now_nanos(start)));
                 }
                 WorkerInput::FanoutLeg { client, outer } => core.submit_fanout_leg(client, outer),
                 WorkerInput::Install { stamp: new_stamp, partitioner, extract } => {
@@ -157,6 +195,9 @@ fn run<K: EngineKey, V: EngineValue>(
                     let rehome = core.cancel_and_rehome();
                     core.purge_fanout_legs();
                     stamp = new_stamp;
+                    // In-flight proposals were cancelled; re-homed commands
+                    // restart their quorum wait at their new owner.
+                    pending.clear();
                     feedback.push(WorkerFeedback::Rehomed { moves, rehome });
                 }
                 WorkerInput::Absorb { sub, rehomed } => {
@@ -174,14 +215,26 @@ fn run<K: EngineKey, V: EngineValue>(
             // Group by destination (stable: per-peer order is preserved) so
             // the mesh ships one batch per peer for this whole cycle.
             outbox.sort_by_key(|envelope| envelope.to);
+            let encode = Stopwatch::start();
             outbound.send_batch(&mut outbox);
+            obs.stages.record(Stage::ReplyEncode, encode.elapsed_nanos());
         }
         core.drain_outputs(&mut outputs);
         let had_outputs = !outputs.is_empty();
         for output in outputs.drain(..) {
+            if let ShardOutput::Response(response) = &output {
+                if let Some(slot) = pending.iter().position(|&(outer, _)| outer == response.command)
+                {
+                    let (_, opened) = pending.swap_remove(slot);
+                    let learned = now_nanos(start);
+                    obs.stages.record(Stage::QuorumWait, learned.saturating_sub(opened));
+                    obs.ring.record(response.command.0, Stage::QuorumWait, learned);
+                }
+            }
             feedback.push(WorkerFeedback::Output { stamp, output });
         }
         if !had_inputs && !had_outputs {
+            obs.parks.incr();
             signal.wait_timeout(PARK);
         }
     }

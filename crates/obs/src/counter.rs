@@ -1,0 +1,80 @@
+//! Monotonic counters and high-water marks.
+//!
+//! Both are single relaxed atomics: incrementing a counter or observing a
+//! queue depth from the hot path costs one `fetch_add`/`fetch_max` on
+//! preallocated memory — no locks, no allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter (epoll wakeups, reconnect
+/// attempts, worker parks, ...).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Tracks the largest value ever observed (mailbox depth high-water marks).
+#[derive(Debug, Default)]
+pub struct HighWater {
+    value: AtomicU64,
+}
+
+impl HighWater {
+    /// Creates a mark at zero.
+    pub fn new() -> Self {
+        HighWater::default()
+    }
+
+    /// Raises the mark to `n` if `n` is larger.
+    pub fn observe(&self, n: u64) {
+        self.value.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Largest value observed so far.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn high_water_keeps_max() {
+        let hw = HighWater::new();
+        hw.observe(7);
+        hw.observe(3);
+        assert_eq!(hw.get(), 7);
+    }
+}

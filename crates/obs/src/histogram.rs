@@ -1,0 +1,350 @@
+//! Fixed-size log-bucketed latency histogram and monotonic stopwatch.
+//!
+//! The histogram is HDR-style: values below [`LINEAR_LIMIT`] get one bucket
+//! each (exact), and every power-of-two range above it is split into
+//! [`SUB_COUNT`] sub-buckets, bounding the relative error of any percentile
+//! at `1 / SUB_COUNT` (about 3.1 %). The bucket array is a fixed
+//! `[AtomicU64; 1216]` (~9.7 KiB), so recording never allocates, and every
+//! operation — record, merge, snapshot — works through `&self` with relaxed
+//! atomics, so histograms are shared across threads without a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of sub-buckets per power-of-two range, as a power of two.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per power-of-two range (32 → ≤ 3.1 % relative error).
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Values below this are recorded exactly, one bucket per value.
+const LINEAR_LIMIT: u64 = 2 * SUB_COUNT;
+/// Total bucket count for values up to [`Histogram::MAX_VALUE`].
+const BUCKETS: usize = 1216;
+
+/// A fixed-memory, lock-free, allocation-free latency histogram.
+///
+/// Designed for nanosecond latencies: exact below 64 ns, ≤ 3.1 % relative
+/// error up to [`Histogram::MAX_VALUE`] (~73 minutes). Larger values are
+/// clamped into the top bucket and counted in `saturated` so silent
+/// truncation is impossible to miss.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    saturated: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("max", &self.max.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Largest value recorded without saturating: `2^42 - 1` nanoseconds,
+    /// roughly 73 minutes.
+    pub const MAX_VALUE: u64 = (1 << 42) - 1;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            saturated: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a value already clamped to [`Self::MAX_VALUE`].
+    fn index(value: u64) -> usize {
+        if value < LINEAR_LIMIT {
+            value as usize
+        } else {
+            // msb ≥ 6 here, so shift ≥ 1 and value >> shift ∈ [32, 64).
+            let msb = 63 - value.leading_zeros();
+            let shift = msb - SUB_BITS;
+            let top = value >> shift;
+            (LINEAR_LIMIT + (shift as u64 - 1) * SUB_COUNT + (top - SUB_COUNT)) as usize
+        }
+    }
+
+    /// Inclusive upper bound of the values mapped to `index`.
+    fn bucket_upper(index: usize) -> u64 {
+        let index = index as u64;
+        if index < LINEAR_LIMIT {
+            index
+        } else {
+            let shift = (index - LINEAR_LIMIT) / SUB_COUNT + 1;
+            let top = SUB_COUNT + (index - LINEAR_LIMIT) % SUB_COUNT;
+            ((top + 1) << shift) - 1
+        }
+    }
+
+    /// Inclusive upper bound of the bucket `value` falls into — the largest
+    /// value the histogram cannot distinguish from `value`. Exposes the
+    /// quantization contract (≤ 3.1 % relative error) for tests and docs.
+    pub fn bucket_bound(value: u64) -> u64 {
+        Self::bucket_upper(Self::index(value.min(Self::MAX_VALUE)))
+    }
+
+    /// Records one value. Lock-free, allocation-free; values beyond
+    /// [`Self::MAX_VALUE`] land in the top bucket and bump the saturation
+    /// counter.
+    pub fn record(&self, value: u64) {
+        let clamped = if value > Self::MAX_VALUE {
+            self.saturated.fetch_add(1, Ordering::Relaxed);
+            Self::MAX_VALUE
+        } else {
+            value
+        };
+        self.buckets[Self::index(clamped)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Folds another histogram's contents into this one. Both sides may be
+    /// recorded into concurrently; the merge is a per-bucket atomic add.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.saturated.fetch_add(other.saturated.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes a point-in-time copy for percentile queries and exposition.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            saturated: self.saturated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], with percentile accessors.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+    saturated: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot, useful as a merge accumulator.
+    pub fn empty() -> Self {
+        HistogramSnapshot { buckets: vec![0; BUCKETS], count: 0, sum: 0, max: 0, saturated: 0 }
+    }
+
+    /// Folds `other` into this snapshot.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.saturated += other.saturated;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (unclamped).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (unclamped).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// How many recorded values exceeded [`Histogram::MAX_VALUE`] and were
+    /// clamped into the top bucket.
+    pub fn saturated(&self) -> u64 {
+        self.saturated
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded values, zero when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the nearest-rank element, so the result is within one
+    /// bucket's relative error (≤ 3.1 %) of the exact order statistic.
+    /// Returns zero when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Histogram::bucket_upper(index);
+            }
+        }
+        Histogram::bucket_upper(BUCKETS - 1)
+    }
+
+    /// Median (50th percentile).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+}
+
+/// Monotonic interval timer: wraps [`Instant`] so call sites read as
+/// measurement, not clock math. No allocation.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch { started: Instant::now() }
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`], saturating at `u64::MAX`.
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_linear_limit() {
+        let h = Histogram::new();
+        for v in 0..LINEAR_LIMIT {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), LINEAR_LIMIT);
+        assert_eq!(snap.percentile(1.0 / LINEAR_LIMIT as f64), 0);
+        assert_eq!(snap.max(), LINEAR_LIMIT - 1);
+    }
+
+    #[test]
+    fn index_and_upper_agree() {
+        // Every value maps to a bucket whose range contains it.
+        let mut probes = vec![0u64, 1, 63, 64, 65, 100, 1000, Histogram::MAX_VALUE];
+        let mut v = 64u64;
+        while v < Histogram::MAX_VALUE / 3 {
+            probes.push(v);
+            probes.push(v + v / 7 + 1);
+            v = v.saturating_mul(3);
+        }
+        for &p in &probes {
+            let idx = Histogram::index(p);
+            assert!(idx < BUCKETS, "index {idx} out of range for {p}");
+            let upper = Histogram::bucket_upper(idx);
+            assert!(upper >= p, "upper {upper} < value {p}");
+            if idx > 0 {
+                let prev_upper = Histogram::bucket_upper(idx - 1);
+                assert!(prev_upper < p, "value {p} fits in earlier bucket {idx}");
+            }
+        }
+        assert_eq!(Histogram::index(Histogram::MAX_VALUE), BUCKETS - 1);
+    }
+
+    #[test]
+    fn saturation_is_loud() {
+        let h = Histogram::new();
+        h.record(Histogram::MAX_VALUE);
+        h.record(Histogram::MAX_VALUE + 1);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 3);
+        assert_eq!(snap.saturated(), 2);
+        assert_eq!(snap.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_preserves_totals() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 10, 100, 1_000, 10_000] {
+            a.record(v);
+        }
+        for v in [5u64, 50, 500_000] {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.count(), 8);
+        assert_eq!(snap.sum(), 1 + 10 + 100 + 1_000 + 10_000 + 5 + 50 + 500_000);
+        assert_eq!(snap.max(), 500_000);
+    }
+
+    #[test]
+    fn percentiles_bracket_exact_values() {
+        let h = Histogram::new();
+        let values: Vec<u64> = (0..1000).map(|i| i * i + 17).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let reported = snap.percentile(q);
+            assert!(reported >= exact, "q={q}: {reported} < exact {exact}");
+            let bound = Histogram::bucket_upper(Histogram::index(exact));
+            assert!(reported <= bound, "q={q}: {reported} > bucket bound {bound}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # obs — allocation-free observability for the CRDT Paxos engine
+//!
+//! The paper's evaluation is entirely about *distributions* — latency
+//! percentiles and CDFs of round trips — so the engine needs a measurement
+//! substrate that can watch every command without perturbing the thing it
+//! measures. This crate provides that substrate under one hard rule:
+//!
+//! > **Zero allocations and no locks on the hot path.** Recording a latency,
+//! > bumping a counter, observing a queue depth, or appending a trace event
+//! > is a handful of relaxed atomic operations on preallocated memory. The
+//! > `alloc_gate` CI bin asserts the protocol-round and per-frame paths stay
+//! > at exactly zero allocations *with recording enabled*.
+//!
+//! Locks appear only on the cold paths: instrument registration (engine
+//! startup, shard spawn) and snapshot/exposition (an operator asking for
+//! numbers). Each worker and router thread owns its *own* set of instruments;
+//! nothing is shared under a lock at record time, and the registry merges
+//! same-named instruments when a snapshot is taken.
+//!
+//! ## Crate layout
+//!
+//! * [`Histogram`] — fixed-size log-bucketed latency histogram (HDR-style):
+//!   constant memory (~9.7 KiB), alloc-free lock-free [`Histogram::record`],
+//!   mergeable, with `p50/p90/p99/p999` read out of a [`HistogramSnapshot`].
+//!   Values beyond [`Histogram::MAX_VALUE`] land in the top bucket **and**
+//!   bump a loud [`HistogramSnapshot::saturated`] counter.
+//! * [`Stopwatch`] — monotonic interval timing on `std::time::Instant`.
+//! * [`Stage`], [`StageSet`] — the eight instrumentation stations a command
+//!   passes through (client submit queue → router ingress → mailbox dwell →
+//!   in-place decode → protocol step → quorum wait → reply encode → socket
+//!   write), each backed by its own histogram.
+//! * [`Counter`], [`HighWater`] — monotonic event counts (epoll wakeups,
+//!   reconnect attempts, worker parks) and high-water marks (mailbox depth).
+//! * [`TraceRing`] — opt-in sampled tracing: a preallocated per-worker ring
+//!   of compact `(command, stage, timestamp)` events written through a
+//!   seqlock, plus [`assemble_timelines`] to reconstruct per-command
+//!   timelines for the slowest commands after the fact.
+//! * [`ObsRegistry`] — where instruments are registered and snapshots taken;
+//!   [`ObsSnapshot::to_prometheus`] renders the whole registry as
+//!   Prometheus-style text exposition.
+//!
+//! ## Flow
+//!
+//! ```text
+//!   record (hot, per command)           snapshot (cold, on demand)
+//!   ─────────────────────────           ──────────────────────────
+//!   worker thread ──▶ StageSet ─┐
+//!   worker thread ──▶ StageSet ─┼──▶ ObsRegistry::snapshot()
+//!   router thread ──▶ StageSet ─┘        │  merge same-named instruments
+//!   any thread    ──▶ Counter ──────▶    ▼
+//!   any thread    ──▶ TraceRing ──▶  ObsSnapshot ──▶ to_prometheus()
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod histogram;
+mod registry;
+mod ring;
+mod stage;
+
+pub use counter::{Counter, HighWater};
+pub use histogram::{Histogram, HistogramSnapshot, Stopwatch};
+pub use registry::{ObsRegistry, ObsSnapshot};
+pub use ring::{assemble_timelines, Timeline, TraceConfig, TraceEvent, TraceRing};
+pub use stage::{Stage, StageSet};

@@ -1,0 +1,210 @@
+//! Instrument registry, aggregated snapshots, and Prometheus exposition.
+//!
+//! Registration and snapshotting are the *cold* side of the crate: a mutex
+//! guards the instrument lists, but it is taken only when an instrument is
+//! filed (engine startup, shard spawn) or when an operator asks for a
+//! snapshot — never on the record path. Several instruments may share one
+//! name (each worker registers its own `stage_*` histograms); the snapshot
+//! merges them into a single aggregate per name.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::counter::{Counter, HighWater};
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+#[derive(Default)]
+struct Inner {
+    histograms: Vec<(String, Arc<Histogram>)>,
+    counters: Vec<(String, Arc<Counter>)>,
+    highwaters: Vec<(String, Arc<HighWater>)>,
+}
+
+/// Where instruments live between creation and exposition.
+///
+/// Clone the `Arc`-wrapped instruments into the registry once, keep the
+/// originals on the hot path, and call [`ObsRegistry::snapshot`] whenever a
+/// consistent view is wanted.
+#[derive(Default)]
+pub struct ObsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl ObsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ObsRegistry::default()
+    }
+
+    /// Files a histogram under `name`. Same-named histograms are merged at
+    /// snapshot time.
+    pub fn register_histogram(&self, name: &str, histogram: Arc<Histogram>) {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        inner.histograms.push((name.to_string(), histogram));
+    }
+
+    /// Files a counter under `name`. Same-named counters are summed at
+    /// snapshot time.
+    pub fn register_counter(&self, name: &str, counter: Arc<Counter>) {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        inner.counters.push((name.to_string(), counter));
+    }
+
+    /// Files a high-water mark under `name`. Same-named marks take the max
+    /// at snapshot time.
+    pub fn register_highwater(&self, name: &str, highwater: Arc<HighWater>) {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        inner.highwaters.push((name.to_string(), highwater));
+    }
+
+    /// Takes an aggregated point-in-time view of every instrument.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let inner = self.inner.lock().expect("obs registry poisoned");
+        let mut histograms: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+        for (name, histogram) in &inner.histograms {
+            histograms
+                .entry(name.clone())
+                .or_insert_with(HistogramSnapshot::empty)
+                .merge(&histogram.snapshot());
+        }
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        for (name, counter) in &inner.counters {
+            *counters.entry(name.clone()).or_insert(0) += counter.get();
+        }
+        let mut highwaters: BTreeMap<String, u64> = BTreeMap::new();
+        for (name, highwater) in &inner.highwaters {
+            let entry = highwaters.entry(name.clone()).or_insert(0);
+            *entry = (*entry).max(highwater.get());
+        }
+        ObsSnapshot { histograms, counters, highwaters }
+    }
+}
+
+/// An aggregated point-in-time view of a registry: one entry per instrument
+/// name, same-named instruments already merged.
+#[derive(Clone, Debug, Default)]
+pub struct ObsSnapshot {
+    /// Merged histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Summed counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Max-combined high-water marks by name.
+    pub highwaters: BTreeMap<String, u64>,
+}
+
+impl ObsSnapshot {
+    /// The merged histogram filed under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// The summed counter filed under `name`, zero when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The combined high-water mark filed under `name`, zero when absent.
+    pub fn highwater(&self, name: &str) -> u64 {
+        self.highwaters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders the snapshot as Prometheus-style text exposition: histograms
+    /// as summaries with `quantile` labels plus `_sum`/`_count`/`_max`
+    /// (and `_saturated` when non-zero), counters as counters, high-water
+    /// marks as gauges. Metric names get a `crdt_paxos_` prefix and are
+    /// sanitized to `[a-zA-Z0-9_]`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, snap) in &self.histograms {
+            let metric = sanitize(name);
+            let _ = writeln!(out, "# TYPE crdt_paxos_{metric} summary");
+            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)] {
+                let _ = writeln!(
+                    out,
+                    "crdt_paxos_{metric}{{quantile=\"{label}\"}} {}",
+                    snap.percentile(q)
+                );
+            }
+            let _ = writeln!(out, "crdt_paxos_{metric}_sum {}", snap.sum());
+            let _ = writeln!(out, "crdt_paxos_{metric}_count {}", snap.count());
+            let _ = writeln!(out, "crdt_paxos_{metric}_max {}", snap.max());
+            if snap.saturated() != 0 {
+                let _ = writeln!(out, "crdt_paxos_{metric}_saturated {}", snap.saturated());
+            }
+        }
+        for (name, value) in &self.counters {
+            let metric = sanitize(name);
+            let _ = writeln!(out, "# TYPE crdt_paxos_{metric} counter");
+            let _ = writeln!(out, "crdt_paxos_{metric} {value}");
+        }
+        for (name, value) in &self.highwaters {
+            let metric = sanitize(name);
+            let _ = writeln!(out, "# TYPE crdt_paxos_{metric} gauge");
+            let _ = writeln!(out, "crdt_paxos_{metric} {value}");
+        }
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_named_histograms_merge() {
+        let registry = ObsRegistry::new();
+        let a = Arc::new(Histogram::new());
+        let b = Arc::new(Histogram::new());
+        a.record(100);
+        b.record(300);
+        registry.register_histogram("latency", Arc::clone(&a));
+        registry.register_histogram("latency", Arc::clone(&b));
+        let snap = registry.snapshot();
+        let merged = snap.histogram("latency").expect("registered");
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.max(), 300);
+    }
+
+    #[test]
+    fn counters_sum_and_highwaters_max() {
+        let registry = ObsRegistry::new();
+        let c1 = Arc::new(Counter::new());
+        let c2 = Arc::new(Counter::new());
+        c1.add(5);
+        c2.add(7);
+        registry.register_counter("parks", Arc::clone(&c1));
+        registry.register_counter("parks", Arc::clone(&c2));
+        let hw1 = Arc::new(HighWater::new());
+        let hw2 = Arc::new(HighWater::new());
+        hw1.observe(9);
+        hw2.observe(4);
+        registry.register_highwater("depth", Arc::clone(&hw1));
+        registry.register_highwater("depth", Arc::clone(&hw2));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("parks"), 12);
+        assert_eq!(snap.highwater("depth"), 9);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_contains_every_metric() {
+        let registry = ObsRegistry::new();
+        let h = Arc::new(Histogram::new());
+        h.record(1_000);
+        registry.register_histogram("stage_decode_nanos", h);
+        let c = Arc::new(Counter::new());
+        c.incr();
+        registry.register_counter("epoll wakeups", c);
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE crdt_paxos_stage_decode_nanos summary"));
+        assert!(text.contains("crdt_paxos_stage_decode_nanos{quantile=\"0.99\"}"));
+        assert!(text.contains("crdt_paxos_stage_decode_nanos_count 1"));
+        // Spaces in names are sanitized to underscores.
+        assert!(text.contains("crdt_paxos_epoll_wakeups 1"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Opt-in sampled trace ring and post-hoc timeline assembly.
+//!
+//! A [`TraceRing`] is a preallocated per-worker ring of compact
+//! `(command, stage, timestamp)` events. Recording is three relaxed atomic
+//! stores guarded by a per-slot seqlock sequence — no locks, no allocation —
+//! and sampling is decided from the command id (`command % sample == 0`) so
+//! either *every* stage of a command is captured or none are, which is what
+//! the timeline assembler needs. Snapshots tolerate concurrent writers by
+//! skipping slots whose sequence is unstable or odd.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::stage::Stage;
+
+/// Timestamps are packed into the low 56 bits of one word, leaving the top
+/// 8 bits for the stage. 2^56 ns is over two years of engine uptime.
+const TS_BITS: u32 = 56;
+const TS_MASK: u64 = (1 << TS_BITS) - 1;
+
+/// Configuration for trace sampling. The default is disabled: the ring
+/// holds no slots and `record` is a branch and a return.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Capture commands whose id is divisible by this; `0` disables tracing.
+    pub sample: u64,
+    /// Number of event slots in each ring.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::disabled()
+    }
+}
+
+impl TraceConfig {
+    /// Tracing off: zero slots, every `record` call is a cheap no-op.
+    pub fn disabled() -> Self {
+        TraceConfig { sample: 0, capacity: 0 }
+    }
+
+    /// Capture one in `sample` commands into a ring of `capacity` events.
+    pub fn sampled(sample: u64, capacity: usize) -> Self {
+        TraceConfig { sample, capacity }
+    }
+
+    /// True when this configuration captures anything at all.
+    pub fn enabled(&self) -> bool {
+        self.sample != 0 && self.capacity != 0
+    }
+}
+
+/// One captured `(command, stage, timestamp)` event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The engine-wide command id the event belongs to.
+    pub command: u64,
+    /// The station that logged the event.
+    pub stage: Stage,
+    /// Nanoseconds since the engine's start instant.
+    pub at_nanos: u64,
+}
+
+struct Slot {
+    /// Seqlock sequence: odd while a write is in flight, even when stable,
+    /// zero when the slot has never been written.
+    seq: AtomicU64,
+    command: AtomicU64,
+    packed: AtomicU64,
+}
+
+/// A preallocated ring of sampled trace events.
+///
+/// Intended use: one ring per worker/router thread (single writer), snapshot
+/// from any thread. Multiple concurrent writers would interleave slots but
+/// never corrupt them — a torn slot is detected by its sequence and skipped.
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    cursor: AtomicU64,
+    sample: u64,
+}
+
+impl TraceRing {
+    /// Builds a ring for `config`; a disabled config allocates no slots.
+    pub fn new(config: TraceConfig) -> Self {
+        let capacity = if config.enabled() { config.capacity } else { 0 };
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                command: AtomicU64::new(0),
+                packed: AtomicU64::new(0),
+            })
+            .collect();
+        TraceRing {
+            slots,
+            cursor: AtomicU64::new(0),
+            sample: if config.enabled() { config.sample } else { 0 },
+        }
+    }
+
+    /// True when this ring captures anything.
+    pub fn enabled(&self) -> bool {
+        self.sample != 0
+    }
+
+    /// Records an event if `command` is in the sample. Lock-free and
+    /// allocation-free; disabled rings return immediately.
+    pub fn record(&self, command: u64, stage: Stage, at_nanos: u64) {
+        if self.sample == 0 || !command.is_multiple_of(self.sample) {
+            return;
+        }
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        // Seqlock write: odd sequence while the payload words are in flux.
+        let seq = slot.seq.load(Ordering::Relaxed) | 1;
+        slot.seq.store(seq, Ordering::Release);
+        slot.command.store(command, Ordering::Relaxed);
+        slot.packed
+            .store(((stage.index() as u64) << TS_BITS) | (at_nanos & TS_MASK), Ordering::Relaxed);
+        slot.seq.store(seq + 1, Ordering::Release);
+    }
+
+    /// Appends every stable captured event to `out` (unordered). Slots that
+    /// are mid-write or never written are skipped.
+    pub fn snapshot_into(&self, out: &mut Vec<TraceEvent>) {
+        for slot in self.slots.iter() {
+            let before = slot.seq.load(Ordering::Acquire);
+            if before == 0 || before & 1 == 1 {
+                continue;
+            }
+            let command = slot.command.load(Ordering::Relaxed);
+            let packed = slot.packed.load(Ordering::Relaxed);
+            let after = slot.seq.load(Ordering::Acquire);
+            if after != before {
+                continue;
+            }
+            let Some(stage) = Stage::ALL.get((packed >> TS_BITS) as usize).copied() else {
+                continue;
+            };
+            out.push(TraceEvent { command, stage, at_nanos: packed & TS_MASK });
+        }
+    }
+}
+
+/// One command's reconstructed passage through the stages.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    /// The command id.
+    pub command: u64,
+    /// `(stage, at_nanos)` pairs in timestamp order.
+    pub events: Vec<(Stage, u64)>,
+}
+
+impl Timeline {
+    /// Nanoseconds between the first and last captured event.
+    pub fn span_nanos(&self) -> u64 {
+        match (self.events.first(), self.events.last()) {
+            (Some(first), Some(last)) => last.1.saturating_sub(first.1),
+            _ => 0,
+        }
+    }
+}
+
+/// Groups raw ring events into per-command timelines, slowest span first.
+/// Commands whose events were partially overwritten by ring wrap-around
+/// still appear, with whatever stages survived.
+pub fn assemble_timelines(events: &[TraceEvent]) -> Vec<Timeline> {
+    let mut by_command: std::collections::BTreeMap<u64, Vec<(Stage, u64)>> =
+        std::collections::BTreeMap::new();
+    for event in events {
+        by_command.entry(event.command).or_default().push((event.stage, event.at_nanos));
+    }
+    let mut timelines: Vec<Timeline> = by_command
+        .into_iter()
+        .map(|(command, mut events)| {
+            events.sort_by_key(|&(_, at)| at);
+            Timeline { command, events }
+        })
+        .collect();
+    timelines.sort_by_key(|timeline| std::cmp::Reverse(timeline.span_nanos()));
+    timelines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let ring = TraceRing::new(TraceConfig::disabled());
+        ring.record(0, Stage::Decode, 1);
+        let mut out = Vec::new();
+        ring.snapshot_into(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sampling_keeps_whole_commands() {
+        let ring = TraceRing::new(TraceConfig::sampled(4, 64));
+        for command in 0..8u64 {
+            ring.record(command, Stage::SubmitQueue, command * 10);
+            ring.record(command, Stage::QuorumWait, command * 10 + 5);
+        }
+        let mut out = Vec::new();
+        ring.snapshot_into(&mut out);
+        // Only commands 0 and 4 are in the 1-in-4 sample, both with both stages.
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|e| e.command % 4 == 0));
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_latest() {
+        let ring = TraceRing::new(TraceConfig::sampled(1, 4));
+        for command in 0..10u64 {
+            ring.record(command, Stage::ProtocolStep, command);
+        }
+        let mut out = Vec::new();
+        ring.snapshot_into(&mut out);
+        assert_eq!(out.len(), 4);
+        let mut commands: Vec<u64> = out.iter().map(|e| e.command).collect();
+        commands.sort_unstable();
+        assert_eq!(commands, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn timelines_sorted_by_span() {
+        let events = [
+            TraceEvent { command: 1, stage: Stage::SubmitQueue, at_nanos: 100 },
+            TraceEvent { command: 1, stage: Stage::QuorumWait, at_nanos: 150 },
+            TraceEvent { command: 2, stage: Stage::QuorumWait, at_nanos: 900 },
+            TraceEvent { command: 2, stage: Stage::SubmitQueue, at_nanos: 200 },
+        ];
+        let timelines = assemble_timelines(&events);
+        assert_eq!(timelines.len(), 2);
+        assert_eq!(timelines[0].command, 2);
+        assert_eq!(timelines[0].span_nanos(), 700);
+        assert_eq!(timelines[0].events[0].0, Stage::SubmitQueue);
+        assert_eq!(timelines[1].command, 1);
+        assert_eq!(timelines[1].span_nanos(), 50);
+    }
+}

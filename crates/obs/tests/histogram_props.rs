@@ -1,0 +1,114 @@
+//! Property tests for the log-bucketed histogram against an exact
+//! sorted-vector oracle: `record`/`merge` preserve totals, percentiles are
+//! monotone and within one bucket's relative error of the exact order
+//! statistic, and saturation at the top bucket is loud.
+
+use obs::Histogram;
+use proptest::prelude::*;
+
+/// Nearest-rank order statistic from a sorted slice — the exact oracle the
+/// histogram's bucketed percentile is compared against.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn in_range() -> impl Strategy<Value = u64> {
+    any::<u64>().prop_map(|v| v & Histogram::MAX_VALUE)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn record_preserves_totals(values in proptest::collection::vec(in_range(), 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(snap.max(), values.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(snap.saturated(), 0);
+    }
+
+    #[test]
+    fn merge_preserves_totals(
+        left in proptest::collection::vec(in_range(), 0..120),
+        right in proptest::collection::vec(in_range(), 0..120),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for &v in &left {
+            a.record(v);
+            whole.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge_from(&b);
+        let merged = a.snapshot();
+        let expected = whole.snapshot();
+        prop_assert_eq!(merged.count(), expected.count());
+        prop_assert_eq!(merged.sum(), expected.sum());
+        prop_assert_eq!(merged.max(), expected.max());
+        // Percentiles of the merged histogram match recording everything
+        // into one histogram — merging loses nothing.
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            prop_assert_eq!(merged.percentile(q), expected.percentile(q));
+        }
+    }
+
+    #[test]
+    fn percentiles_monotone_and_within_one_bucket(
+        mut values in proptest::collection::vec(in_range(), 1..300),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        let grid = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        let mut previous = 0u64;
+        for &q in &grid {
+            let reported = snap.percentile(q);
+            prop_assert!(reported >= previous, "percentiles must be monotone");
+            previous = reported;
+            // Within one bucket of the exact oracle: never below the exact
+            // order statistic, never above the top of its bucket.
+            let exact = exact_percentile(&values, q);
+            prop_assert!(reported >= exact, "p{q}: {reported} below exact {exact}");
+            let bound = Histogram::bucket_bound(exact);
+            prop_assert!(reported <= bound, "p{q}: {reported} above bucket bound {bound}");
+        }
+    }
+
+    #[test]
+    fn saturation_is_loud(
+        small in proptest::collection::vec(in_range(), 0..50),
+        overflow in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let h = Histogram::new();
+        for &v in &small {
+            h.record(v);
+        }
+        let over: Vec<u64> = overflow
+            .iter()
+            .map(|&v| Histogram::MAX_VALUE.saturating_add(1).saturating_add(v / 2))
+            .collect();
+        for &v in &over {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.saturated(), over.len() as u64);
+        prop_assert_eq!(snap.count(), (small.len() + over.len()) as u64);
+        // Saturated values still count in the top bucket, so p100 reports
+        // the histogram's ceiling rather than silently dropping them.
+        prop_assert_eq!(snap.percentile(1.0), Histogram::bucket_bound(Histogram::MAX_VALUE));
+        prop_assert_eq!(snap.max(), over.iter().copied().max().unwrap());
+    }
+}

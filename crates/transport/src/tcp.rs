@@ -20,9 +20,11 @@
 //! raw frame views for allocation-free decoding via [`wire::from_bytes`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
+use obs::{Counter, Histogram, ObsRegistry, Stopwatch};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
@@ -51,8 +53,41 @@ const RECONNECT_BACKOFF_MAX: Duration = Duration::from_millis(200);
 /// so a blocking mutex is cheaper than an async one here.
 #[derive(Debug)]
 struct PeerHandle {
-    tx: mpsc::UnboundedSender<Bytes>,
+    tx: mpsc::UnboundedSender<(Bytes, u64)>,
     encoder: std::sync::Mutex<FrameEncoder>,
+}
+
+/// Always-on runtime introspection for one mesh: reconnect behavior and the
+/// shape of the write-side coalescing. Recording is relaxed atomics on
+/// preallocated memory — the counters cost the hot path nothing measurable
+/// and never allocate.
+#[derive(Debug, Default)]
+pub struct MeshStats {
+    /// Dial attempts after the first per peer (failed dials and redials after
+    /// a connection dropped).
+    pub reconnect_attempts: Arc<Counter>,
+    /// Completed coalesced socket writes.
+    pub socket_writes: Arc<Counter>,
+    /// Frames folded into each coalesced write.
+    pub frames_per_batch: Arc<Histogram>,
+    /// Bytes of each coalesced write.
+    pub batch_bytes: Arc<Histogram>,
+    /// Wall-clock nanoseconds of each `write_all` — the engine's
+    /// `socket_write` stage.
+    pub write_nanos: Arc<Histogram>,
+}
+
+impl MeshStats {
+    /// Files every stat into `registry`: the write latency as
+    /// `stage_socket_write_nanos` (so it lines up with the engine's per-stage
+    /// table) and the rest under `mesh_*` names.
+    pub fn register_into(&self, registry: &ObsRegistry) {
+        registry.register_counter("mesh_reconnect_attempts", Arc::clone(&self.reconnect_attempts));
+        registry.register_counter("mesh_socket_writes", Arc::clone(&self.socket_writes));
+        registry.register_histogram("mesh_frames_per_batch", Arc::clone(&self.frames_per_batch));
+        registry.register_histogram("mesh_batch_bytes", Arc::clone(&self.batch_bytes));
+        registry.register_histogram("stage_socket_write_nanos", Arc::clone(&self.write_nanos));
+    }
 }
 
 /// A TCP endpoint connected to every peer of the replica group.
@@ -62,6 +97,7 @@ pub struct TcpMesh {
     peers: HashMap<PeerId, PeerHandle>,
     incoming: Mutex<mpsc::UnboundedReceiver<(PeerId, Bytes)>>,
     tasks: Vec<tokio::JoinHandle<()>>,
+    stats: Arc<MeshStats>,
 }
 
 impl TcpMesh {
@@ -82,6 +118,7 @@ impl TcpMesh {
         let (incoming_tx, incoming_rx) = mpsc::unbounded_channel();
         let mut outgoing = HashMap::new();
         let mut tasks = Vec::new();
+        let stats = Arc::new(MeshStats::default());
 
         // Accept loop: peers identify themselves with an 8-byte hello.
         let accept_incoming = incoming_tx.clone();
@@ -99,15 +136,21 @@ impl TcpMesh {
             if peer == id {
                 continue;
             }
-            let (tx, rx) = mpsc::unbounded_channel::<Bytes>();
+            let (tx, rx) = mpsc::unbounded_channel::<(Bytes, u64)>();
             outgoing.insert(
                 peer,
                 PeerHandle { tx, encoder: std::sync::Mutex::new(FrameEncoder::new()) },
             );
-            tasks.push(tokio::spawn(write_loop(id, addr, rx)));
+            tasks.push(tokio::spawn(write_loop(id, addr, rx, Arc::clone(&stats))));
         }
 
-        Ok(TcpMesh { id, peers: outgoing, incoming: Mutex::new(incoming_rx), tasks })
+        Ok(TcpMesh { id, peers: outgoing, incoming: Mutex::new(incoming_rx), tasks, stats })
+    }
+
+    /// The mesh's runtime introspection counters; register them into an
+    /// `obs::ObsRegistry` with [`MeshStats::register_into`].
+    pub fn stats(&self) -> &Arc<MeshStats> {
+        &self.stats
     }
 
     /// This replica's id.
@@ -180,7 +223,8 @@ impl TcpMesh {
             if encoder.is_empty() {
                 return Ok(());
             }
-            encoder.take()
+            let frames = encoder.frames();
+            (encoder.take(), frames)
         };
         handle.tx.send(batch).map_err(|_| TransportError::Closed)
     }
@@ -228,10 +272,20 @@ impl Drop for TcpMesh {
 /// Owns the outbound connection to one peer: dials (and redials) with
 /// backoff, then drains the frame queue, coalescing everything pending into
 /// single writes. Exits when the mesh drops the send handle.
-async fn write_loop(id: PeerId, addr: String, mut rx: mpsc::UnboundedReceiver<Bytes>) {
+async fn write_loop(
+    id: PeerId,
+    addr: String,
+    mut rx: mpsc::UnboundedReceiver<(Bytes, u64)>,
+    stats: Arc<MeshStats>,
+) {
     let mut staging = BytesMut::with_capacity(MAX_BATCH_BYTES);
     let mut backoff = RECONNECT_BACKOFF_MIN;
+    let mut first_dial = true;
     'reconnect: loop {
+        if !first_dial {
+            stats.reconnect_attempts.incr();
+        }
+        first_dial = false;
         let mut stream = match TcpStream::connect(&addr).await {
             Ok(stream) => stream,
             Err(_) => {
@@ -246,23 +300,25 @@ async fn write_loop(id: PeerId, addr: String, mut rx: mpsc::UnboundedReceiver<By
             continue;
         }
         loop {
-            let Some(first) = rx.recv().await else { return };
+            let Some((first, first_frames)) = rx.recv().await else { return };
+            let mut frames = first_frames;
             let mut batch = vec![first];
             let mut total = batch[0].len();
-            drain_pending(&mut rx, &mut batch, &mut total);
+            drain_pending(&mut rx, &mut batch, &mut total, &mut frames);
             if total < MAX_BATCH_BYTES {
                 // One scheduling linger: frames being enqueued by concurrently
                 // running tasks join this batch instead of paying their own
                 // write. No timer — an idle queue flushes immediately.
                 tokio::task::yield_now().await;
-                drain_pending(&mut rx, &mut batch, &mut total);
+                drain_pending(&mut rx, &mut batch, &mut total, &mut frames);
             }
+            let write = Stopwatch::start();
             let flushed = if batch.len() == 1 {
                 stream.write_all(&batch[0]).await
             } else {
                 staging.clear();
-                for frames in &batch {
-                    staging.extend_from_slice(frames);
+                for buffers in &batch {
+                    staging.extend_from_slice(buffers);
                 }
                 stream.write_all(&staging).await
             };
@@ -272,6 +328,10 @@ async fn write_loop(id: PeerId, addr: String, mut rx: mpsc::UnboundedReceiver<By
                 // connection loss.
                 continue 'reconnect;
             }
+            stats.write_nanos.record(write.elapsed_nanos());
+            stats.frames_per_batch.record(frames);
+            stats.batch_bytes.record(total as u64);
+            stats.socket_writes.incr();
         }
     }
 }
@@ -279,15 +339,17 @@ async fn write_loop(id: PeerId, addr: String, mut rx: mpsc::UnboundedReceiver<By
 /// Moves every already-queued frame buffer into `batch`, up to the flush
 /// threshold.
 fn drain_pending(
-    rx: &mut mpsc::UnboundedReceiver<Bytes>,
+    rx: &mut mpsc::UnboundedReceiver<(Bytes, u64)>,
     batch: &mut Vec<Bytes>,
     total: &mut usize,
+    frames: &mut u64,
 ) {
     while *total < MAX_BATCH_BYTES {
         match rx.try_recv() {
-            Some(frames) => {
-                *total += frames.len();
-                batch.push(frames);
+            Some((buffers, count)) => {
+                *total += buffers.len();
+                *frames += count;
+                batch.push(buffers);
             }
             None => break,
         }

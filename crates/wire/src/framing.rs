@@ -68,6 +68,10 @@ pub struct FrameEncoder {
     buf: BytesMut,
     /// Taken batches kept as reclaim candidates (bounded by [`SPENT_CAP`]).
     spent: Vec<Bytes>,
+    /// Frames encoded into the pending batch (reset by [`FrameEncoder::take`]),
+    /// so transports can report frames-per-coalesced-write without parsing
+    /// the batch back.
+    frames: u64,
 }
 
 impl FrameEncoder {
@@ -95,12 +99,18 @@ impl FrameEncoder {
             return Err(Error::LengthOverflow(payload_len as u64));
         };
         self.buf[frame_start..frame_start + 4].copy_from_slice(&len.to_le_bytes());
+        self.frames += 1;
         Ok(())
     }
 
     /// Number of encoded bytes pending.
     pub fn len(&self) -> usize {
         self.buf.len()
+    }
+
+    /// Number of frames in the pending batch.
+    pub fn frames(&self) -> u64 {
+        self.frames
     }
 
     /// Returns `true` if nothing has been encoded yet.
@@ -117,6 +127,16 @@ impl FrameEncoder {
     pub fn truncate(&mut self, len: usize) {
         assert!(len <= self.buf.len(), "truncate past end of batch");
         self.buf.resize(len, 0);
+        // Recount the surviving frames by walking the length prefixes — the
+        // cold rollback path pays O(frames) so the hot paths stay free.
+        let mut frames = 0;
+        let mut position = 0;
+        while position + 4 <= len {
+            let prefix: [u8; 4] = self.buf[position..position + 4].try_into().expect("4 bytes");
+            position += 4 + u32::from_le_bytes(prefix) as usize;
+            frames += 1;
+        }
+        self.frames = frames;
     }
 
     /// Takes the encoded batch as [`Bytes`], leaving the encoder empty.
@@ -126,6 +146,7 @@ impl FrameEncoder {
     /// earlier batch whose consumer has dropped its view.
     pub fn take(&mut self) -> Bytes {
         let len = self.buf.len();
+        self.frames = 0;
         let batch = self.buf.split_to(len).freeze();
         // Detach from the batch's allocation so the consumer's drop makes it
         // reclaimable, installing a recycled buffer (or a fresh one if every
@@ -388,7 +409,9 @@ mod tests {
         encoder.encode(&Msg { id: 1, body: "keep".into() }).unwrap();
         let boundary = encoder.len();
         encoder.encode(&Msg { id: 2, body: "discard".into() }).unwrap();
+        assert_eq!(encoder.frames(), 2);
         encoder.truncate(boundary);
+        assert_eq!(encoder.frames(), 1, "truncate recounts surviving frames");
         let mut decoder = FrameDecoder::default();
         decoder.extend(&encoder.take());
         let msg: Msg = decoder.decode_next().unwrap().unwrap();

@@ -25,6 +25,17 @@ pub use runtime::{spawn, JoinHandle};
 
 pub use tokio_macros::{main, test};
 
+/// Process-wide reactor introspection: how many readiness syscalls the
+/// reactor thread has issued so far and which backend it is running.
+///
+/// Touching this lazily starts the reactor if nothing else has — harmless,
+/// since an idle reactor parks in a single wait. Intended for benchmark
+/// reports that account for wakeup efficiency (syscalls per operation).
+pub fn reactor_stats() -> (u64, &'static str) {
+    let reactor = reactor::reactor();
+    (reactor.poll_syscalls(), reactor.backend_name())
+}
+
 /// Polls several futures, running the handler of whichever finishes first.
 ///
 /// Subset of upstream `tokio::select!`: up to four `pattern = future => block`

@@ -286,14 +286,13 @@ impl Reactor {
     }
 
     /// Number of readiness syscalls issued so far. Consumed by the
-    /// busy-spin regression test.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// busy-spin regression test and exported through
+    /// [`crate::reactor_stats`].
     pub(crate) fn poll_syscalls(&self) -> u64 {
         self.polls.load(Ordering::Relaxed)
     }
 
     /// The backend the reactor thread is running ("epoll" or "poll").
-    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn backend_name(&self) -> &'static str {
         if self.backend.load(Ordering::Relaxed) == 1 {
             "epoll"

@@ -12,6 +12,7 @@
 //! | [`wire`] | compact binary serde codec and message framing |
 //! | [`protocol`] | the CRDT Paxos protocol core: [`protocol::Replica`], messages, configuration, metrics; state-bearing messages carry a [`protocol::Payload`] — the full CRDT state or, with [`protocol::PayloadMode::DeltaWhenPossible`], a per-peer delta that cuts large payloads down to what the receiver is missing (replies are delta-encoded too, against the request's own payload and basis snapshot); [`protocol::ShardedReplica`] partitions a `LatticeMap` keyspace over independent protocol instances — one round counter and one quorum per shard — and reshards it **dynamically**: a [`protocol::RebalancePlan`] agreed on a control shard moves key ranges by lattice join under an epoch fence while traffic continues |
 //! | [`engine`] | thread-per-shard parallel executor: each shard's sans-IO [`protocol::ShardCore`] on its own OS thread behind lock-free mailboxes ([`engine::EngineCluster`], [`engine::EngineNode`]) |
+//! | [`obs`] | allocation-free observability: log-bucketed latency histograms, per-stage instrumentation ([`obs::Stage`]), runtime counters, sampled trace rings, and a registry with Prometheus-style exposition ([`obs::ObsRegistry`]) |
 //! | [`baselines`] | Multi-Paxos (read leases) and Raft baselines |
 //! | [`transport`] | in-memory and tokio TCP transports |
 //! | [`cluster`] | deterministic simulator, workloads, statistics, linearizability checker |
@@ -96,6 +97,7 @@ pub use baselines;
 pub use cluster;
 pub use crdt;
 pub use engine;
+pub use obs;
 pub use quorum;
 pub use transport;
 pub use wire;

@@ -283,6 +283,20 @@ impl<K: EngineKey, V: EngineValue> LocalShardedCluster<K, V> {
     pub fn epoch(&self) -> u64 {
         self.cluster.node(0).epoch()
     }
+
+    /// An aggregated observability snapshot of one replica's engine: per-stage
+    /// latency histograms (merged across its router and shard workers),
+    /// runtime counters, and queue-depth high-water marks. Recording is always
+    /// on and allocation-free; snapshotting is the cold path.
+    pub fn obs_snapshot(&self, replica: usize) -> obs::ObsSnapshot {
+        self.cluster.node(replica).obs_snapshot()
+    }
+
+    /// One replica's instruments as Prometheus-style text exposition, ready to
+    /// serve from a `/metrics` endpoint.
+    pub fn obs_prometheus(&self, replica: usize) -> String {
+        self.cluster.node(replica).obs_prometheus()
+    }
 }
 
 #[cfg(test)]
